@@ -1,0 +1,315 @@
+(* Benchmark harness (Bechamel): one Test per experiment row of
+   DESIGN.md §3.
+
+   The paper has no quantitative evaluation — §6 defers the performance
+   study to future work — so rows F1-E9 time the regeneration of the
+   paper's artifacts, and rows P1-P6 are the deferred study: evaluation
+   strategies, scaling in document size and rule count, the Example 9
+   optimizer, and the substrates.  EXPERIMENTS.md records the measured
+   numbers next to what the paper reports (shapes, not absolutes). *)
+
+open Bechamel
+open Toolkit
+open Weblab_xml
+open Weblab_workflow
+open Weblab_services
+open Weblab_prov
+
+let rulebook services =
+  List.filter_map
+    (fun svc ->
+      Catalog.find (Service.name svc)
+      |> Option.map (fun e ->
+             (Service.name svc, List.map Rule_parser.parse e.Catalog.rules)))
+    services
+
+(* A prepared workload: a finished execution plus its rulebook. *)
+type prepared = {
+  exec : Engine.execution;
+  rb : Strategy.rulebook;
+  services : Service.t list;
+  units : int;
+  seed : int;
+}
+
+let prepare ?(units = 3) ?(seed = 42) ?(calls = 7) () =
+  let doc = Workload.make_document ~units ~seed () in
+  let services = Workload.chain_pipeline calls in
+  let rb = rulebook services in
+  let exec = Engine.run doc services in
+  { exec; rb; services; units; seed }
+
+(* ---------- F/E: paper artifact regeneration ---------- *)
+
+let test_paper_figures =
+  Test.make ~name:"paper/figures(F1-E9)"
+    (Staged.stage (fun () ->
+         let e = Weblab_scenario.Paper.run () in
+         let artifacts = Weblab_scenario.Figures.all e in
+         assert (List.length artifacts = 9)))
+
+(* ---------- P1: strategy comparison over workflow length ---------- *)
+
+let strategy_tests =
+  List.concat_map
+    (fun calls ->
+      let p = prepare ~calls () in
+      let fresh_online () =
+        (* Online re-executes: it cannot be separated from the run. *)
+        let doc = Workload.make_document ~units:p.units ~seed:p.seed () in
+        ignore (Engine.run_online doc p.services p.rb)
+      in
+      [ Test.make
+          ~name:(Printf.sprintf "strategy/replay/calls=%02d" calls)
+          (Staged.stage (fun () ->
+               ignore (Engine.provenance ~strategy:`Replay p.exec p.rb)));
+        Test.make
+          ~name:(Printf.sprintf "strategy/rewrite/calls=%02d" calls)
+          (Staged.stage (fun () ->
+               ignore (Engine.provenance ~strategy:`Rewrite p.exec p.rb)));
+        Test.make
+          ~name:(Printf.sprintf "strategy/online+exec/calls=%02d" calls)
+          (Staged.stage fresh_online);
+        Test.make
+          ~name:(Printf.sprintf "strategy/exec-only/calls=%02d" calls)
+          (Staged.stage (fun () ->
+               let doc = Workload.make_document ~units:p.units ~seed:p.seed () in
+               ignore (Engine.run doc p.services)))
+      ])
+    [ 4; 8; 16; 32; 64 ]
+
+(* ---------- P2: document-size scaling (fixed pipeline) ---------- *)
+
+let doc_scaling_tests =
+  List.map
+    (fun units ->
+      let p = prepare ~units ~calls:7 () in
+      Test.make
+        ~name:(Printf.sprintf "scale_doc/rewrite/units=%03d" units)
+        (Staged.stage (fun () ->
+             ignore (Engine.provenance ~strategy:`Rewrite p.exec p.rb))))
+    [ 2; 8; 32 ]
+
+(* ---------- P3: rule-set scaling ---------- *)
+
+let rule_scaling_tests =
+  let p = prepare ~calls:7 () in
+  List.map
+    (fun k ->
+      (* k distinct copies of every rule. *)
+      let rb =
+        List.map
+          (fun (svc, rules) ->
+            ( svc,
+              List.concat_map
+                (fun r ->
+                  List.init k (fun i ->
+                      Rule.make
+                        ~name:(Printf.sprintf "%s#%d" (Rule.name r) i)
+                        ~source:(Rule.source r) ~target:(Rule.target r) ()))
+                rules ))
+          p.rb
+      in
+      Test.make
+        ~name:(Printf.sprintf "scale_rules/rewrite/x%02d" k)
+        (Staged.stage (fun () ->
+             ignore (Engine.provenance ~strategy:`Rewrite p.exec rb))))
+    [ 1; 4; 16 ]
+
+(* ---------- P4: the Example 9 optimizer at scale ---------- *)
+
+let xquery_tests =
+  (* A document with many TextMediaUnits so the id join matters. *)
+  let p = prepare ~units:24 ~calls:2 () in
+  let doc = p.exec.Engine.doc in
+  let source = Weblab_xpath.Parser.pattern "//TextMediaUnit[$x := @id]/TextContent" in
+  let target =
+    Weblab_xpath.Parser.pattern "//TextMediaUnit[$x := @id]/Annotation[Language]"
+  in
+  let naive =
+    Weblab_xquery.Xq_compile.compile_rule_query source target
+      ~service:"LanguageExtractor" ~time:2
+  in
+  let merged = Weblab_xquery.Xq_optimize.merge_key_joins naive in
+  let pushed = Weblab_xquery.Xq_optimize.push_filters naive in
+  let full = Weblab_xquery.Xq_optimize.optimize naive in
+  [ Test.make ~name:"xquery_opt/naive"
+      (Staged.stage (fun () -> ignore (Weblab_xquery.Xq_eval.run doc naive)));
+    Test.make ~name:"xquery_opt/pushdown"
+      (Staged.stage (fun () -> ignore (Weblab_xquery.Xq_eval.run doc pushed)));
+    Test.make ~name:"xquery_opt/key_merge"
+      (Staged.stage (fun () -> ignore (Weblab_xquery.Xq_eval.run doc merged)));
+    Test.make ~name:"xquery_opt/merge+pushdown"
+      (Staged.stage (fun () -> ignore (Weblab_xquery.Xq_eval.run doc full)))
+  ]
+
+(* ---------- P5: RDF substrate ---------- *)
+
+let rdf_tests =
+  let p = prepare ~units:8 ~calls:7 () in
+  let g = Engine.provenance ~strategy:`Rewrite p.exec p.rb in
+  let store = Prov_export.to_store g in
+  [ Test.make ~name:"rdf/export_store"
+      (Staged.stage (fun () -> ignore (Prov_export.to_store g)));
+    Test.make ~name:"rdf/turtle"
+      (Staged.stage (fun () -> ignore (Weblab_rdf.Turtle.to_turtle store)));
+    Test.make ~name:"rdf/sparql_bgp"
+      (Staged.stage (fun () ->
+           ignore
+             (Weblab_rdf.Sparql.run store
+                "SELECT ?b ?a WHERE { ?b prov:wasDerivedFrom ?a . \
+                 ?b prov:wasGeneratedBy ?act }")))
+  ]
+
+(* ---------- P6: XML substrate micro-benchmarks ---------- *)
+
+let xml_tests =
+  let p = prepare ~units:16 ~calls:7 () in
+  let doc = p.exec.Engine.doc in
+  let xml = Printer.to_string doc in
+  let old_doc = Xml_parser.parse xml in
+  let bigger = Xml_parser.parse xml in
+  ignore
+    (Tree.new_element bigger ~parent:(Tree.root bigger) "Extra"
+       ~attrs:[ ("id", "zz") ]);
+  [ Test.make ~name:"xml/parse"
+      (Staged.stage (fun () -> ignore (Xml_parser.parse xml)));
+    Test.make ~name:"xml/serialize"
+      (Staged.stage (fun () -> ignore (Printer.to_string doc)));
+    Test.make ~name:"xml/diff"
+      (Staged.stage (fun () -> ignore (Diff.diff ~old_doc ~new_doc:bigger)));
+    Test.make ~name:"xml/xpath_embeddings"
+      (Staged.stage (fun () ->
+           ignore
+             (Weblab_xpath.Eval.eval doc
+                (Weblab_xpath.Parser.pattern
+                   "//TextMediaUnit[$x := @id]/Annotation[Language]"))))
+  ]
+
+(* ---------- P7: reachability queries — BFS vs materialized closure ---------- *)
+
+let reachability_tests =
+  let p = prepare ~units:16 ~calls:7 () in
+  let g = Engine.provenance ~strategy:`Rewrite p.exec p.rb in
+  let g = Inheritance.close p.exec.Engine.doc g in
+  let uris = List.map fst (Prov_graph.labeled_resources g) in
+  let idx = Reachability.build g in
+  [ Test.make ~name:"reach/index_build"
+      (Staged.stage (fun () -> ignore (Reachability.build g)));
+    Test.make ~name:"reach/bfs_all_pairs"
+      (Staged.stage (fun () ->
+           List.iter (fun u -> ignore (Query.depends_on_transitive g u)) uris));
+    Test.make ~name:"reach/index_all_pairs"
+      (Staged.stage (fun () ->
+           List.iter (fun u -> ignore (Reachability.ancestors idx u)) uris))
+  ]
+
+(* ---------- P8: view projection and channel-aware inference ---------- *)
+
+let extension_tests =
+  let p = prepare ~units:8 ~calls:7 () in
+  let g = Engine.provenance ~strategy:`Rewrite p.exec p.rb in
+  let view =
+    Views.by_services
+      [ ("Preparation", [ "Normaliser"; "LanguageExtractor"; "Translator" ]);
+        ("Analytics",
+         [ "Tokenizer"; "EntityExtractor"; "Summarizer"; "SentimentAnalyzer" ]) ]
+  in
+  let par_wf =
+    Weblab_workflow.Parallel.(
+      Seq
+        [ Par
+            [ Call Weblab_services.Media.ocr_service;
+              Call Weblab_services.Media.asr_service;
+              Call Weblab_services.Normaliser.service ];
+          Call Weblab_services.Language_extractor.service ])
+  in
+  let par_rb =
+    rulebook
+      [ Weblab_services.Media.ocr_service; Weblab_services.Media.asr_service;
+        Weblab_services.Normaliser.service;
+        Weblab_services.Language_extractor.service ]
+  in
+  [ Test.make ~name:"ext/view_projection"
+      (Staged.stage (fun () -> ignore (Views.project g view)));
+    Test.make ~name:"ext/parallel_run+infer"
+      (Staged.stage (fun () ->
+           let doc =
+             Workload.make_document ~units:2 ~images:1 ~audios:1 ~seed:5 ()
+           in
+           ignore (Engine.run_parallel ~strategy:`Rewrite doc par_wf par_rb)));
+    Test.make ~name:"ext/prov_xml_export"
+      (Staged.stage (fun () -> ignore (Prov_export.to_prov_xml g)));
+    Test.make ~name:"ext/trace_xml_roundtrip"
+      (Staged.stage (fun () ->
+           ignore (Trace_io.of_xml (Trace_io.to_xml p.exec.Engine.trace))))
+  ]
+
+(* ---------- P9: inherited-closure / storage analytics ---------- *)
+
+let analytics_tests =
+  let p = prepare ~units:8 ~calls:7 () in
+  let g_explicit = Engine.provenance ~strategy:`Rewrite p.exec p.rb in
+  [ Test.make ~name:"analytics/inherit_closure"
+      (Staged.stage (fun () ->
+           let copy = Prov_export.of_store (Prov_export.to_store g_explicit) in
+           ignore (Inheritance.close p.exec.Engine.doc copy)));
+    Test.make ~name:"analytics/metrics"
+      (Staged.stage (fun () -> ignore (Analytics.metrics g_explicit)));
+    Test.make ~name:"analytics/replay_plan"
+      (Staged.stage (fun () ->
+           ignore (Replay_plan.build g_explicit ~sources:[ "mu1" ])))
+  ]
+
+(* ---------- harness ---------- *)
+
+let all_tests =
+  [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
+  @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
+  @ reachability_tests @ extension_tests @ analytics_tests
+
+let benchmark test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let pp_ns ppf v =
+  if v > 1e9 then Fmt.pf ppf "%8.2f s " (v /. 1e9)
+  else if v > 1e6 then Fmt.pf ppf "%8.2f ms" (v /. 1e6)
+  else if v > 1e3 then Fmt.pf ppf "%8.2f us" (v /. 1e3)
+  else Fmt.pf ppf "%8.1f ns" v
+
+let () =
+  print_endline "WebLab PROV benchmark suite (one series per experiment row)";
+  print_endline "============================================================";
+  let test = Test.make_grouped ~name:"weblab-prov" ~fmt:"%s %s" all_tests in
+  let results = benchmark test in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some [ e ] -> e
+          | Some _ | None -> nan
+        in
+        (name, estimate) :: acc)
+      clock []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Fmt.pr "%-54s %a/run@." name pp_ns est) rows;
+  print_endline "------------------------------------------------------------";
+  print_endline
+    "Series: strategy/* (P1), scale_doc/* (P2), scale_rules/* (P3),\n\
+     xquery_opt/* (P4), rdf/* (P5), xml/* (P6), reach/* (P7),\n\
+     ext/* (P8), paper/* (F1-E9).\n\
+     See EXPERIMENTS.md for the paper-vs-measured discussion."

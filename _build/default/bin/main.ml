@@ -1,0 +1,324 @@
+(* weblab-prov: command-line front end.
+
+   - figures: regenerate every figure/table of the paper from a live run
+   - run:     execute a synthetic media-mining workflow and print its
+              trace, provenance tables and final document
+   - export:  emit the provenance graph as Turtle, N-Triples or DOT
+   - query:   run a SPARQL query against the exported provenance graph *)
+
+open Cmdliner
+open Weblab_prov
+open Weblab_scenario
+
+let strategy_conv =
+  let parse = function
+    | "replay" -> Ok `Replay
+    | "rewrite" -> Ok `Rewrite
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (replay|rewrite)" s))
+  in
+  let print ppf s =
+    Fmt.string ppf (match s with `Replay -> "replay" | `Rewrite -> "rewrite")
+  in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv `Rewrite
+       & info [ "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Evaluation strategy: $(b,replay) or $(b,rewrite).")
+
+let inherit_arg =
+  Arg.(value & flag
+       & info [ "inherit" ] ~doc:"Also compute inherited provenance links.")
+
+let units_arg =
+  Arg.(value & opt int 3
+       & info [ "units" ] ~docv:"N" ~doc:"Number of media units in the corpus.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let extended_arg =
+  Arg.(value & flag
+       & info [ "extended" ]
+           ~doc:"Use the extended pipeline (tokenizer, entities, summary, \
+                 sentiment).")
+
+(* --- figures --- *)
+
+let figures only =
+  let e = Paper.run () in
+  List.iter
+    (fun (title, body) ->
+      let wanted =
+        match only with
+        | None -> true
+        | Some o ->
+          String.lowercase_ascii title = String.lowercase_ascii o
+          || String.equal (List.nth (String.split_on_char ' ' title) 1) o
+      in
+      if wanted then Printf.printf "=== %s ===\n%s\n" title body)
+    (Figures.all e)
+
+let figures_cmd =
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"WHICH"
+             ~doc:"Print a single artifact, e.g. $(b,--only 'Figure 2') or \
+                   $(b,--only 5).")
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures and examples")
+    Term.(const figures $ only)
+
+(* --- shared pipeline runner --- *)
+
+let build_rulebook services =
+  List.filter_map
+    (fun svc ->
+      let name = Weblab_workflow.Service.name svc in
+      Weblab_services.Catalog.find name
+      |> Option.map (fun e ->
+             (name, List.map Rule_parser.parse e.Weblab_services.Catalog.rules)))
+    services
+
+let run_pipeline ~units ~seed ~extended ~strategy ~inheritance =
+  let doc = Weblab_services.Workload.make_document ~units ~seed () in
+  let services = Weblab_services.Workload.standard_pipeline ~extended () in
+  let rb = build_rulebook services in
+  let exec, g =
+    Engine.run_with_provenance ~strategy ~inheritance doc services rb
+  in
+  (exec, g)
+
+(* --- run --- *)
+
+let resolve_catalog name =
+  Option.map
+    (fun e -> e.Weblab_services.Catalog.service)
+    (Weblab_services.Catalog.find name)
+
+let run_dsl ~units ~seed ~strategy ~inheritance spec =
+  let doc = Weblab_services.Workload.make_document ~units ~seed () in
+  match Weblab_workflow.Wf_parser.parse_opt ~resolve:resolve_catalog spec with
+  | Error msg ->
+    Printf.eprintf "workflow error: %s\n" msg;
+    exit 1
+  | Ok wf ->
+    let rec service_names = function
+      | Weblab_workflow.Parallel.Call s -> [ Weblab_workflow.Service.name s ]
+      | Weblab_workflow.Parallel.Seq l | Weblab_workflow.Parallel.Par l ->
+        List.concat_map service_names l
+      | Weblab_workflow.Parallel.Nested (_, b) -> service_names b
+    in
+    let rb =
+      service_names wf
+      |> List.sort_uniq String.compare
+      |> List.filter_map (fun name ->
+             Weblab_services.Catalog.find name
+             |> Option.map (fun e ->
+                    (name, List.map Rule_parser.parse e.Weblab_services.Catalog.rules)))
+    in
+    let exec, pexec, g = Engine.run_parallel ~strategy ~inheritance doc wf rb in
+    print_string "Schedule (with channels):\n";
+    List.iter
+      (fun (c : Weblab_workflow.Trace.call) ->
+        if c.Weblab_workflow.Trace.time > 0 then
+          Printf.printf "  t%-2d %-18s %s\n" c.Weblab_workflow.Trace.time
+            c.Weblab_workflow.Trace.service
+            (Option.value ~default:"?"
+               (Weblab_workflow.Parallel.channel_of pexec
+                  c.Weblab_workflow.Trace.time)))
+      (Weblab_workflow.Trace.calls exec.Engine.trace);
+    (exec, g)
+
+let run units seed extended strategy inheritance show_doc workflow =
+  let exec, g =
+    match workflow with
+    | Some spec -> run_dsl ~units ~seed ~strategy ~inheritance spec
+    | None -> run_pipeline ~units ~seed ~extended ~strategy ~inheritance
+  in
+  print_string "Source (execution trace):\n";
+  print_string (Weblab_workflow.Trace.source_table exec.Engine.trace);
+  print_string "\nProvenance links:\n";
+  print_string (Prov_graph.provenance_table ~with_rule:true g);
+  Printf.printf "\n%d resources, %d links, acyclic=%b, temporally sound=%b\n"
+    (List.length (Prov_graph.labeled_resources g))
+    (Prov_graph.size g) (Prov_graph.is_acyclic g) (Prov_graph.temporally_sound g);
+  if show_doc then begin
+    print_string "\nFinal document:\n";
+    print_string (Weblab_xml.Printer.to_string ~indent:true exec.Engine.doc);
+    print_newline ()
+  end
+
+let run_cmd =
+  let show_doc =
+    Arg.(value & flag & info [ "show-doc" ] ~doc:"Print the final XML document.")
+  in
+  let workflow =
+    Arg.(value & opt (some string) None
+         & info [ "workflow" ] ~docv:"WF"
+             ~doc:"A workflow expression over catalog services, e.g. \
+                   $(b,\"(OcrService | Normaliser); LanguageExtractor\"). \
+                   ';' sequences, '|' parallelizes, 'name:(...)' nests.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a synthetic media-mining workflow")
+    Term.(const run $ units_arg $ seed_arg $ extended_arg $ strategy_arg
+          $ inherit_arg $ show_doc $ workflow)
+
+(* --- export --- *)
+
+let export units seed extended strategy inheritance format =
+  let _, g = run_pipeline ~units ~seed ~extended ~strategy ~inheritance in
+  match format with
+  | "turtle" -> print_string (Prov_export.to_turtle g)
+  | "ntriples" -> print_string (Prov_export.to_ntriples g)
+  | "dot" -> print_string (Dot.to_dot g)
+  | "provxml" -> print_string (Prov_export.to_prov_xml g)
+  | f ->
+    Printf.eprintf "unknown format %S (turtle|ntriples|dot|provxml)\n" f;
+    exit 1
+
+let export_cmd =
+  let format =
+    Arg.(value & opt string "turtle"
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,turtle), $(b,ntriples), $(b,dot) or \
+                   $(b,provxml).")
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export the provenance graph")
+    Term.(const export $ units_arg $ seed_arg $ extended_arg $ strategy_arg
+          $ inherit_arg $ format)
+
+(* --- query --- *)
+
+let query units seed extended strategy inheritance q =
+  let _, g = run_pipeline ~units ~seed ~extended ~strategy ~inheritance in
+  let store = Prov_export.to_store g in
+  match Weblab_rdf.Sparql.run store q with
+  | table -> print_string (Weblab_relalg.Table.to_string table)
+  | exception Weblab_rdf.Sparql.Error msg ->
+    Printf.eprintf "SPARQL error: %s\n" msg;
+    exit 1
+
+let query_cmd =
+  let q =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY"
+             ~doc:"A SPARQL query, e.g. \"SELECT ?e WHERE { ?e a prov:Entity }\".")
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Query the provenance graph with SPARQL")
+    Term.(const query $ units_arg $ seed_arg $ extended_arg $ strategy_arg
+          $ inherit_arg $ q)
+
+(* --- lint --- *)
+
+let lint units seed extended =
+  let doc = Weblab_services.Workload.make_document ~units ~seed () in
+  let services = Weblab_services.Workload.standard_pipeline ~extended () in
+  let order = List.map Weblab_workflow.Service.name services in
+  let rb = build_rulebook services in
+  let exec = Engine.run doc services in
+  let produces = Static_check.observed_produces doc exec.Engine.trace in
+  Printf.printf "Workflow order: %s\n" (String.concat " -> " order);
+  Printf.printf "Observed production map:\n";
+  List.iter
+    (fun (s, els) -> Printf.printf "  %-18s %s\n" s (String.concat ", " els))
+    produces;
+  match Static_check.check ~order ~produces rb with
+  | [] -> print_endline "\nRulebook is clean: every rule can fire."
+  | diags ->
+    Printf.printf "\n%d diagnostic(s):\n" (List.length diags);
+    List.iter
+      (fun d -> Printf.printf "  - %s\n" (Static_check.diagnostic_to_string d))
+      diags;
+    exit 1
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically check the rulebook against the workflow definition")
+    Term.(const lint $ units_arg $ seed_arg $ extended_arg)
+
+(* --- analyze --- *)
+
+let analyze units seed extended taint =
+  let exec, g =
+    run_pipeline ~units ~seed ~extended ~strategy:`Rewrite ~inheritance:false
+  in
+  print_endline "=== Provenance metrics (explicit graph) ===";
+  print_string (Analytics.metrics_to_string (Analytics.metrics g));
+  print_endline "\n=== Storage ablation (explicit vs materialized closure) ===";
+  let ab = Analytics.storage_ablation exec.Engine.doc g in
+  Printf.printf
+    "explicit-only store: %d bytes\nwith closure:        %d bytes\n\
+     on-demand saves %.0f%% of storage (%s)\n"
+    ab.Analytics.explicit_only_bytes ab.Analytics.materialized_bytes
+    (100.0 *. ab.Analytics.savings) ab.Analytics.closure_cost_ms_hint;
+  match taint with
+  | None -> ()
+  | Some source ->
+    let g = Inheritance.close exec.Engine.doc g in
+    print_endline "\n=== Replay plan ===";
+    print_string (Replay_plan.to_string (Replay_plan.build g ~sources:[ source ]))
+
+let analyze_cmd =
+  let taint =
+    Arg.(value & opt (some string) None
+         & info [ "taint" ] ~docv:"URI"
+             ~doc:"Also compute the re-execution plan if this resource is \
+                   stale (try $(b,mu1)).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Provenance metrics, storage ablation and replay planning")
+    Term.(const analyze $ units_arg $ seed_arg $ extended_arg $ taint)
+
+(* --- explain --- *)
+
+let explain units seed extended from_uri to_uri =
+  let doc = Weblab_services.Workload.make_document ~units ~seed () in
+  let services = Weblab_services.Workload.standard_pipeline ~extended () in
+  let rb = build_rulebook services in
+  let exec = Engine.run doc services in
+  match
+    Explain.link ~doc ~trace:exec.Engine.trace rb ~from_uri ~to_uri
+  with
+  | _ :: _ as ws ->
+    Printf.printf "%s -> %s holds because:\n" from_uri to_uri;
+    List.iter (fun w -> Printf.printf "  - %s\n" (Explain.witness_to_string w)) ws
+  | [] ->
+    Printf.printf "no %s -> %s link.  Closest attempts:\n" from_uri to_uri;
+    let ds = Explain.missing ~doc ~trace:exec.Engine.trace rb ~from_uri ~to_uri in
+    if ds = [] then print_endline "  (no rule could relate these resources)"
+    else
+      List.iter
+        (fun d ->
+          Printf.printf "  - rule %s at (%s, t%d): %s\n" d.Explain.d_rule
+            d.Explain.d_call.Weblab_workflow.Trace.service
+            d.Explain.d_call.Weblab_workflow.Trace.time
+            (Explain.failure_to_string d.Explain.failure))
+        ds
+
+let explain_cmd =
+  let from_uri =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FROM" ~doc:"The derived resource.")
+  in
+  let to_uri =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"TO" ~doc:"The resource it (supposedly) used.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain why a provenance link exists (or why it does not)")
+    Term.(const explain $ units_arg $ seed_arg $ extended_arg $ from_uri $ to_uri)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "weblab-prov" ~version:"1.0.0"
+       ~doc:"Fine-grained provenance links for XML artifacts (WebLab PROV)")
+    [ figures_cmd; run_cmd; export_cmd; query_cmd; lint_cmd; analyze_cmd;
+      explain_cmd ]
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  exit (Cmd.eval main_cmd)

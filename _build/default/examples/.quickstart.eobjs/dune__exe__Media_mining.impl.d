@@ -1,0 +1,1 @@
+examples/media_mining.ml: Figures List Paper Printf Weblab_prov Weblab_scenario

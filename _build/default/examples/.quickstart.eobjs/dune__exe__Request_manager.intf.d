@@ -1,0 +1,1 @@
+examples/request_manager.mli:

@@ -1,0 +1,1 @@
+examples/skolem_aggregation.ml: Doc_state List Mapping Printf Prov_export Prov_graph Rule_parser Skolem Weblab_prov Weblab_xml Xml_parser

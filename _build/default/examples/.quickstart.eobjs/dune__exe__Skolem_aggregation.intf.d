@@ -1,0 +1,1 @@
+examples/skolem_aggregation.mli:

@@ -1,0 +1,1 @@
+lib/core/analytics.ml: Buffer Hashtbl Inheritance List Option Printf Prov_export Prov_graph String Sys

@@ -1,0 +1,1 @@
+lib/core/analytics.mli: Prov_graph Weblab_xml

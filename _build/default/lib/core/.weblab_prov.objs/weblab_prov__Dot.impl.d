@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer List Printf Prov_graph String Trace Weblab_workflow

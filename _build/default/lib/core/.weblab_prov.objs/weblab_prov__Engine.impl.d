@@ -1,0 +1,1 @@
+lib/core/engine.ml: Dot List Orchestrator Parallel Prov_export Prov_graph Strategy Trace Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Parallel Prov_graph Service Strategy Trace Tree Weblab_workflow Weblab_xml

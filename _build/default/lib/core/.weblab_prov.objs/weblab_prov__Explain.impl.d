@@ -1,0 +1,1 @@
+lib/core/explain.ml: Doc_state List Mapping Printf Rule Strategy String Table Trace Value Weblab_relalg Weblab_workflow Weblab_xml Weblab_xpath

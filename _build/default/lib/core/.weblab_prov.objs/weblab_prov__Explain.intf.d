@@ -1,0 +1,1 @@
+lib/core/explain.mli: Strategy Trace Weblab_workflow Weblab_xml

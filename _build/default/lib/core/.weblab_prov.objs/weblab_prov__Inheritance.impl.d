@@ -1,0 +1,1 @@
+lib/core/inheritance.ml: List Printf Prov_graph String Tree Weblab_xml

@@ -1,0 +1,1 @@
+lib/core/inheritance.mli: Prov_graph Tree Weblab_xml

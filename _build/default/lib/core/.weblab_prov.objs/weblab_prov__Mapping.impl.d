@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Ast Doc_state Eval List Option Printf Rule String Table Trace Tree Value Weblab_relalg Weblab_workflow Weblab_xml Weblab_xpath

@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Ast Doc_state Eval Rule Table Trace Tree Weblab_relalg Weblab_workflow Weblab_xml Weblab_xpath

@@ -1,0 +1,1 @@
+lib/core/pattern_rewrite.mli: Ast Rule Trace Weblab_workflow Weblab_xpath

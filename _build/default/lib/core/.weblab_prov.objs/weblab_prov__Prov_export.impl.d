@@ -1,0 +1,1 @@
+lib/core/prov_export.ml: Hashtbl List Printer Printf Prov_graph Prov_vocab String Term Trace Tree Triple_store Turtle Weblab_rdf Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/core/prov_export.mli: Prov_graph Term Trace Triple_store Weblab_rdf Weblab_workflow

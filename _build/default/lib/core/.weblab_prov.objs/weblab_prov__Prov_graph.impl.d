@@ -1,0 +1,1 @@
+lib/core/prov_graph.ml: Buffer Hashtbl List Printf Queue String Trace Weblab_workflow

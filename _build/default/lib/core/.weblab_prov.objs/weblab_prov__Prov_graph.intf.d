@@ -1,0 +1,1 @@
+lib/core/prov_graph.mli: Trace Weblab_workflow

@@ -1,0 +1,1 @@
+lib/core/prov_store.ml: Hashtbl Option Prov_export Prov_graph Reachability Triple_store Weblab_rdf

@@ -1,0 +1,1 @@
+lib/core/prov_store.mli: Prov_graph Reachability Triple_store Weblab_rdf

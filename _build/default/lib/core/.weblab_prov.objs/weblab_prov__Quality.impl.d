@@ -1,0 +1,1 @@
+lib/core/quality.ml: Hashtbl List Printf Prov_graph String Trace Weblab_workflow

@@ -1,0 +1,1 @@
+lib/core/query.ml: Hashtbl List Prov_graph Queue String Trace Weblab_workflow

@@ -1,0 +1,1 @@
+lib/core/reachability.ml: Array Bytes Char Hashtbl List Prov_graph String

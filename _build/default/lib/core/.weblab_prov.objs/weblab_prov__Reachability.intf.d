@@ -1,0 +1,1 @@
+lib/core/reachability.mli: Prov_graph

@@ -1,0 +1,1 @@
+lib/core/replay_plan.ml: Buffer List Printf Prov_graph Query String Trace Weblab_workflow

@@ -1,0 +1,1 @@
+lib/core/replay_plan.mli: Prov_graph Trace Weblab_workflow

@@ -1,0 +1,1 @@
+lib/core/repository.ml: Array Doc_state Engine Filename List Printer Printf Prov_export Prov_graph String Sys Trace_io Weblab_rdf Weblab_xml Xml_parser

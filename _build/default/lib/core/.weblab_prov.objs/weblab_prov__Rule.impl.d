@@ -1,0 +1,1 @@
+lib/core/rule.ml: Ast List Print Printf Weblab_xpath

@@ -1,0 +1,1 @@
+lib/core/rule_parser.ml: Lexer List Parser Printf Rule String Weblab_xpath

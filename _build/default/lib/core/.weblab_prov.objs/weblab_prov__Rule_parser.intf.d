@@ -1,0 +1,1 @@
+lib/core/rule_parser.mli: Rule

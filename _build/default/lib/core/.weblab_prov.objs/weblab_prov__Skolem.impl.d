@@ -1,0 +1,1 @@
+lib/core/skolem.ml: Ast Printf Rule Weblab_xpath

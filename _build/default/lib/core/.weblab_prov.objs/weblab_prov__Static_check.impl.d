@@ -1,0 +1,1 @@
+lib/core/static_check.ml: Ast Hashtbl List Printf Prov_graph Rule Strategy String Trace Weblab_workflow Weblab_xml Weblab_xpath

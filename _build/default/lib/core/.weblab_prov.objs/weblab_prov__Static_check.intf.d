@@ -1,0 +1,1 @@
+lib/core/static_check.mli: Prov_graph Strategy Weblab_workflow Weblab_xml Weblab_xpath

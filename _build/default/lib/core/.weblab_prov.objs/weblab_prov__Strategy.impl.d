@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Ast Doc_state Eval Hashtbl Inheritance List Mapping Pattern_rewrite Prov_graph Rule String Table Trace Tree Value Weblab_relalg Weblab_workflow Weblab_xml Weblab_xpath

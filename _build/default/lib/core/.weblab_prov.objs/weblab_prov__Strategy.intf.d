@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Doc_state Prov_graph Rule Trace Tree Weblab_workflow Weblab_xml

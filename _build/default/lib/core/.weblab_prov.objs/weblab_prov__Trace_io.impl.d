@@ -1,0 +1,1 @@
+lib/core/trace_io.ml: List Option Printer Prov_vocab Term Trace Tree Triple_store Weblab_rdf Weblab_workflow Weblab_xml Xml_parser

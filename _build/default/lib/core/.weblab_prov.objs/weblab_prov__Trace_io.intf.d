@@ -1,0 +1,1 @@
+lib/core/trace_io.mli: Term Trace Triple_store Weblab_rdf Weblab_workflow

@@ -1,0 +1,1 @@
+lib/core/views.ml: Hashtbl List Printf Prov_graph String Trace Weblab_workflow

@@ -1,0 +1,1 @@
+lib/core/views.mli: Prov_graph Trace Weblab_workflow

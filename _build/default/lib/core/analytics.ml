@@ -1,0 +1,126 @@
+(* Analysis of generated provenance — the §8 plan: "We intend to
+   thoroughly analyze our generated provenance information, in order to
+   conceive efficient provenance storage and querying methods".
+
+   Two parts:
+
+   - structural metrics of a graph (size, fan-in/out, depth, per-rule link
+     counts, the blow-up factor of the inherited closure), feeding the
+     storage discussion in EXPERIMENTS.md;
+   - the storage ablation of Chapman et al. / Anand et al.: materializing
+     the inherited closure multiplies stored links, while storing only the
+     explicit links and recomputing inheritance on demand keeps the store
+     small at a bounded query-time cost.  [storage_ablation] quantifies
+     the trade-off on a concrete execution. *)
+
+
+type metrics = {
+  resources : int;
+  explicit_links : int;
+  inherited_links : int;
+  blowup : float;          (* (explicit + inherited) / explicit *)
+  max_fan_in : int;        (* most-used resource *)
+  max_fan_out : int;       (* most-derived resource *)
+  depth : int;             (* longest dependency chain *)
+  links_per_rule : (string * int) list;  (* sorted by count, desc *)
+}
+
+let metrics (g : Prov_graph.t) : metrics =
+  let links = Prov_graph.links g in
+  let explicit, inherited =
+    List.partition (fun l -> not l.Prov_graph.inherited) links
+  in
+  let count_by f =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun l ->
+        let k = f l in
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      links;
+    tbl
+  in
+  let max_of tbl = Hashtbl.fold (fun _ v acc -> max v acc) tbl 0 in
+  let fan_out = count_by (fun l -> l.Prov_graph.from_uri) in
+  let fan_in = count_by (fun l -> l.Prov_graph.to_uri) in
+  (* Longest chain over the DAG (memoized DFS). *)
+  let memo = Hashtbl.create 32 in
+  let rec depth_of uri =
+    match Hashtbl.find_opt memo uri with
+    | Some d -> d
+    | None ->
+      Hashtbl.replace memo uri 0;  (* cycle guard; graphs are DAGs anyway *)
+      let d =
+        Prov_graph.depends_on g uri
+        |> List.fold_left (fun acc v -> max acc (1 + depth_of v)) 0
+      in
+      Hashtbl.replace memo uri d;
+      d
+  in
+  let depth =
+    Prov_graph.labeled_resources g
+    |> List.fold_left (fun acc (uri, _) -> max acc (depth_of uri)) 0
+  in
+  let links_per_rule =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun l ->
+        let r = if l.Prov_graph.rule = "" then "(unnamed)" else l.Prov_graph.rule in
+        Hashtbl.replace tbl r (1 + Option.value ~default:0 (Hashtbl.find_opt tbl r)))
+      explicit;
+    Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let ne = List.length explicit and ni = List.length inherited in
+  {
+    resources = List.length (Prov_graph.labeled_resources g);
+    explicit_links = ne;
+    inherited_links = ni;
+    blowup = (if ne = 0 then 1.0 else float_of_int (ne + ni) /. float_of_int ne);
+    max_fan_in = max_of fan_in;
+    max_fan_out = max_of fan_out;
+    depth;
+    links_per_rule;
+  }
+
+let metrics_to_string m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "resources=%d explicit=%d inherited=%d blowup=%.2fx fan-in<=%d \
+        fan-out<=%d depth=%d\n"
+       m.resources m.explicit_links m.inherited_links m.blowup m.max_fan_in
+       m.max_fan_out m.depth);
+  List.iter
+    (fun (r, c) -> Buffer.add_string buf (Printf.sprintf "  rule %-6s %d links\n" r c))
+    m.links_per_rule;
+  Buffer.contents buf
+
+(* ---- storage ablation ---- *)
+
+type ablation = {
+  explicit_only_bytes : int;   (* RDF store of the explicit graph *)
+  materialized_bytes : int;    (* RDF store with the inherited closure *)
+  savings : float;             (* 1 - explicit/materialized *)
+  closure_cost_ms_hint : string;
+      (* what the on-demand strategy pays instead: recomputing the closure *)
+}
+
+let storage_ablation doc (g_explicit : Prov_graph.t) : ablation =
+  let explicit_only_bytes =
+    String.length (Prov_export.to_ntriples g_explicit)
+  in
+  (* Re-derive the closure on a copy (close mutates). *)
+  let copy = Prov_export.of_store (Prov_export.to_store g_explicit) in
+  let t0 = Sys.time () in
+  let closed = Inheritance.close doc copy in
+  let dt = (Sys.time () -. t0) *. 1000.0 in
+  let materialized_bytes = String.length (Prov_export.to_ntriples closed) in
+  {
+    explicit_only_bytes;
+    materialized_bytes;
+    savings =
+      (if materialized_bytes = 0 then 0.0
+       else 1.0 -. (float_of_int explicit_only_bytes
+                    /. float_of_int materialized_bytes));
+    closure_cost_ms_hint = Printf.sprintf "%.2f ms to recompute the closure" dt;
+  }

@@ -1,0 +1,33 @@
+(** Analysis of generated provenance — the §8 plan to "thoroughly analyze
+    our generated provenance information, in order to conceive efficient
+    provenance storage and querying methods": structural metrics of a
+    graph, and the store-explicit-vs-materialize-closure ablation of the
+    efficient-provenance-storage literature the paper cites. *)
+
+type metrics = {
+  resources : int;
+  explicit_links : int;
+  inherited_links : int;
+  blowup : float;   (** (explicit + inherited) / explicit *)
+  max_fan_in : int;   (** links into the most-used resource *)
+  max_fan_out : int;  (** links out of the most-derived resource *)
+  depth : int;        (** longest dependency chain *)
+  links_per_rule : (string * int) list;  (** explicit links, most first *)
+}
+
+val metrics : Prov_graph.t -> metrics
+
+val metrics_to_string : metrics -> string
+
+type ablation = {
+  explicit_only_bytes : int;   (** N-Triples size, explicit links only *)
+  materialized_bytes : int;    (** N-Triples size with the closure *)
+  savings : float;             (** 1 - explicit/materialized *)
+  closure_cost_ms_hint : string;
+      (** the query-time price of the on-demand strategy *)
+}
+
+val storage_ablation : Weblab_xml.Tree.t -> Prov_graph.t -> ablation
+(** Quantify the storage trade-off on a concrete execution: how much the
+    store shrinks when inherited links are recomputed on demand instead of
+    materialized.  The input graph must be explicit-only. *)

@@ -1,0 +1,43 @@
+(* Graphviz rendering of provenance graphs, in the style of Figure 2:
+   resources as boxes grouped by the call that produced them, data
+   dependencies as dashed arrows. *)
+
+open Weblab_workflow
+
+let quote s =
+  "\"" ^ String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                             (List.init (String.length s) (String.get s))) ^ "\""
+
+let to_dot (g : Prov_graph.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph provenance {\n";
+  Buffer.add_string buf "  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  List.iter
+    (fun (uri, (call : Trace.call)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=%s];\n" (quote uri)
+           (quote
+              (Printf.sprintf "%s\\n%s@t%d" uri call.Trace.service call.Trace.time))))
+    (Prov_graph.labeled_resources g);
+  List.iter
+    (fun entity ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=ellipse, label=%s];\n" (quote entity)
+           (quote entity));
+      List.iter
+        (fun member ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> %s [style=dotted, label=\"member\"];\n"
+               (quote entity) (quote member)))
+        (Prov_graph.members g entity))
+    (Prov_graph.skolem_entities g);
+  List.iter
+    (fun { Prov_graph.from_uri; to_uri; rule; inherited } ->
+      let style = if inherited then "dotted" else "dashed" in
+      let label = if rule = "" then "" else Printf.sprintf ", label=%s" (quote rule) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [style=%s%s];\n" (quote from_uri) (quote to_uri)
+           style label))
+    (Prov_graph.links g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

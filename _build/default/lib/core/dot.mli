@@ -1,0 +1,6 @@
+(** Graphviz rendering of provenance graphs, in the style of Figure 2:
+    resources as boxes labeled with their producing call, explicit data
+    dependencies as dashed arrows, inherited ones dotted, Skolem entities
+    as ellipses with member edges. *)
+
+val to_dot : Prov_graph.t -> string

@@ -1,0 +1,55 @@
+(* High-level entry points tying the pieces together: run a workflow and
+   obtain its provenance graph, or infer provenance from an existing
+   execution trace — the Graph Construction / Request Manager roles in the
+   Figure 5 architecture. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+type execution = {
+  doc : Tree.t;
+  trace : Trace.t;
+}
+
+(* Run a sequential workflow (without provenance inference). *)
+let run doc services =
+  let trace = Orchestrator.execute doc services in
+  { doc; trace }
+
+(* Run a workflow with Online provenance inference: rules are applied by
+   the orchestrator hook after each call. *)
+let run_online doc services (rb : Strategy.rulebook) =
+  let g, hook = Strategy.online rb in
+  let trace = Orchestrator.execute ~on_step:hook doc services in
+  (* The hook sees only data dependencies; the labeling function λ comes
+     from the trace. *)
+  List.iter
+    (fun e -> Prov_graph.set_label g e.Trace.uri e.Trace.call)
+    (Trace.entries trace);
+  ({ doc; trace }, g)
+
+(* Post-hoc inference from the final document and the execution trace. *)
+let provenance ?strategy ?inheritance ?happened_before { doc; trace } rb =
+  Strategy.infer ?strategy ?inheritance ?happened_before ~doc ~trace rb
+
+(* Series-parallel workflows (§8): execute with channel recording, then
+   infer with the happened-before relation of the series-parallel order
+   instead of plain timestamp comparison. *)
+let run_parallel ?strategy ?inheritance doc (wf : Parallel.wf) rb =
+  let pexec = Parallel.execute doc wf in
+  let exec = { doc; trace = pexec.Parallel.trace } in
+  let happened_before = Parallel.happened_before pexec in
+  let g =
+    Strategy.infer ?strategy ?inheritance ~happened_before ~doc
+      ~trace:exec.trace rb
+  in
+  (exec, pexec, g)
+
+(* End to end: run, infer, export. *)
+let run_with_provenance ?strategy ?inheritance doc services rb =
+  let exec = run doc services in
+  (exec, provenance ?strategy ?inheritance exec rb)
+
+let to_turtle = Prov_export.to_turtle
+
+let to_dot = Dot.to_dot

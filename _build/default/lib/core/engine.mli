@@ -1,0 +1,52 @@
+(** High-level entry points — the Graph Construction / Request Manager
+    roles of the Figure 5 architecture: run a workflow and obtain its
+    provenance graph, or infer provenance from an existing execution. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+type execution = {
+  doc : Tree.t;      (** the final document (all states, as an arena) *)
+  trace : Trace.t;   (** the execution trace (the Source table) *)
+}
+
+val run : Tree.t -> Service.t list -> execution
+(** Execute a sequential workflow (no provenance inference). *)
+
+val run_online : Tree.t -> Service.t list -> Strategy.rulebook ->
+  execution * Prov_graph.t
+(** Execute with Online inference: rules are applied by the orchestrator
+    hook after each call; λ is populated from the trace. *)
+
+val provenance :
+  ?strategy:Strategy.post_hoc ->
+  ?inheritance:bool ->
+  ?happened_before:(int -> int -> bool) ->
+  execution ->
+  Strategy.rulebook ->
+  Prov_graph.t
+(** Post-hoc inference (see {!Strategy.infer}). *)
+
+val run_parallel :
+  ?strategy:Strategy.post_hoc ->
+  ?inheritance:bool ->
+  Tree.t ->
+  Parallel.wf ->
+  Strategy.rulebook ->
+  execution * Parallel.execution * Prov_graph.t
+(** Series-parallel workflows (§8): execute with channel recording, then
+    infer with the happened-before relation of the series-parallel order
+    instead of plain timestamp comparison. *)
+
+val run_with_provenance :
+  ?strategy:Strategy.post_hoc ->
+  ?inheritance:bool ->
+  Tree.t ->
+  Service.t list ->
+  Strategy.rulebook ->
+  execution * Prov_graph.t
+(** [run] followed by [provenance]. *)
+
+val to_turtle : Prov_graph.t -> string
+
+val to_dot : Prov_graph.t -> string

@@ -1,0 +1,49 @@
+(** Explanation of provenance links: which rule, at which call, with which
+    variable bindings produced a link (the joined embedding rows of
+    Definition 8) — and, for a pair {e without} a link, how far each rule
+    got before failing. *)
+
+open Weblab_workflow
+
+type witness = {
+  rule : string;
+  call : Trace.call;
+  bindings : (string * string) list;  (** shared variables and values *)
+}
+
+val witness_to_string : witness -> string
+
+val link :
+  doc:Weblab_xml.Tree.t ->
+  trace:Trace.t ->
+  Strategy.rulebook ->
+  from_uri:string ->
+  to_uri:string ->
+  witness list
+(** All witnesses of the (explicit) link; empty when the link does not
+    exist.  Skolem rules are not covered. *)
+
+type failure =
+  | Source_no_match  (** φ{_S} matched nothing before the call *)
+  | Target_no_match  (** φ{_T} matched nothing in the call's output *)
+  | Join_mismatch of (string * string list * string list) list
+      (** per shared variable: source-side vs target-side values *)
+  | Wrong_call  (** the target resource was produced by a different call *)
+
+type diagnosis = {
+  d_rule : string;
+  d_call : Trace.call;
+  failure : failure;
+}
+
+val failure_to_string : failure -> string
+
+val missing :
+  doc:Weblab_xml.Tree.t ->
+  trace:Trace.t ->
+  Strategy.rulebook ->
+  from_uri:string ->
+  to_uri:string ->
+  diagnosis list
+(** One diagnosis per (call, rule) that could in principle have produced
+    the link. *)

@@ -1,0 +1,24 @@
+(** Inherited (implicit) provenance links — §4.
+
+    Every explicit link b → a propagates structurally: descendants of b
+    inherit all the provenance of b, and b also depends on the descendants
+    of a (part of what was read) and on the ancestors of a (a's content is
+    part of theirs).  In the running example, 8 → 4 induces 8 → 6, and
+    4 → 3 induces the dependency of 4 on node 2. *)
+
+open Weblab_xml
+
+val generated_side : Tree.t -> Tree.node -> Tree.node list
+(** Nodes inheriting the "generated" end of a link: b and its
+    descendants. *)
+
+val used_side : Tree.t -> Tree.node -> Tree.node list
+(** Nodes inheriting the "used" end: a, its descendants and its
+    ancestors. *)
+
+val close : ?resources_only:bool -> Tree.t -> Prov_graph.t -> Prov_graph.t
+(** Extend the graph (in place; also returned) with the inherited closure
+    of its explicit links, each marked [inherited].  [resources_only]
+    (default [true]) keeps the closure over labeled resources, as in
+    Figure 2; with [false] unlabeled nodes participate under ["#<id>"]
+    pseudo-URIs (the 4 → 2 link of the paper).  Idempotent. *)

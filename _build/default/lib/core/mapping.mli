@@ -1,0 +1,75 @@
+(** Application of mapping rules — Definitions 8 and 9.
+
+    {v M(d, d') = π(in,out)( ρ(r→in) R_φS(d)  ⋈  ρ(r→out) R_φT(d') )
+       M(c)     = M(d_{i-1}, d_i) ⋉ out(c) v}
+
+    Skolem rules (§5) are recognized by an [f(…) = @id] predicate on the
+    target's final step: the ground term f(v̄) becomes the identifier of
+    the produced entity — computed per {e joined} row, since its arguments
+    may refer to source bindings — and the matched XML nodes are reported
+    as the entity's members. *)
+
+open Weblab_xml
+open Weblab_xpath
+open Weblab_relalg
+open Weblab_workflow
+
+type application = {
+  links : (string * string) list;
+      (** (out, in) pairs: [out] was derived from [in].  Self-links are
+          dropped (Definition 3 requires a DAG). *)
+  members : (string * string) list;
+      (** (Skolem entity, member resource) pairs; empty for plain rules. *)
+}
+
+val skolem_id_of_target : Ast.pattern -> (string * Ast.operand list) option
+(** The [f(…) = @id] predicate of the final step, if any. *)
+
+val is_skolem_rule : Rule.t -> bool
+
+val source_table : ?guards:Eval.guards -> Tree.t -> Rule.t -> Table.t
+(** ρ(r→in) R{_φS}: the source embeddings with the result column renamed
+    to ["in"], projected to the join-relevant columns. *)
+
+val target_table : ?guards:Eval.guards -> Tree.t -> Rule.t -> Table.t
+(** ρ(r→out) R{_φT}, for non-Skolem rules.
+    @raise Invalid_argument on a Skolem rule. *)
+
+val join_table : Rule.t -> Doc_state.t -> Doc_state.t -> Table.t
+(** The joined table with the shared variables still visible — the tables
+    of Example 6. *)
+
+val links_of_table : Table.t -> (string * string) list
+(** Extract (out, in) links from a joined table, dropping self-links. *)
+
+val apply_states : Rule.t -> Doc_state.t -> Doc_state.t -> application
+(** Definition 8: M(d, d'). *)
+
+val apply_guarded :
+  Rule.t ->
+  doc:Tree.t ->
+  source_visible:(Tree.node -> bool) ->
+  target_state:Doc_state.t ->
+  application
+(** Like {!apply_states} with an explicit source-side visibility predicate
+    — the hook for non-sequential control flow (§8), where "existed before
+    the call" is a happened-before relation rather than a timestamp
+    comparison. *)
+
+val restrict_to_generated :
+  application -> generated:(string -> bool) -> application
+(** Keep the links whose produced endpoint satisfies [generated]; a Skolem
+    entity survives when at least one member does. *)
+
+val restrict_to_call : application -> trace:Trace.t -> call:Trace.call -> application
+(** Definition 9's ⋉ out(c). *)
+
+val apply_call :
+  ?source_visible:(Tree.node -> bool) ->
+  Rule.t ->
+  doc:Tree.t ->
+  trace:Trace.t ->
+  call:Trace.call ->
+  application
+(** Definition 9: M(c), on the states reconstructed from [doc] (or with
+    the supplied source visibility). *)

@@ -1,0 +1,259 @@
+(* Export of provenance graphs to RDF using the PROV ontology (§6).
+
+   - labeled resources become prov:Entity;
+   - service calls become prov:Activity, associated with a
+     prov:SoftwareAgent per service;
+   - a resource's label yields  entity prov:wasGeneratedBy activity  and
+     activity prov:used e  for every e the entity was derived from;
+   - provenance links yield prov:wasDerivedFrom;
+   - call-level lineage is materialized as prov:wasInformedBy;
+   - Skolem entities are prov:Entity with prov:hadMember links. *)
+
+open Weblab_rdf
+open Weblab_workflow
+
+let entity_term uri = Prov_vocab.resource_iri uri
+
+let call_term (c : Trace.call) =
+  Prov_vocab.call_iri ~service:c.Trace.service ~time:c.Trace.time
+
+let to_store (g : Prov_graph.t) =
+  let store = Triple_store.create () in
+  let add s p o = Triple_store.add store (s, p, o) in
+  (* Entities and activities from the labeling function λ. *)
+  List.iter
+    (fun (uri, (call : Trace.call)) ->
+      let e = entity_term uri in
+      let a = call_term call in
+      add e Prov_vocab.rdf_type Prov_vocab.entity;
+      add e Prov_vocab.rdfs_label (Term.lit uri);
+      add e Prov_vocab.was_generated_by a;
+      add a Prov_vocab.rdf_type Prov_vocab.activity;
+      add a Prov_vocab.rdfs_label
+        (Term.lit (Printf.sprintf "%s@t%d" call.Trace.service call.Trace.time));
+      add a Prov_vocab.wl_timestamp (Term.int_lit call.Trace.time);
+      let agent = Prov_vocab.service_iri call.Trace.service in
+      add agent Prov_vocab.rdf_type Prov_vocab.software_agent;
+      add agent Prov_vocab.rdfs_label (Term.lit call.Trace.service);
+      add a Prov_vocab.was_associated_with agent)
+    (Prov_graph.labeled_resources g);
+  (* Data dependencies. *)
+  List.iter
+    (fun { Prov_graph.from_uri; to_uri; rule; inherited } ->
+      let b = entity_term from_uri and a = entity_term to_uri in
+      add b Prov_vocab.was_derived_from a;
+      if rule <> "" && not inherited then
+        add b Prov_vocab.wl_rule (Term.lit rule);
+      (* Service-call dependencies implied by the data dependencies:
+         λ(b) used a, and λ(b) wasInformedBy λ(a). *)
+      (match Prov_graph.label g from_uri with
+       | Some cb ->
+         add (call_term cb) Prov_vocab.used a;
+         (match Prov_graph.label g to_uri with
+          | Some ca when ca <> cb ->
+            add (call_term cb) Prov_vocab.was_informed_by (call_term ca)
+          | _ -> ())
+       | None -> ()))
+    (Prov_graph.links g);
+  (* Skolem aggregation entities. *)
+  List.iter
+    (fun entity ->
+      let e = entity_term entity in
+      add e Prov_vocab.rdf_type Prov_vocab.entity;
+      add e Prov_vocab.rdfs_label (Term.lit entity);
+      List.iter
+        (fun member -> add e Prov_vocab.had_member (entity_term member))
+        (Prov_graph.members g entity))
+    (Prov_graph.skolem_entities g);
+  store
+
+(* Inverse of {!to_store}: rebuild a provenance graph from its RDF
+   encoding.  Entity labels come from prov:wasGeneratedBy + the activity's
+   wl:timestamp/association; links from prov:wasDerivedFrom; the inferring
+   rule from wl:inferredByRule (attached to the derived entity, so rule
+   attribution is per-entity rather than per-link — the one lossy spot of
+   the RDF encoding); members from prov:hadMember. *)
+let of_store (store : Triple_store.t) : Prov_graph.t =
+  let g = Prov_graph.create () in
+  let local_name term ~prefix =
+    match term with
+    | Term.Iri iri ->
+      let n = String.length prefix in
+      if String.length iri > n && String.sub iri 0 n = prefix then
+        Some (String.sub iri n (String.length iri - n))
+      else None
+    | Term.Lit _ | Term.Bnode _ -> None
+  in
+  let resource_prefix = Prov_vocab.weblab_ns ^ "resource/" in
+  let label_of term =
+    match local_name term ~prefix:resource_prefix with
+    | Some u -> Some u
+    | None -> (
+      (* rdfs:label fallback covers full-IRI resources *)
+      match Triple_store.find store (Some term, Some Prov_vocab.rdfs_label, None) with
+      | (_, _, Term.Lit (l, _)) :: _ -> Some l
+      | _ -> (
+        match term with Term.Iri iri -> Some iri | _ -> None))
+  in
+  let call_of_activity act =
+    let service =
+      match
+        Triple_store.find store (Some act, Some Prov_vocab.was_associated_with, None)
+      with
+      | (_, _, agent) :: _ ->
+        local_name agent ~prefix:(Prov_vocab.weblab_ns ^ "service/")
+      | [] -> None
+    in
+    let time =
+      match
+        Triple_store.find store (Some act, Some Prov_vocab.wl_timestamp, None)
+      with
+      | (_, _, Term.Lit (t, _)) :: _ -> int_of_string_opt t
+      | _ -> None
+    in
+    match service, time with
+    | Some service, Some time -> Some { Trace.service; time }
+    | _ -> None
+  in
+  (* λ from generation triples *)
+  Triple_store.iter store (fun (s, p, o) ->
+      if Term.equal p Prov_vocab.was_generated_by then
+        match label_of s, call_of_activity o with
+        | Some uri, Some call -> Prov_graph.set_label g uri call
+        | _ -> ());
+  (* the rule each derived entity was inferred by *)
+  let rule_of entity =
+    match Triple_store.find store (Some entity, Some Prov_vocab.wl_rule, None) with
+    | (_, _, Term.Lit (r, _)) :: _ -> r
+    | _ -> ""
+  in
+  Triple_store.iter store (fun (s, p, o) ->
+      if Term.equal p Prov_vocab.was_derived_from then
+        match label_of s, label_of o with
+        | Some from_uri, Some to_uri ->
+          Prov_graph.add_link g ~rule:(rule_of s) ~from_uri ~to_uri
+        | _ -> ());
+  Triple_store.iter store (fun (s, p, o) ->
+      if Term.equal p Prov_vocab.had_member then
+        match label_of s, label_of o with
+        | Some entity, Some member -> Prov_graph.add_member g ~entity ~member
+        | _ -> ());
+  g
+
+let to_turtle g = Turtle.to_turtle (to_store g)
+
+let to_ntriples g = Turtle.to_ntriples (to_store g)
+
+(* PROV-XML serialization (§8 points out the RDF representation "can
+   easily be replaced by other formats like PROV-XML").  Built with the
+   library's own XML substrate. *)
+let to_prov_xml (g : Prov_graph.t) =
+  let open Weblab_xml in
+  let doc = Tree.create () in
+  let root =
+    Tree.new_element doc ~parent:Tree.no_node "prov:document"
+      ~attrs:
+        [ ("xmlns:prov", "http://www.w3.org/ns/prov#");
+          ("xmlns:wl", Prov_vocab.weblab_ns) ]
+  in
+  let with_text parent name text =
+    let e = Tree.new_element doc ~parent name in
+    ignore (Tree.new_text doc ~parent:e text);
+    e
+  in
+  let call_id (c : Trace.call) = Printf.sprintf "%s-%d" c.Trace.service c.Trace.time in
+  let seen_calls = Hashtbl.create 8 in
+  List.iter
+    (fun (uri, (call : Trace.call)) ->
+      let e =
+        Tree.new_element doc ~parent:root "prov:entity"
+          ~attrs:[ ("prov:id", uri) ]
+      in
+      ignore (with_text e "prov:label" uri);
+      if not (Hashtbl.mem seen_calls call) then begin
+        Hashtbl.add seen_calls call ();
+        let a =
+          Tree.new_element doc ~parent:root "prov:activity"
+            ~attrs:[ ("prov:id", call_id call) ]
+        in
+        ignore (with_text a "prov:label" call.Trace.service);
+        ignore (with_text a "wl:timestamp" (string_of_int call.Trace.time))
+      end;
+      let gen = Tree.new_element doc ~parent:root "prov:wasGeneratedBy" in
+      ignore (Tree.new_element doc ~parent:gen "prov:entity"
+                ~attrs:[ ("prov:ref", uri) ]);
+      ignore (Tree.new_element doc ~parent:gen "prov:activity"
+                ~attrs:[ ("prov:ref", call_id call) ]))
+    (Prov_graph.labeled_resources g);
+  List.iter
+    (fun { Prov_graph.from_uri; to_uri; rule; inherited } ->
+      let d =
+        Tree.new_element doc ~parent:root "prov:wasDerivedFrom"
+          ~attrs:
+            ((if rule = "" then [] else [ ("wl:rule", rule) ])
+            @ if inherited then [ ("wl:inherited", "true") ] else [])
+      in
+      ignore (Tree.new_element doc ~parent:d "prov:generatedEntity"
+                ~attrs:[ ("prov:ref", from_uri) ]);
+      ignore (Tree.new_element doc ~parent:d "prov:usedEntity"
+                ~attrs:[ ("prov:ref", to_uri) ]))
+    (Prov_graph.links g);
+  List.iter
+    (fun entity ->
+      let e =
+        Tree.new_element doc ~parent:root "prov:entity"
+          ~attrs:[ ("prov:id", entity); ("wl:skolem", "true") ]
+      in
+      ignore e;
+      List.iter
+        (fun member ->
+          let m = Tree.new_element doc ~parent:root "prov:hadMember" in
+          ignore (Tree.new_element doc ~parent:m "prov:collection"
+                    ~attrs:[ ("prov:ref", entity) ]);
+          ignore (Tree.new_element doc ~parent:m "prov:entity"
+                    ~attrs:[ ("prov:ref", member) ]))
+        (Prov_graph.members g entity))
+    (Prov_graph.skolem_entities g);
+  Printer.to_string ~indent:true doc
+
+(* OPM (Open Provenance Model) XML — the format the related-work systems
+   (Taverna/Janus, Kepler) exchange; kept for interoperability alongside
+   PROV.  Artifacts/processes mirror prov:Entity/prov:Activity. *)
+let to_opm_xml (g : Prov_graph.t) =
+  let open Weblab_xml in
+  let doc = Tree.create () in
+  let root =
+    Tree.new_element doc ~parent:Tree.no_node "opm:opmGraph"
+      ~attrs:[ ("xmlns:opm", "http://openprovenance.org/model/v1.1.a") ]
+  in
+  let artifacts = Tree.new_element doc ~parent:root "opm:artifacts" in
+  let processes = Tree.new_element doc ~parent:root "opm:processes" in
+  let deps = Tree.new_element doc ~parent:root "opm:causalDependencies" in
+  let call_id (c : Trace.call) = Printf.sprintf "%s-%d" c.Trace.service c.Trace.time in
+  let seen_calls = Hashtbl.create 8 in
+  List.iter
+    (fun (uri, (call : Trace.call)) ->
+      ignore
+        (Tree.new_element doc ~parent:artifacts "opm:artifact"
+           ~attrs:[ ("id", uri) ]);
+      if not (Hashtbl.mem seen_calls call) then begin
+        Hashtbl.add seen_calls call ();
+        ignore
+          (Tree.new_element doc ~parent:processes "opm:process"
+             ~attrs:[ ("id", call_id call) ])
+      end;
+      let gen = Tree.new_element doc ~parent:deps "opm:wasGeneratedBy" in
+      ignore (Tree.new_element doc ~parent:gen "opm:effect"
+                ~attrs:[ ("ref", uri) ]);
+      ignore (Tree.new_element doc ~parent:gen "opm:cause"
+                ~attrs:[ ("ref", call_id call) ]))
+    (Prov_graph.labeled_resources g);
+  List.iter
+    (fun { Prov_graph.from_uri; to_uri; _ } ->
+      let d = Tree.new_element doc ~parent:deps "opm:wasDerivedFrom" in
+      ignore (Tree.new_element doc ~parent:d "opm:effect"
+                ~attrs:[ ("ref", from_uri) ]);
+      ignore (Tree.new_element doc ~parent:d "opm:cause"
+                ~attrs:[ ("ref", to_uri) ]))
+    (Prov_graph.links g);
+  Printer.to_string ~indent:true doc

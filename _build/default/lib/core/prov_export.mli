@@ -1,0 +1,34 @@
+(** Export of provenance graphs using the W3C PROV ontology (§6):
+    resources become prov:Entity, service calls prov:Activity associated
+    with prov:SoftwareAgent services, provenance links
+    prov:wasDerivedFrom (plus the implied prov:used and
+    prov:wasInformedBy), Skolem entities carry prov:hadMember. *)
+
+open Weblab_rdf
+open Weblab_workflow
+
+val entity_term : string -> Term.t
+(** The IRI of a resource. *)
+
+val call_term : Trace.call -> Term.t
+(** The IRI of a service-call activity. *)
+
+val to_store : Prov_graph.t -> Triple_store.t
+(** The RDF graph, queryable with {!Weblab_rdf.Sparql}. *)
+
+val of_store : Triple_store.t -> Prov_graph.t
+(** Inverse of {!to_store}: labels, links, rule names and Skolem members
+    are recovered; the [inherited] flag is not part of the RDF encoding
+    (round-trip loses it — inherited links come back as plain links). *)
+
+val to_turtle : Prov_graph.t -> string
+
+val to_ntriples : Prov_graph.t -> string
+
+val to_prov_xml : Prov_graph.t -> string
+(** PROV-XML — the alternative serialization §8 mentions; built with the
+    library's own XML substrate. *)
+
+val to_opm_xml : Prov_graph.t -> string
+(** OPM XML — the exchange format of the related-work systems (Taverna's
+    Janus export, Kepler): artifacts, processes and causal dependencies. *)

@@ -1,0 +1,75 @@
+(* The Provenance triple-store with materialization-on-demand — the
+   Request Manager protocol of the Figure 5 architecture:
+
+     "It first checks in the Provenance triple-store if the graph has
+      already been materialized by a previous query.  If not, the Mapper
+      materializes the request by applying the corresponding mapping
+      rules on the execution trace."
+
+   Graphs are cached in their RDF encoding keyed by a workflow-execution
+   id, so repeated provenance queries over the same frozen execution pay
+   inference once.  Reachability indexes (§8's efficient-querying future
+   work) piggy-back on the same cache. *)
+
+open Weblab_rdf
+
+type entry = {
+  store : Triple_store.t;
+  mutable index : Reachability.t option;  (* built lazily on first use *)
+}
+
+type t = {
+  graphs : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { graphs = Hashtbl.create 8; hits = 0; misses = 0 }
+
+type stats = { hits : int; misses : int; cached : int }
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; cached = Hashtbl.length t.graphs }
+
+let mem t ~id = Hashtbl.mem t.graphs id
+
+let invalidate t ~id = Hashtbl.remove t.graphs id
+
+(* The Request Manager entry point: return the provenance graph for the
+   execution [id], materializing it with [materialize] only when the
+   cache misses. *)
+let request t ~id ~(materialize : unit -> Prov_graph.t) : Prov_graph.t =
+  match Hashtbl.find_opt t.graphs id with
+  | Some entry ->
+    t.hits <- t.hits + 1;
+    Prov_export.of_store entry.store
+  | None ->
+    t.misses <- t.misses + 1;
+    let g = materialize () in
+    Hashtbl.replace t.graphs id { store = Prov_export.to_store g; index = None };
+    g
+
+(* Raw triple access for SPARQL endpoints — None when not materialized. *)
+let store_of t ~id =
+  Option.map (fun e -> e.store) (Hashtbl.find_opt t.graphs id)
+
+(* The reachability index of a materialized graph, built on first use and
+   reused afterwards. *)
+let reachability t ~id =
+  match Hashtbl.find_opt t.graphs id with
+  | None -> None
+  | Some entry -> (
+    match entry.index with
+    | Some idx -> Some idx
+    | None ->
+      let idx = Reachability.build (Prov_export.of_store entry.store) in
+      entry.index <- Some idx;
+      Some idx)
+
+(* Convenience: materialize-or-reuse, then answer a lineage query through
+   the cached index. *)
+let ancestors t ~id ~materialize uri =
+  ignore (request t ~id ~materialize);
+  match reachability t ~id with
+  | Some idx -> Reachability.ancestors idx uri
+  | None -> []

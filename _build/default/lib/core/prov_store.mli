@@ -1,0 +1,37 @@
+(** The Provenance triple-store with materialization-on-demand — the
+    Request Manager protocol of the Figure 5 architecture: a provenance
+    graph is materialized by the Mapper on the first query for a workflow
+    execution and served from the RDF cache afterwards. *)
+
+open Weblab_rdf
+
+type t
+
+val create : unit -> t
+
+type stats = { hits : int; misses : int; cached : int }
+
+val stats : t -> stats
+
+val mem : t -> id:string -> bool
+(** Has the execution's graph been materialized? *)
+
+val invalidate : t -> id:string -> unit
+
+val request : t -> id:string -> materialize:(unit -> Prov_graph.t) -> Prov_graph.t
+(** The Request Manager entry point: the cached graph, or the result of
+    [materialize] (which is then cached in RDF form).  Graphs served from
+    the cache go through the RDF round-trip, so inherited-link flags are
+    not preserved (see {!Prov_export.of_store}). *)
+
+val store_of : t -> id:string -> Triple_store.t option
+(** Raw triples of a materialized graph — the SPARQL endpoint's view. *)
+
+val reachability : t -> id:string -> Reachability.t option
+(** The reachability index of a materialized graph, built lazily and
+    cached. *)
+
+val ancestors :
+  t -> id:string -> materialize:(unit -> Prov_graph.t) -> string -> string list
+(** Materialize-or-reuse, then answer upstream lineage through the cached
+    index. *)

@@ -1,0 +1,75 @@
+(* Quality propagation over provenance graphs — the paper's §1 motivation:
+   "Capturing and analyzing the quality and validity of data and knowledge
+   produced by media mining workflows ... requires access to fine-grained
+   provenance information".
+
+   Sources get assessed scores in [0, 1]; every derived resource's score
+   combines its dependencies' scores (weakest-link [min] by default, or any
+   monotone combiner) attenuated by a per-service factor — services that
+   degrade their inputs (lossy OCR, heuristic NER) are modeled with
+   attenuation < 1.  Scores are computed in dependency order; provenance
+   graphs are DAGs, so a resource's dependencies are always scored first. *)
+
+open Weblab_workflow
+
+type config = {
+  default_source : float;       (* sources without an assessment *)
+  combine : float list -> float;
+  attenuation : string -> float;  (* per service name, 1.0 = lossless *)
+}
+
+let weakest_link scores = List.fold_left min 1.0 scores
+
+let default_config =
+  {
+    default_source = 1.0;
+    combine = weakest_link;
+    attenuation = (fun _ -> 1.0);
+  }
+
+(* Score every labeled resource.  [sources] assigns assessed scores
+   (typically to the Source-call resources, but any resource can be
+   pinned — a pinned score overrides propagation). *)
+let propagate ?(config = default_config) (g : Prov_graph.t)
+    ~(sources : (string * float) list) : (string * float) list =
+  let scores = Hashtbl.create 32 in
+  let pinned = Hashtbl.create 8 in
+  List.iter (fun (u, s) -> Hashtbl.replace pinned u s) sources;
+  let rec score_of uri =
+    match Hashtbl.find_opt scores uri with
+    | Some s -> s
+    | None ->
+      (* cycle guard — Definition 3 graphs are DAGs, so this only fires on
+         malformed inputs, where the pessimistic 0 is the safe answer *)
+      Hashtbl.replace scores uri 0.0;
+      let s =
+        match Hashtbl.find_opt pinned uri with
+        | Some s -> s
+        | None -> (
+          match Prov_graph.depends_on g uri with
+          | [] -> config.default_source
+          | deps ->
+            let base = config.combine (List.map score_of deps) in
+            let att =
+              match Prov_graph.label g uri with
+              | Some call -> config.attenuation call.Trace.service
+              | None -> 1.0
+            in
+            base *. att)
+      in
+      Hashtbl.replace scores uri s;
+      s
+  in
+  Prov_graph.labeled_resources g
+  |> List.map (fun (uri, _) -> (uri, score_of uri))
+  |> List.sort compare
+
+(* Resources scoring below a threshold — the review queue. *)
+let below ?config g ~sources ~threshold =
+  propagate ?config g ~sources
+  |> List.filter (fun (_, s) -> s < threshold)
+
+let to_string scored =
+  scored
+  |> List.map (fun (u, s) -> Printf.sprintf "  %-8s %.3f" u s)
+  |> String.concat "\n"

@@ -1,0 +1,34 @@
+(** Quality propagation over provenance graphs — the §1 motivation of the
+    paper: assessing "the quality and validity of data and knowledge
+    produced by media mining workflows" from fine-grained provenance.
+
+    Sources carry assessed scores in [0, 1]; every derived resource
+    combines its dependencies' scores (weakest-link by default), attenuated
+    per service for lossy stages (OCR, heuristic NER, …). *)
+
+type config = {
+  default_source : float;  (** unassessed sources (default 1.0) *)
+  combine : float list -> float;  (** over the dependencies' scores *)
+  attenuation : string -> float;  (** per service name; 1.0 = lossless *)
+}
+
+val weakest_link : float list -> float
+(** [min], the default combiner. *)
+
+val default_config : config
+
+val propagate :
+  ?config:config -> Prov_graph.t -> sources:(string * float) list ->
+  (string * float) list
+(** Scores for every labeled resource, sorted by URI.  [sources] pins
+    assessed scores (a pinned resource's score overrides propagation). *)
+
+val below :
+  ?config:config ->
+  Prov_graph.t ->
+  sources:(string * float) list ->
+  threshold:float ->
+  (string * float) list
+(** The review queue: resources scoring below the threshold. *)
+
+val to_string : (string * float) list -> string

@@ -1,0 +1,30 @@
+(** Lineage queries over provenance graphs — the questions §2 motivates:
+    what does a resource depend on, what did a call use, which calls
+    informed which. *)
+
+open Weblab_workflow
+
+val depends_on_transitive : Prov_graph.t -> string -> string list
+(** Everything the resource was — directly or indirectly — derived from,
+    sorted. *)
+
+val influences_transitive : Prov_graph.t -> string -> string list
+(** Everything that — directly or indirectly — depends on the resource,
+    sorted. *)
+
+val path : Prov_graph.t -> from_uri:string -> to_uri:string -> string list option
+(** A shortest dependency path (BFS), endpoints included;
+    [Some [u]] when the endpoints coincide. *)
+
+val call_used : Prov_graph.t -> Trace.call -> string list
+(** Resources the call consumed, according to the provenance links —
+    prov:used. *)
+
+val call_generated : Prov_graph.t -> Trace.call -> string list
+(** The out(c) of the model. *)
+
+val informed_by : Prov_graph.t -> Trace.call -> Trace.call list
+(** Calls whose outputs this call consumed — prov:wasInformedBy. *)
+
+val informed_by_transitive : Prov_graph.t -> Trace.call -> Trace.call list
+(** Transitive call-level lineage, sorted by timestamp. *)

@@ -1,0 +1,19 @@
+(** Impact-driven re-execution planning: when sources turn out to be wrong
+    or updated, the provenance graph determines exactly which resources
+    are stale and which service calls must re-run, in order — the
+    quality-assessment payoff the paper's introduction motivates. *)
+
+open Weblab_workflow
+
+type plan = {
+  tainted : string list;    (** stale resources (sources included), sorted *)
+  calls : Trace.call list;  (** calls to re-run, execution order *)
+  unaffected : string list; (** labeled resources provably still valid *)
+}
+
+val build : Prov_graph.t -> sources:string list -> plan
+(** A call is re-run iff it produced at least one resource transitively
+    depending on a tainted source.  Run on a graph with the inherited
+    closure for the complete taint set. *)
+
+val to_string : plan -> string

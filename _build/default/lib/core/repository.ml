@@ -1,0 +1,104 @@
+(* A file-based repository for workflow executions — the durable version
+   of the Figure 5 stores:
+
+     <root>/<id>/document.xml    the Resource Repository entry
+     <root>/<id>/trace.xml       the Execution Trace store entry
+     <root>/<id>/provenance.nt   the Provenance store entry (optional,
+                                 written when a graph is materialized)
+
+   Loading restores everything inference needs: the reloaded document gets
+   its arena timestamps rebuilt from the persisted @t labels, so
+   post-hoc inference over a loaded execution equals inference over the
+   live one (tested). *)
+
+open Weblab_xml
+
+exception Error of string
+
+type t = { root : string }
+
+let open_at root =
+  if not (Sys.file_exists root) then Sys.mkdir root 0o755
+  else if not (Sys.is_directory root) then
+    raise (Error (root ^ " exists and is not a directory"));
+  { root }
+
+let dir t id = Filename.concat t.root id
+
+let path t id file = Filename.concat (dir t id) file
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  (try output_string oc contents
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let read_file path =
+  if not (Sys.file_exists path) then raise (Error ("missing " ^ path));
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Valid execution ids are safe path segments. *)
+let check_id id =
+  if
+    id = "" || String.exists (fun c -> c = '/' || c = '\\' || c = '.') id
+  then raise (Error (Printf.sprintf "invalid execution id %S" id))
+
+let store t ~id (exec : Engine.execution) =
+  check_id id;
+  if not (Sys.file_exists (dir t id)) then Sys.mkdir (dir t id) 0o755;
+  write_file (path t id "document.xml")
+    (Printer.to_string ~indent:true exec.Engine.doc);
+  write_file (path t id "trace.xml") (Trace_io.to_xml exec.Engine.trace)
+
+let load t ~id : Engine.execution =
+  check_id id;
+  let doc =
+    try Xml_parser.parse (read_file (path t id "document.xml"))
+    with Xml_parser.Error _ as e -> raise (Error (Xml_parser.error_to_string e))
+  in
+  Doc_state.restore_timestamps doc;
+  let trace =
+    try Trace_io.of_xml (read_file (path t id "trace.xml"))
+    with Trace_io.Malformed m -> raise (Error m)
+  in
+  { Engine.doc; trace }
+
+let store_provenance t ~id (g : Prov_graph.t) =
+  check_id id;
+  if not (Sys.file_exists (dir t id)) then Sys.mkdir (dir t id) 0o755;
+  write_file (path t id "provenance.nt") (Prov_export.to_ntriples g)
+
+let load_provenance t ~id : Prov_graph.t option =
+  check_id id;
+  let p = path t id "provenance.nt" in
+  if not (Sys.file_exists p) then None
+  else
+    match Weblab_rdf.Turtle.parse_ntriples (read_file p) with
+    | store -> Some (Prov_export.of_store store)
+    | exception Weblab_rdf.Turtle.Parse_error m -> raise (Error m)
+
+let executions t =
+  if not (Sys.file_exists t.root) then []
+  else
+    Sys.readdir t.root |> Array.to_list
+    |> List.filter (fun id ->
+           Sys.is_directory (dir t id)
+           && Sys.file_exists (path t id "document.xml"))
+    |> List.sort String.compare
+
+(* Materialize-or-load, backed by the disk instead of (or in addition to)
+   the in-memory {!Prov_store}. *)
+let provenance t ~id ~(materialize : Engine.execution -> Prov_graph.t) =
+  match load_provenance t ~id with
+  | Some g -> g
+  | None ->
+    let exec = load t ~id in
+    let g = materialize exec in
+    store_provenance t ~id g;
+    g

@@ -1,0 +1,48 @@
+(** A file-based repository for workflow executions — the durable version
+    of the Figure 5 stores: one directory per execution id holding the
+    document (Resource Repository), the trace (Execution Trace store) and,
+    once materialized, the provenance graph in N-Triples (Provenance
+    store).
+
+    Loading restores everything inference needs (arena timestamps are
+    rebuilt from the persisted [@t] labels), so inference over a loaded
+    execution equals inference over the live one. *)
+
+
+exception Error of string
+
+type t
+
+val open_at : string -> t
+(** Open (creating if needed) a repository rooted at the given directory.
+    @raise Error if the path exists and is not a directory. *)
+
+val store : t -> id:string -> Engine.execution -> unit
+(** Persist document and trace.
+    @raise Error on invalid ids (path separators, dots, empty). *)
+
+val load : t -> id:string -> Engine.execution
+(** @raise Error when the execution is missing or malformed. *)
+
+val store_provenance : t -> id:string -> Prov_graph.t -> unit
+
+val load_provenance : t -> id:string -> Prov_graph.t option
+(** [None] when no graph was materialized for this execution yet. *)
+
+val executions : t -> string list
+(** Stored execution ids, sorted. *)
+
+val provenance :
+  t -> id:string -> materialize:(Engine.execution -> Prov_graph.t) -> Prov_graph.t
+(** The disk-backed Request Manager: load the materialized graph, or
+    materialize from the stored execution and persist the result. *)
+
+(**/**)
+
+val path : t -> string -> string -> string
+
+val dir : t -> string -> string
+
+(* exposed for tests *)
+
+(**/**)

@@ -1,0 +1,90 @@
+(* Provenance mapping rules (Definition 5):  φ_S(x̄) ⇒ φ_T(x̄).
+
+   The source pattern selects the resources a new resource was computed
+   from; the target pattern selects the produced resources.  Both share
+   the binding variables x̄, which is what correlates them (the natural
+   join of Definition 8). *)
+
+open Weblab_xpath
+
+type t = {
+  name : string;
+  source : Ast.pattern;
+  target : Ast.pattern;
+}
+
+exception Ill_formed of string
+
+(* Definition 5's side condition: the target may only use variables bound
+   by the source (unless a Skolem function introduces them, §5 — Skolem
+   arguments must still come from the source). *)
+let validate t =
+  if t.source = [] then raise (Ill_formed "empty source pattern");
+  if t.target = [] then raise (Ill_formed "empty target pattern");
+  let src_vars = Ast.variables t.source in
+  let tgt_free = Ast.free_variables t.target in
+  List.iter
+    (fun v ->
+      if not (List.mem v src_vars) then
+        raise
+          (Ill_formed
+             (Printf.sprintf
+                "target pattern uses variable $%s which the source does not \
+                 bind" v)))
+    tgt_free;
+  t
+
+(* The paper writes bindings in two equivalent ways: [$x := @id] and
+   [@id = $x] (compare φ1/φ2 of Example 3 with the rule of Example 9, and
+   the [$p = position()] rules of §5).  An equality against a variable the
+   pattern does not bind elsewhere *is* the binding — normalize it to
+   Bind, so each side of a rule can be evaluated independently and joined
+   (Definition 8).  A second occurrence of the same variable stays a
+   comparison. *)
+let bind_free_equalities (pattern : Ast.pattern) : Ast.pattern =
+  let bound = ref (Ast.variables pattern) in
+  let rewrite_pred pred =
+    match pred with
+    | Ast.Cmp (Ast.Var x, Ast.Eq,
+               ((Ast.Attr _ | Ast.Position | Ast.Path_attr _) as src))
+    | Ast.Cmp (((Ast.Attr _ | Ast.Position | Ast.Path_attr _) as src),
+               Ast.Eq, Ast.Var x)
+      when not (List.mem x !bound) ->
+      bound := x :: !bound;
+      Ast.Bind (x, src)
+    | p -> p
+  in
+  List.map
+    (fun (step : Ast.step) ->
+      { step with Ast.preds = List.map rewrite_pred step.Ast.preds })
+    pattern
+
+let make ?(name = "") ~source ~target () =
+  let source = bind_free_equalities source in
+  (* Variables bound by the source are not free in the target: only
+     equalities on genuinely target-local variables become bindings —
+     which is exactly what [bind_free_equalities] does, since a variable
+     shared with the source is still "free" in the target and must be
+     bound there too for the join to see it. *)
+  let target = bind_free_equalities target in
+  validate { name; source; target }
+
+let name t = t.name
+
+let source t = t.source
+
+let target t = t.target
+
+(* Variables shared by both sides — the join columns of Definition 8. *)
+let join_variables t =
+  let sv = Ast.variables t.source in
+  let tv = Ast.variables t.target @ Ast.free_variables t.target in
+  List.filter (fun v -> List.mem v tv) sv
+
+let to_string t =
+  let arrow = " ==> " in
+  let prefix = if t.name = "" then "" else t.name ^ ": " in
+  prefix
+  ^ Print.pattern_to_string t.source
+  ^ arrow
+  ^ Print.pattern_to_string t.target

@@ -1,0 +1,47 @@
+(** Provenance mapping rules — Definition 5:  φ{_S}(x̄) ⇒ φ{_T}(x̄).
+
+    The source pattern selects the resources a new resource was computed
+    from; the target pattern selects the produced resources; the shared
+    binding variables x̄ correlate them (they become the join columns of
+    Definition 8). *)
+
+open Weblab_xpath
+
+type t
+
+exception Ill_formed of string
+
+val make : ?name:string -> source:Ast.pattern -> target:Ast.pattern -> unit -> t
+(** Build and validate a rule.
+
+    Validation enforces Definition 5's side condition: the target may only
+    use variables the source binds (Skolem arguments included).
+
+    Construction also {e normalizes} implicit bindings: the paper spells
+    bindings both as [\[$x := @id\]] and as the equality [\[@id = $x\]]
+    (compare Example 3 with Example 9); an equality against a variable the
+    pattern does not bind elsewhere is rewritten to a [Bind], so each side
+    of the rule can be evaluated independently and joined.
+
+    @raise Ill_formed when a pattern is empty or the target uses an
+    unbound variable in a non-binding position. *)
+
+val validate : t -> t
+(** Re-check an already-built rule. @raise Ill_formed as {!make}. *)
+
+val bind_free_equalities : Ast.pattern -> Ast.pattern
+(** The normalization {!make} applies, exposed for reuse. *)
+
+val name : t -> string
+(** [""] for anonymous rules. *)
+
+val source : t -> Ast.pattern
+
+val target : t -> Ast.pattern
+
+val join_variables : t -> string list
+(** The variables shared by both sides — the join columns of
+    Definition 8. *)
+
+val to_string : t -> string
+(** Concrete syntax, re-parsable by {!Rule_parser.parse}. *)

@@ -1,0 +1,35 @@
+(** Skolem-function rule constructors — the four aggregation patterns of
+    §5.
+
+    Skolem terms replace existentially quantified identifiers: when the
+    produced side of a dependency has no resource identifier of its own
+    (or should be grouped), a ground term f(v̄) built from bindings names
+    the produced entity.  {!Weblab_xpath.Eval} computes canonical term
+    strings; {!Mapping} turns an [f(…) = @id] predicate on the target's
+    final step into the synthetic identifier of the produced entity and
+    reports the matched nodes as its members. *)
+
+type kind =
+  | One_to_many
+      (** all targets sharing a grouping value come from a single source;
+          one entity per distinct target-side group *)
+  | Many_to_one
+      (** a unique target gathers all sources sharing a grouping value *)
+  | One_to_one  (** each source generates exactly one target entity *)
+  | Many_to_many
+      (** all targets sharing a value link to all sources sharing it *)
+
+val kind_to_string : kind -> string
+
+val rule :
+  ?name:string ->
+  kind:kind ->
+  f:string ->
+  src:string ->
+  tgt:string ->
+  ?group_attr:string ->
+  unit ->
+  Rule.t
+(** The §5 rule for aggregation [kind] over source elements [src]
+    (carrying [@id]) and target elements [tgt] (carrying [group_attr],
+    default ["val"], when grouping is needed), with Skolem symbol [f]. *)

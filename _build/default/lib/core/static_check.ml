@@ -1,0 +1,177 @@
+(* Static analysis of rulebooks against a workflow definition — the §2
+   observation that orchestration constraints prune provenance inference:
+
+     "Starting from the workflow definition, we can exploit service
+      orchestration constraints like service s is always executed before
+      service s', to eliminate provenance links from data produced by s'
+      to data produced by s."
+
+   Given (i) the service order of a workflow definition and (ii) a
+   description of which element names each service produces, the checker
+   reports:
+
+   - [Rule_never_fires]: every element the rule's source pattern can match
+     is produced only by services that never run before the rule's
+     service — no link can ever be inferred, so the Mapper can skip the
+     rule entirely;
+   - [Unknown_service]: the rulebook mentions a service absent from the
+     workflow definition;
+   - [Unsatisfiable_target]: the rule's target pattern can never match an
+     element the service produces — the rule is mis-attached.
+
+   The analysis is conservative: a pattern step with a wildcard test, or an
+   element name nobody declares, is assumed satisfiable. *)
+
+open Weblab_xpath
+
+type produces = (string * string list) list
+(* service name -> element names it can produce ("Source" covers the
+   initial document). *)
+
+type diagnostic =
+  | Rule_never_fires of { service : string; rule : string; reason : string }
+  | Unknown_service of { service : string }
+  | Unsatisfiable_target of { service : string; rule : string; element : string }
+
+let diagnostic_to_string = function
+  | Rule_never_fires { service; rule; reason } ->
+    Printf.sprintf "rule %s of %s can never fire: %s" rule service reason
+  | Unknown_service { service } ->
+    Printf.sprintf "rulebook entry for %s, which the workflow never calls" service
+  | Unsatisfiable_target { service; rule; element } ->
+    Printf.sprintf
+      "rule %s of %s targets <%s>, which %s does not produce" rule service
+      element service
+
+(* The element name the pattern's final step must match, if determined. *)
+let final_element (pattern : Ast.pattern) =
+  match List.rev pattern with
+  | { Ast.test = Ast.Name n; _ } :: _ -> Some n
+  | { Ast.test = Ast.Any; _ } :: _ | [] -> None
+
+(* Services that can produce the given element name. *)
+let producers (produces : produces) element =
+  List.filter_map
+    (fun (svc, elements) -> if List.mem element elements then Some svc else None)
+    produces
+
+let check ~(order : string list) ~(produces : produces)
+    (rb : Strategy.rulebook) : diagnostic list =
+  let position s =
+    let rec find i = function
+      | [] -> None
+      | x :: rest -> if String.equal x s then Some i else find (i + 1) rest
+    in
+    find 0 order
+  in
+  List.concat_map
+    (fun (service, rules) ->
+      match position service with
+      | None -> [ Unknown_service { service } ]
+      | Some service_pos ->
+        List.filter_map
+          (fun rule ->
+            let name = Rule.name rule in
+            (* Target sanity: the rule's service must produce the target
+               element. *)
+            match final_element (Rule.target rule) with
+            | Some element
+              when not (List.mem service (producers produces element))
+                   && producers produces element <> [] ->
+              Some (Unsatisfiable_target { service; rule = name; element })
+            | _ -> (
+              (* Source reachability: some producer of the source element
+                 must be able to run strictly before this service (or be
+                 the Source pseudo-service). *)
+              match final_element (Rule.source rule) with
+              | None -> None
+              | Some element -> (
+                match producers produces element with
+                | [] -> None   (* nobody declares it: stay conservative *)
+                | prods ->
+                  let reachable =
+                    List.exists
+                      (fun p ->
+                        String.equal p "Source"
+                        ||
+                        match position p with
+                        | Some pp -> pp < service_pos
+                        | None -> false)
+                      prods
+                  in
+                  if reachable then None
+                  else
+                    Some
+                      (Rule_never_fires
+                         { service; rule = name;
+                           reason =
+                             Printf.sprintf
+                               "<%s> is only produced by services that never \
+                                run before %s"
+                               element service }))))
+          rules)
+    rb
+
+(* Derive the production map from an actual execution — useful to lint a
+   rulebook against observed behaviour instead of declarations. *)
+let observed_produces (doc : Weblab_xml.Tree.t) (trace : Weblab_workflow.Trace.t) :
+    produces =
+  let open Weblab_workflow in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      if e.Trace.node <> Weblab_xml.Tree.no_node then begin
+        let name = Weblab_xml.Tree.name doc e.Trace.node in
+        let existing =
+          match Hashtbl.find_opt tbl e.Trace.call.Trace.service with
+          | Some l -> l
+          | None -> []
+        in
+        if not (List.mem name existing) then
+          Hashtbl.replace tbl e.Trace.call.Trace.service (name :: existing)
+      end)
+    (Trace.entries trace);
+  Hashtbl.fold (fun s l acc -> (s, List.sort compare l) :: acc) tbl []
+  |> List.sort compare
+
+(* Prune a rulebook: drop the rules the diagnostics prove dead.  The
+   Mapper can run on the pruned book with identical results (tested). *)
+let prune ~order ~produces (rb : Strategy.rulebook) : Strategy.rulebook =
+  let diags = check ~order ~produces rb in
+  let dead service rule =
+    List.exists
+      (function
+        | Rule_never_fires { service = s; rule = r; _ } ->
+          String.equal s service && String.equal r (Rule.name rule)
+        | Unknown_service { service = s } -> String.equal s service
+        | Unsatisfiable_target _ -> false)
+      diags
+  in
+  List.filter_map
+    (fun (service, rules) ->
+      match List.filter (fun r -> not (dead service r)) rules with
+      | [] when List.exists (function Unknown_service { service = s } ->
+          String.equal s service | _ -> false) diags -> None
+      | rules -> Some (service, rules))
+    rb
+
+
+(* Runtime companion of the static check: after an execution, which rules
+   produced no links at all?  Unlike [check] this needs no declarations —
+   it reports what actually happened, which either means the rule is dead
+   or the workload never exercised it. *)
+let unused_rules (g : Prov_graph.t) (rb : Strategy.rulebook) :
+    (string * string) list =
+  let fired =
+    Prov_graph.links g
+    |> List.map (fun l -> l.Prov_graph.rule)
+    |> List.sort_uniq String.compare
+  in
+  List.concat_map
+    (fun (service, rules) ->
+      List.filter_map
+        (fun r ->
+          if List.mem (Rule.name r) fired then None
+          else Some (service, Rule.name r))
+        rules)
+    rb

@@ -1,0 +1,42 @@
+(** Static analysis of rulebooks against a workflow definition — the §2
+    observation that orchestration constraints ("service s always runs
+    before s'") prune provenance inference: rules whose source elements
+    can only be produced after their own service can never fire.
+
+    The analysis is conservative: wildcard steps and element names no
+    declared service produces are assumed satisfiable. *)
+
+type produces = (string * string list) list
+(** Service name → element names it can produce.  Use ["Source"] for the
+    initial document's vocabulary. *)
+
+type diagnostic =
+  | Rule_never_fires of { service : string; rule : string; reason : string }
+      (** no execution of the workflow can make this rule produce a link *)
+  | Unknown_service of { service : string }
+      (** the rulebook mentions a service the workflow never calls *)
+  | Unsatisfiable_target of { service : string; rule : string; element : string }
+      (** the target pattern cannot match anything its service produces *)
+
+val diagnostic_to_string : diagnostic -> string
+
+val final_element : Weblab_xpath.Ast.pattern -> string option
+(** The element name the final step must match, when determined. *)
+
+val check :
+  order:string list -> produces:produces -> Strategy.rulebook -> diagnostic list
+(** Lint a rulebook against the (sequential) service order of a workflow
+    definition. *)
+
+val observed_produces :
+  Weblab_xml.Tree.t -> Weblab_workflow.Trace.t -> produces
+(** Derive the production map from an actual execution. *)
+
+val prune :
+  order:string list -> produces:produces -> Strategy.rulebook -> Strategy.rulebook
+(** Drop the rules {!check} proves dead; inference on the pruned rulebook
+    yields the same provenance graph (tested). *)
+
+val unused_rules : Prov_graph.t -> Strategy.rulebook -> (string * string) list
+(** Runtime companion: (service, rule) pairs that produced no link in the
+    given graph — dead rules, or rules the workload never exercised. *)

@@ -1,0 +1,50 @@
+(** The evaluation strategies for mapping rules (§4 and §6).
+
+    - {b Online}: rules are evaluated during the workflow execution, on
+      the document states before and after each call — Definition 9
+      applied literally.  The paper lists its drawbacks (invasive, slows
+      the workflow, no cross-call optimization); here it doubles as the
+      reference implementation the post-hoc strategies are checked
+      against.
+    - {b [`Replay]}: post-hoc, per call, on states reconstructed from the
+      final document (cheap: states are timestamp-filtered views).
+    - {b [`Rewrite]}: post-hoc, single-pass — the §4 rewriting: each
+      rule's target pattern gains the [@s] service constraint and is
+      evaluated {e once} on the final document for all calls of the
+      service; rows are grouped by the matched resource's timestamp and
+      joined against the source pattern restricted to what happened
+      before.
+
+    All three produce identical link sets (property-tested). *)
+
+open Weblab_xml
+open Weblab_workflow
+
+type rulebook = (string * Rule.t list) list
+(** The M(s) of the paper: rules attached to each service name. *)
+
+val rules_for : rulebook -> string -> Rule.t list
+
+type post_hoc = [ `Replay | `Rewrite ]
+
+val sequential_hb : int -> int -> bool
+(** The default happened-before relation: plain timestamp order [t' < t].
+    Parallel executions (§8) supply {!Parallel.happened_before} instead. *)
+
+val infer :
+  ?strategy:post_hoc ->
+  ?inheritance:bool ->
+  ?happened_before:(int -> int -> bool) ->
+  doc:Tree.t ->
+  trace:Trace.t ->
+  rulebook ->
+  Prov_graph.t
+(** Post-hoc inference from a final document and its execution trace.
+    Defaults: [`Rewrite], no inherited closure, sequential control flow. *)
+
+val online :
+  rulebook -> Prov_graph.t * (Trace.call -> Doc_state.t -> Doc_state.t -> unit)
+(** The Online strategy: a graph under construction and the
+    {!Orchestrator.execute} [on_step] hook that feeds it.  The hook adds
+    data-dependency links only; populate λ from the trace afterwards
+    (see {!Engine.run_online}). *)

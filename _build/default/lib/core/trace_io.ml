@@ -1,0 +1,102 @@
+(* Persistence of execution traces — the Execution Trace store of the
+   Figure 5 architecture.
+
+   The Recorder transmits (service, timestamp, generated resources) after
+   every call; the Mapper later collects them to drive rule evaluation.
+   Two encodings are provided: an XML document (using the library's own
+   substrate) and RDF triples in the WebLab namespace, matching the
+   paper's choice of a triple-store for execution meta-data. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+exception Malformed of string
+
+(* ---------- XML encoding ---------- *)
+
+let to_xml (trace : Trace.t) =
+  let doc = Tree.create () in
+  let root = Tree.new_element doc ~parent:Tree.no_node "ExecutionTrace" in
+  List.iter
+    (fun (c : Trace.call) ->
+      let call =
+        Tree.new_element doc ~parent:root "Call"
+          ~attrs:
+            [ ("service", c.Trace.service); ("time", string_of_int c.Trace.time) ]
+      in
+      List.iter
+        (fun uri ->
+          ignore
+            (Tree.new_element doc ~parent:call "Generated" ~attrs:[ ("uri", uri) ]))
+        (Trace.resources_of_call trace c))
+    (Trace.calls trace);
+  Printer.to_string ~indent:true doc
+
+let of_xml (text : string) : Trace.t =
+  let doc =
+    try Xml_parser.parse text
+    with Xml_parser.Error _ as e -> raise (Malformed (Xml_parser.error_to_string e))
+  in
+  if Tree.name doc (Tree.root doc) <> "ExecutionTrace" then
+    raise (Malformed "expected an <ExecutionTrace> root");
+  let trace = Trace.create () in
+  List.iter
+    (fun call_node ->
+      if Tree.is_element doc call_node && Tree.name doc call_node = "Call" then begin
+        let service =
+          match Tree.attr doc call_node "service" with
+          | Some s -> s
+          | None -> raise (Malformed "<Call> without @service")
+        in
+        let time =
+          match Option.bind (Tree.attr doc call_node "time") int_of_string_opt with
+          | Some t -> t
+          | None -> raise (Malformed "<Call> without a numeric @time")
+        in
+        let call = { Trace.service; time } in
+        Trace.add_call trace call;
+        List.iter
+          (fun gen ->
+            if Tree.is_element doc gen && Tree.name doc gen = "Generated" then
+              match Tree.attr doc gen "uri" with
+              | Some uri ->
+                Trace.add_entry trace { Trace.uri; node = Tree.no_node; call }
+              | None -> raise (Malformed "<Generated> without @uri"))
+          (Tree.children doc call_node)
+      end)
+    (Tree.children doc (Tree.root doc));
+  trace
+
+(* ---------- RDF encoding ---------- *)
+
+open Weblab_rdf
+
+let generated_pred = Term.Iri (Prov_vocab.weblab_ns ^ "generated")
+
+let to_store (trace : Trace.t) =
+  let store = Triple_store.create () in
+  List.iter
+    (fun (c : Trace.call) ->
+      let call = Prov_vocab.call_iri ~service:c.Trace.service ~time:c.Trace.time in
+      Triple_store.add store
+        (call, Prov_vocab.wl_service, Term.lit c.Trace.service);
+      Triple_store.add store
+        (call, Prov_vocab.wl_timestamp, Term.int_lit c.Trace.time);
+      List.iter
+        (fun uri ->
+          Triple_store.add store
+            (call, generated_pred, Prov_vocab.resource_iri uri))
+        (Trace.resources_of_call trace c))
+    (Trace.calls trace);
+  store
+
+(* Equality useful for round-trip checks: same calls and same resources
+   per call (trace entries loaded from XML lose their node ids). *)
+let equal (a : Trace.t) (b : Trace.t) =
+  let view t =
+    Trace.calls t
+    |> List.map (fun c ->
+           (c.Trace.service, c.Trace.time,
+            List.sort compare (Trace.resources_of_call t c)))
+  in
+  view a = view b

@@ -1,0 +1,27 @@
+(** Persistence of execution traces — the Execution Trace store of the
+    Figure 5 architecture.  The Recorder transmits (service, timestamp,
+    generated resources) after every call; the Mapper later collects them
+    to drive rule evaluation, possibly in a different process. *)
+
+open Weblab_rdf
+open Weblab_workflow
+
+exception Malformed of string
+
+val to_xml : Trace.t -> string
+(** An <ExecutionTrace> document listing every call and the resources it
+    generated. *)
+
+val of_xml : string -> Trace.t
+(** Inverse of {!to_xml} (reloaded entries carry no arena node ids).
+    @raise Malformed on anything that is not a serialized trace. *)
+
+val generated_pred : Term.t
+(** The wl:generated predicate linking a call to its resources. *)
+
+val to_store : Trace.t -> Triple_store.t
+(** The RDF encoding, matching the paper's choice of a triple store for
+    execution meta-data. *)
+
+val equal : Trace.t -> Trace.t -> bool
+(** Same calls and same resources per call — the round-trip criterion. *)

@@ -1,0 +1,93 @@
+(* Provenance views over composite modules — the complementary direction
+   the related-work section points at ([7] Bao, Davidson, Milo: "Labeling
+   workflow views with fine-grained dependencies").
+
+   A view groups service calls into named composite activities (e.g. the
+   whole translation sub-pipeline as one "Translation" module, for
+   focusing, or for hiding private provenance).  Projecting a provenance
+   graph through a view:
+
+   - relabels every resource with its composite call (service = group
+     name, timestamp = the first member call's timestamp);
+   - keeps only the links that cross a group boundary — the internal
+     wiring of a composite module is hidden;
+   - keeps resources of ungrouped calls as they are. *)
+
+open Weblab_workflow
+
+type grouping = Trace.call -> string option
+(* [group call] returns the composite module's name, or [None] to leave
+   the call visible as itself. *)
+
+(* Group by service name ranges, the common case. *)
+let by_services (assignments : (string * string list) list) : grouping =
+ fun call ->
+  List.find_map
+    (fun (composite, services) ->
+      if List.mem call.Trace.service services then Some composite else None)
+    assignments
+
+let project (g : Prov_graph.t) (group : grouping) : Prov_graph.t =
+  let out = Prov_graph.create () in
+  (* Composite calls: one per group name, stamped with the earliest member
+     timestamp (so temporal soundness of inter-group links is preserved:
+     a group's outputs can only depend on strictly earlier groups). *)
+  let first_time = Hashtbl.create 8 in
+  List.iter
+    (fun (_, call) ->
+      match group call with
+      | Some name ->
+        let t = call.Trace.time in
+        (match Hashtbl.find_opt first_time name with
+         | Some t' when t' <= t -> ()
+         | _ -> Hashtbl.replace first_time name t)
+      | None -> ())
+    (Prov_graph.labeled_resources g);
+  let composite_call name =
+    { Trace.service = name;
+      time = (match Hashtbl.find_opt first_time name with Some t -> t | None -> 0) }
+  in
+  let group_of uri =
+    match Prov_graph.label g uri with
+    | Some call -> group call
+    | None -> None
+  in
+  (* Relabel resources. *)
+  List.iter
+    (fun (uri, call) ->
+      match group call with
+      | Some name -> Prov_graph.set_label out uri (composite_call name)
+      | None -> Prov_graph.set_label out uri call)
+    (Prov_graph.labeled_resources g);
+  (* Keep only boundary-crossing links. *)
+  List.iter
+    (fun { Prov_graph.from_uri; to_uri; rule; inherited } ->
+      let keep =
+        match group_of from_uri, group_of to_uri with
+        | Some a, Some b -> not (String.equal a b)
+        | _ -> true
+      in
+      if keep then Prov_graph.add_link out ~rule ~inherited ~from_uri ~to_uri)
+    (Prov_graph.links g);
+  out
+
+(* The module-level graph itself: composite activities and the
+   wasInformedBy edges between them, derived from the projected links. *)
+let module_graph (g : Prov_graph.t) (group : grouping) :
+    (string * string) list =
+  let name_of call =
+    match group call with
+    | Some n -> n
+    | None -> Printf.sprintf "%s@t%d" call.Trace.service call.Trace.time
+  in
+  Prov_graph.links g
+  |> List.filter_map (fun l ->
+         match
+           Prov_graph.label g l.Prov_graph.from_uri,
+           Prov_graph.label g l.Prov_graph.to_uri
+         with
+         | Some cf, Some ct ->
+           let a = name_of cf and b = name_of ct in
+           if String.equal a b then None else Some (a, b)
+         | _ -> None)
+  |> List.sort_uniq compare

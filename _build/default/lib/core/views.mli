@@ -1,0 +1,28 @@
+(** Provenance views over composite modules — the direction of Bao,
+    Davidson and Milo ("Labeling workflow views with fine-grained
+    dependencies") the related-work section points at.
+
+    A view groups service calls into named composite activities (for
+    focusing on relevant provenance, or hiding private provenance).
+    Projecting a graph through a view relabels resources with their
+    composite call and keeps only the links crossing a group boundary. *)
+
+open Weblab_workflow
+
+type grouping = Trace.call -> string option
+(** [group call] returns the composite module's name, or [None] to leave
+    the call visible as itself. *)
+
+val by_services : (string * string list) list -> grouping
+(** [(composite, member services)] assignments — the common case. *)
+
+val project : Prov_graph.t -> grouping -> Prov_graph.t
+(** The projected graph: resources of grouped calls relabeled with the
+    composite activity (timestamp = first member call), intra-module
+    links hidden, everything else preserved.  Temporal soundness and
+    acyclicity are preserved. *)
+
+val module_graph : Prov_graph.t -> grouping -> (string * string) list
+(** The module-level wasInformedBy edges implied by the links: [(a, b)]
+    means module/call [a] consumed outputs of [b].  Ungrouped calls
+    appear as ["Service@tN"]. *)

@@ -1,0 +1,1 @@
+lib/rdf/prov_vocab.ml: Printf String Term

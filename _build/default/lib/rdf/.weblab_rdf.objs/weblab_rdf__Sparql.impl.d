@@ -1,0 +1,1 @@
+lib/rdf/sparql.ml: Buffer List Option Printf Prov_vocab String Table Term Triple_store Weblab_relalg

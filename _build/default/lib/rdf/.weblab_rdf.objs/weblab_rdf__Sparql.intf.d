@@ -1,0 +1,1 @@
+lib/rdf/sparql.mli: Triple_store Weblab_relalg

@@ -1,0 +1,1 @@
+lib/rdf/term.ml: Buffer Fmt Hashtbl Int Option Printf String

@@ -1,0 +1,1 @@
+lib/rdf/triple_store.ml: Array Hashtbl List String Table Term Value Weblab_relalg

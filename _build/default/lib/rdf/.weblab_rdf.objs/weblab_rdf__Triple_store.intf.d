@@ -1,0 +1,1 @@
+lib/rdf/triple_store.mli: Term Weblab_relalg

@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer List Printf Prov_vocab String Term Triple_store

@@ -1,0 +1,49 @@
+(* The slice of the W3C PROV ontology [PROV-O] used by WebLab PROV, plus
+   the namespaces of the RDF encoding (§6 of the paper). *)
+
+let prov_ns = "http://www.w3.org/ns/prov#"
+let rdf_ns = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+let rdfs_ns = "http://www.w3.org/2000/01/rdf-schema#"
+let xsd_ns = "http://www.w3.org/2001/XMLSchema#"
+let weblab_ns = "http://weblab.ow2.org/prov#"
+
+let prefixes =
+  [ ("prov", prov_ns); ("rdf", rdf_ns); ("rdfs", rdfs_ns); ("xsd", xsd_ns);
+    ("wl", weblab_ns) ]
+
+let rdf_type = Term.Iri (rdf_ns ^ "type")
+let rdfs_label = Term.Iri (rdfs_ns ^ "label")
+
+(* Classes *)
+let entity = Term.Iri (prov_ns ^ "Entity")
+let activity = Term.Iri (prov_ns ^ "Activity")
+let agent = Term.Iri (prov_ns ^ "Agent")
+let software_agent = Term.Iri (prov_ns ^ "SoftwareAgent")
+
+(* Properties *)
+let was_generated_by = Term.Iri (prov_ns ^ "wasGeneratedBy")
+let used = Term.Iri (prov_ns ^ "used")
+let was_derived_from = Term.Iri (prov_ns ^ "wasDerivedFrom")
+let was_informed_by = Term.Iri (prov_ns ^ "wasInformedBy")
+let was_associated_with = Term.Iri (prov_ns ^ "wasAssociatedWith")
+let started_at_time = Term.Iri (prov_ns ^ "startedAtTime")
+let ended_at_time = Term.Iri (prov_ns ^ "endedAtTime")
+let had_member = Term.Iri (prov_ns ^ "hadMember")
+
+(* WebLab-specific terms *)
+let wl_rule = Term.Iri (weblab_ns ^ "inferredByRule")
+let wl_inherited = Term.Iri (weblab_ns ^ "inheritedFrom")
+let wl_timestamp = Term.Iri (weblab_ns ^ "timestamp")
+let wl_service = Term.Iri (weblab_ns ^ "service")
+
+(* IRI builders for WebLab resources and service calls. *)
+let resource_iri uri =
+  (* Resource URIs in examples are short names like "r4"; qualify the
+     relative ones. *)
+  if String.length uri > 6 && String.sub uri 0 7 = "http://" then Term.Iri uri
+  else Term.Iri (weblab_ns ^ "resource/" ^ uri)
+
+let call_iri ~service ~time =
+  Term.Iri (Printf.sprintf "%scall/%s-%d" weblab_ns service time)
+
+let service_iri name = Term.Iri (weblab_ns ^ "service/" ^ name)

@@ -1,0 +1,63 @@
+(** A SPARQL subset — PREFIX declarations, SELECT/ASK over one basic graph
+    pattern, FILTER constraints, ORDER BY and LIMIT — sufficient to query
+    generated provenance graphs the way the Figure 5 Request Manager
+    queries its SPARQL endpoint.
+
+    {v
+    query    ::= prefix* (select | ask)
+    select   ::= SELECT [DISTINCT] (STAR | var+) WHERE group
+                 [ORDER BY [ASC|DESC] var] [LIMIT n]
+    ask      ::= ASK [WHERE] group
+    group    ::= { (triple | FILTER(operand CMP operand))* }
+    term     ::= <iri> | prefix:local | ?var | "literal" | a
+    v}
+
+    The {!Prov_vocab.prefixes} (prov, rdf, rdfs, xsd, wl) are
+    predeclared.  FILTER and ORDER BY compare lexical forms, numerically
+    when both sides parse as integers. *)
+
+exception Error of string
+
+type operand =
+  | O_var of string
+  | O_lit of string
+  | O_num of int
+
+type filter = operand * string * operand
+(** lhs, comparison operator, rhs. *)
+
+type form =
+  | Select of string list option * bool
+      (** projected variables ([None] for all), DISTINCT flag *)
+  | Ask
+
+type order = { by : string; descending : bool }
+
+type query = {
+  form : form;
+  where :
+    (Triple_store.bgp_term * Triple_store.bgp_term * Triple_store.bgp_term) list;
+  filters : filter list;
+  order : order option;
+  limit : int option;
+}
+
+val parse : string -> query
+(** @raise Error on malformed queries or unknown prefixes. *)
+
+type result =
+  | Solutions of Weblab_relalg.Table.t
+  | Boolean of bool
+
+val run_query : Triple_store.t -> query -> result
+
+val run_result : Triple_store.t -> string -> result
+(** Parse and evaluate. *)
+
+val run : Triple_store.t -> string -> Weblab_relalg.Table.t
+(** SELECT queries only: the solution table (one column per projected
+    variable, term bindings in N-Triples syntax).
+    @raise Error on an ASK query. *)
+
+val ask : Triple_store.t -> string -> bool
+(** ASK queries only. @raise Error on a SELECT query. *)

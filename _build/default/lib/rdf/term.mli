@@ -1,0 +1,39 @@
+(** RDF terms.  Literals carry an optional datatype IRI (plain literals
+    are xsd:string per RDF 1.1, represented as [None]). *)
+
+type t =
+  | Iri of string
+  | Lit of string * string option  (** lexical form, datatype IRI *)
+  | Bnode of string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** {1 Constructors} *)
+
+val iri : string -> t
+
+val lit : string -> t
+(** A plain literal. *)
+
+val int_lit : int -> t
+(** An xsd:integer literal. *)
+
+val bnode : string -> t
+
+val xsd_integer : string
+
+val xsd_date_time : string
+
+(** {1 Serialization} *)
+
+val escape_lit : string -> string
+(** Escape a literal's lexical form for N-Triples/Turtle. *)
+
+val to_ntriples : t -> string
+(** The N-Triples concrete syntax of the term. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+type triple = Term.t * Term.t * Term.t
+
+module Term_table = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type t = {
+  mutable all : triple list;  (* reversed insertion order *)
+  mutable size : int;
+  by_subject : triple list ref Term_table.t;
+  by_predicate : triple list ref Term_table.t;
+  by_object : triple list ref Term_table.t;
+  dedup : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    all = [];
+    size = 0;
+    by_subject = Term_table.create 64;
+    by_predicate = Term_table.create 64;
+    by_object = Term_table.create 64;
+    dedup = Hashtbl.create 64;
+  }
+
+let key (s, p, o) =
+  String.concat " " [ Term.to_ntriples s; Term.to_ntriples p; Term.to_ntriples o ]
+
+let index_add table term triple =
+  match Term_table.find_opt table term with
+  | Some cell -> cell := triple :: !cell
+  | None -> Term_table.add table term (ref [ triple ])
+
+let add t ((s, p, o) as triple) =
+  let k = key triple in
+  if not (Hashtbl.mem t.dedup k) then begin
+    Hashtbl.add t.dedup k ();
+    t.all <- triple :: t.all;
+    t.size <- t.size + 1;
+    index_add t.by_subject s triple;
+    index_add t.by_predicate p triple;
+    index_add t.by_object o triple
+  end
+
+let mem t triple = Hashtbl.mem t.dedup (key triple)
+
+let size t = t.size
+
+let triples t = List.rev t.all
+
+let iter t f = List.iter f (triples t)
+
+type pattern = Term.t option * Term.t option * Term.t option
+
+let index_find table term =
+  match Term_table.find_opt table term with Some cell -> !cell | None -> []
+
+let matches (s, p, o) (ps, pp, po) =
+  (match ps with Some x -> Term.equal x s | None -> true)
+  && (match pp with Some x -> Term.equal x p | None -> true)
+  && match po with Some x -> Term.equal x o | None -> true
+
+let find t ((ps, pp, po) as pat) =
+  (* Choose the most selective bound position; subjects and objects are
+     usually more selective than predicates. *)
+  let candidates =
+    match ps, po, pp with
+    | Some s, _, _ -> index_find t.by_subject s
+    | None, Some o, _ -> index_find t.by_object o
+    | None, None, Some p -> index_find t.by_predicate p
+    | None, None, None -> t.all
+  in
+  List.filter (fun tr -> matches tr pat) (List.rev candidates)
+
+let count t pat = List.length (find t pat)
+
+type bgp_term =
+  | Const of Term.t
+  | Var of string
+
+open Weblab_relalg
+
+let term_value term = Value.Str (Term.to_ntriples term)
+
+(* Evaluate a conjunctive pattern left to right, returning raw variable
+   environments.  Each step instantiates the pattern with the bindings of
+   the current row and probes the store through [find]. *)
+let solutions t bgp : (string * Term.t) list list =
+  let vars_of (a, b, c) =
+    List.filter_map (function Var v -> Some v | Const _ -> None) [ a; b; c ]
+  in
+  let all_vars =
+    List.fold_left
+      (fun acc tp ->
+        List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ])
+          acc (vars_of tp))
+      [] bgp
+  in
+  let solutions =
+    List.fold_left
+      (fun rows (a, b, c) ->
+        List.concat_map
+          (fun (env : (string * Term.t) list) ->
+            let resolve = function
+              | Const term -> Some term
+              | Var v -> List.assoc_opt v env
+            in
+            let pat = (resolve a, resolve b, resolve c) in
+            find t pat
+            |> List.filter_map (fun (s, p, o) ->
+                   (* Bind still-free variables; a variable used twice in one
+                      pattern must match the same term. *)
+                   let bind env (bt, term) =
+                     match env, bt with
+                     | None, _ -> None
+                     | Some env, Const _ -> Some env
+                     | Some env, Var v -> (
+                       match List.assoc_opt v env with
+                       | Some existing ->
+                         if Term.equal existing term then Some env else None
+                       | None -> Some ((v, term) :: env))
+                   in
+                   List.fold_left bind (Some env) [ (a, s); (b, p); (c, o) ]))
+          rows)
+      [ [] ] bgp
+  in
+  ignore all_vars;
+  solutions
+
+(* All variables of a BGP, first-occurrence order. *)
+let bgp_variables bgp =
+  let vars_of (a, b, c) =
+    List.filter_map (function Var v -> Some v | Const _ -> None) [ a; b; c ]
+  in
+  List.fold_left
+    (fun acc tp ->
+      List.fold_left
+        (fun acc v -> if List.mem v acc then acc else acc @ [ v ])
+        acc (vars_of tp))
+    [] bgp
+
+let table_of_solutions vars sols =
+  let table = Table.create vars in
+  List.iter
+    (fun env ->
+      Table.add_row table
+        (Array.of_list
+           (List.map
+              (fun v ->
+                match List.assoc_opt v env with
+                | Some term -> term_value term
+                | None -> Value.Str "")
+              vars)))
+    sols;
+  Table.distinct table
+
+let query t bgp = table_of_solutions (bgp_variables bgp) (solutions t bgp)

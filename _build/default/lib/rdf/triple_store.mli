@@ -1,0 +1,54 @@
+(** In-memory RDF triple store with S/P/O hash indexes and basic graph
+    pattern matching — the stand-in for the paper's Sesame repository. *)
+
+type triple = Term.t * Term.t * Term.t
+
+type t
+
+val create : unit -> t
+
+val add : t -> triple -> unit
+(** Idempotent (set semantics). *)
+
+val mem : t -> triple -> bool
+
+val size : t -> int
+
+val triples : t -> triple list
+(** In insertion order. *)
+
+val iter : t -> (triple -> unit) -> unit
+
+(** {1 Pattern lookup} *)
+
+type pattern = Term.t option * Term.t option * Term.t option
+(** [None] is a wildcard. *)
+
+val find : t -> pattern -> triple list
+(** Uses the most selective available index. *)
+
+val count : t -> pattern -> int
+
+(** {1 Basic graph patterns}
+
+    Variables are written as strings; a BGP is a list of triple patterns
+    where each position is either a constant term or a variable. *)
+
+type bgp_term =
+  | Const of Term.t
+  | Var of string
+
+val query : t -> (bgp_term * bgp_term * bgp_term) list -> Weblab_relalg.Table.t
+(** Solutions of the conjunctive pattern, one column per variable.  Term
+    bindings are encoded as their N-Triples string in the result table. *)
+
+val solutions : t -> (bgp_term * bgp_term * bgp_term) list ->
+  (string * Term.t) list list
+(** The raw variable environments, for callers that post-process terms
+    (SPARQL FILTER/ORDER BY). *)
+
+val bgp_variables : (bgp_term * bgp_term * bgp_term) list -> string list
+(** Variables of a pattern, first-occurrence order. *)
+
+val table_of_solutions :
+  string list -> (string * Term.t) list list -> Weblab_relalg.Table.t

@@ -1,0 +1,151 @@
+(* Turtle and N-Triples serialization, plus an N-Triples reader used for
+   round-trips in tests.  This is the surface the paper's Sesame store
+   exposes for exchanging PROV graphs. *)
+
+let abbreviate prefixes iri =
+  let rec find = function
+    | [] -> None
+    | (p, ns) :: rest ->
+      let n = String.length ns in
+      if String.length iri > n && String.sub iri 0 n = ns then begin
+        let local = String.sub iri n (String.length iri - n) in
+        (* Only abbreviate when the local part is a plain name. *)
+        if
+          String.length local > 0
+          && String.for_all
+               (fun c ->
+                 (c >= 'a' && c <= 'z')
+                 || (c >= 'A' && c <= 'Z')
+                 || (c >= '0' && c <= '9')
+                 || c = '_' || c = '-' || c = '.')
+               local
+          && local.[0] <> '.'
+          && local.[String.length local - 1] <> '.'
+        then Some (p ^ ":" ^ local)
+        else find rest
+      end
+      else find rest
+  in
+  find prefixes
+
+let term_to_turtle prefixes = function
+  | Term.Iri iri -> (
+    match abbreviate prefixes iri with
+    | Some qname -> qname
+    | None -> Printf.sprintf "<%s>" iri)
+  | Term.Bnode b -> "_:" ^ b
+  | Term.Lit (s, None) -> Printf.sprintf "\"%s\"" (Term.escape_lit s)
+  | Term.Lit (s, Some dt) -> (
+    match abbreviate prefixes dt with
+    | Some qname -> Printf.sprintf "\"%s\"^^%s" (Term.escape_lit s) qname
+    | None -> Printf.sprintf "\"%s\"^^<%s>" (Term.escape_lit s) dt)
+
+(* Group triples by subject, then by predicate, for compact Turtle. *)
+let to_turtle ?(prefixes = Prov_vocab.prefixes) store =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (p, ns) -> Buffer.add_string buf (Printf.sprintf "@prefix %s: <%s> .\n" p ns))
+    prefixes;
+  Buffer.add_char buf '\n';
+  let subjects = ref [] in
+  Triple_store.iter store (fun (s, _, _) ->
+      if not (List.exists (Term.equal s) !subjects) then subjects := s :: !subjects);
+  List.iter
+    (fun s ->
+      let triples = Triple_store.find store (Some s, None, None) in
+      let preds = ref [] in
+      List.iter
+        (fun (_, p, _) ->
+          if not (List.exists (Term.equal p) !preds) then preds := p :: !preds)
+        triples;
+      Buffer.add_string buf (term_to_turtle prefixes s);
+      let pred_strings =
+        List.rev_map
+          (fun p ->
+            let objs =
+              Triple_store.find store (Some s, Some p, None)
+              |> List.map (fun (_, _, o) -> term_to_turtle prefixes o)
+            in
+            Printf.sprintf "  %s %s" (term_to_turtle prefixes p)
+              (String.concat ", " objs))
+          !preds
+      in
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (String.concat " ;\n" pred_strings);
+      Buffer.add_string buf " .\n\n")
+    (List.rev !subjects);
+  Buffer.contents buf
+
+let to_ntriples store =
+  let buf = Buffer.create 1024 in
+  Triple_store.iter store (fun (s, p, o) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s .\n" (Term.to_ntriples s) (Term.to_ntriples p)
+           (Term.to_ntriples o)));
+  Buffer.contents buf
+
+exception Parse_error of string
+
+(* Minimal N-Triples reader (IRIs, blank nodes, literals with optional
+   datatype).  Language tags are not needed by this code base. *)
+let parse_ntriples text =
+  let store = Triple_store.create () in
+  let rec parse_term s =
+    let s = String.trim s in
+    let n = String.length s in
+    if n = 0 then raise (Parse_error "empty term")
+    else if s.[0] = '<' then begin
+      match String.index_opt s '>' with
+      | Some i -> (Term.Iri (String.sub s 1 (i - 1)), String.sub s (i + 1) (n - i - 1))
+      | None -> raise (Parse_error ("unterminated IRI: " ^ s))
+    end
+    else if n >= 2 && s.[0] = '_' && s.[1] = ':' then begin
+      let rec stop i =
+        if i >= n || s.[i] = ' ' || s.[i] = '\t' then i else stop (i + 1)
+      in
+      let i = stop 2 in
+      (Term.Bnode (String.sub s 2 (i - 2)), String.sub s i (n - i))
+    end
+    else if s.[0] = '"' then begin
+      let buf = Buffer.create 16 in
+      let rec scan i =
+        if i >= n then raise (Parse_error ("unterminated literal: " ^ s))
+        else if s.[i] = '\\' && i + 1 < n then begin
+          (match s.[i + 1] with
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | c -> Buffer.add_char buf c);
+          scan (i + 2)
+        end
+        else if s.[i] = '"' then i + 1
+        else begin
+          Buffer.add_char buf s.[i];
+          scan (i + 1)
+        end
+      in
+      let after = scan 1 in
+      let rest = String.sub s after (n - after) in
+      if String.length rest >= 2 && String.sub rest 0 2 = "^^" then begin
+        let rest = String.sub rest 2 (String.length rest - 2) in
+        match parse_term rest with
+        | Term.Iri dt, rest' -> (Term.Lit (Buffer.contents buf, Some dt), rest')
+        | _ -> raise (Parse_error "expected a datatype IRI after ^^")
+      end
+      else (Term.Lit (Buffer.contents buf, None), rest)
+    end
+    else raise (Parse_error ("cannot parse term: " ^ s))
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && not (String.length line >= 1 && line.[0] = '#') then begin
+           let s, rest = parse_term line in
+           let p, rest = parse_term rest in
+           let o, rest = parse_term rest in
+           let rest = String.trim rest in
+           if rest <> "." then
+             raise (Parse_error ("expected '.' at end of line: " ^ line));
+           Triple_store.add store (s, p, o)
+         end);
+  store

@@ -1,0 +1,23 @@
+(** Turtle and N-Triples serialization, plus an N-Triples reader for
+    round-trips — the exchange surface the paper's Sesame store exposes
+    for PROV graphs. *)
+
+val abbreviate : (string * string) list -> string -> string option
+(** [abbreviate prefixes iri] is the qname when some prefix applies and
+    the local part is a plain name. *)
+
+val term_to_turtle : (string * string) list -> Term.t -> string
+
+val to_turtle : ?prefixes:(string * string) list -> Triple_store.t -> string
+(** Grouped by subject and predicate, with @prefix declarations
+    ({!Prov_vocab.prefixes} by default). *)
+
+val to_ntriples : Triple_store.t -> string
+(** One triple per line. *)
+
+exception Parse_error of string
+
+val parse_ntriples : string -> Triple_store.t
+(** Minimal N-Triples reader: IRIs, blank nodes, literals with optional
+    datatype; [#] comment lines ignored.
+    @raise Parse_error on malformed input. *)

@@ -1,0 +1,1 @@
+lib/relalg/table.ml: Array Fmt Hashtbl List String Value

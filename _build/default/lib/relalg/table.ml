@@ -1,0 +1,148 @@
+type t = {
+  cols : string array;
+  mutable rows : Value.t array list;  (* reversed insertion order *)
+  mutable count : int;
+}
+
+let check_distinct cols =
+  let sorted = List.sort String.compare cols in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> String.equal a b || dup rest
+    | [ _ ] | [] -> false
+  in
+  if dup sorted then invalid_arg "Table.create: duplicate column names"
+
+let create cols =
+  check_distinct cols;
+  { cols = Array.of_list cols; rows = []; count = 0 }
+
+let columns t = Array.to_list t.cols
+
+let cardinality t = t.count
+
+let rows t = List.rev t.rows
+
+let add_row t row =
+  if Array.length row <> Array.length t.cols then
+    invalid_arg "Table.add_row: row width does not match the schema";
+  t.rows <- row :: t.rows;
+  t.count <- t.count + 1
+
+let of_rows cols rs =
+  let t = create cols in
+  List.iter (add_row t) rs;
+  t
+
+let col_index t name =
+  let rec find i =
+    if i >= Array.length t.cols then raise Not_found
+    else if String.equal t.cols.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+let get t row col = row.(col_index t col)
+
+let row_key row = String.concat "\x00" (Array.to_list (Array.map Value.to_string row))
+
+let mem_row t row =
+  let key = row_key row in
+  List.exists (fun r -> String.equal (row_key r) key) t.rows
+
+let distinct t =
+  let seen = Hashtbl.create 64 in
+  let out = create (columns t) in
+  List.iter
+    (fun row ->
+      let key = row_key row in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        add_row out row
+      end)
+    (rows t);
+  out
+
+let project t names =
+  let idx = List.map (col_index t) names in
+  let out = create names in
+  List.iter (fun row -> add_row out (Array.of_list (List.map (fun i -> row.(i)) idx))) (rows t);
+  distinct out
+
+let rename t mapping =
+  let cols =
+    Array.to_list t.cols
+    |> List.map (fun c -> match List.assoc_opt c mapping with Some c' -> c' | None -> c)
+  in
+  check_distinct cols;
+  { t with cols = Array.of_list cols }
+
+let select t pred =
+  let out = create (columns t) in
+  List.iter (fun row -> if pred t row then add_row out row) (rows t);
+  out
+
+let natural_join a b =
+  let cols_a = columns a and cols_b = columns b in
+  let shared = List.filter (fun c -> List.mem c cols_a) cols_b in
+  let b_only = List.filter (fun c -> not (List.mem c shared)) cols_b in
+  let out = create (cols_a @ b_only) in
+  let key_of tbl row =
+    String.concat "\x00"
+      (List.map (fun c -> Value.to_string (get tbl row c)) shared)
+  in
+  (* Hash the smaller side. *)
+  let index = Hashtbl.create (max 16 (cardinality b)) in
+  List.iter (fun row -> Hashtbl.add index (key_of b row) row) (rows b);
+  let b_only_idx = List.map (col_index b) b_only in
+  List.iter
+    (fun row_a ->
+      let matches = Hashtbl.find_all index (key_of a row_a) in
+      (* find_all returns most-recently-added first; restore order *)
+      List.iter
+        (fun row_b ->
+          let extra = List.map (fun i -> row_b.(i)) b_only_idx in
+          add_row out (Array.append row_a (Array.of_list extra)))
+        (List.rev matches))
+    (rows a);
+  out
+
+let union a b =
+  if List.sort String.compare (columns a) <> List.sort String.compare (columns b)
+  then invalid_arg "Table.union: schemas differ";
+  let out = create (columns a) in
+  List.iter (add_row out) (rows a);
+  (* Reorder b's columns to a's order. *)
+  let idx = List.map (col_index b) (columns a) in
+  List.iter
+    (fun row -> add_row out (Array.of_list (List.map (fun i -> row.(i)) idx)))
+    (rows b);
+  distinct out
+
+let sorted_row_keys t =
+  rows t |> List.map row_key |> List.sort String.compare
+
+let equal a b =
+  List.sort String.compare (columns a) = List.sort String.compare (columns b)
+  &&
+  (* Align column order before comparing rows. *)
+  let b' = project b (columns a) in
+  let a' = distinct a in
+  sorted_row_keys a' = sorted_row_keys b'
+
+let pp ppf t =
+  let cols = columns t in
+  let rs = rows t |> List.map (fun r -> Array.to_list (Array.map Value.to_string r)) in
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rs)
+      cols
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cells = String.concat " | " (List.map2 pad cells widths) in
+  Fmt.pf ppf "%s@." (line cols);
+  Fmt.pf ppf "%s@." (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Fmt.pf ppf "%s@." (line row)) rs
+
+let to_string t = Fmt.str "%a" pp t

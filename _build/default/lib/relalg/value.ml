@@ -1,0 +1,44 @@
+(* Values carried by binding tables: attribute values and URIs are strings,
+   position() bindings are integers, and raw node references let the
+   provenance engine keep track of the matched XML nodes themselves. *)
+
+type t =
+  | Str of string
+  | Int of int
+  | Node of int
+
+let equal a b =
+  match a, b with
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Node x, Node y -> Int.equal x y
+  (* Mixed comparisons: "5" = 5 holds, matching XPath's loose equality on
+     attribute values. *)
+  | Str s, Int i | Int i, Str s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j -> Int.equal i j
+    | None -> false)
+  | (Str _ | Int _), Node _ | Node _, (Str _ | Int _) -> false
+
+let compare a b =
+  match a, b with
+  | Str x, Str y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Node x, Node y -> Int.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+
+let to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Node n -> Printf.sprintf "#%d" n
+
+(* Numeric view used by <, <=, >, >= predicates. *)
+let as_int = function
+  | Int i -> Some i
+  | Str s -> int_of_string_opt (String.trim s)
+  | Node _ -> None
+
+let pp ppf v = Fmt.string ppf (to_string v)

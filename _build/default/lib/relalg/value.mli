@@ -1,0 +1,27 @@
+(** Values carried by binding tables: attribute values and URIs are
+    strings, position() bindings are integers, and raw node references let
+    the provenance engine keep track of the matched XML nodes.
+
+    Comparison is deliberately {e loose} across [Str]/[Int] (["5"] equals
+    [5]), matching XPath's handling of attribute values; joins, distinct
+    and equality all use the same convention. *)
+
+type t =
+  | Str of string
+  | Int of int
+  | Node of int  (** an arena node id *)
+
+val equal : t -> t -> bool
+(** Loose equality (see above); [Node] only equals [Node]. *)
+
+val compare : t -> t -> int
+(** A total order (by constructor, then value) for sorting — {b not} the
+    loose equality. *)
+
+val to_string : t -> string
+(** [Node n] prints as ["#n"]. *)
+
+val as_int : t -> int option
+(** The numeric view used by ordering predicates. *)
+
+val pp : Format.formatter -> t -> unit

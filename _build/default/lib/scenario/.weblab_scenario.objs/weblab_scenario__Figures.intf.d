@@ -1,0 +1,1 @@
+lib/scenario/figures.mli: Paper Prov_graph Strategy Table Weblab_prov Weblab_relalg Weblab_xquery

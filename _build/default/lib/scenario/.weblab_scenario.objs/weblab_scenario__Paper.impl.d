@@ -1,0 +1,1 @@
+lib/scenario/paper.ml: Doc_state Langdata Language_extractor Normaliser Orchestrator Printf Schema Service Trace Translator Tree Weblab_prov Weblab_services Weblab_workflow Weblab_xml Weblab_xpath

@@ -1,0 +1,1 @@
+lib/scenario/paper.mli: Doc_state Service Trace Tree Weblab_prov Weblab_workflow Weblab_xml Weblab_xpath

@@ -1,0 +1,56 @@
+(** Renderers regenerating every figure and worked example of the paper
+    from a live execution of the scenario.  [bin/main.exe figures] prints
+    them; the paper test-suite checks the embedded expectations. *)
+
+open Weblab_relalg
+open Weblab_prov
+
+val fig1 : Paper.t -> string
+(** Figure 1: control flow and per-call data flow. *)
+
+val fig2 : Paper.t -> string
+(** Figure 2: the Source and Provenance tables, plus inherited links. *)
+
+val fig3 : Paper.t -> string
+(** Figure 3: the mappings. *)
+
+val fig4 : Paper.t -> string
+(** Figure 4: the four document states as trees, with the paper's
+    1-11 element numbering and URI-promotion timing. *)
+
+val render_state : Paper.t -> int -> string
+(** One state of Figure 4. *)
+
+val ex5 : Paper.t -> string
+(** Example 5: the four embedding tables. *)
+
+val ex6 : Paper.t -> string
+(** Example 6: the two rule-application join tables. *)
+
+val ex7 : Paper.t -> string
+(** Example 7: the restriction to out(c3). *)
+
+val ex8 : Paper.t -> string
+(** Example 8: the generated XQuery for φ1. *)
+
+val ex9 : Paper.t -> string
+(** Example 9: the generated and optimized provenance queries. *)
+
+val all : Paper.t -> (string * string) list
+(** All artifacts, in paper order, as (title, body). *)
+
+(** {1 Pieces used by the test-suite} *)
+
+val explicit_graph : ?strategy:Strategy.post_hoc -> Paper.t -> Prov_graph.t
+
+val inherited_graph : ?strategy:Strategy.post_hoc -> Paper.t -> Prov_graph.t
+
+val pattern_result : Paper.t -> phi:int -> state:int -> Table.t
+(** R{_φ}(dᵢ), columns renamed to [$r]/[$x]. *)
+
+val ex6_table : Paper.t -> rule:int -> from_state:int -> to_state:int -> Table.t
+
+val ex7_links : Paper.t -> (string * string) list
+
+val ex9_queries : unit -> Weblab_xquery.Xq_ast.flwor * Weblab_xquery.Xq_ast.flwor
+(** The (generated, optimized) pair. *)

@@ -1,0 +1,138 @@
+(* The paper's running example, reproduced with its exact resource
+   numbering (Figures 1, 2 and 4):
+
+   d0:  Resource r1 ─ MediaUnit (node 2) ─ NativeContent (node 3)
+   c1 = (Normaliser, t1):        promotes node 3 to r3, adds
+                                 TextMediaUnit r4 / TextContent r5
+   c2 = (LanguageExtractor, t2): adds Annotation r6 / Language "fr" under r4
+   c3 = (Translator, t3):        adds TextMediaUnit r8 with TextContent and
+                                 Annotation/Language "en" (nodes 9-11,
+                                 unlabeled)
+
+   The services re-use the real implementations' text processing but pin
+   the URIs of the figures, so the expected tables can be checked
+   verbatim. *)
+
+open Weblab_xml
+open Weblab_workflow
+open Weblab_services
+
+let french_text =
+  "Le gouvernement est dans une crise politique avec les entreprises pour \
+   la sécurité des données."
+
+let initial_document () =
+  let doc = Tree.create () in
+  let root = Tree.new_element doc ~parent:Tree.no_node Schema.resource in
+  Tree.set_uri doc root "r1";
+  let mu = Tree.new_element doc ~parent:root Schema.media_unit in
+  let nc = Tree.new_element doc ~parent:mu Schema.native_content in
+  ignore (Tree.new_text doc ~parent:nc french_text);
+  doc
+
+let find_one doc name =
+  match Schema.elements doc name with
+  | [ n ] -> n
+  | n :: _ -> n
+  | [] -> invalid_arg (name ^ " not found")
+
+let normaliser =
+  Service.inproc ~name:"Normaliser"
+    ~description:"paper scenario: normalize node 3 into r4/r5" (fun doc ->
+      let nc = find_one doc Schema.native_content in
+      Tree.set_uri doc nc "r3";
+      let unit =
+        Tree.new_element doc ~parent:(Tree.root doc) Schema.text_media_unit
+      in
+      Tree.set_uri doc unit "r4";
+      let content = Tree.new_element doc ~parent:unit Schema.text_content in
+      Tree.set_uri doc content "r5";
+      ignore
+        (Tree.new_text doc ~parent:content
+           (Normaliser.normalize (Tree.string_value doc nc))))
+
+let language_extractor =
+  Service.inproc ~name:"LanguageExtractor"
+    ~description:"paper scenario: annotate r4 with its language" (fun doc ->
+      let unit = find_one doc Schema.text_media_unit in
+      let text =
+        match Schema.text_of_unit doc unit with
+        | Some (_, t) -> t
+        | None -> ""
+      in
+      let code = Langdata.code (Language_extractor.detect text) in
+      let ann = Tree.new_element doc ~parent:unit Schema.annotation in
+      Tree.set_uri doc ann "r6";
+      let l = Tree.new_element doc ~parent:ann Schema.language in
+      ignore (Tree.new_text doc ~parent:l code))
+
+let translator =
+  Service.inproc ~name:"Translator"
+    ~description:"paper scenario: translate r4 into English as r8" (fun doc ->
+      let unit = find_one doc Schema.text_media_unit in
+      let text =
+        match Schema.text_of_unit doc unit with
+        | Some (_, t) -> t
+        | None -> ""
+      in
+      let out =
+        Tree.new_element doc ~parent:(Tree.root doc) Schema.text_media_unit
+      in
+      Tree.set_uri doc out "r8";
+      let content = Tree.new_element doc ~parent:out Schema.text_content in
+      ignore
+        (Tree.new_text doc ~parent:content
+           (Translator.translate ~source_lang:Langdata.Fr text));
+      let ann = Tree.new_element doc ~parent:out Schema.annotation in
+      let l = Tree.new_element doc ~parent:ann Schema.language in
+      ignore (Tree.new_text doc ~parent:l "en"))
+
+let services = [ normaliser; language_extractor; translator ]
+
+(* Figure 3: the provenance mappings, in concrete syntax. *)
+let m1 = "M1: /Resource//NativeContent ==> //TextMediaUnit[1]"
+
+let m2 =
+  "M2: //TextMediaUnit[$x := @id]/TextContent ==> \
+   //TextMediaUnit[$x := @id]/Annotation[Language]"
+
+let m3 =
+  "M3: //TextMediaUnit[Annotation/Language = 'fr'] ==> \
+   //TextMediaUnit[Annotation/Language = 'en']"
+
+let mapping_syntax = [ m1; m2; m3 ]
+
+let rulebook () : Weblab_prov.Strategy.rulebook =
+  [ ("Normaliser", [ Weblab_prov.Rule_parser.parse m1 ]);
+    ("LanguageExtractor", [ Weblab_prov.Rule_parser.parse m2 ]);
+    ("Translator", [ Weblab_prov.Rule_parser.parse m3 ]) ]
+
+(* Example 3: the patterns φ1 … φ4 (over the full element names). *)
+let phi = function
+  | 1 -> Weblab_xpath.Parser.pattern "//TextMediaUnit[$x := @id]/TextContent"
+  | 2 ->
+    Weblab_xpath.Parser.pattern
+      "//TextMediaUnit[@id][$x := @id]/TextContent[$r := @id]"
+  | 3 -> Weblab_xpath.Parser.pattern "//TextMediaUnit[$x := @id]/Annotation[Language]"
+  | 4 -> Weblab_xpath.Parser.pattern "/Resource[$x := @id]//TextMediaUnit[Annotation/Language]"
+  | n -> invalid_arg (Printf.sprintf "phi %d" n)
+
+type t = {
+  doc : Tree.t;
+  trace : Trace.t;
+  rulebook : Weblab_prov.Strategy.rulebook;
+}
+
+let run () =
+  let doc = initial_document () in
+  let trace = Orchestrator.execute doc services in
+  { doc; trace; rulebook = rulebook () }
+
+let state e i = Doc_state.at e.doc i
+
+(* Element-name abbreviations of Figure 4. *)
+let abbreviations =
+  [ (Schema.resource, "R"); (Schema.media_unit, "M");
+    (Schema.native_content, "N"); (Schema.text_media_unit, "T");
+    (Schema.text_content, "C"); (Schema.annotation, "A");
+    (Schema.language, "L") ]

@@ -1,0 +1,57 @@
+(** The paper's running example, reproduced with its exact resource
+    numbering (Figures 1, 2 and 4):
+
+    {v
+    d0:  Resource r1 ─ MediaUnit (node 2) ─ NativeContent (node 3)
+    c1 = (Normaliser, t1):        promotes node 3 to r3, adds
+                                  TextMediaUnit r4 / TextContent r5
+    c2 = (LanguageExtractor, t2): adds Annotation r6 / Language "fr"
+    c3 = (Translator, t3):        adds TextMediaUnit r8 (nodes 9-11
+                                  unlabeled)
+    v}
+
+    The services reuse the real implementations' text processing but pin
+    the URIs of the figures, so the expected tables can be checked
+    verbatim (see [test/test_paper.ml]). *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val french_text : string
+(** The initial NativeContent (real French, so the real language
+    detector fires the M3 rule). *)
+
+val initial_document : unit -> Tree.t
+(** The d0 of Figure 4. *)
+
+val services : Service.t list
+(** Normaliser, LanguageExtractor, Translator (Figure 1a). *)
+
+val mapping_syntax : string list
+(** The Figure 3 mappings M1, M2, M3 in concrete syntax. *)
+
+val m1 : string
+val m2 : string
+val m3 : string
+
+val rulebook : unit -> Weblab_prov.Strategy.rulebook
+(** The parsed M(s) assignments. *)
+
+val phi : int -> Weblab_xpath.Ast.pattern
+(** The patterns φ1 … φ4 of Example 3.
+    @raise Invalid_argument outside 1-4. *)
+
+type t = {
+  doc : Tree.t;
+  trace : Trace.t;
+  rulebook : Weblab_prov.Strategy.rulebook;
+}
+
+val run : unit -> t
+(** Execute the whole scenario. *)
+
+val state : t -> int -> Doc_state.t
+(** The document state dᵢ. *)
+
+val abbreviations : (string * string) list
+(** Element-name abbreviations of Figure 4 (Resource → R, …). *)

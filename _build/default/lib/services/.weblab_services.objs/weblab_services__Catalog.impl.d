@@ -1,0 +1,1 @@
+lib/services/catalog.ml: Classifier Deduplicator Entity_extractor Geo_tagger Language_extractor List Media Normaliser Sentiment Service String Summarizer Tokenizer Translator Weblab_workflow

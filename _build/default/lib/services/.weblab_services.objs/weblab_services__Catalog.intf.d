@@ -1,0 +1,1 @@
+lib/services/catalog.mli: Service Weblab_workflow

@@ -1,0 +1,1 @@
+lib/services/classifier.ml: List Schema Service Textutil Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/corpus.ml: Char Langdata List Printf Random String

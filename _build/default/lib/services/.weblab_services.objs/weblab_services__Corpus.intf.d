@@ -1,0 +1,1 @@
+lib/services/corpus.mli: Langdata Random

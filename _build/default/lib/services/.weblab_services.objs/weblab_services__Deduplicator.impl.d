@@ -1,0 +1,1 @@
+lib/services/deduplicator.ml: Hashtbl List Printf Schema Service String Textutil Tree Weblab_workflow Weblab_xml

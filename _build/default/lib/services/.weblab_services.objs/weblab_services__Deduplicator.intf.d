@@ -1,0 +1,1 @@
+lib/services/deduplicator.mli: Service Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/entity_extractor.ml: Langdata List Schema Service String Textutil Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/entity_extractor.mli: Service Tree Weblab_workflow Weblab_xml

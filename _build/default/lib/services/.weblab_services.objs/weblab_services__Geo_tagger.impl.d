@@ -1,0 +1,1 @@
+lib/services/geo_tagger.ml: List Printf Schema Service String Textutil Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/geo_tagger.mli: Service Tree Weblab_workflow Weblab_xml

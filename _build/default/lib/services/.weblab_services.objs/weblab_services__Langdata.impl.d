@@ -1,0 +1,1 @@
+lib/services/langdata.ml: List

@@ -1,0 +1,1 @@
+lib/services/language_extractor.ml: Array Langdata List Schema Service String Textutil Tree Weblab_workflow Weblab_xml

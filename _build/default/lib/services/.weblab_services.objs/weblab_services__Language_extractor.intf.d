@@ -1,0 +1,1 @@
+lib/services/language_extractor.mli: Langdata Service Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/media.ml: List Option Schema Service String Textutil Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/media.mli: Service Weblab_workflow

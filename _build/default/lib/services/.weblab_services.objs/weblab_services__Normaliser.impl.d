@@ -1,0 +1,1 @@
+lib/services/normaliser.ml: List Option Orchestrator Printer Schema Service Textutil Tree Weblab_workflow Weblab_xml Xml_parser

@@ -1,0 +1,1 @@
+lib/services/schema.ml: List Option Orchestrator Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/schema.mli: Tree Weblab_xml

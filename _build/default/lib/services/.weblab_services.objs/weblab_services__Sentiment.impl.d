@@ -1,0 +1,1 @@
+lib/services/sentiment.ml: Langdata List Schema Service Textutil Tree Weblab_workflow Weblab_xml

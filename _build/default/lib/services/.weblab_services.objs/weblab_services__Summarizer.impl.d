@@ -1,0 +1,1 @@
+lib/services/summarizer.ml: List Option Schema Service String Textutil Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/summarizer.mli: Service Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/textutil.ml: Array Buffer Char List String

@@ -1,0 +1,1 @@
+lib/services/tokenizer.ml: List Schema Service String Textutil Tree Weblab_workflow Weblab_xml

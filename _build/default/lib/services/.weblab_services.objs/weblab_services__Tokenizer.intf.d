@@ -1,0 +1,1 @@
+lib/services/tokenizer.mli: Service Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/translator.ml: Langdata List Option Printf Schema Service String Textutil Tree Weblab_workflow Weblab_xml

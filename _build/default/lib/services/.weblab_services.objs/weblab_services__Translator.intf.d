@@ -1,0 +1,1 @@
+lib/services/translator.mli: Langdata Service Tree Weblab_workflow Weblab_xml

@@ -1,0 +1,1 @@
+lib/services/workload.mli: Service Tree Weblab_workflow Weblab_xml

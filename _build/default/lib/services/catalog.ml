@@ -1,0 +1,33 @@
+(* The service catalog (§6): service implementations together with their
+   provenance mapping rules M(s), keyed by service name — the component the
+   Mapper pulls rules from when building provenance graphs. *)
+
+open Weblab_workflow
+
+type entry = {
+  service : Service.t;
+  rules : string list;  (* concrete rule syntax; parsed by the core library *)
+}
+
+let entries : entry list =
+  [ { service = Normaliser.service; rules = Normaliser.rules };
+    { service = Language_extractor.service; rules = Language_extractor.rules };
+    { service = Translator.service (); rules = Translator.rules };
+    { service = Tokenizer.service; rules = Tokenizer.rules };
+    { service = Entity_extractor.service; rules = Entity_extractor.rules };
+    { service = Summarizer.service (); rules = Summarizer.rules };
+    { service = Sentiment.service; rules = Sentiment.rules };
+    { service = Classifier.service; rules = Classifier.rules };
+    { service = Geo_tagger.service; rules = Geo_tagger.rules };
+    { service = Deduplicator.service (); rules = Deduplicator.rules };
+    { service = Media.ocr_service; rules = Media.ocr_rules };
+    { service = Media.asr_service; rules = Media.asr_rules } ]
+
+let find name =
+  List.find_opt (fun e -> String.equal (Service.name e.service) name) entries
+
+let service_names = List.map (fun e -> Service.name e.service) entries
+
+(* The rulebook in concrete syntax: (service name, rule strings). *)
+let rulebook_syntax =
+  List.map (fun e -> (Service.name e.service, e.rules)) entries

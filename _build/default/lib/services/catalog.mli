@@ -1,0 +1,22 @@
+(** The service catalog (§6): implementations together with their
+    provenance mapping rules M(s), keyed by service name — the component
+    the Mapper pulls rules from when building provenance graphs. *)
+
+open Weblab_workflow
+
+type entry = {
+  service : Service.t;
+  rules : string list;
+      (** the service's mapping rules, in concrete syntax (parse with
+          {!Weblab_prov.Rule_parser}) *)
+}
+
+val entries : entry list
+
+val find : string -> entry option
+(** Look a service up by name. *)
+
+val service_names : string list
+
+val rulebook_syntax : (string * string list) list
+(** The whole rulebook in concrete syntax. *)

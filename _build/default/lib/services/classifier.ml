@@ -1,0 +1,61 @@
+(* Keyword-based topic classification: each TextMediaUnit gets an
+   Annotation/Topic with the best-scoring category (politics, economy,
+   security, technology), plus the score — the classic media-mining
+   categorization stage of WebLab pipelines. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let topic = "Topic"
+
+(* Category keyword sets, matched on lowercased tokens (the catalog's
+   pipelines classify after normalisation/translation, i.e. on English). *)
+let categories =
+  [ ("politics",
+     [ "government"; "president"; "minister"; "election"; "policy";
+       "agreement"; "conference" ]);
+    ("economy",
+     [ "market"; "economy"; "company"; "growth"; "crisis"; "report" ]);
+    ("security",
+     [ "security"; "attack"; "defence"; "war"; "threat"; "risk" ]);
+    ("technology",
+     [ "technology"; "network"; "data"; "system"; "research"; "program" ]) ]
+
+let scores text =
+  let words = List.map Textutil.lowercase (Textutil.tokenize text) in
+  List.map
+    (fun (cat, keywords) ->
+      (cat, List.length (List.filter (fun w -> List.mem w keywords) words)))
+    categories
+
+let classify text =
+  let best =
+    List.fold_left
+      (fun (bc, bs) (c, s) -> if s > bs then (c, s) else (bc, bs))
+      ("general", 0) (scores text)
+  in
+  best
+
+let run doc =
+  List.iter
+    (fun unit ->
+      if not (Schema.has_annotation doc unit topic) then
+        match Schema.text_of_unit doc unit with
+        | Some (_, text) ->
+          let category, score = classify text in
+          let ann = Schema.new_resource doc ~parent:unit Schema.annotation in
+          let el =
+            Tree.new_element doc ~parent:ann topic
+              ~attrs:[ ("score", string_of_int score) ]
+          in
+          ignore (Tree.new_text doc ~parent:el category)
+        | None -> ())
+    (Schema.text_media_units doc)
+
+let service =
+  Service.inproc ~name:"Classifier"
+    ~description:"classifies TextContent into topic categories" run
+
+let rules =
+  [ "C1: //TextMediaUnit[$x := @id]/TextContent ==> \
+     //TextMediaUnit[$x := @id]/Annotation[Topic]" ]

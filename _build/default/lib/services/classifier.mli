@@ -1,0 +1,18 @@
+(** Keyword-based topic classification: an Annotation/Topic with the
+    best-scoring category (politics, economy, security, technology —
+    ["general"] when nothing matches) for each TextMediaUnit. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val categories : (string * string list) list
+(** Category → keyword set (matched on lowercased tokens). *)
+
+val classify : string -> string * int
+(** Best (category, score); [("general", 0)] when nothing scores. *)
+
+val run : Tree.t -> unit
+
+val service : Service.t
+
+val rules : string list

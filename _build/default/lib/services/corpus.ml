@@ -1,0 +1,39 @@
+(* Deterministic synthetic corpus generator: pseudo-sentences assembled
+   from per-language stopword and content vocabularies.  The statistical
+   profile is close enough to the language for the LanguageExtractor's
+   stopword scoring to work, which is all the pipeline needs. *)
+
+let pick rng list = List.nth list (Random.State.int rng (List.length list))
+
+let capitalize s =
+  if s = "" then s
+  else String.make 1 (Char.uppercase_ascii s.[0]) ^ String.sub s 1 (String.length s - 1)
+
+(* A sentence alternates function words and content words; with a small
+   probability a gazetteer entity is dropped in, which feeds the
+   entity-extraction scenario. *)
+let sentence ?(with_entities = true) rng lang =
+  let stop = Langdata.stopwords lang in
+  let content = Langdata.content_words lang in
+  let len = 6 + Random.State.int rng 10 in
+  let words =
+    List.init len (fun i ->
+        if with_entities && Random.State.int rng 12 = 0 then
+          fst (pick rng Langdata.gazetteer)
+        else if i mod 2 = 0 then pick rng stop
+        else pick rng content)
+  in
+  match words with
+  | [] -> "."
+  | first :: rest -> String.concat " " (capitalize first :: rest) ^ "."
+
+let text ?(sentences = 3) ?with_entities rng lang =
+  String.concat " " (List.init sentences (fun _ -> sentence ?with_entities rng lang))
+
+(* A raw "web page": text wrapped in light markup, which the Normaliser
+   strips. *)
+let html ?sentences ?with_entities rng lang =
+  let body = text ?sentences ?with_entities rng lang in
+  Printf.sprintf "<html><body><p>%s</p></body></html>" body
+
+let random_language rng = pick rng Langdata.all_languages

@@ -1,0 +1,86 @@
+(* Near-duplicate detection over TextMediaUnits: word-shingle Jaccard
+   similarity groups near-identical units into DuplicateGroup resources —
+   a standard media-mining stage (syndicated articles, re-crawls).
+
+   Provenance-wise this is the library's flagship many-to-many case: every
+   group depends on all of its member units, which rule D1 captures by
+   joining on the @group value the service stamps. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let duplicate_group = "DuplicateGroup"
+
+(* 3-word shingles of the lowercased token stream. *)
+let shingles text =
+  let words = List.map Textutil.lowercase (Textutil.tokenize text) in
+  let rec windows acc = function
+    | a :: (b :: c :: _ as rest) -> windows ((a ^ " " ^ b ^ " " ^ c) :: acc) rest
+    | _ -> acc
+  in
+  List.sort_uniq String.compare (windows [] words)
+
+let jaccard a b =
+  if a = [] && b = [] then 1.0
+  else begin
+    let inter = List.length (List.filter (fun x -> List.mem x b) a) in
+    let union = List.length a + List.length b - inter in
+    if union = 0 then 0.0 else float_of_int inter /. float_of_int union
+  end
+
+let similar ?(threshold = 0.6) t1 t2 = jaccard (shingles t1) (shingles t2) >= threshold
+
+(* Greedy single-link clustering of the units by similarity. *)
+let clusters ?threshold doc =
+  let units =
+    Schema.text_media_units doc
+    |> List.filter_map (fun u ->
+           match Schema.text_of_unit doc u, Tree.uri doc u with
+           | Some (_, text), Some uri -> Some (u, uri, text)
+           | _ -> None)
+  in
+  let assigned = Hashtbl.create 16 in
+  let groups = ref [] in
+  List.iter
+    (fun (u, uri, text) ->
+      if not (Hashtbl.mem assigned uri) then begin
+        let members =
+          List.filter
+            (fun (_, uri', text') ->
+              (not (Hashtbl.mem assigned uri'))
+              && (String.equal uri uri' || similar ?threshold text text'))
+            units
+        in
+        List.iter (fun (_, uri', _) -> Hashtbl.replace assigned uri' ()) members;
+        if List.length members > 1 then groups := List.rev members :: !groups
+      end;
+      ignore u)
+    units;
+  List.rev !groups
+
+let run ?threshold doc =
+  let root = Tree.root doc in
+  if Schema.elements doc duplicate_group = [] then
+    List.iteri
+      (fun i members ->
+        let gid = Printf.sprintf "dup%d" (i + 1) in
+        let group =
+          Schema.new_resource doc ~parent:root duplicate_group
+            ~attrs:[ ("group", gid) ]
+        in
+        List.iter
+          (fun (_, uri, _) ->
+            ignore
+              (Tree.new_element doc ~parent:group "Member"
+                 ~attrs:[ ("ref", uri) ]))
+          members)
+      (clusters ?threshold doc)
+
+let service ?threshold () =
+  Service.inproc ~name:"Deduplicator"
+    ~description:"groups near-duplicate TextMediaUnits" (run ?threshold)
+
+(* Each group depends on every unit whose @id one of its Member elements
+   references. *)
+let rules =
+  [ "D1: //TextMediaUnit[$x := @id] ==> //DuplicateGroup[Member/@ref = $x]" ]

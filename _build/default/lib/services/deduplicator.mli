@@ -1,0 +1,29 @@
+(** Near-duplicate detection: word-shingle Jaccard similarity groups
+    near-identical TextMediaUnits into DuplicateGroup resources whose
+    Member elements reference the units.  Rule D1 — the library's
+    flagship many-to-many case — makes every group depend on all of its
+    members via the [Member/@ref = $x] path-to-attribute join. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val duplicate_group : string
+
+val shingles : string -> string list
+(** Distinct 3-word shingles of the lowercased token stream. *)
+
+val jaccard : string list -> string list -> float
+
+val similar : ?threshold:float -> string -> string -> bool
+(** Default threshold 0.6. *)
+
+val clusters :
+  ?threshold:float -> Tree.t -> (Tree.node * string * string) list list
+(** Greedy single-link clusters of (unit node, uri, text); singletons are
+    dropped. *)
+
+val run : ?threshold:float -> Tree.t -> unit
+
+val service : ?threshold:float -> unit -> Service.t
+
+val rules : string list

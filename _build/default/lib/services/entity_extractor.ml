@@ -1,0 +1,62 @@
+(* Heuristic named-entity recognition: gazetteer lookup first, then a
+   capitalization heuristic for unknown names (capitalized words that are
+   not sentence-initial).  Entities land in an Annotation as Entity
+   elements with a @type. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+(* The gazetteer lookup is case-insensitive: normalized text is
+   lowercased, so exact matching would miss every entity. *)
+let gazetteer_lookup w =
+  let wl = Textutil.lowercase w in
+  List.find_map
+    (fun (name, kind) ->
+      if String.equal (Textutil.lowercase name) wl then Some (name, kind)
+      else None)
+    Langdata.gazetteer
+
+let entities_of_text text =
+  let sentences = Textutil.sentences text in
+  let from_sentence s =
+    let words = Textutil.tokenize s in
+    List.mapi (fun i w -> (i, w)) words
+    |> List.filter_map (fun (i, w) ->
+           match gazetteer_lookup w with
+           | Some (canonical, kind) -> Some (canonical, kind)
+           | None ->
+             if i > 0 && Textutil.capitalized w && String.length w > 2 then
+               Some (w, "unknown")
+             else None)
+  in
+  List.concat_map from_sentence sentences |> List.sort_uniq compare
+
+let run doc =
+  List.iter
+    (fun unit ->
+      if not (Schema.has_annotation doc unit Schema.entity) then
+        match Schema.text_of_unit doc unit with
+        | Some (_, text) ->
+          let entities = entities_of_text text in
+          if entities <> [] then begin
+            let ann = Schema.new_resource doc ~parent:unit Schema.annotation in
+            List.iter
+              (fun (name, kind) ->
+                let e =
+                  Tree.new_element doc ~parent:ann Schema.entity
+                    ~attrs:[ ("type", kind) ]
+                in
+                ignore (Tree.new_text doc ~parent:e name))
+              entities
+          end
+        | None -> ())
+    (Schema.text_media_units doc)
+
+let service =
+  Service.inproc ~name:"EntityExtractor"
+    ~description:"extracts named entities from TextContent into Annotations"
+    run
+
+let rules =
+  [ "E1: //TextMediaUnit[$x := @id]/TextContent ==> \
+     //TextMediaUnit[$x := @id]/Annotation[Entity]" ]

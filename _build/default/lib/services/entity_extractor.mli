@@ -1,0 +1,16 @@
+(** Heuristic named-entity recognition: case-insensitive gazetteer lookup
+    (normalized text is lowercased) plus a capitalization heuristic for
+    unknown names.  Entities land in an Annotation as Entity elements with
+    a [@type] (person/organization/location/unknown). *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val entities_of_text : string -> (string * string) list
+(** (canonical name, kind) pairs, distinct. *)
+
+val run : Tree.t -> unit
+
+val service : Service.t
+
+val rules : string list

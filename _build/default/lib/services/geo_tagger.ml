@@ -1,0 +1,83 @@
+(* Geographic tagging: location entities found in TextContent are resolved
+   against a coordinates gazetteer and published as Annotation/Place
+   elements with @lat/@lon — downstream consumers (maps, region filters)
+   are a staple of media-mining front ends.
+
+   The tagger prefers to reuse the EntityExtractor's location annotations
+   when present (a genuine inter-service data dependency, captured by rule
+   G2); otherwise it scans the text itself. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let place = "Place"
+
+(* Coordinates for the gazetteer locations (degrees, rounded). *)
+let coordinates =
+  [ ("Paris", (48.85, 2.35)); ("London", (51.51, -0.13));
+    ("Berlin", (52.52, 13.41)); ("Madrid", (40.42, -3.70));
+    ("Geneva", (46.20, 6.14)); ("Brussels", (50.85, 4.35));
+    ("Washington", (38.91, -77.04)); ("Moscow", (55.76, 37.62));
+    ("France", (46.23, 2.21)); ("Germany", (51.17, 10.45));
+    ("Spain", (40.46, -3.75)); ("Europe", (54.53, 15.26)) ]
+
+let lookup name =
+  List.find_map
+    (fun (n, coords) ->
+      if String.lowercase_ascii n = String.lowercase_ascii name then Some (n, coords)
+      else None)
+    coordinates
+
+(* Location names present in a unit: from Entity annotations when the
+   extractor ran, from raw tokens otherwise. *)
+let locations_of_unit doc unit =
+  let from_entities =
+    Schema.annotations_with doc unit Schema.entity
+    |> List.concat_map (fun ann -> Schema.children_named doc ann Schema.entity)
+    |> List.filter (fun e -> Tree.attr doc e "type" = Some "location")
+    |> List.map (fun e -> Tree.string_value doc e)
+  in
+  if from_entities <> [] then from_entities
+  else
+    match Schema.text_of_unit doc unit with
+    | Some (_, text) ->
+      Textutil.tokenize text
+      |> List.filter (fun w -> lookup w <> None)
+    | None -> []
+
+let run doc =
+  List.iter
+    (fun unit ->
+      if not (Schema.has_annotation doc unit place) then begin
+        let places =
+          locations_of_unit doc unit
+          |> List.filter_map lookup
+          |> List.sort_uniq compare
+        in
+        if places <> [] then begin
+          let ann = Schema.new_resource doc ~parent:unit Schema.annotation in
+          List.iter
+            (fun (name, (lat, lon)) ->
+              let el =
+                Tree.new_element doc ~parent:ann place
+                  ~attrs:
+                    [ ("lat", Printf.sprintf "%.2f" lat);
+                      ("lon", Printf.sprintf "%.2f" lon) ]
+              in
+              ignore (Tree.new_text doc ~parent:el name))
+            places
+        end
+      end)
+    (Schema.text_media_units doc)
+
+let service =
+  Service.inproc ~name:"GeoTagger"
+    ~description:"resolves location mentions to coordinates" run
+
+(* G1: places come from the text; G2: and from the location entities when
+   the EntityExtractor ran first. *)
+let rules =
+  [ "G1: //TextMediaUnit[$x := @id]/TextContent ==> \
+     //TextMediaUnit[$x := @id]/Annotation[Place]";
+    "G2: //TextMediaUnit[$x := @id]/Annotation[Entity] ==> \
+     //TextMediaUnit[$x := @id]/Annotation[Place]" ]

@@ -1,0 +1,20 @@
+(** Geographic tagging: location mentions resolved against a coordinates
+    gazetteer into Annotation/Place elements with [@lat]/[@lon].  Reuses
+    the EntityExtractor's location annotations when present (the
+    inter-service dependency of rule G2); falls back to scanning the text
+    otherwise. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val lookup : string -> (string * (float * float)) option
+(** Case-insensitive gazetteer lookup: canonical name and (lat, lon). *)
+
+val locations_of_unit : Tree.t -> Tree.node -> string list
+
+val run : Tree.t -> unit
+
+val service : Service.t
+
+val rules : string list
+(** G1 (from the text) and G2 (from the entity annotations). *)

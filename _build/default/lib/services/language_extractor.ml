@@ -1,0 +1,60 @@
+(* Language identification (the LanguageExtractor of Figure 1).
+
+   Scoring combines stopword hits (strong signal on real sentences) with
+   letter-frequency similarity to reference profiles (fallback for short
+   or unusual text).  The detected code is stored as
+   Annotation/Language under the TextMediaUnit. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let stopword_score words lang =
+  let sw = Langdata.stopwords lang in
+  let hits = List.length (List.filter (fun w -> List.mem w sw) words) in
+  if words = [] then 0.0
+  else float_of_int hits /. float_of_int (List.length words)
+
+let frequency_score text lang =
+  let profile = Array.map (fun p -> p /. 100.0) (Langdata.letter_profile lang) in
+  Textutil.cosine (Textutil.letter_frequencies text) profile
+
+let detect text =
+  let words = List.map Textutil.lowercase (Textutil.tokenize text) in
+  let best =
+    List.fold_left
+      (fun (best_lang, best_score) lang ->
+        let score =
+          (3.0 *. stopword_score words lang) +. frequency_score text lang
+        in
+        if score > best_score then (lang, score) else (best_lang, best_score))
+      (Langdata.En, neg_infinity)
+      Langdata.all_languages
+  in
+  fst best
+
+let run doc =
+  List.iter
+    (fun unit ->
+      if not (Schema.has_annotation doc unit Schema.language) then
+        match Schema.text_of_unit doc unit with
+        | Some (_, text) when String.trim text <> "" ->
+          let lang = detect text in
+          let ann =
+            Schema.new_resource doc ~parent:unit Schema.annotation
+          in
+          let l = Tree.new_element doc ~parent:ann Schema.language in
+          ignore (Tree.new_text doc ~parent:l (Langdata.code lang))
+        | Some _ | None -> ())
+    (Schema.text_media_units doc)
+
+let service =
+  Service.inproc ~name:"LanguageExtractor"
+    ~description:"detects the language of TextContent and stores it as an \
+                  Annotation"
+    run
+
+(* M2 of Figure 3: the annotation depends on the sibling TextContent of
+   the same TextMediaUnit. *)
+let rules =
+  [ "L1: //TextMediaUnit[$x := @id]/TextContent ==> \
+     //TextMediaUnit[$x := @id]/Annotation[Language]" ]

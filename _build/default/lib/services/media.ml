@@ -1,0 +1,74 @@
+(* Simulated non-text media services.
+
+   The real WebLab runs OCR and speech-to-text engines on binary payloads;
+   neither proprietary engines nor media corpora are available here, so the
+   simulation stores the "latent" text of an image or audio unit in a
+   @latent attribute and the services recover it with characteristic
+   degradations (OCR confuses glyph pairs, ASR drops short words).  What
+   matters for provenance is preserved exactly: a black-box service reads
+   one identified fragment and appends a derived TextMediaUnit. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let latent_attr = "latent"
+
+(* Classic OCR confusion pairs applied with a deterministic pattern. *)
+let ocr_noise text =
+  String.mapi
+    (fun i c ->
+      if i mod 17 = 13 then
+        match c with
+        | 'l' -> '1'
+        | 'o' -> '0'
+        | 'e' -> 'c'
+        | 'm' -> 'n'
+        | c -> c
+      else c)
+    text
+
+(* ASR drops words of length <= 2 (mumbled function words). *)
+let asr_noise text =
+  Textutil.tokenize text
+  |> List.filter (fun w -> String.length w > 2)
+  |> String.concat " "
+
+let recover ~unit_name ~noise doc =
+  let root = Tree.root doc in
+  let claimed =
+    Schema.text_media_units doc
+    |> List.filter_map (fun u -> Tree.attr doc u Schema.src_attr)
+  in
+  Schema.elements doc unit_name
+  |> List.filter (fun n ->
+         match Tree.uri doc n with
+         | Some u -> not (List.mem u claimed)
+         | None -> true)
+  |> List.iter (fun media ->
+         match Tree.attr doc media latent_attr with
+         | Some latent ->
+           Schema.ensure_resource doc media;
+           let src = Option.get (Tree.uri doc media) in
+           let out =
+             Schema.new_resource doc ~parent:root Schema.text_media_unit
+               ~attrs:[ (Schema.src_attr, src) ]
+           in
+           let content = Schema.new_resource doc ~parent:out Schema.text_content in
+           ignore (Tree.new_text doc ~parent:content (noise latent))
+         | None -> ())
+
+let ocr_service =
+  Service.inproc ~name:"OcrService"
+    ~description:"recovers text from ImageMediaUnits (simulated OCR)"
+    (recover ~unit_name:Schema.image_media_unit ~noise:ocr_noise)
+
+let asr_service =
+  Service.inproc ~name:"SpeechToText"
+    ~description:"recovers text from AudioMediaUnits (simulated ASR)"
+    (recover ~unit_name:Schema.audio_media_unit ~noise:asr_noise)
+
+let ocr_rules =
+  [ "O1: //ImageMediaUnit[$x := @id] ==> //TextMediaUnit[$x := @src]" ]
+
+let asr_rules =
+  [ "A1: //AudioMediaUnit[$x := @id] ==> //TextMediaUnit[$x := @src]" ]

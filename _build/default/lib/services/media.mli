@@ -1,0 +1,28 @@
+(** Simulated non-text media services.
+
+    The real WebLab runs OCR and speech-to-text engines on binary
+    payloads; neither proprietary engines nor media corpora are available,
+    so the simulation stores the "latent" text of an image or audio unit
+    in a [@latent] attribute and the services recover it with
+    characteristic degradations (OCR confuses glyph pairs, ASR drops short
+    words).  What matters for provenance is preserved exactly: a black-box
+    service reads one identified fragment and appends a derived
+    TextMediaUnit with a [@src] back-pointer. *)
+
+open Weblab_workflow
+
+val latent_attr : string
+
+val ocr_noise : string -> string
+(** Deterministic glyph confusions (l→1, o→0, e→c, m→n). *)
+
+val asr_noise : string -> string
+(** Drops words of length ≤ 2. *)
+
+val ocr_service : Service.t
+
+val asr_service : Service.t
+
+val ocr_rules : string list
+
+val asr_rules : string list

@@ -1,0 +1,28 @@
+(** The Normaliser of Figure 1: turns each raw NativeContent into a clean
+    TextMediaUnit/TextContent fragment (markup stripped, whitespace
+    collapsed, lowercased).  The source NativeContent is promoted to a
+    resource — the node-3-to-r3 promotion of Figure 4 — and the produced
+    unit points back to it through [@src]. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val normalize : string -> string
+(** Strip markup, collapse whitespace, lowercase. *)
+
+val pending : Tree.t -> Tree.node list
+(** NativeContent nodes no TextMediaUnit claims yet (makes the service
+    idempotent). *)
+
+val run : Tree.t -> unit
+
+val service : Service.t
+(** The in-process integration. *)
+
+val blackbox_service : Service.t
+(** The same service as a true black box (serialized XML in/out); its
+    outputs are identified by the Recorder's XML diff.  Produces the same
+    provenance as {!service} (tested). *)
+
+val rules : string list
+(** M(Normaliser). *)

@@ -1,0 +1,55 @@
+(** The WebLab document vocabulary used by the service catalog, plus
+    shared navigation helpers.  Element names follow Figure 1 of the
+    paper. *)
+
+open Weblab_xml
+
+(** {1 Element names} *)
+
+val resource : string
+val media_unit : string
+val native_content : string
+val image_media_unit : string
+val audio_media_unit : string
+val text_media_unit : string
+val text_content : string
+val annotation : string
+val language : string
+val tokens : string
+val entity : string
+val sentiment : string
+
+val src_attr : string
+(** The attribute linking a derived TextMediaUnit to the unit or content
+    it was computed from — set by services, exploited by mapping rules. *)
+
+(** {1 Navigation} *)
+
+val elements : Tree.t -> string -> Tree.node list
+(** All elements with the given name, document order. *)
+
+val child_named : Tree.t -> Tree.node -> string -> Tree.node option
+
+val children_named : Tree.t -> Tree.node -> string -> Tree.node list
+
+val text_media_units : Tree.t -> Tree.node list
+
+val text_of_unit : Tree.t -> Tree.node -> (Tree.node * string) option
+(** The TextContent child of a unit and its string value. *)
+
+val annotations_with : Tree.t -> Tree.node -> string -> Tree.node list
+(** The unit's Annotation children containing the given element. *)
+
+val has_annotation : Tree.t -> Tree.node -> string -> bool
+
+val language_of_unit : Tree.t -> Tree.node -> string option
+(** The Annotation/Language value, if present. *)
+
+(** {1 Resource helpers} *)
+
+val ensure_resource : Tree.t -> Tree.node -> unit
+(** Promote the node to a resource (fresh URI) if it is not one yet. *)
+
+val new_resource :
+  ?attrs:(string * string) list -> Tree.t -> parent:Tree.node -> string -> Tree.node
+(** A new resource element appended under [parent]. *)

@@ -1,0 +1,42 @@
+(* Lexicon-based sentiment scoring of TextContent (meant to run on English
+   text, e.g. after translation).  The polarity score and its sign land in
+   an Annotation/Sentiment element. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let score text =
+  Textutil.tokenize text
+  |> List.map Textutil.lowercase
+  |> List.fold_left
+       (fun acc w ->
+         match List.assoc_opt w Langdata.sentiment_lexicon with
+         | Some s -> acc + s
+         | None -> acc)
+       0
+
+let polarity s = if s > 0 then "positive" else if s < 0 then "negative" else "neutral"
+
+let run doc =
+  List.iter
+    (fun unit ->
+      if not (Schema.has_annotation doc unit Schema.sentiment) then
+        match Schema.text_of_unit doc unit with
+        | Some (_, text) ->
+          let s = score text in
+          let ann = Schema.new_resource doc ~parent:unit Schema.annotation in
+          let el =
+            Tree.new_element doc ~parent:ann Schema.sentiment
+              ~attrs:[ ("score", string_of_int s) ]
+          in
+          ignore (Tree.new_text doc ~parent:el (polarity s))
+        | None -> ())
+    (Schema.text_media_units doc)
+
+let service =
+  Service.inproc ~name:"SentimentAnalyzer"
+    ~description:"scores the polarity of TextContent into an Annotation" run
+
+let rules =
+  [ "P1: //TextMediaUnit[$x := @id]/TextContent ==> \
+     //TextMediaUnit[$x := @id]/Annotation[Sentiment]" ]

@@ -1,0 +1,18 @@
+(** Lexicon-based sentiment scoring of TextContent (meant for English,
+    e.g. after translation): an Annotation/Sentiment element with the
+    polarity score. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val score : string -> int
+(** Sum of the lexicon polarities of the (lowercased) tokens. *)
+
+val polarity : int -> string
+(** ["positive"], ["negative"] or ["neutral"]. *)
+
+val run : Tree.t -> unit
+
+val service : Service.t
+
+val rules : string list

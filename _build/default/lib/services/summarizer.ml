@@ -1,0 +1,49 @@
+(* Extractive summarization: the leading sentences of each TextContent,
+   published as a new TextMediaUnit with @kind="summary". *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let summarize ?(sentences = 2) text =
+  Textutil.sentences text
+  |> List.filteri (fun i _ -> i < sentences)
+  |> String.concat " "
+
+let pending doc =
+  let summarized =
+    Schema.text_media_units doc
+    |> List.filter (fun u -> Tree.attr doc u "kind" = Some "summary")
+    |> List.filter_map (fun u -> Tree.attr doc u Schema.src_attr)
+  in
+  Schema.text_media_units doc
+  |> List.filter (fun u ->
+         Tree.attr doc u "kind" <> Some "summary"
+         &&
+         match Tree.uri doc u with
+         | Some uri -> not (List.mem uri summarized)
+         | None -> false)
+
+let run ?sentences doc =
+  let root = Tree.root doc in
+  List.iter
+    (fun unit ->
+      match Schema.text_of_unit doc unit with
+      | Some (_, text) when String.trim text <> "" ->
+        let uri = Option.get (Tree.uri doc unit) in
+        let out =
+          Schema.new_resource doc ~parent:root Schema.text_media_unit
+            ~attrs:[ (Schema.src_attr, uri); ("kind", "summary") ]
+        in
+        let content = Schema.new_resource doc ~parent:out Schema.text_content in
+        ignore (Tree.new_text doc ~parent:content (summarize ?sentences text))
+      | Some _ | None -> ())
+    (pending doc)
+
+let service ?sentences () =
+  Service.inproc ~name:"Summarizer"
+    ~description:"produces summary TextMediaUnits from TextContent"
+    (run ?sentences)
+
+let rules =
+  [ "S1: //TextMediaUnit[$x := @id]/TextContent ==> \
+     //TextMediaUnit[$x := @src][@kind = 'summary']" ]

@@ -1,0 +1,17 @@
+(** Extractive summarization: the leading sentences of each TextContent,
+    published as a new TextMediaUnit with [@kind="summary"] and a [@src]
+    back-pointer. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val summarize : ?sentences:int -> string -> string
+(** The first [sentences] (default 2) sentences. *)
+
+val pending : Tree.t -> Tree.node list
+
+val run : ?sentences:int -> Tree.t -> unit
+
+val service : ?sentences:int -> unit -> Service.t
+
+val rules : string list

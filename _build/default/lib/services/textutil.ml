@@ -1,0 +1,99 @@
+(* Shared text-processing helpers for the simulated media-mining services. *)
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+(* Bytes ≥ 0x80 are UTF-8 lead/continuation bytes of accented letters. *)
+let is_word_char c =
+  is_letter c || (c >= '0' && c <= '9') || c = '\'' || Char.code c >= 128
+
+(* Words of a text, in order, punctuation stripped. *)
+let tokenize text =
+  let n = String.length text in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else if is_word_char text.[i] then begin
+      let rec stop j = if j < n && is_word_char text.[j] then stop (j + 1) else j in
+      let j = stop i in
+      loop j (String.sub text i (j - i) :: acc)
+    end
+    else loop (i + 1) acc
+  in
+  loop 0 []
+
+let lowercase = String.lowercase_ascii
+
+(* Sentence segmentation on ./!/? followed by whitespace (or end). *)
+let sentences text =
+  let n = String.length text in
+  let out = ref [] in
+  let start = ref 0 in
+  let flush stop =
+    let s = String.trim (String.sub text !start (stop - !start)) in
+    if s <> "" then out := s :: !out;
+    start := stop
+  in
+  String.iteri
+    (fun i c ->
+      if (c = '.' || c = '!' || c = '?') && (i + 1 >= n || text.[i + 1] = ' '
+                                             || text.[i + 1] = '\n')
+      then flush (i + 1))
+    text;
+  flush n;
+  List.rev !out
+
+(* Collapse runs of whitespace into single spaces. *)
+let normalize_whitespace text =
+  let buf = Buffer.create (String.length text) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then pending := true
+      else begin
+        if !pending && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf c
+      end)
+    text;
+  Buffer.contents buf
+
+(* Remove HTML/XML-ish markup, scripts excluded wholesale. *)
+let strip_markup text =
+  let buf = Buffer.create (String.length text) in
+  let in_tag = ref false in
+  String.iter
+    (fun c ->
+      if c = '<' then in_tag := true
+      else if c = '>' then begin
+        in_tag := false;
+        Buffer.add_char buf ' '
+      end
+      else if not !in_tag then Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let capitalized w = String.length w > 0 && w.[0] >= 'A' && w.[0] <= 'Z'
+
+(* Letter frequency histogram (a..z), normalized. *)
+let letter_frequencies text =
+  let counts = Array.make 26 0 in
+  let total = ref 0 in
+  String.iter
+    (fun c ->
+      let c = Char.lowercase_ascii c in
+      if c >= 'a' && c <= 'z' then begin
+        counts.(Char.code c - Char.code 'a') <- counts.(Char.code c - Char.code 'a') + 1;
+        incr total
+      end)
+    text;
+  if !total = 0 then Array.make 26 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int !total) counts
+
+let cosine a b =
+  let dot = ref 0.0 and na = ref 0.0 and nb = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      dot := !dot +. (x *. b.(i));
+      na := !na +. (x *. x);
+      nb := !nb +. (b.(i) *. b.(i)))
+    a;
+  if !na = 0.0 || !nb = 0.0 then 0.0 else !dot /. sqrt (!na *. !nb)

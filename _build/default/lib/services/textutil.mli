@@ -1,0 +1,28 @@
+(** Shared text-processing helpers for the simulated media-mining
+    services.  Tokenization treats bytes ≥ 0x80 as word characters, so
+    accented (UTF-8) words stay whole. *)
+
+val is_letter : char -> bool
+
+val is_word_char : char -> bool
+
+val tokenize : string -> string list
+(** Words in order, punctuation stripped. *)
+
+val lowercase : string -> string
+
+val sentences : string -> string list
+(** Segmentation on [./!/?] followed by whitespace or end of input. *)
+
+val normalize_whitespace : string -> string
+(** Collapse whitespace runs into single spaces; trim. *)
+
+val strip_markup : string -> string
+(** Remove HTML/XML-ish tags (replaced by spaces). *)
+
+val capitalized : string -> bool
+
+val letter_frequencies : string -> float array
+(** Normalized a..z histogram (all zeros for letterless input). *)
+
+val cosine : float array -> float array -> float

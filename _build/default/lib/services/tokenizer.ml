@@ -1,0 +1,32 @@
+(* Tokenization statistics: an Annotation/Tokens element recording token
+   and distinct-token counts of each TextContent. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let run doc =
+  List.iter
+    (fun unit ->
+      if not (Schema.has_annotation doc unit Schema.tokens) then
+        match Schema.text_of_unit doc unit with
+        | Some (_, text) ->
+          let words = Textutil.tokenize text in
+          let distinct =
+            List.sort_uniq String.compare (List.map Textutil.lowercase words)
+          in
+          let ann = Schema.new_resource doc ~parent:unit Schema.annotation in
+          ignore
+            (Tree.new_element doc ~parent:ann Schema.tokens
+               ~attrs:
+                 [ ("count", string_of_int (List.length words));
+                   ("distinct", string_of_int (List.length distinct)) ])
+        | None -> ())
+    (Schema.text_media_units doc)
+
+let service =
+  Service.inproc ~name:"Tokenizer"
+    ~description:"counts tokens of each TextContent into an Annotation" run
+
+let rules =
+  [ "K1: //TextMediaUnit[$x := @id]/TextContent ==> \
+     //TextMediaUnit[$x := @id]/Annotation[Tokens]" ]

@@ -1,0 +1,11 @@
+(** Tokenization statistics: an Annotation/Tokens element with token and
+    distinct-token counts for each TextContent. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val run : Tree.t -> unit
+
+val service : Service.t
+
+val rules : string list

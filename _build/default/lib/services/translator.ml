@@ -1,0 +1,73 @@
+(* Dictionary-based translation (the Translator of Figure 1).
+
+   For every TextMediaUnit whose detected language differs from the
+   target, a new TextMediaUnit is appended with the word-by-word
+   translation and a Language annotation for the target language.  The
+   new unit records its origin in @src — and it also consumed the
+   language annotation, which rule T2 captures. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let translate_words lexicon words =
+  List.map
+    (fun w ->
+      match List.assoc_opt (Textutil.lowercase w) lexicon with
+      | Some w' -> w'
+      | None -> w)
+    words
+
+let translate ~source_lang text =
+  let lexicon = Langdata.to_english source_lang in
+  String.concat " " (translate_words lexicon (Textutil.tokenize text))
+
+(* Units to translate: language known, not the target, not already
+   translated (no unit with @src pointing at them and a target-language
+   annotation), and not themselves produced by translation. *)
+let pending ~target doc =
+  let translated_srcs =
+    Schema.text_media_units doc
+    |> List.filter (fun u -> Schema.language_of_unit doc u = Some (Langdata.code target))
+    |> List.filter_map (fun u -> Tree.attr doc u Schema.src_attr)
+  in
+  Schema.text_media_units doc
+  |> List.filter (fun u ->
+         match Schema.language_of_unit doc u, Tree.uri doc u with
+         | Some code, Some uri ->
+           code <> Langdata.code target
+           && Langdata.of_code code <> None
+           && not (List.mem uri translated_srcs)
+         | _ -> false)
+
+let run ~target doc =
+  let root = Tree.root doc in
+  List.iter
+    (fun unit ->
+      match Schema.text_of_unit doc unit, Schema.language_of_unit doc unit with
+      | Some (_, text), Some code ->
+        let source_lang = Option.get (Langdata.of_code code) in
+        let uri = Option.get (Tree.uri doc unit) in
+        let out =
+          Schema.new_resource doc ~parent:root Schema.text_media_unit
+            ~attrs:[ (Schema.src_attr, uri) ]
+        in
+        let content = Schema.new_resource doc ~parent:out Schema.text_content in
+        ignore (Tree.new_text doc ~parent:content (translate ~source_lang text));
+        let ann = Schema.new_resource doc ~parent:out Schema.annotation in
+        let l = Tree.new_element doc ~parent:ann Schema.language in
+        ignore (Tree.new_text doc ~parent:l (Langdata.code target))
+      | _ -> ())
+    (pending ~target doc)
+
+let service ?(target = Langdata.En) () =
+  Service.inproc ~name:"Translator"
+    ~description:
+      (Printf.sprintf "translates TextMediaUnits into %s" (Langdata.code target))
+    (run ~target)
+
+(* T1: the translation depends on the source unit's text; T2: it also
+   depends on the language annotation that routed it. *)
+let rules =
+  [ "T1: //TextMediaUnit[$x := @id]/TextContent ==> //TextMediaUnit[$x := @src]";
+    "T2: //TextMediaUnit[$x := @id]/Annotation[Language] ==> \
+     //TextMediaUnit[$x := @src]" ]

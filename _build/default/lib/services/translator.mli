@@ -1,0 +1,24 @@
+(** Dictionary-based translation — the Translator of Figure 1.  Each
+    TextMediaUnit whose detected language differs from the target gets an
+    English twin with a Language annotation; the twin records its origin
+    in [@src]. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val translate : source_lang:Langdata.language -> string -> string
+(** Word-by-word through the embedded lexicon; unknown words pass
+    through. *)
+
+val pending : target:Langdata.language -> Tree.t -> Tree.node list
+(** Units still to translate: language known and ≠ target, not already
+    translated. *)
+
+val run : target:Langdata.language -> Tree.t -> unit
+
+val service : ?target:Langdata.language -> unit -> Service.t
+(** Default target: English. *)
+
+val rules : string list
+(** T1 (depends on the source text) and T2 (depends on the language
+    annotation that routed the unit). *)

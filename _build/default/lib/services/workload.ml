@@ -1,0 +1,66 @@
+(* Synthetic workload generation for tests and benchmarks: initial
+   documents with a configurable number of media units, and standard
+   service pipelines of configurable length. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+(* An initial document: a Resource root holding [units] MediaUnits, each
+   with one NativeContent of raw multilingual "web" text, plus optionally
+   image/audio units carrying latent text. *)
+let make_document ?(units = 3) ?(images = 0) ?(audios = 0) ?(sentences = 3)
+    ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let doc = Orchestrator.initial_document () in
+  let root = Tree.root doc in
+  for i = 1 to units do
+    let mu =
+      Tree.new_element doc ~parent:root Schema.media_unit
+        ~attrs:[ ("nr", string_of_int i) ]
+    in
+    Tree.set_uri doc mu (Printf.sprintf "mu%d" i);
+    let lang = Corpus.random_language rng in
+    let nc = Tree.new_element doc ~parent:mu Schema.native_content in
+    ignore (Tree.new_text doc ~parent:nc (Corpus.html ~sentences rng lang))
+  done;
+  for i = 1 to images do
+    let lang = Corpus.random_language rng in
+    ignore
+      (Tree.new_element doc ~parent:root Schema.image_media_unit
+         ~attrs:
+           [ ("nr", string_of_int i);
+             (Media.latent_attr, Corpus.text ~sentences rng lang) ])
+  done;
+  for i = 1 to audios do
+    let lang = Corpus.random_language rng in
+    ignore
+      (Tree.new_element doc ~parent:root Schema.audio_media_unit
+         ~attrs:
+           [ ("nr", string_of_int i);
+             (Media.latent_attr, Corpus.text ~sentences rng lang) ])
+  done;
+  doc
+
+(* The canonical media-mining pipeline of the paper's motivating use case,
+   optionally extended with the downstream analytics services. *)
+let standard_pipeline ?(extended = false) () =
+  let base =
+    [ Normaliser.service; Language_extractor.service; Translator.service () ]
+  in
+  if extended then
+    base
+    @ [ Tokenizer.service; Entity_extractor.service; Summarizer.service ();
+        Sentiment.service ]
+  else base
+
+(* A pipeline of [n] calls cycling through the standard services —
+   idempotent services simply find nothing new to do on later rounds
+   unless new inputs appeared, so longer chains stay meaningful by
+   re-normalising newly produced units (translation/summaries). *)
+let chain_pipeline n =
+  let cycle =
+    [ Normaliser.service; Language_extractor.service; Translator.service ();
+      Tokenizer.service; Entity_extractor.service; Summarizer.service ();
+      Sentiment.service; Classifier.service; Geo_tagger.service ]
+  in
+  List.init n (fun i -> List.nth cycle (i mod List.length cycle))

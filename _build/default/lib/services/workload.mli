@@ -1,0 +1,26 @@
+(** Synthetic workload generation for tests and benchmarks: seeded
+    multilingual documents and standard service pipelines. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val make_document :
+  ?units:int ->
+  ?images:int ->
+  ?audios:int ->
+  ?sentences:int ->
+  seed:int ->
+  unit ->
+  Tree.t
+(** An initial document: a Resource root with [units] MediaUnits of raw
+    multilingual "web" text (defaults: 3 units, 3 sentences each), plus
+    optional image/audio units carrying latent text for the OCR/ASR
+    simulators.  Deterministic in [seed]. *)
+
+val standard_pipeline : ?extended:bool -> unit -> Service.t list
+(** Normaliser → LanguageExtractor → Translator; [extended] appends
+    Tokenizer, EntityExtractor, Summarizer and SentimentAnalyzer. *)
+
+val chain_pipeline : int -> Service.t list
+(** A pipeline of [n] calls cycling through the catalog services —
+    used for workflow-length scaling experiments. *)

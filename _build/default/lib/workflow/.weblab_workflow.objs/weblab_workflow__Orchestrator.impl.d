@@ -1,0 +1,1 @@
+lib/workflow/orchestrator.ml: Array Diff Doc_state Hashtbl List Logs Printer Printf Service String Trace Tree Weblab_xml Xml_parser

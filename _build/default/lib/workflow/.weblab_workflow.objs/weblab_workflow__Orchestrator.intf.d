@@ -1,0 +1,1 @@
+lib/workflow/orchestrator.mli: Doc_state Service Trace Tree Weblab_xml

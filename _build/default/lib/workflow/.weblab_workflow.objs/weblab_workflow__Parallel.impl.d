@@ -1,0 +1,1 @@
+lib/workflow/parallel.ml: Array Doc_state Hashtbl List Orchestrator Printf Queue Service Trace Tree Weblab_xml

@@ -1,0 +1,1 @@
+lib/workflow/parallel.mli: Doc_state Hashtbl Service Trace Tree Weblab_xml

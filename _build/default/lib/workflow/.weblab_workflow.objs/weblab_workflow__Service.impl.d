@@ -1,0 +1,1 @@
+lib/workflow/service.ml: Tree Weblab_xml

@@ -1,0 +1,1 @@
+lib/workflow/service.mli: Tree Weblab_xml

@@ -1,0 +1,1 @@
+lib/workflow/trace.ml: Buffer List Option Printf String Tree Weblab_xml

@@ -1,0 +1,1 @@
+lib/workflow/trace.mli: Tree Weblab_xml

@@ -1,0 +1,1 @@
+lib/workflow/wf_parser.ml: List Parallel Printf Service String

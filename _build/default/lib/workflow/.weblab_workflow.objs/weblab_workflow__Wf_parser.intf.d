@@ -1,0 +1,1 @@
+lib/workflow/wf_parser.mli: Parallel Service

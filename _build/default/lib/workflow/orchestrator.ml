@@ -1,0 +1,212 @@
+open Weblab_xml
+
+exception Append_violation of string
+
+exception Duplicate_uri of string
+
+let log = Logs.Src.create "weblab.orchestrator" ~doc:"WebLab workflow orchestrator"
+
+module Log = (val Logs.src_log log)
+
+let initial_document ?(root_name = "Resource") ?(root_uri = "r1") () =
+  let doc = Tree.create () in
+  let root = Tree.new_element doc ~parent:Tree.no_node root_name in
+  Tree.set_uri doc root root_uri;
+  doc
+
+let fresh_uri doc =
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun n -> match Tree.uri doc n with Some u -> Hashtbl.replace used u () | None -> ())
+    (Tree.resources doc);
+  let rec next k =
+    let u = Printf.sprintf "r%d" k in
+    if Hashtbl.mem used u then next (k + 1) else u
+  in
+  next (Tree.size doc)
+
+let check_unique_uris doc =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      match Tree.uri doc n with
+      | Some u ->
+        if Hashtbl.mem seen u then raise (Duplicate_uri u);
+        Hashtbl.add seen u ()
+      | None -> ())
+    (Tree.resources doc)
+
+(* Fingerprints of committed nodes, used to verify that in-process services
+   only append.  Only URI promotion (adding an "id" to a node that had
+   none) is tolerated as a change. *)
+type fingerprint = {
+  f_name : string;
+  f_text : string;
+  f_attrs : (string * string) list;
+  f_parent : Tree.node;
+  f_children : Tree.node list;
+}
+
+let fingerprint doc n =
+  {
+    f_name = Tree.name doc n;
+    f_text = Tree.text doc n;
+    f_attrs = Tree.attrs doc n;
+    f_parent = Tree.parent doc n;
+    f_children = Tree.children doc n;
+  }
+
+let check_fingerprint doc n fp =
+  let fail what =
+    raise
+      (Append_violation
+         (Printf.sprintf "service modified committed node %d (%s)" n what))
+  in
+  if not (String.equal fp.f_name (Tree.name doc n)) then fail "element name";
+  if not (String.equal fp.f_text (Tree.text doc n)) then fail "text content";
+  if fp.f_parent <> Tree.parent doc n then fail "parent";
+  let kids = Tree.children doc n in
+  let rec prefix old cur =
+    match old, cur with
+    | [], _ -> ()
+    | o :: old', c :: cur' -> if o = c then prefix old' cur' else fail "child order"
+    | _ :: _, [] -> fail "children removed"
+  in
+  prefix fp.f_children kids;
+  (* Attributes: removal and modification are violations; adding "id"
+     (resource promotion) is allowed, other additions are not. *)
+  List.iter
+    (fun (k, v) ->
+      match Tree.attr doc n k with
+      | Some v' when String.equal v v' -> ()
+      | Some _ -> fail (Printf.sprintf "attribute %s changed" k)
+      | None -> fail (Printf.sprintf "attribute %s removed" k))
+    fp.f_attrs;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k fp.f_attrs) && not (String.equal k "id") then
+        fail (Printf.sprintf "attribute %s added to committed node" k))
+    (Tree.attrs doc n)
+
+let run_inproc doc f =
+  let old_size = Tree.size doc in
+  let fps = Array.init old_size (fun n -> fingerprint doc n) in
+  f doc;
+  for n = 0 to old_size - 1 do
+    check_fingerprint doc n fps.(n)
+  done;
+  (* New nodes are exactly the arena tail. *)
+  List.init (Tree.size doc - old_size) (fun i -> old_size + i)
+
+let run_blackbox doc f =
+  let input = Printer.to_string doc in
+  let output = f input in
+  let new_doc =
+    try Xml_parser.parse output
+    with Xml_parser.Error _ as e ->
+      raise (Append_violation ("service returned unparsable XML: "
+                               ^ Xml_parser.error_to_string e))
+  in
+  let result =
+    try Diff.diff ~old_doc:doc ~new_doc
+    with Diff.Not_contained msg -> raise (Append_violation msg)
+  in
+  (* new-document node -> arena node, for matched pairs *)
+  let to_arena = Hashtbl.create 64 in
+  List.iter
+    (fun (old_n, new_n) -> Hashtbl.replace to_arena new_n old_n)
+    result.matched;
+  (* Adopt URI promotions on matched nodes. *)
+  List.iter
+    (fun (old_n, new_n) ->
+      if Tree.is_element doc old_n then
+        match Tree.uri doc old_n, Tree.uri new_doc new_n with
+        | None, Some u -> Tree.set_uri doc old_n u
+        | _ -> ())
+    result.matched;
+  let old_size = Tree.size doc in
+  List.iter
+    (fun { Diff.new_node; parent_in_new } ->
+      let parent =
+        if parent_in_new = Tree.no_node then Tree.no_node
+        else
+          match Hashtbl.find_opt to_arena parent_in_new with
+          | Some p -> p
+          | None ->
+            raise
+              (Append_violation
+                 "internal: added fragment attached to an unmatched parent")
+      in
+      ignore (Tree.copy_subtree doc ~src:new_doc new_node ~parent))
+    result.added;
+  List.init (Tree.size doc - old_size) (fun i -> old_size + i)
+
+let execute ?(on_step = fun _ _ _ -> ()) doc services =
+  if not (Tree.has_root doc) then
+    invalid_arg "Orchestrator.execute: the document needs a root";
+  let trace = Trace.create () in
+  let service_of_time = Hashtbl.create 16 in
+  Hashtbl.replace service_of_time 0 "Source";
+  (* The root is always a resource (Definition 1). *)
+  if Tree.uri doc (Tree.root doc) = None then
+    Tree.set_uri doc (Tree.root doc) (fresh_uri doc);
+  check_unique_uris doc;
+  let labeled = Hashtbl.create 64 in
+  (* Label all resources that still lack a service-call label, attributing
+     them to the call active at their creation timestamp (this covers both
+     fresh resources and nodes promoted to resources by a later call, as
+     node 3 of Figure 4 is). *)
+  let label_resources ~now =
+    List.iter
+      (fun n ->
+        if not (Hashtbl.mem labeled n) then begin
+          Hashtbl.add labeled n ();
+          (* A node older than the current call was just promoted. *)
+          Tree.set_uri_time doc n
+            (if Tree.created doc n < now then now else Tree.created doc n);
+          let time = Tree.created doc n in
+          let service =
+            match Hashtbl.find_opt service_of_time time with
+            | Some s -> s
+            | None -> "Source"
+          in
+          if Tree.service_label doc n = None then
+            Tree.set_service_label doc n service time;
+          let call = { Trace.service; time } in
+          match Tree.uri doc n with
+          | Some uri -> Trace.add_entry trace { Trace.uri; node = n; call }
+          | None -> assert false
+        end)
+      (Tree.resources doc)
+  in
+  Trace.add_call trace { Trace.service = "Source"; time = 0 };
+  label_resources ~now:0;
+  List.iteri
+    (fun i service ->
+      let time = i + 1 in
+      let name = Service.name service in
+      Log.debug (fun m -> m "call %d: %s" time name);
+      Hashtbl.replace service_of_time time name;
+      let before = Doc_state.at doc (time - 1) in
+      let new_nodes =
+        match service.Service.impl with
+        | Service.Inproc f -> run_inproc doc f
+        | Service.Blackbox f -> run_blackbox doc f
+      in
+      List.iter (fun n -> Tree.set_created doc n time) new_nodes;
+      (* Give every added fragment root an identity: it is a new resource
+         of this call. *)
+      List.iter
+        (fun n ->
+          let p = Tree.parent doc n in
+          let is_fragment_root = p = Tree.no_node || Tree.created doc p < time in
+          if is_fragment_root && Tree.is_element doc n && Tree.uri doc n = None
+          then Tree.set_uri doc n (fresh_uri doc))
+        new_nodes;
+      check_unique_uris doc;
+      Trace.add_call trace { Trace.service = name; time };
+      label_resources ~now:time;
+      let after = Doc_state.at doc time in
+      on_step { Trace.service = name; time } before after)
+    services;
+  trace

@@ -1,0 +1,163 @@
+(* Parallel and nested workflow executions — the §8 extension.
+
+   The core model assumes sequential control flow, where "call c_i sees
+   everything produced before t_i" makes [@t < t] a sound source
+   constraint.  With parallel branches this breaks: two branches forked
+   from the same state run concurrently, so a call must NOT see (and its
+   provenance must not link to) resources produced by a {e sibling}
+   branch, even when those carry smaller timestamps.
+
+   Following the paper's suggestion ("adding additional meta-data for
+   identifying different control flow channels"), workflows are
+   series-parallel expressions; execution compiles them to a task DAG,
+   schedules the tasks breadth-first (interleaving parallel branches, so
+   timestamps alone would produce wrong provenance — which is the point),
+   and records for every call its happened-before set.  Provenance
+   inference then replaces the [t' < t] test by [t' ∈ before(t)]. *)
+
+open Weblab_xml
+
+type wf =
+  | Call of Service.t
+  | Seq of wf list
+  | Par of wf list
+  | Nested of string * wf
+      (* a named sub-workflow: behaves like its body, and the name is
+         recorded as a channel prefix on the resources it produces *)
+
+(* Flattened task graph. *)
+type task = {
+  id : int;
+  service : Service.t;
+  preds : int list;        (* direct happened-before predecessors *)
+  channel : string;        (* e.g. "/", "/par1.2/", "/sub/" *)
+}
+
+let compile (wf : wf) : task list =
+  let tasks = ref [] in
+  let fresh = ref 0 in
+  (* returns the exit task ids of the sub-expression *)
+  let rec go wf ~entry ~channel =
+    match wf with
+    | Call service ->
+      let id = !fresh in
+      incr fresh;
+      tasks := { id; service; preds = entry; channel } :: !tasks;
+      [ id ]
+    | Seq parts ->
+      List.fold_left (fun entry part -> go part ~entry ~channel) entry parts
+    | Par branches ->
+      List.concat
+        (List.mapi
+           (fun i branch ->
+             go branch ~entry ~channel:(Printf.sprintf "%spar%d/" channel (i + 1)))
+           branches)
+    | Nested (name, body) -> go body ~entry ~channel:(channel ^ name ^ "/")
+  in
+  ignore (go wf ~entry:[] ~channel:"/");
+  List.rev !tasks
+
+(* Transitive happened-before sets over task ids. *)
+let happened_before_sets (tasks : task list) : (int, unit) Hashtbl.t array =
+  let n = List.length tasks in
+  let sets = Array.init n (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace sets.(t.id) p ();
+          Hashtbl.iter (fun q () -> Hashtbl.replace sets.(t.id) q ()) sets.(p))
+        t.preds)
+    tasks;
+  sets
+
+(* Breadth-first (Kahn) schedule: parallel branches interleave. *)
+let schedule (tasks : task list) : task list =
+  let n = List.length tasks in
+  let by_id = Array.make n (List.hd tasks) in
+  List.iter (fun t -> by_id.(t.id) <- t) tasks;
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun t ->
+      indeg.(t.id) <- List.length t.preds;
+      List.iter (fun p -> succs.(p) <- t.id :: succs.(p)) t.preds)
+    tasks;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := by_id.(i) :: !order;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      (List.rev succs.(i))
+  done;
+  List.rev !order
+
+type execution = {
+  trace : Trace.t;
+  (* [before.(t)] = timestamps happened-before call at timestamp t (t ≥ 1). *)
+  before : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  channels : (int, string) Hashtbl.t;   (* timestamp -> channel *)
+}
+
+(* Does the call at [t'] happen before the call at [t]?  The initial state
+   (t' = 0) precedes everything. *)
+let happened_before exec t' t =
+  t' = 0
+  ||
+  match Hashtbl.find_opt exec.before t with
+  | Some set -> Hashtbl.mem set t'
+  | None -> false
+
+let channel_of exec t = Hashtbl.find_opt exec.channels t
+
+(* Execute a series-parallel workflow.  Calls get timestamps in schedule
+   order; every resource additionally carries its channel in @ch. *)
+let execute ?(on_step = fun _ _ _ -> ()) doc (wf : wf) : execution =
+  let tasks = compile wf in
+  if tasks = [] then
+    { trace = Orchestrator.execute doc [];
+      before = Hashtbl.create 1; channels = Hashtbl.create 1 }
+  else begin
+    let hb = happened_before_sets tasks in
+    let ordered = schedule tasks in
+    (* task id -> its position (= timestamp - 1) in the schedule *)
+    let time_of_task = Hashtbl.create 16 in
+    List.iteri (fun i t -> Hashtbl.replace time_of_task t.id (i + 1)) ordered;
+    let before = Hashtbl.create 16 in
+    let channels = Hashtbl.create 16 in
+    List.iter
+      (fun t ->
+        let time = Hashtbl.find time_of_task t.id in
+        let set = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun p () -> Hashtbl.replace set (Hashtbl.find time_of_task p) ())
+          hb.(t.id);
+        Hashtbl.replace before time set;
+        Hashtbl.replace channels time t.channel)
+      ordered;
+    (* Tag new resources with their channel as the step hook runs. *)
+    let tag_channel (call : Trace.call) _before_state after =
+      let doc = Doc_state.doc after in
+      (match Hashtbl.find_opt channels call.Trace.time with
+       | Some ch ->
+         List.iter
+           (fun n ->
+             if Tree.created doc n = call.Trace.time && Tree.is_resource doc n
+             then Tree.set_attr doc n "ch" ch)
+           (Doc_state.nodes after)
+       | None -> ())
+    in
+    let hook call b a =
+      tag_channel call b a;
+      on_step call b a
+    in
+    let trace =
+      Orchestrator.execute ~on_step:hook doc (List.map (fun t -> t.service) ordered)
+    in
+    { trace; before; channels }
+  end

@@ -1,0 +1,51 @@
+(** Parallel and nested workflow executions — the §8 extension.
+
+    The core model assumes sequential control flow, where "call c sees
+    everything produced before t" makes [@t < t] a sound source
+    constraint.  With parallel branches this breaks: branches forked from
+    the same state run concurrently, so a call must not see — and its
+    provenance must not link to — resources produced by a {e sibling}
+    branch, even when those carry smaller timestamps.
+
+    Following the paper's suggestion ("adding additional meta-data for
+    identifying different control flow channels"), workflows are
+    series-parallel expressions; execution compiles them to a task DAG,
+    schedules the tasks breadth-first ({e interleaving} parallel branches
+    — so timestamp order alone would produce wrong provenance, which is
+    the point), and records every call's happened-before set and channel.
+    Provenance inference then uses {!happened_before} instead of [<]
+    (see {!Weblab_prov.Engine.run_parallel}). *)
+
+open Weblab_xml
+
+type wf =
+  | Call of Service.t
+  | Seq of wf list
+  | Par of wf list
+  | Nested of string * wf
+      (** a named sub-workflow: behaves like its body; the name becomes a
+          channel segment on the resources it produces *)
+
+type execution = {
+  trace : Trace.t;
+  before : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** per timestamp, the timestamps that happened before it *)
+  channels : (int, string) Hashtbl.t;  (** timestamp → channel path *)
+}
+
+val execute :
+  ?on_step:(Trace.call -> Doc_state.t -> Doc_state.t -> unit) ->
+  Tree.t ->
+  wf ->
+  execution
+(** Execute the workflow.  Calls receive timestamps in schedule order;
+    every resource additionally carries its channel in [@ch]. *)
+
+val happened_before : execution -> int -> int -> bool
+(** [happened_before e t' t]: did the call at [t'] happen before the call
+    at [t] in the series-parallel order?  The initial state ([t' = 0])
+    precedes everything; the relation is irreflexive, and false for
+    concurrent (sibling-branch) calls. *)
+
+val channel_of : execution -> int -> string option
+(** The channel path of a call, e.g. ["/par1/image-branch/"]. *)

@@ -1,0 +1,33 @@
+(* Black-box services (§2): a service call receives the WebLab document and
+   extends it with new resources.  Two integration modes are offered:
+
+   - [Inproc]: the service works directly on the shared arena through the
+     {!Weblab_xml.Tree} API.  The orchestrator still verifies it only
+     appended (and at most promoted nodes to resources by adding an "id").
+   - [Blackbox]: the service is a function from serialized XML to
+     serialized XML — the faithful web-service picture.  The Recorder
+     parses the result, diffs it against the input (the paper's
+     "standard XML-diff service") and grafts the added fragments onto the
+     arena. *)
+
+open Weblab_xml
+
+type impl =
+  | Inproc of (Tree.t -> unit)
+  | Blackbox of (string -> string)
+
+type t = {
+  name : string;
+  description : string;
+  impl : impl;
+}
+
+let make ~name ~description impl = { name; description; impl }
+
+let inproc ~name ~description f = make ~name ~description (Inproc f)
+
+let blackbox ~name ~description f = make ~name ~description (Blackbox f)
+
+let name t = t.name
+
+let description t = t.description

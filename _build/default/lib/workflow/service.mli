@@ -1,0 +1,33 @@
+(** Black-box services (§2): a service call receives the WebLab document
+    and extends it with new resources — its implementation is never
+    inspected by the provenance machinery.
+
+    Two integration modes:
+    - [Inproc]: the service works directly on the shared arena through the
+      {!Weblab_xml.Tree} API; the orchestrator verifies it only appended
+      (and at most promoted nodes to resources).
+    - [Blackbox]: the service maps serialized XML to serialized XML — the
+      faithful web-service picture; the Recorder diffs the result against
+      the input and grafts the added fragments onto the arena. *)
+
+open Weblab_xml
+
+type impl =
+  | Inproc of (Tree.t -> unit)
+  | Blackbox of (string -> string)
+
+type t = {
+  name : string;
+  description : string;
+  impl : impl;
+}
+
+val make : name:string -> description:string -> impl -> t
+
+val inproc : name:string -> description:string -> (Tree.t -> unit) -> t
+
+val blackbox : name:string -> description:string -> (string -> string) -> t
+
+val name : t -> string
+
+val description : t -> string

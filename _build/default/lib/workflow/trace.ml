@@ -1,0 +1,63 @@
+(* Workflow execution traces: the Source table of Figure 2.
+
+   A trace records, for every labeled resource of the final document, the
+   service call (service name, timestamp) that produced it.  Together with
+   the final document it {e is} the workflow execution trace from which all
+   provenance is inferred (§2). *)
+
+open Weblab_xml
+
+type call = {
+  service : string;
+  time : int;
+}
+
+let call_id c = Printf.sprintf "c%d" c.time
+
+type entry = {
+  uri : string;
+  node : Tree.node;
+  call : call;
+}
+
+type t = {
+  mutable entries_rev : entry list;
+  mutable calls_rev : call list;
+}
+
+let create () = { entries_rev = []; calls_rev = [] }
+
+let add_call t call = t.calls_rev <- call :: t.calls_rev
+
+let add_entry t entry = t.entries_rev <- entry :: t.entries_rev
+
+let calls t = List.rev t.calls_rev
+
+let entries t =
+  List.rev t.entries_rev
+  |> List.sort (fun a b ->
+         let c = compare a.call.time b.call.time in
+         if c <> 0 then c else compare a.node b.node)
+
+let call_at t time = List.find_opt (fun c -> c.time = time) (calls t)
+
+let resources_of_call t call =
+  entries t |> List.filter (fun e -> e.call = call) |> List.map (fun e -> e.uri)
+
+let call_of_resource t uri =
+  entries t
+  |> List.find_opt (fun e -> String.equal e.uri uri)
+  |> Option.map (fun e -> e.call)
+
+(* The Source table of Figure 2: Res. | Call | Service | Time. *)
+let source_table t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Res. | Call | Service          | Time\n";
+  Buffer.add_string buf "-----+------+------------------+-----\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4s | %-4s | %-16s | t%d\n" e.uri (call_id e.call)
+           e.call.service e.call.time))
+    (entries t);
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Workflow execution traces — the Source table of Figure 2.
+
+    A trace records, for every labeled resource of the final document,
+    the service call (service name, timestamp) that produced it; together
+    with the final document it {e is} the workflow execution trace from
+    which all provenance is inferred (§2). *)
+
+open Weblab_xml
+
+type call = {
+  service : string;
+  time : int;  (** 0 is the pseudo-call "Source" owning initial content *)
+}
+
+val call_id : call -> string
+(** ["c<t>"] — the call names of Figure 2. *)
+
+type entry = {
+  uri : string;
+  node : Tree.node;  (** {!Tree.no_node} for entries loaded from storage *)
+  call : call;
+}
+
+type t
+
+val create : unit -> t
+
+val add_call : t -> call -> unit
+
+val add_entry : t -> entry -> unit
+
+val calls : t -> call list
+(** In execution order. *)
+
+val entries : t -> entry list
+(** Sorted by call timestamp. *)
+
+val call_at : t -> int -> call option
+
+val resources_of_call : t -> call -> string list
+(** The out(c) of the model: URIs of the resources the call produced. *)
+
+val call_of_resource : t -> string -> call option
+(** The labeling function λ. *)
+
+val source_table : t -> string
+(** The rendered Source table (Res. | Call | Service | Time). *)

@@ -1,0 +1,147 @@
+(* A small textual workflow-definition language for series-parallel
+   workflows, in process-algebra style:
+
+   {v
+   wf   ::= seq
+   seq  ::= par (';' par)*            sequential composition
+   par  ::= atom ('|' atom)*          parallel branches
+   atom ::= NAME                      a service call
+          | NAME ':' '(' wf ')'       a named (nested) sub-workflow
+          | '(' wf ')'                grouping
+   v}
+
+   e.g. the fusion pipeline of examples/parallel_fusion.ml:
+
+   {v  (img:(OcrService; Tokenizer) | SpeechToText | Normaliser);
+       LanguageExtractor; Summarizer  v}
+
+   Service names are resolved through a lookup the caller provides
+   (typically the service catalog). *)
+
+exception Error of string
+
+exception Unknown_service of string
+
+type token =
+  | TName of string
+  | TSemi
+  | TBar
+  | TColon
+  | TLparen
+  | TRparen
+  | TEof
+
+let tokenize s =
+  let n = String.length s in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  let rec loop i acc =
+    if i >= n then List.rev (TEof :: acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1) acc
+      | ';' -> loop (i + 1) (TSemi :: acc)
+      | '|' -> loop (i + 1) (TBar :: acc)
+      | ':' -> loop (i + 1) (TColon :: acc)
+      | '(' -> loop (i + 1) (TLparen :: acc)
+      | ')' -> loop (i + 1) (TRparen :: acc)
+      | '#' ->
+        (* comment to end of line *)
+        let rec skip j = if j < n && s.[j] <> '\n' then skip (j + 1) else j in
+        loop (skip i) acc
+      | c when is_name_char c ->
+        let rec stop j = if j < n && is_name_char s.[j] then stop (j + 1) else j in
+        let j = stop i in
+        loop j (TName (String.sub s i (j - i)) :: acc)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+  in
+  loop 0 []
+
+let parse ~(resolve : string -> Service.t option) (input : string) : Parallel.wf =
+  let toks = ref (tokenize input) in
+  let peek () = match !toks with t :: _ -> t | [] -> TEof in
+  let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+  let expect t what =
+    if peek () = t then advance () else raise (Error ("expected " ^ what))
+  in
+  let service name =
+    match resolve name with
+    | Some s -> s
+    | None -> raise (Unknown_service name)
+  in
+  let rec wf () = seq ()
+  and seq () =
+    let first = par () in
+    let rec more acc =
+      if peek () = TSemi then begin
+        advance ();
+        more (par () :: acc)
+      end
+      else List.rev acc
+    in
+    match more [ first ] with
+    | [ one ] -> one
+    | parts -> Parallel.Seq parts
+  and par () =
+    let first = atom () in
+    let rec more acc =
+      if peek () = TBar then begin
+        advance ();
+        more (atom () :: acc)
+      end
+      else List.rev acc
+    in
+    match more [ first ] with
+    | [ one ] -> one
+    | branches -> Parallel.Par branches
+  and atom () =
+    match peek () with
+    | TName name ->
+      advance ();
+      if peek () = TColon then begin
+        advance ();
+        expect TLparen "'(' after the sub-workflow name";
+        let body = wf () in
+        expect TRparen "')'";
+        Parallel.Nested (name, body)
+      end
+      else Parallel.Call (service name)
+    | TLparen ->
+      advance ();
+      let body = wf () in
+      expect TRparen "')'";
+      body
+    | TSemi | TBar | TColon | TRparen | TEof ->
+      raise (Error "expected a service name or '('")
+  in
+  let result = wf () in
+  if peek () <> TEof then raise (Error "trailing input after workflow");
+  result
+
+let parse_opt ~resolve input =
+  match parse ~resolve input with
+  | wf -> Ok wf
+  | exception Error msg -> Error msg
+  | exception Unknown_service s -> Error (Printf.sprintf "unknown service %s" s)
+
+(* Render a workflow expression back to the concrete syntax. *)
+let rec to_string (wf : Parallel.wf) =
+  match wf with
+  | Parallel.Call s -> Service.name s
+  | Parallel.Seq parts -> String.concat "; " (List.map seq_part parts)
+  | Parallel.Par branches -> String.concat " | " (List.map par_part branches)
+  | Parallel.Nested (name, body) -> Printf.sprintf "%s:(%s)" name (to_string body)
+
+and seq_part p =
+  match p with
+  | Parallel.Seq _ -> Printf.sprintf "(%s)" (to_string p)
+  | _ -> to_string p
+
+and par_part p =
+  match p with
+  | Parallel.Seq _ | Parallel.Par _ -> Printf.sprintf "(%s)" (to_string p)
+  | _ -> to_string p

@@ -1,0 +1,28 @@
+(** A textual workflow-definition language for series-parallel workflows,
+    in process-algebra style:
+
+    {v
+    wf   ::= seq
+    seq  ::= par (';' par)*            sequential composition
+    par  ::= atom ('|' atom)*          parallel branches
+    atom ::= NAME                      a service call
+           | NAME ':' '(' wf ')'       a named (nested) sub-workflow
+           | '(' wf ')'                grouping
+    v}
+
+    [';'] binds looser than ['|']; ['#'] comments to end of line.
+    Example: [(img:(OcrService; Tokenizer) | SpeechToText); Summarizer]. *)
+
+exception Error of string
+
+exception Unknown_service of string
+
+val parse : resolve:(string -> Service.t option) -> string -> Parallel.wf
+(** Service names are resolved through [resolve] (typically the catalog).
+    @raise Error on syntax errors, [Unknown_service] on unresolved names. *)
+
+val parse_opt :
+  resolve:(string -> Service.t option) -> string -> (Parallel.wf, string) result
+
+val to_string : Parallel.wf -> string
+(** Concrete syntax; [parse (to_string wf)] round-trips (tested). *)

@@ -1,0 +1,1 @@
+lib/xml/diff.ml: Array List String Tree

@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Array Buffer Hashtbl List Option String Vec

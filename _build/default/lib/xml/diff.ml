@@ -1,0 +1,112 @@
+(* Structural XML diff between two *independent* documents, used by the
+   Recorder for black-box services that return a serialized document (the
+   paper's "standard XML-diff service", §6).
+
+   Under append semantics the new document must contain the old one
+   (Definition 1's ⊑_uri): the old children of every matched element must
+   appear, in order, as a subsequence of the new children.  Matching is
+   greedy in document order, pairing each old child with the first
+   not-yet-matched new child it embeds into; this is exact whenever
+   services append fragments (the WebLab contract) and is the standard
+   behaviour of ordered-tree diff under insert-only edits. *)
+
+type edit = {
+  new_node : Tree.node;        (* root of an added fragment, in the new doc *)
+  parent_in_new : Tree.node;   (* its parent (matched to an old node) *)
+}
+
+type result = {
+  added : edit list;                         (* in document order *)
+  matched : (Tree.node * Tree.node) list;    (* (old node, new node) pairs *)
+}
+
+exception Not_contained of string
+
+type acc = {
+  mutable adds : edit list;
+  mutable pairs : (Tree.node * Tree.node) list;
+}
+
+(* Does [old] subtree embed into [nw] subtree under insert-only edits?
+   On success, appends to [acc] the new-document nodes that are additions
+   and the matched (old, new) node pairs. *)
+let rec embed old_doc old_n new_doc new_n acc =
+  let ok =
+    match Tree.is_text old_doc old_n, Tree.is_text new_doc new_n with
+    | true, true -> String.equal (Tree.text old_doc old_n) (Tree.text new_doc new_n)
+    | false, false ->
+      String.equal (Tree.name old_doc old_n) (Tree.name new_doc new_n)
+      && attrs_preserved old_doc old_n new_doc new_n
+      && children_embed old_doc old_n new_doc new_n acc
+    | _ -> false
+  in
+  if ok then acc.pairs <- (old_n, new_n) :: acc.pairs;
+  ok
+
+(* The uri function may gain identifiers but never change them; other
+   attributes must be preserved (services only add).  We allow the new
+   node to carry extra attributes (e.g. the @s/@t labels the recorder adds). *)
+and attrs_preserved old_doc old_n new_doc new_n =
+  List.for_all
+    (fun (k, v) ->
+      match Tree.attr new_doc new_n k with
+      | Some v' -> String.equal v v'
+      | None -> false)
+    (Tree.attrs old_doc old_n)
+
+and children_embed old_doc old_n new_doc new_n acc =
+  let new_kids = Array.of_list (Tree.children new_doc new_n) in
+  let n = Array.length new_kids in
+  let rec loop old_kids j =
+    match old_kids with
+    | [] ->
+      (* All remaining new children are additions. *)
+      for k = j to n - 1 do
+        acc.adds <- { new_node = new_kids.(k); parent_in_new = new_n } :: acc.adds
+      done;
+      true
+    | ok :: rest ->
+      let rec find j =
+        if j >= n then false
+        else begin
+          let saved_adds = acc.adds and saved_pairs = acc.pairs in
+          if embed old_doc ok new_doc new_kids.(j) acc then loop rest (j + 1)
+          else begin
+            acc.adds <- saved_adds;
+            acc.pairs <- saved_pairs;
+            acc.adds <-
+              { new_node = new_kids.(j); parent_in_new = new_n } :: acc.adds;
+            find (j + 1)
+          end
+        end
+      in
+      find j
+  in
+  loop (Tree.children old_doc old_n) 0
+
+(* [diff ~old_doc ~new_doc] returns the added fragments and the node
+   correspondence, or raises {!Not_contained} when the new document does
+   not contain the old one (an append-semantics violation). *)
+let diff ~old_doc ~new_doc =
+  if not (Tree.has_root old_doc) then
+    if Tree.has_root new_doc then
+      { added = [ { new_node = Tree.root new_doc; parent_in_new = Tree.no_node } ];
+        matched = [] }
+    else { added = []; matched = [] }
+  else begin
+    let acc = { adds = []; pairs = [] } in
+    if not (embed old_doc (Tree.root old_doc) new_doc (Tree.root new_doc) acc)
+    then
+      raise
+        (Not_contained
+           "new document does not contain the old one (append semantics \
+            violated)");
+    { added = List.rev acc.adds; matched = acc.pairs }
+  end
+
+let added ~old_doc ~new_doc = (diff ~old_doc ~new_doc).added
+
+let contains ~old_doc ~new_doc =
+  match diff ~old_doc ~new_doc with
+  | _ -> true
+  | exception Not_contained _ -> false

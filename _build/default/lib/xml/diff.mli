@@ -1,0 +1,35 @@
+(** Structural XML diff under insert-only edits — the paper's "standard
+    XML-diff service" (§6), used by the Recorder to identify the fragments
+    a black-box service added.
+
+    Under append semantics the new document must contain the old one
+    (Definition 1's ⊑{_uri}): the old children of every matched element
+    appear, in order, as a subsequence of the new children.  Matching is
+    greedy in document order; it is exact whenever services append
+    fragments (the WebLab contract). *)
+
+type edit = {
+  new_node : Tree.node;       (** root of an added fragment, in the new doc *)
+  parent_in_new : Tree.node;  (** its parent (a matched node) *)
+}
+
+type result = {
+  added : edit list;                       (** in document order *)
+  matched : (Tree.node * Tree.node) list;  (** (old node, new node) pairs *)
+}
+
+exception Not_contained of string
+(** The new document does not contain the old one: some existing content
+    was modified, removed or reordered — an append-semantics violation. *)
+
+val diff : old_doc:Tree.t -> new_doc:Tree.t -> result
+(** The added fragments and the correspondence between retained nodes.
+    Attribute additions on matched nodes are tolerated (URI promotion and
+    the Recorder's own labels); modifications and removals are not.
+    @raise Not_contained on an append-semantics violation. *)
+
+val added : old_doc:Tree.t -> new_doc:Tree.t -> edit list
+(** [diff] restricted to its [added] component. *)
+
+val contains : old_doc:Tree.t -> new_doc:Tree.t -> bool
+(** Non-raising containment check. *)

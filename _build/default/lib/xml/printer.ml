@@ -1,0 +1,85 @@
+(* Serialization of WebLab documents back to XML text. *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Attributes are printed sorted so that output is canonical: two documents
+   that are [Tree.equal_subtree] print identically. *)
+let attrs_to_string attrs =
+  List.sort compare attrs
+  |> List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape_attr v))
+  |> String.concat ""
+
+(* [visible] restricts printing to a document state (see {!Doc_state}). *)
+let subtree_to_buf ?(indent = false) ?(visible = fun _ -> true) buf doc node =
+  let rec go depth n =
+    if visible n then begin
+      let pad () =
+        if indent then begin
+          if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+          Buffer.add_string buf (String.make (2 * depth) ' ')
+        end
+      in
+      if Tree.is_text doc n then begin
+        pad ();
+        Buffer.add_string buf (escape_text (Tree.text doc n))
+      end
+      else begin
+        pad ();
+        let name = Tree.name doc n in
+        let kids = List.filter visible (Tree.children doc n) in
+        Buffer.add_string buf
+          (Printf.sprintf "<%s%s" name (attrs_to_string (Tree.attrs doc n)));
+        if kids = [] then Buffer.add_string buf "/>"
+        else if indent && List.for_all (fun k -> Tree.is_text doc k) kids then begin
+          (* Text-only content stays inline, so indentation never leaks
+             into string values. *)
+          Buffer.add_char buf '>';
+          List.iter
+            (fun k -> Buffer.add_string buf (escape_text (Tree.text doc k)))
+            kids;
+          Buffer.add_string buf (Printf.sprintf "</%s>" name)
+        end
+        else begin
+          Buffer.add_char buf '>';
+          List.iter (go (depth + 1)) kids;
+          if indent && List.exists (fun k -> Tree.is_element doc k) kids then begin
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (2 * depth) ' ')
+          end;
+          Buffer.add_string buf (Printf.sprintf "</%s>" name)
+        end
+      end
+    end
+  in
+  go 0 node
+
+let subtree_to_string ?indent ?visible doc node =
+  let buf = Buffer.create 256 in
+  subtree_to_buf ?indent ?visible buf doc node;
+  Buffer.contents buf
+
+let to_string ?indent ?visible doc =
+  if Tree.has_root doc then subtree_to_string ?indent ?visible doc (Tree.root doc)
+  else ""

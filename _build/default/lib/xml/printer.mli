@@ -1,0 +1,21 @@
+(** Serialization of WebLab documents to XML text.
+
+    Output is canonical: attributes print sorted, so two structurally
+    equal documents ({!Tree.equal_subtree}) serialize identically — which
+    the black-box Recorder relies on when round-tripping documents through
+    services. *)
+
+val escape_text : string -> string
+(** Escape character data ([&], [<], [>]). *)
+
+val escape_attr : string -> string
+(** Escape an attribute value (ampersand, less-than, double quote). *)
+
+val subtree_to_string :
+  ?indent:bool -> ?visible:(Tree.node -> bool) -> Tree.t -> Tree.node -> string
+(** Serialize one subtree.  [visible] restricts the output to a document
+    state (nodes failing the predicate are skipped together with their
+    subtrees); [indent] pretty-prints with two-space indentation. *)
+
+val to_string : ?indent:bool -> ?visible:(Tree.node -> bool) -> Tree.t -> string
+(** Serialize the whole document ([""] when it has no root). *)

@@ -1,0 +1,236 @@
+type node = int
+
+type timestamp = int
+
+let no_node = -1
+
+type kind =
+  | Element of string
+  | Text of string
+
+type cell = {
+  mutable kind : kind;
+  mutable attrs : (string * string) list;
+  mutable parent : node;
+  children : node Vec.t;
+  mutable created : timestamp;
+  mutable uri_time : timestamp;
+      (* when the node was promoted to a resource (= created unless a later
+         call added the identifier, like node 3 of Figure 4) *)
+}
+
+type t = {
+  cells : cell Vec.t;
+  mutable root : node;
+  mutable cached_index : (int * (string, node list) Hashtbl.t) option;
+      (* name index stamped with the arena size it was built at; any
+         append invalidates it (sizes only grow) *)
+}
+
+let dummy_cell () =
+  { kind = Text ""; attrs = []; parent = no_node;
+    children = Vec.create ~dummy:no_node; created = 0; uri_time = 0 }
+
+let create () =
+  { cells = Vec.create ~dummy:(dummy_cell ()); root = no_node;
+    cached_index = None }
+
+let size t = Vec.length t.cells
+
+let cell t n =
+  if n < 0 || n >= size t then invalid_arg "Tree: invalid node id";
+  Vec.get t.cells n
+
+let has_root t = t.root <> no_node
+
+let root t =
+  if t.root = no_node then invalid_arg "Tree.root: empty document";
+  t.root
+
+let alloc t kind parent =
+  let c = { kind; attrs = []; parent;
+            children = Vec.create ~dummy:no_node; created = 0; uri_time = 0 } in
+  let id = size t in
+  Vec.push t.cells c;
+  if parent <> no_node then Vec.push (cell t parent).children id;
+  id
+
+let new_element ?(attrs = []) t ~parent name =
+  if parent = no_node && t.root <> no_node then
+    invalid_arg "Tree.new_element: document already has a root";
+  let id = alloc t (Element name) parent in
+  (cell t id).attrs <- attrs;
+  if parent = no_node then t.root <- id;
+  id
+
+let new_text t ~parent s =
+  if parent = no_node then invalid_arg "Tree.new_text: text node cannot be root";
+  alloc t (Text s) parent
+
+let is_element t n = match (cell t n).kind with Element _ -> true | Text _ -> false
+let is_text t n = match (cell t n).kind with Text _ -> true | Element _ -> false
+
+let name t n = match (cell t n).kind with Element s -> s | Text _ -> ""
+let text t n = match (cell t n).kind with Text s -> s | Element _ -> ""
+
+let parent t n = (cell t n).parent
+let children t n = Vec.to_list (cell t n).children
+
+let nth_child t n i =
+  let c = (cell t n).children in
+  if i < 0 || i >= Vec.length c then None else Some (Vec.get c i)
+
+let attrs t n = (cell t n).attrs
+let attr t n k = List.assoc_opt k (cell t n).attrs
+
+let set_attr t n k v =
+  let c = cell t n in
+  c.attrs <- (k, v) :: List.remove_assoc k c.attrs
+
+let set_text t n s =
+  let c = cell t n in
+  match c.kind with
+  | Text _ -> c.kind <- Text s
+  | Element _ -> invalid_arg "Tree.set_text: not a text node"
+
+let uri t n = attr t n "id"
+
+let set_uri t n u = set_attr t n "id" u
+
+let uri_time t n = (cell t n).uri_time
+
+let set_uri_time t n ts = (cell t n).uri_time <- ts
+let is_resource t n = is_element t n && uri t n <> None
+
+let created t n = (cell t n).created
+let set_created t n ts = (cell t n).created <- ts
+
+let service_label t n =
+  match attr t n "s", attr t n "t" with
+  | Some s, Some ts -> (try Some (s, int_of_string ts) with Failure _ -> None)
+  | _ -> None
+
+let set_service_label t n s ts =
+  set_attr t n "s" s;
+  set_attr t n "t" (string_of_int ts)
+
+let rec iter_subtree t n f =
+  f n;
+  Vec.iter (fun c -> iter_subtree t c f) (cell t n).children
+
+let fold_subtree t n ~init ~f =
+  let acc = ref init in
+  iter_subtree t n (fun m -> acc := f !acc m);
+  !acc
+
+let descendant_or_self t n =
+  List.rev (fold_subtree t n ~init:[] ~f:(fun acc m -> m :: acc))
+
+let descendants t n =
+  match descendant_or_self t n with
+  | [] -> []
+  | self :: rest ->
+    assert (self = n);
+    rest
+
+let ancestors t n =
+  let rec loop m acc =
+    let p = parent t m in
+    if p = no_node then List.rev acc else loop p (p :: acc)
+  in
+  loop n []
+
+let is_ancestor t ~ancestor n =
+  let rec loop m =
+    let p = parent t m in
+    if p = no_node then false else p = ancestor || loop p
+  in
+  loop n
+
+let string_value t n =
+  let buf = Buffer.create 64 in
+  iter_subtree t n (fun m ->
+      match (cell t m).kind with
+      | Text s -> Buffer.add_string buf s
+      | Element _ -> ());
+  Buffer.contents buf
+
+let document_order t =
+  if t.root = no_node then [||]
+  else Array.of_list (descendant_or_self t t.root)
+
+let resources t =
+  if t.root = no_node then []
+  else List.filter (fun n -> is_resource t n) (descendant_or_self t t.root)
+
+let find_resource t u =
+  let found = ref None in
+  (if t.root <> no_node then
+     iter_subtree t t.root (fun n ->
+         if !found = None && uri t n = Some u then found := Some n));
+  !found
+
+let rec copy_subtree dst ~src n ~parent =
+  let id =
+    match (Vec.get src.cells n).kind with
+    | Element name ->
+      let e = new_element dst ~parent name in
+      (Vec.get dst.cells e).attrs <- (Vec.get src.cells n).attrs;
+      e
+    | Text s -> new_text dst ~parent s
+  in
+  set_created dst id (created src n);
+  List.iter (fun c -> ignore (copy_subtree dst ~src c ~parent:id)) (children src n);
+  id
+
+let sorted_attrs l = List.sort compare l
+
+let rec equal_subtree t1 n1 t2 n2 =
+  let c1 = cell t1 n1 and c2 = cell t2 n2 in
+  match c1.kind, c2.kind with
+  | Text s1, Text s2 -> String.equal s1 s2
+  | Element a, Element b ->
+    String.equal a b
+    && sorted_attrs c1.attrs = sorted_attrs c2.attrs
+    && Vec.length c1.children = Vec.length c2.children
+    && begin
+      let ok = ref true in
+      Vec.iteri
+        (fun i k1 -> if !ok then ok := equal_subtree t1 k1 t2 (Vec.get c2.children i))
+        c1.children;
+      !ok
+    end
+  | Text _, Element _ | Element _, Text _ -> false
+
+(* An element-name index: name -> nodes in document order.  Built once
+   over a frozen document (post-execution inference never mutates), it
+   turns //Name steps from quadratic scans into lookups.  The index is a
+   snapshot: nodes added after [build_name_index] are not covered. *)
+type name_index = (string, node list) Hashtbl.t
+
+let build_name_index t : name_index =
+  let tbl : (string, node list) Hashtbl.t = Hashtbl.create 64 in
+  (if t.root <> no_node then
+     iter_subtree t t.root (fun n ->
+         match (cell t n).kind with
+         | Element name ->
+           Hashtbl.replace tbl name
+             (n :: Option.value ~default:[] (Hashtbl.find_opt tbl name))
+         | Text _ -> ()));
+  (* reverse to document order *)
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl;
+  tbl
+
+let index_lookup (idx : name_index) name =
+  Option.value ~default:[] (Hashtbl.find_opt idx name)
+
+(* The cached index for the document's current size, (re)built on demand.
+   Frozen documents — the post-hoc inference case — build it exactly
+   once. *)
+let name_index_for t =
+  match t.cached_index with
+  | Some (stamp, idx) when stamp = size t -> idx
+  | Some _ | None ->
+    let idx = build_name_index t in
+    t.cached_index <- Some (size t, idx);
+    idx

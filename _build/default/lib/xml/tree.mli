@@ -1,0 +1,160 @@
+(** Node-labeled ordered XML trees in an append-only arena.
+
+    WebLab documents (Definition 1 of the paper) are XML trees in which a
+    subset of nodes — the {e resources} — carry a unique URI.  Because the
+    WebLab execution model only ever {e appends} fragments (Definition 2),
+    the arena representation gives every node a stable integer identifier
+    for its whole lifetime, which in turn makes document states, diffs and
+    provenance links cheap to represent.
+
+    Attribute conventions (matching the paper's encoding):
+    - ["id"]: the URI assigned by the [uri] partial function;
+    - ["s"]: name of the service whose call created the resource;
+    - ["t"]: timestamp of that service call.
+
+    In addition every node records the {e creation timestamp} of the service
+    call that added it, which is what document states are carved out of. *)
+
+type t
+(** A mutable, append-only XML document. *)
+
+type node = int
+(** Nodes are arena indices, stable across document states. *)
+
+type timestamp = int
+
+val no_node : node
+(** A sentinel ([-1]) used where a node may be absent (e.g. the parent of
+    the root). *)
+
+(** {1 Construction} *)
+
+val create : unit -> t
+(** An empty document (no root yet). *)
+
+val new_element :
+  ?attrs:(string * string) list -> t -> parent:node -> string -> node
+(** [new_element t ~parent name] appends a fresh element as last child of
+    [parent].  Pass [~parent:no_node] to install the root (allowed once).
+    @raise Invalid_argument if a second root is created. *)
+
+val new_text : t -> parent:node -> string -> node
+(** Appends a text node as last child of [parent]. *)
+
+val copy_subtree : t -> src:t -> node -> parent:node -> node
+(** [copy_subtree dst ~src n ~parent] deep-copies the subtree of [src]
+    rooted at [n] into [dst] under [parent]; returns the new root. *)
+
+(** {1 Accessors} *)
+
+val root : t -> node
+(** @raise Invalid_argument on an empty document. *)
+
+val has_root : t -> bool
+
+val size : t -> int
+(** Number of nodes ever allocated (= upper bound for node ids + 1). *)
+
+val is_element : t -> node -> bool
+val is_text : t -> node -> bool
+
+val name : t -> node -> string
+(** Element name; [""] for text nodes. *)
+
+val text : t -> node -> string
+(** Text content of a text node; [""] for elements. *)
+
+val parent : t -> node -> node
+(** [no_node] for the root. *)
+
+val children : t -> node -> node list
+(** In document order. *)
+
+val nth_child : t -> node -> int -> node option
+(** 0-based. *)
+
+val attrs : t -> node -> (string * string) list
+val attr : t -> node -> string -> string option
+val set_attr : t -> node -> string -> string -> unit
+
+val set_text : t -> node -> string -> unit
+(** Replace the content of a text node.  Only meant for services building a
+    fragment before it is committed; the orchestrator checks that committed
+    nodes are never altered. *)
+
+(** {1 Resources, labels, timestamps} *)
+
+val uri : t -> node -> string option
+(** The ["id"] attribute: the URI of a resource node, if any. *)
+
+val set_uri : t -> node -> string -> unit
+
+val is_resource : t -> node -> bool
+
+val resources : t -> node list
+(** All resource nodes, in document order. *)
+
+val find_resource : t -> string -> node option
+(** Look a resource up by URI. *)
+
+val created : t -> node -> timestamp
+(** Creation timestamp (0 for nodes of the initial document). *)
+
+val set_created : t -> node -> timestamp -> unit
+
+val service_label : t -> node -> (string * timestamp) option
+(** The [(@s, @t)] service-call label of a resource node, if present. *)
+
+val set_service_label : t -> node -> string -> timestamp -> unit
+
+(** {1 Traversal} *)
+
+val iter_subtree : t -> node -> (node -> unit) -> unit
+(** Pre-order traversal of the subtree rooted at the given node (inclusive). *)
+
+val fold_subtree : t -> node -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val descendants : t -> node -> node list
+(** Strict descendants, pre-order. *)
+
+val descendant_or_self : t -> node -> node list
+
+val ancestors : t -> node -> node list
+(** Strict ancestors, nearest first. *)
+
+val is_ancestor : t -> ancestor:node -> node -> bool
+(** Strict. *)
+
+val string_value : t -> node -> string
+(** Concatenation of all text descendants, document order (XPath
+    string-value of an element). *)
+
+val document_order : t -> node array
+(** All current nodes in document order (pre-order traversal from the
+    root). *)
+
+val equal_subtree : t -> node -> t -> node -> bool
+(** Structural equality of two subtrees: same kinds, names, texts,
+    attribute sets and child sequences. *)
+
+val uri_time : t -> node -> timestamp
+(** When the node became a resource: its creation timestamp, unless a later
+    service call promoted it by adding the identifier (the node-3-to-r3
+    promotion of Figure 4). *)
+
+val set_uri_time : t -> node -> timestamp -> unit
+
+(** {1 Name index} *)
+
+type name_index
+(** A snapshot index: element name → nodes in document order.  Built over
+    a frozen document (post-execution inference never mutates); nodes
+    added later are not covered. *)
+
+val build_name_index : t -> name_index
+
+val index_lookup : name_index -> string -> node list
+
+val name_index_for : t -> name_index
+(** The cached index for the document's current size, (re)built on demand
+    after appends (sizes only grow, so staleness is a size comparison). *)

@@ -1,0 +1,55 @@
+(* Growable arrays used by the node arena.  OCaml 5.1 has no Stdlib.Dynarray
+   yet, so we carry a tiny implementation.  The [dummy] element fills unused
+   slots and is never observable through the public API. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ~dummy = { data = Array.make 16 dummy; size = 0; dummy }
+
+let length v = v.size
+
+let get v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.size then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let ensure_capacity v n =
+  if n > Array.length v.data then begin
+    let cap = max n (2 * Array.length v.data) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end
+
+let push v x =
+  ensure_capacity v (v.size + 1);
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.size - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.size - 1) []

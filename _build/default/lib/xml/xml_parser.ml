@@ -1,0 +1,297 @@
+(* A hand-written XML parser covering the fragment WebLab documents use:
+   one root element, attributes with single- or double-quoted values,
+   character data with the five predefined entities plus numeric character
+   references, comments, CDATA sections, and an optional XML declaration.
+   DTDs and processing instructions are skipped.  Namespace prefixes are
+   kept as part of the element/attribute name. *)
+
+exception Error of { line : int; col : int; message : string }
+
+let error_to_string = function
+  | Error { line; col; message } ->
+    Printf.sprintf "XML parse error at %d:%d: %s" line col message
+  | _ -> invalid_arg "error_to_string"
+
+type lexer = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let fail lx message = raise (Error { line = lx.line; col = lx.col; message })
+
+let eof lx = lx.pos >= String.length lx.input
+
+let peek lx = if eof lx then '\000' else lx.input.[lx.pos]
+
+let peek2 lx =
+  if lx.pos + 1 >= String.length lx.input then '\000' else lx.input.[lx.pos + 1]
+
+let advance lx =
+  if not (eof lx) then begin
+    (if lx.input.[lx.pos] = '\n' then begin
+       lx.line <- lx.line + 1;
+       lx.col <- 1
+     end
+     else lx.col <- lx.col + 1);
+    lx.pos <- lx.pos + 1
+  end
+
+let next lx =
+  let c = peek lx in
+  advance lx;
+  c
+
+let looking_at lx s =
+  let n = String.length s in
+  lx.pos + n <= String.length lx.input && String.sub lx.input lx.pos n = s
+
+let skip_string lx s = String.iter (fun _ -> advance lx) s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces lx =
+  while (not (eof lx)) && is_space (peek lx) do
+    advance lx
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name lx =
+  if not (is_name_start (peek lx)) then fail lx "expected a name";
+  let buf = Buffer.create 8 in
+  while (not (eof lx)) && is_name_char (peek lx) do
+    Buffer.add_char buf (next lx)
+  done;
+  Buffer.contents buf
+
+(* Decode one entity reference; the leading '&' has been consumed. *)
+let read_entity lx =
+  let buf = Buffer.create 8 in
+  while (not (eof lx)) && peek lx <> ';' do
+    Buffer.add_char buf (next lx)
+  done;
+  if eof lx then fail lx "unterminated entity reference";
+  advance lx;
+  match Buffer.contents buf with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | ent ->
+    let code =
+      if String.length ent > 2 && ent.[0] = '#' && (ent.[1] = 'x' || ent.[1] = 'X')
+      then int_of_string_opt ("0x" ^ String.sub ent 2 (String.length ent - 2))
+      else if String.length ent > 1 && ent.[0] = '#' then
+        int_of_string_opt (String.sub ent 1 (String.length ent - 1))
+      else None
+    in
+    (match code with
+     | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+     | Some c ->
+       (* Encode as UTF-8. *)
+       let b = Buffer.create 4 in
+       if c < 0x800 then begin
+         Buffer.add_char b (Char.chr (0xC0 lor (c lsr 6)));
+         Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+       end
+       else if c < 0x10000 then begin
+         Buffer.add_char b (Char.chr (0xE0 lor (c lsr 12)));
+         Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+         Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+       end
+       else begin
+         Buffer.add_char b (Char.chr (0xF0 lor (c lsr 18)));
+         Buffer.add_char b (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
+         Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+         Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+       end;
+       Buffer.contents b
+     | None -> fail lx (Printf.sprintf "unknown entity &%s;" ent))
+
+let read_attr_value lx =
+  let quote = next lx in
+  if quote <> '"' && quote <> '\'' then fail lx "expected a quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof lx then fail lx "unterminated attribute value";
+    let c = next lx in
+    if c = quote then ()
+    else begin
+      (if c = '&' then Buffer.add_string buf (read_entity lx)
+       else Buffer.add_char buf c);
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let read_attrs lx =
+  let rec loop acc =
+    skip_spaces lx;
+    if is_name_start (peek lx) then begin
+      let k = read_name lx in
+      skip_spaces lx;
+      if peek lx <> '=' then fail lx "expected '=' after attribute name";
+      advance lx;
+      skip_spaces lx;
+      let v = read_attr_value lx in
+      loop ((k, v) :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+let skip_comment lx =
+  (* "<!--" already consumed *)
+  let rec loop () =
+    if eof lx then fail lx "unterminated comment"
+    else if looking_at lx "-->" then skip_string lx "-->"
+    else begin
+      advance lx;
+      loop ()
+    end
+  in
+  loop ()
+
+let read_cdata lx =
+  (* "<![CDATA[" already consumed *)
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if eof lx then fail lx "unterminated CDATA section"
+    else if looking_at lx "]]>" then skip_string lx "]]>"
+    else begin
+      Buffer.add_char buf (next lx);
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let skip_misc lx =
+  let rec loop () =
+    skip_spaces lx;
+    if looking_at lx "<!--" then begin
+      skip_string lx "<!--";
+      skip_comment lx;
+      loop ()
+    end
+    else if looking_at lx "<?" then begin
+      skip_string lx "<?";
+      while (not (eof lx)) && not (looking_at lx "?>") do
+        advance lx
+      done;
+      if eof lx then fail lx "unterminated processing instruction";
+      skip_string lx "?>";
+      loop ()
+    end
+    else if looking_at lx "<!DOCTYPE" then begin
+      (* Skip up to the matching '>' (internal subsets are not supported). *)
+      while (not (eof lx)) && peek lx <> '>' do
+        advance lx
+      done;
+      if eof lx then fail lx "unterminated DOCTYPE";
+      advance lx;
+      loop ()
+    end
+  in
+  loop ()
+
+let is_blank s = String.for_all is_space s
+
+let parse ?(preserve_whitespace = false) input =
+  let lx = { input; pos = 0; line = 1; col = 1 } in
+  let doc = Tree.create () in
+  let add_text parent buf =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    if s <> "" && (preserve_whitespace || not (is_blank s)) then
+      ignore (Tree.new_text doc ~parent s)
+  in
+  (* Parse one element; '<' and the name are about to be read. *)
+  let rec element parent =
+    advance lx;
+    (* '<' *)
+    let name = read_name lx in
+    let attrs = read_attrs lx in
+    let node = Tree.new_element ~attrs doc ~parent name in
+    skip_spaces lx;
+    if looking_at lx "/>" then begin
+      skip_string lx "/>";
+      node
+    end
+    else if peek lx = '>' then begin
+      advance lx;
+      content node;
+      node
+    end
+    else fail lx "expected '>' or '/>'"
+  and content parent =
+    let buf = Buffer.create 32 in
+    let rec loop () =
+      if eof lx then fail lx "unexpected end of input inside an element"
+      else if looking_at lx "</" then begin
+        add_text parent buf;
+        skip_string lx "</";
+        let close = read_name lx in
+        skip_spaces lx;
+        if peek lx <> '>' then fail lx "expected '>' in closing tag";
+        advance lx;
+        if close <> Tree.name doc parent then
+          fail lx
+            (Printf.sprintf "closing tag </%s> does not match <%s>" close
+               (Tree.name doc parent))
+      end
+      else if looking_at lx "<!--" then begin
+        skip_string lx "<!--";
+        skip_comment lx;
+        loop ()
+      end
+      else if looking_at lx "<![CDATA[" then begin
+        skip_string lx "<![CDATA[";
+        Buffer.add_string buf (read_cdata lx);
+        loop ()
+      end
+      else if peek lx = '<' && peek2 lx = '?' then begin
+        skip_string lx "<?";
+        while (not (eof lx)) && not (looking_at lx "?>") do
+          advance lx
+        done;
+        if eof lx then fail lx "unterminated processing instruction";
+        skip_string lx "?>";
+        loop ()
+      end
+      else if peek lx = '<' then begin
+        add_text parent buf;
+        ignore (element parent);
+        loop ()
+      end
+      else if peek lx = '&' then begin
+        advance lx;
+        Buffer.add_string buf (read_entity lx);
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf (next lx);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  skip_misc lx;
+  if eof lx || peek lx <> '<' then fail lx "expected a root element";
+  ignore (element Tree.no_node);
+  skip_misc lx;
+  if not (eof lx) then fail lx "trailing content after the root element";
+  doc
+
+let parse_opt ?preserve_whitespace input =
+  match parse ?preserve_whitespace input with
+  | doc -> Ok doc
+  | exception (Error _ as e) -> Error (error_to_string e)

@@ -1,0 +1,18 @@
+(** A hand-written XML parser covering the fragment WebLab documents use:
+    one root element, attributes with single- or double-quoted values,
+    character data with the five predefined entities and numeric character
+    references, comments, CDATA sections and an optional XML declaration /
+    DOCTYPE (skipped).  Namespace prefixes are kept as part of the name. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val error_to_string : exn -> string
+(** Render an {!Error}; @raise Invalid_argument on any other exception. *)
+
+val parse : ?preserve_whitespace:bool -> string -> Tree.t
+(** Parse a document.  Whitespace-only text nodes are dropped unless
+    [preserve_whitespace] is [true] (default [false]).
+    @raise Error with a line/column position on malformed input. *)
+
+val parse_opt : ?preserve_whitespace:bool -> string -> (Tree.t, string) result
+(** Non-raising variant. *)

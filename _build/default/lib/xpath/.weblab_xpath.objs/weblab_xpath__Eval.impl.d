@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Array Ast Doc_state List Option Printf String Table Tree Value Weblab_relalg Weblab_xml

@@ -1,0 +1,1 @@
+lib/xpath/eval.mli: Ast Doc_state Table Tree Value Weblab_relalg Weblab_xml

@@ -1,0 +1,114 @@
+(* Abstract syntax of XPath patterns (Definition 4 of the paper).
+
+   Patterns are Core XPath — child and descendant axes, no functions —
+   enriched with predicates and variable assignments [$x := @a].  The §5
+   extensions add position() bindings and Skolem-function operands. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Self
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+
+type nametest =
+  | Name of string
+  | Any
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type operand =
+  | Attr of string                     (* @a, relative to the context node *)
+  | Lit of string                      (* 'fr' *)
+  | Num of int                         (* 5 *)
+  | Var of string                      (* $x, bound earlier in the pattern
+                                          or supplied externally *)
+  | Position                           (* position() *)
+  | Last                               (* last() *)
+  | Count of rel_path                  (* count(Annotation/Language) *)
+  | Strlen of operand                  (* string-length(@id) *)
+  | Path of rel_path                   (* Annotation/Language: existential
+                                          over string-values *)
+  | Path_attr of rel_path * string     (* Member/@ref: the attribute values
+                                          of the nodes a path reaches *)
+  | Skolem of string * operand list    (* f($x) — §5 Skolem functions *)
+
+and pred =
+  | Bind of string * operand           (* [$x := @a] / [$p := position()] *)
+  | Cmp of operand * cmpop * operand
+  | Exists_path of rel_path            (* [Annotation/Language] *)
+  | Exists_attr of string              (* [@id] *)
+  | Index of int                       (* [1] *)
+  | Fn_bool of string * operand list   (* contains(@id, 'r') etc. *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and rel_step = { raxis : axis; rtest : nametest }
+
+and rel_path = rel_step list
+
+type step = {
+  axis : axis;
+  test : nametest;
+  preds : pred list;
+}
+
+type pattern = step list
+(* The first step's axis is interpreted relative to the (virtual) document
+   node: [Child] for an absolute "/Name", [Descendant] for "//Name". *)
+
+(* Binding variables of a pattern, in binding order (the x̄ of φ(x̄)). *)
+let variables (p : pattern) : string list =
+  let rec of_pred acc = function
+    | Bind (x, _) -> if List.mem x acc then acc else x :: acc
+    | And (a, b) | Or (a, b) -> of_pred (of_pred acc a) b
+    | Not a -> of_pred acc a
+    | Cmp _ | Exists_path _ | Exists_attr _ | Index _ | Fn_bool _ -> acc
+  in
+  List.fold_left
+    (fun acc step -> List.fold_left of_pred acc step.preds)
+    [] p
+  |> List.rev
+
+(* Free variables: used in comparisons but never bound by this pattern.
+   Target patterns of a mapping rule may only use variables bound by the
+   source pattern (Definition 5). *)
+let free_variables (p : pattern) : string list =
+  let bound = variables p in
+  let rec of_operand acc = function
+    | Var x -> if List.mem x bound || List.mem x acc then acc else x :: acc
+    | Skolem (_, args) -> List.fold_left of_operand acc args
+    | Strlen a -> of_operand acc a
+    | Attr _ | Lit _ | Num _ | Position | Last | Count _ | Path _
+    | Path_attr _ -> acc
+  in
+  let rec of_pred acc = function
+    | Bind (_, src) -> of_operand acc src
+    | Cmp (a, _, b) -> of_operand (of_operand acc a) b
+    | Fn_bool (_, args) -> List.fold_left of_operand acc args
+    | And (a, b) | Or (a, b) -> of_pred (of_pred acc a) b
+    | Not a -> of_pred acc a
+    | Exists_path _ | Exists_attr _ | Index _ -> acc
+  in
+  List.fold_left
+    (fun acc step -> List.fold_left of_pred acc step.preds)
+    [] p
+  |> List.rev
+
+(* Append a predicate to the final step (used by the §4 temporal
+   rewriting). *)
+let add_pred_to_last_step (p : pattern) (pred : pred) : pattern =
+  match List.rev p with
+  | [] -> invalid_arg "add_pred_to_last_step: empty pattern"
+  | last :: rev_init ->
+    List.rev ({ last with preds = last.preds @ [ pred ] } :: rev_init)
+
+(* Prepend a descendant-or-self::* step — the §4 device for inferring
+   inherited provenance directly from rewritten patterns. *)
+let add_descendant_or_self (p : pattern) : pattern =
+  p @ [ { axis = Descendant_or_self; test = Any; preds = [] } ]

@@ -1,0 +1,278 @@
+open Weblab_xml
+open Weblab_relalg
+
+type guards = {
+  visible : Tree.node -> bool;
+  env : (string * Value.t) list;
+}
+
+let no_guards = { visible = (fun _ -> true); env = [] }
+
+let state_guards st = { visible = Doc_state.visible st; env = [] }
+
+let test_matches doc test n =
+  Tree.is_element doc n
+  &&
+  match test with
+  | Ast.Any -> true
+  | Ast.Name name -> String.equal name (Tree.name doc n)
+
+(* Candidate nodes of an axis step from a context node.  [ctx = no_node]
+   stands for the virtual document node (used for the first step of an
+   absolute pattern). *)
+let axis_nodes doc visible ctx axis =
+  let from_document = ctx = Tree.no_node in
+  let siblings ~after =
+    let p = Tree.parent doc ctx in
+    if p = Tree.no_node then []
+    else begin
+      let seen = ref false in
+      Tree.children doc p
+      |> List.filter (fun k ->
+             if k = ctx then begin
+               seen := true;
+               false
+             end
+             else if after then !seen
+             else not !seen)
+    end
+  in
+  let raw =
+    match axis, from_document with
+    | Ast.Child, true -> if Tree.has_root doc then [ Tree.root doc ] else []
+    | Ast.Child, false -> Tree.children doc ctx
+    | (Ast.Descendant | Ast.Descendant_or_self), true ->
+      if Tree.has_root doc then Tree.descendant_or_self doc (Tree.root doc) else []
+    | Ast.Descendant, false -> Tree.descendants doc ctx
+    | Ast.Descendant_or_self, false -> Tree.descendant_or_self doc ctx
+    | Ast.Self, true -> if Tree.has_root doc then [ Tree.root doc ] else []
+    | Ast.Self, false -> [ ctx ]
+    | (Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self
+      | Ast.Following_sibling | Ast.Preceding_sibling), true -> []
+    | Ast.Parent, false ->
+      let p = Tree.parent doc ctx in
+      if p = Tree.no_node then [] else [ p ]
+    | Ast.Ancestor, false -> Tree.ancestors doc ctx
+    | Ast.Ancestor_or_self, false -> ctx :: Tree.ancestors doc ctx
+    | Ast.Following_sibling, false -> siblings ~after:true
+    | Ast.Preceding_sibling, false -> siblings ~after:false
+  in
+  List.filter visible raw
+
+(* Nodes reached by a relative path (inside a predicate) from [ctx]. *)
+let eval_rel_path doc visible ctx rp =
+  List.fold_left
+    (fun ctxs { Ast.raxis; rtest } ->
+      List.concat_map
+        (fun c ->
+          axis_nodes doc visible c raxis
+          |> List.filter (test_matches doc rtest))
+        ctxs)
+    [ ctx ] rp
+
+(* The possible values of an operand at a context node.  A [Path] operand
+   contributes the string-value of each node it reaches (XPath's
+   existential semantics over node sets); other operands contribute at
+   most one value. *)
+let rec operand_values doc visible env ~pos ~last ctx (op : Ast.operand) :
+    Value.t list =
+  match op with
+  | Ast.Attr a -> (
+    match Tree.attr doc ctx a with Some v -> [ Value.Str v ] | None -> [])
+  | Ast.Lit s -> [ Value.Str s ]
+  | Ast.Num n -> [ Value.Int n ]
+  | Ast.Var x -> (
+    match List.assoc_opt x env with Some v -> [ v ] | None -> [])
+  | Ast.Position -> [ Value.Int pos ]
+  | Ast.Last -> [ Value.Int last ]
+  | Ast.Count rp ->
+    [ Value.Int (List.length (eval_rel_path doc visible ctx rp)) ]
+  | Ast.Strlen a -> (
+    match operand_values doc visible env ~pos ~last ctx a with
+    | v :: _ -> [ Value.Int (String.length (Value.to_string v)) ]
+    | [] -> [])
+  | Ast.Path rp ->
+    eval_rel_path doc visible ctx rp
+    |> List.map (fun n -> Value.Str (Tree.string_value doc n))
+  | Ast.Path_attr (rp, a) ->
+    eval_rel_path doc visible ctx rp
+    |> List.filter_map (fun n ->
+           Option.map (fun v -> Value.Str v) (Tree.attr doc n a))
+  | Ast.Skolem (f, args) ->
+    (* A Skolem term has a value only when every argument does; the value is
+       the canonical ground term f(v1,...,vn), so equal arguments yield the
+       same (joinable) identifier — exactly the §5 aggregation device. *)
+    let arg_values =
+      List.map
+        (fun a ->
+          match operand_values doc visible env ~pos ~last ctx a with
+          | [ v ] -> Some v
+          | v :: _ -> Some v
+          | [] -> None)
+        args
+    in
+    if List.exists Option.is_none arg_values then []
+    else
+      [ Value.Str
+          (Printf.sprintf "%s(%s)" f
+             (String.concat ","
+                (List.map (fun v -> Value.to_string (Option.get v)) arg_values)))
+      ]
+
+let cmp_values op (a : Value.t) (b : Value.t) =
+  match op with
+  | Ast.Eq -> Value.equal a b
+  | Ast.Neq -> not (Value.equal a b)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+    let c =
+      match Value.as_int a, Value.as_int b with
+      | Some x, Some y -> compare x y
+      | _ -> String.compare (Value.to_string a) (Value.to_string b)
+    in
+    match op with
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0
+    | Ast.Eq | Ast.Neq -> assert false)
+
+(* The supported boolean functions; all use first-value semantics on
+   their arguments, as XPath's string() conversion does. *)
+let string_fn name a b =
+  match name with
+  | "contains" ->
+    let na = String.length a and nb = String.length b in
+    let rec loop i = i + nb <= na && (String.sub a i nb = b || loop (i + 1)) in
+    nb = 0 || loop 0
+  | "starts-with" ->
+    String.length a >= String.length b
+    && String.sub a 0 (String.length b) = b
+  | "ends-with" ->
+    String.length a >= String.length b
+    && String.sub a (String.length a - String.length b) (String.length b) = b
+  | f -> invalid_arg (Printf.sprintf "Eval: unknown boolean function %s()" f)
+
+let rec eval_bool doc visible env ~pos ~last ctx (p : Ast.pred) : bool =
+  match p with
+  | Ast.Bind _ ->
+    invalid_arg "Eval: variable bindings cannot appear under and/or/not"
+  | Ast.Cmp (a, op, b) ->
+    let va = operand_values doc visible env ~pos ~last ctx a in
+    let vb = operand_values doc visible env ~pos ~last ctx b in
+    List.exists (fun x -> List.exists (fun y -> cmp_values op x y) vb) va
+  | Ast.Exists_path rp -> eval_rel_path doc visible ctx rp <> []
+  | Ast.Exists_attr a -> Tree.attr doc ctx a <> None
+  | Ast.Index n -> pos = n
+  | Ast.Fn_bool (name, [ a; b ]) -> (
+    match
+      ( operand_values doc visible env ~pos ~last ctx a,
+        operand_values doc visible env ~pos ~last ctx b )
+    with
+    | va :: _, vb :: _ ->
+      string_fn name (Value.to_string va) (Value.to_string vb)
+    | _ -> false)
+  | Ast.Fn_bool (name, args) ->
+    invalid_arg
+      (Printf.sprintf "Eval: %s() expects 2 arguments, got %d" name
+         (List.length args))
+  | Ast.And (a, b) ->
+    eval_bool doc visible env ~pos ~last ctx a
+    && eval_bool doc visible env ~pos ~last ctx b
+  | Ast.Or (a, b) ->
+    eval_bool doc visible env ~pos ~last ctx a
+    || eval_bool doc visible env ~pos ~last ctx b
+  | Ast.Not a -> not (eval_bool doc visible env ~pos ~last ctx a)
+
+(* Apply one predicate to a candidate list, XPath-style: positions are
+   1-based indices into the current list, recomputed after each predicate. *)
+let apply_pred doc visible candidates (p : Ast.pred) =
+  let last = List.length candidates in
+  match p with
+  | Ast.Bind (x, src) ->
+    (* Multi-valued sources (e.g. Member/@ref) yield one embedding per
+       value — each corresponds to a different mapping of the predicate's
+       pattern nodes (Definition 6). *)
+    List.concat_map
+      (fun (i, (n, env)) ->
+        operand_values doc visible env ~pos:i ~last n src
+        |> List.map (fun v -> (n, (x, v) :: env)))
+      (List.mapi (fun i c -> (i + 1, c)) candidates)
+  | _ ->
+    List.filter_map
+      (fun (i, (n, env)) ->
+        if eval_bool doc visible env ~pos:i ~last n p then Some (n, env)
+        else None)
+      (List.mapi (fun i c -> (i + 1, c)) candidates)
+
+let apply_step doc visible contexts (step : Ast.step) =
+  List.concat_map
+    (fun (ctx, env) ->
+      let candidates =
+        (* //Name from the document node is the hot path of the Rewrite
+           strategy; serve it from the cached name index instead of a full
+           traversal. *)
+        match step.Ast.axis, step.Ast.test with
+        | Ast.Descendant, Ast.Name name when ctx = Tree.no_node ->
+          Tree.index_lookup (Tree.name_index_for doc) name
+          |> List.filter visible
+        | _ ->
+          axis_nodes doc visible ctx step.Ast.axis
+          |> List.filter (test_matches doc step.Ast.test)
+      in
+      let candidates = List.map (fun n -> (n, env)) candidates in
+      List.fold_left (apply_pred doc visible) candidates step.Ast.preds)
+    contexts
+
+let eval ?(require_uri = true) ?(guards = no_guards) doc (pattern : Ast.pattern) =
+  (* An explicit [$r := @id] is the implicit result binding of Definition 4
+     condition (3) spelled out (the pattern φ2 of Example 3), so the "r"
+     column is never duplicated; "node" is likewise reserved. *)
+  let vars =
+    List.filter (fun v -> v <> "r" && v <> "node") (Ast.variables pattern)
+  in
+  let finals =
+    List.fold_left
+      (apply_step doc guards.visible)
+      [ (Tree.no_node, guards.env) ]
+      pattern
+  in
+  let table = Table.create (("node" :: "r" :: vars)) in
+  List.iter
+    (fun (n, env) ->
+      let uri = Tree.uri doc n in
+      match uri, require_uri with
+      | None, true -> ()   (* condition (3) of Definition 4 *)
+      | _ ->
+        let r =
+          match uri with
+          | Some u -> Value.Str u
+          | None -> Value.Str (Printf.sprintf "#%d" n)
+        in
+        let row =
+          Array.of_list
+            (Value.Node n :: r
+            :: List.map
+                 (fun x ->
+                   match List.assoc_opt x env with
+                   | Some v -> v
+                   | None ->
+                     (* Bindings are top-level step predicates, so a surviving
+                        candidate always carries all of them. *)
+                     assert false)
+                 vars)
+        in
+        Table.add_row table row)
+    finals;
+  Table.distinct table
+
+let eval_state ?require_uri st pattern =
+  eval ?require_uri ~guards:(state_guards st) (Doc_state.doc st) pattern
+
+let matching_nodes ?(guards = no_guards) doc pattern =
+  let t = eval ~require_uri:false ~guards doc pattern in
+  Table.rows t
+  |> List.filter_map (fun row ->
+         match Table.get t row "node" with
+         | Value.Node n -> Some n
+         | Value.Str _ | Value.Int _ -> None)
+  |> List.sort_uniq compare

@@ -1,0 +1,42 @@
+(** Evaluation of XPath patterns over WebLab document states.
+
+    Evaluating a pattern φ(x̄) over a document state d computes all
+    {e embeddings} of the associated tree pattern into d (Definition 6) and
+    returns the set of binding tuples x̄/ε as a {!Weblab_relalg.Table.t}
+    (Definition 7).
+
+    The result table has columns:
+    - ["node"]: the arena id of the node matched by the final step;
+    - ["r"]: the URI of that node (the implicit [$r := @id] of
+      Definition 4, condition 3) — embeddings whose final node carries no
+      URI are discarded unless [require_uri] is [false];
+    - one column per binding variable of the pattern, in binding order. *)
+
+open Weblab_xml
+open Weblab_relalg
+
+type guards = {
+  visible : Tree.node -> bool;
+      (** Restricts matching to a document state: every node an embedding
+          touches (steps, predicate paths, positional contexts) must
+          satisfy this. *)
+  env : (string * Value.t) list;
+      (** Initial variable environment (free variables of the pattern). *)
+}
+
+val no_guards : guards
+
+val state_guards : Doc_state.t -> guards
+(** Visibility of the given document state, empty environment. *)
+
+val eval :
+  ?require_uri:bool -> ?guards:guards -> Tree.t -> Ast.pattern -> Table.t
+(** [eval doc φ] computes R_φ(d).  [require_uri] defaults to [true]. *)
+
+val eval_state : ?require_uri:bool -> Doc_state.t -> Ast.pattern -> Table.t
+(** [eval_state d φ] = [eval ~guards:(state_guards d) (Doc_state.doc d) φ]. *)
+
+val matching_nodes :
+  ?guards:guards -> Tree.t -> Ast.pattern -> Tree.node list
+(** Nodes matched by the final step, regardless of URIs; distinct, in
+    first-match order. *)

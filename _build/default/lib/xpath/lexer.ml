@@ -1,0 +1,134 @@
+(* Tokenizer for the pattern syntax of Definition 4 and the rule syntax of
+   Definition 5 (the "==>"/"-->" arrow token is used by the rule parser). *)
+
+type token =
+  | SLASH          (* /  *)
+  | DSLASH         (* // *)
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | AT             (* @ *)
+  | DOLLAR         (* $ *)
+  | ASSIGN         (* := *)
+  | AXISSEP        (* :: *)
+  | STAR
+  | COMMA
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW          (* ==> or --> *)
+  | RARROW         (* -> *)
+  | LBRACE
+  | RBRACE
+  | NAME of string
+  | STRING of string
+  | NUMBER of int
+  | EOF
+
+exception Error of { pos : int; message : string }
+
+let fail pos message = raise (Error { pos; message })
+
+let token_to_string = function
+  | SLASH -> "/"
+  | DSLASH -> "//"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | AT -> "@"
+  | DOLLAR -> "$"
+  | ASSIGN -> ":="
+  | AXISSEP -> "::"
+  | STAR -> "*"
+  | COMMA -> ","
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ARROW -> "==>"
+  | RARROW -> "->"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | NAME s -> s
+  | STRING s -> Printf.sprintf "'%s'" s
+  | NUMBER n -> string_of_int n
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+
+(* [tokenize s] returns the token list with, for each token, its start
+   offset (used in error messages). *)
+let tokenize s : (token * int) list =
+  let n = String.length s in
+  let rec loop i acc =
+    if i >= n then List.rev ((EOF, i) :: acc)
+    else
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1) acc
+      else if c = '/' then
+        if i + 1 < n && s.[i + 1] = '/' then loop (i + 2) ((DSLASH, i) :: acc)
+        else loop (i + 1) ((SLASH, i) :: acc)
+      else if c = '[' then loop (i + 1) ((LBRACKET, i) :: acc)
+      else if c = ']' then loop (i + 1) ((RBRACKET, i) :: acc)
+      else if c = '(' then loop (i + 1) ((LPAREN, i) :: acc)
+      else if c = ')' then loop (i + 1) ((RPAREN, i) :: acc)
+      else if c = '@' then loop (i + 1) ((AT, i) :: acc)
+      else if c = '$' then loop (i + 1) ((DOLLAR, i) :: acc)
+      else if c = '*' then loop (i + 1) ((STAR, i) :: acc)
+      else if c = ',' then loop (i + 1) ((COMMA, i) :: acc)
+      else if c = ':' && i + 1 < n && s.[i + 1] = '=' then
+        loop (i + 2) ((ASSIGN, i) :: acc)
+      else if c = ':' && i + 1 < n && s.[i + 1] = ':' then
+        loop (i + 2) ((AXISSEP, i) :: acc)
+      else if c = '=' then
+        if i + 2 < n && s.[i + 1] = '=' && s.[i + 2] = '>' then
+          loop (i + 3) ((ARROW, i) :: acc)
+        else loop (i + 1) ((EQ, i) :: acc)
+      else if c = '-' && i + 2 < n && s.[i + 1] = '-' && s.[i + 2] = '>' then
+        loop (i + 3) ((ARROW, i) :: acc)
+      else if c = '-' && i + 1 < n && s.[i + 1] = '>' then
+        loop (i + 2) ((RARROW, i) :: acc)
+      else if c = '{' then loop (i + 1) ((LBRACE, i) :: acc)
+      else if c = '}' then loop (i + 1) ((RBRACE, i) :: acc)
+      else if c = '!' && i + 1 < n && s.[i + 1] = '=' then
+        loop (i + 2) ((NEQ, i) :: acc)
+      else if c = '<' then
+        if i + 1 < n && s.[i + 1] = '=' then loop (i + 2) ((LE, i) :: acc)
+        else loop (i + 1) ((LT, i) :: acc)
+      else if c = '>' then
+        if i + 1 < n && s.[i + 1] = '=' then loop (i + 2) ((GE, i) :: acc)
+        else loop (i + 1) ((GT, i) :: acc)
+      else if c = '\'' || c = '"' then begin
+        let rec scan j =
+          if j >= n then fail i "unterminated string literal"
+          else if s.[j] = c then j
+          else scan (j + 1)
+        in
+        let j = scan (i + 1) in
+        loop (j + 1) ((STRING (String.sub s (i + 1) (j - i - 1)), i) :: acc)
+      end
+      else if is_digit c then begin
+        let rec scan j = if j < n && is_digit s.[j] then scan (j + 1) else j in
+        let j = scan i in
+        loop j ((NUMBER (int_of_string (String.sub s i (j - i))), i) :: acc)
+      end
+      else if is_name_start c then begin
+        let rec scan j = if j < n && is_name_char s.[j] then scan (j + 1) else j in
+        let j = scan i in
+        loop j ((NAME (String.sub s i (j - i)), i) :: acc)
+      end
+      else fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  loop 0 []

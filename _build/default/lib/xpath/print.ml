@@ -1,0 +1,94 @@
+(* Pretty-printer for patterns, producing the paper's concrete syntax.
+   [Parser.pattern (Print.pattern_to_string p)] yields a pattern equal to
+   [p] (round-trip property, tested with qcheck). *)
+
+open Ast
+
+(* Named form of an axis (without separators). *)
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Self -> "self"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+
+let axis_to_string = function
+  | Child -> "/"
+  | Descendant -> "//"
+  | a -> "/" ^ axis_name a ^ "::"
+
+let nametest_to_string = function
+  | Name n -> n
+  | Any -> "*"
+
+let cmpop_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rel_path_to_string rp =
+  List.mapi
+    (fun i { raxis; rtest } ->
+      let sep =
+        match raxis with
+        | Child -> if i = 0 then "" else "/"
+        | Descendant -> "//"
+        | a ->
+          (if i = 0 then "" else "/") ^ axis_name a ^ "::"
+      in
+      sep ^ nametest_to_string rtest)
+    rp
+  |> String.concat ""
+
+let rec operand_to_string = function
+  | Attr a -> "@" ^ a
+  | Lit s -> Printf.sprintf "'%s'" s
+  | Num n -> string_of_int n
+  | Var x -> "$" ^ x
+  | Position -> "position()"
+  | Last -> "last()"
+  | Count rp -> Printf.sprintf "count(%s)" (rel_path_to_string rp)
+  | Strlen a -> Printf.sprintf "string-length(%s)" (operand_to_string a)
+  | Path rp -> rel_path_to_string rp
+  | Path_attr (rp, a) -> rel_path_to_string rp ^ "/@" ^ a
+  | Skolem (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map operand_to_string args))
+
+(* Precedence: or < and < not/atom.  Parenthesize via not(...) only, since
+   the grammar has no grouping parentheses for bare boolean expressions. *)
+let rec pred_to_string = function
+  | Bind (x, src) -> Printf.sprintf "$%s := %s" x (operand_to_string src)
+  | Cmp (a, op, b) ->
+    Printf.sprintf "%s %s %s" (operand_to_string a) (cmpop_to_string op)
+      (operand_to_string b)
+  | Exists_path rp -> rel_path_to_string rp
+  | Exists_attr a -> "@" ^ a
+  | Index n -> string_of_int n
+  | Fn_bool (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map operand_to_string args))
+  | And (a, b) -> Printf.sprintf "%s and %s" (and_operand a) (and_operand b)
+  | Or (a, b) -> Printf.sprintf "%s or %s" (pred_to_string a) (pred_to_string b)
+  | Not a -> Printf.sprintf "not(%s)" (pred_to_string a)
+
+and and_operand p =
+  match p with
+  | Or _ -> Printf.sprintf "not(not(%s))" (pred_to_string p)
+  | _ -> pred_to_string p
+
+let step_to_string ~first { axis; test; preds } =
+  let sep = axis_to_string axis in
+  ignore first;
+  sep
+  ^ nametest_to_string test
+  ^ String.concat "" (List.map (fun p -> "[" ^ pred_to_string p ^ "]") preds)
+
+let pattern_to_string (p : pattern) =
+  String.concat ""
+    (List.mapi (fun i s -> step_to_string ~first:(i = 0) s) p)

@@ -1,0 +1,17 @@
+(** Pretty-printer for patterns, producing the paper's concrete syntax.
+    [Parser.pattern (Print.pattern_to_string p) = p] for every pattern in
+    the parsable fragment (property-tested). *)
+
+val pattern_to_string : Ast.pattern -> string
+
+val pred_to_string : Ast.pred -> string
+
+val operand_to_string : Ast.operand -> string
+
+val rel_path_to_string : Ast.rel_path -> string
+
+val nametest_to_string : Ast.nametest -> string
+
+val cmpop_to_string : Ast.cmpop -> string
+
+val axis_to_string : Ast.axis -> string

@@ -1,0 +1,1 @@
+lib/xquery/xq_ast.ml: List Weblab_xpath

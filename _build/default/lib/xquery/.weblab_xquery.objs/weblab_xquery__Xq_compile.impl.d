@@ -1,0 +1,1 @@
+lib/xquery/xq_compile.ml: Ast List Option Printf Weblab_xpath Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_compile.mli: Ast Weblab_xpath Xq_ast

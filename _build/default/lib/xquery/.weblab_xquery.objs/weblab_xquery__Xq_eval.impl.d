@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.ml: Array List Option Printf String Table Tree Value Weblab_relalg Weblab_xml Weblab_xpath Xq_ast

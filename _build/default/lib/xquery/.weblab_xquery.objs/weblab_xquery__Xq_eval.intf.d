@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.mli: Table Tree Weblab_relalg Weblab_xml Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_optimize.ml: List String Weblab_xpath Xq_ast

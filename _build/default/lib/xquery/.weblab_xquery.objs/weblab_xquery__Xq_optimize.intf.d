@@ -1,0 +1,1 @@
+lib/xquery/xq_optimize.mli: Xq_ast

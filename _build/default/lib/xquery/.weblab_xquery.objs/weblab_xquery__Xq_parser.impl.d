@@ -1,0 +1,1 @@
+lib/xquery/xq_parser.ml: Ast Lexer List Parser Printf String Weblab_xpath Xq_ast

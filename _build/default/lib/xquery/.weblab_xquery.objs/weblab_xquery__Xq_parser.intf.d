@@ -1,0 +1,1 @@
+lib/xquery/xq_parser.mli: Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_print.ml: Buffer List Printf String Weblab_xpath Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_print.mli: Xq_ast

@@ -1,0 +1,150 @@
+(* Compilation of mapping rules into FLWOR expressions (§6).
+
+   Each pattern step becomes a [for] variable, each variable assignment a
+   [let], each predicate a [where] conjunct; the provenance query of a rule
+   joins the source and target blocks on the shared variables and adds the
+   temporal/service constraints of the §4 rewriting — reproducing the
+   Mapper's generated XQuery of Examples 8 and 9. *)
+
+open Weblab_xpath
+
+exception Unsupported of string
+
+(* Compiled form of one pattern: its clauses, where-conjuncts, the final
+   step's for-variable, and the renaming applied to its binding
+   variables. *)
+type block = {
+  clauses : Xq_ast.clause list;
+  where : Xq_ast.cond list;
+  last_var : string;
+  renaming : (string * string) list;  (* pattern var -> let var *)
+}
+
+let rel_path_from var (rp : Ast.rel_path) : Xq_ast.path =
+  { Xq_ast.start = `Var var;
+    steps = List.map (fun { Ast.raxis; rtest } -> (raxis, rtest)) rp }
+
+let rec compile_operand ~var ~rename_var (op : Ast.operand) : Xq_ast.expr =
+  match op with
+  | Ast.Attr a -> Xq_ast.Attr_of (var, a)
+  | Ast.Lit s -> Xq_ast.String_lit s
+  | Ast.Num n -> Xq_ast.Int_lit n
+  | Ast.Var x -> Xq_ast.Var_ref (rename_var x)
+  | Ast.Skolem (f, args) ->
+    Xq_ast.Skolem_call (f, List.map (compile_operand ~var ~rename_var) args)
+  | Ast.Position | Ast.Last ->
+    raise (Unsupported "position()/last() cannot be compiled to FLWOR")
+  | Ast.Count _ | Ast.Strlen _ ->
+    raise (Unsupported "count()/string-length() cannot be compiled to FLWOR")
+  | Ast.Path _ | Ast.Path_attr _ ->
+    raise (Unsupported "a path operand is only supported as a comparison side")
+
+let rec compile_cond ~var ~rename_var (p : Ast.pred) : Xq_ast.cond =
+  match p with
+  | Ast.Bind _ -> raise (Unsupported "nested variable binding")
+  | Ast.Cmp (Ast.Path rp, op, b) ->
+    Xq_ast.Path_cmp (rel_path_from var rp, op, compile_operand ~var ~rename_var b)
+  | Ast.Cmp (a, op, Ast.Path rp) ->
+    (* Flip the comparison so the path is on the left. *)
+    let flip : Ast.cmpop -> Ast.cmpop = function
+      | Ast.Eq -> Ast.Eq
+      | Ast.Neq -> Ast.Neq
+      | Ast.Lt -> Ast.Gt
+      | Ast.Le -> Ast.Ge
+      | Ast.Gt -> Ast.Lt
+      | Ast.Ge -> Ast.Le
+    in
+    Xq_ast.Path_cmp (rel_path_from var rp, flip op, compile_operand ~var ~rename_var a)
+  | Ast.Cmp (a, op, b) ->
+    Xq_ast.Cmp (compile_operand ~var ~rename_var a, op, compile_operand ~var ~rename_var b)
+  | Ast.Exists_path rp -> Xq_ast.Exists (rel_path_from var rp)
+  | Ast.Exists_attr a -> Xq_ast.Has_attr (var, a)
+  | Ast.Index _ -> raise (Unsupported "positional predicates cannot be compiled")
+  | Ast.Fn_bool (f, _) ->
+    raise (Unsupported (Printf.sprintf "%s() cannot be compiled to FLWOR" f))
+  | Ast.And (a, b) -> Xq_ast.And (compile_cond ~var ~rename_var a, compile_cond ~var ~rename_var b)
+  | Ast.Or (a, b) -> Xq_ast.Or (compile_cond ~var ~rename_var a, compile_cond ~var ~rename_var b)
+  | Ast.Not a -> Xq_ast.Not (compile_cond ~var ~rename_var a)
+
+(* Compile one pattern into a block.  For-variables are [prefix]1, 2, …;
+   binding variables $x are renamed through [rename_var] (the rule
+   compiler uses it to keep source and target namespaces apart). *)
+let compile_pattern ~prefix ~rename_var (pattern : Ast.pattern) : block =
+  let clauses = ref [] in
+  let where = ref [] in
+  let renaming = ref [] in
+  let push c = clauses := c :: !clauses in
+  let last_var =
+    List.fold_left
+      (fun (i, prev) (step : Ast.step) ->
+        let var = Printf.sprintf "%s%d" prefix (i + 1) in
+        let start = match prev with None -> `Root | Some v -> `Var v in
+        push (Xq_ast.For (var, { Xq_ast.start; steps = [ (step.Ast.axis, step.Ast.test) ] }));
+        List.iter
+          (fun pred ->
+            match pred with
+            | Ast.Bind (x, src) ->
+              let x' = rename_var x in
+              renaming := (x, x') :: !renaming;
+              push (Xq_ast.Let (x', compile_operand ~var ~rename_var src))
+            | _ -> where := compile_cond ~var ~rename_var pred :: !where)
+          step.Ast.preds;
+        (i + 1, Some var))
+      (0, None) pattern
+    |> snd
+    |> Option.get
+  in
+  { clauses = List.rev !clauses;
+    where = List.rev !where;
+    last_var;
+    renaming = List.rev !renaming }
+
+(* Example 8: a single pattern compiled to the query returning its
+   embeddings. *)
+let compile_pattern_query ?(require_uri = false) (pattern : Ast.pattern) : Xq_ast.flwor =
+  let block = compile_pattern ~prefix:"v" ~rename_var:(fun x -> x) pattern in
+  let where =
+    if require_uri then block.where @ [ Xq_ast.Has_attr (block.last_var, "id") ]
+    else block.where
+  in
+  {
+    Xq_ast.clauses = block.clauses;
+    where;
+    return_cols =
+      ("r", Xq_ast.Attr_of (block.last_var, "id"))
+      :: List.map (fun (x, x') -> (x, Xq_ast.Var_ref x')) block.renaming;
+  }
+
+(* Example 9: the provenance query of a rule for a service call (s, t),
+   evaluated against the final document.  Shared variables join the two
+   blocks; the temporal constraints select the correct document states. *)
+let compile_rule_query (source : Ast.pattern) (target : Ast.pattern)
+    ~(service : string) ~(time : int) : Xq_ast.flwor =
+  let src = compile_pattern ~prefix:"s" ~rename_var:(fun x -> x ^ "1") source in
+  (* Free variables of the target refer to source bindings; bound target
+     variables get their own namespace. *)
+  let tgt_rename x =
+    if List.mem x (Ast.variables target) then x ^ "2" else x ^ "1"
+  in
+  let tgt = compile_pattern ~prefix:"t" ~rename_var:tgt_rename target in
+  let join_conds =
+    List.filter_map
+      (fun (x, x1) ->
+        match List.assoc_opt x tgt.renaming with
+        | Some x2 -> Some (Xq_ast.Cmp (Xq_ast.Var_ref x1, Ast.Eq, Xq_ast.Var_ref x2))
+        | None -> None)
+      src.renaming
+  in
+  let temporal =
+    [ Xq_ast.Cmp (Xq_ast.Attr_of (src.last_var, "t"), Ast.Lt, Xq_ast.Int_lit time);
+      Xq_ast.Cmp (Xq_ast.Attr_of (tgt.last_var, "t"), Ast.Eq, Xq_ast.Int_lit time);
+      Xq_ast.Cmp (Xq_ast.Attr_of (tgt.last_var, "s"), Ast.Eq, Xq_ast.String_lit service)
+    ]
+  in
+  {
+    Xq_ast.clauses = src.clauses @ tgt.clauses;
+    where = src.where @ tgt.where @ join_conds @ temporal;
+    return_cols =
+      [ ("in", Xq_ast.Attr_of (src.last_var, "id"));
+        ("out", Xq_ast.Attr_of (tgt.last_var, "id")) ];
+  }

@@ -1,0 +1,40 @@
+(** Compilation of mapping rules into FLWOR expressions (§6).
+
+    Each pattern step becomes a [for] variable, each variable assignment a
+    [let], each predicate a [where] conjunct; the provenance query of a
+    rule joins the source and target blocks on the shared variables and
+    adds the temporal/service constraints of the §4 rewriting —
+    reproducing the Mapper's generated XQuery of Examples 8 and 9. *)
+
+open Weblab_xpath
+
+exception Unsupported of string
+(** Raised for pattern features outside the compiled fragment:
+    positional predicates, [position()] and path operands in bindings. *)
+
+(** Compiled form of one pattern. *)
+type block = {
+  clauses : Xq_ast.clause list;
+  where : Xq_ast.cond list;
+  last_var : string;                   (** for-variable of the final step *)
+  renaming : (string * string) list;   (** pattern var → let var *)
+}
+
+val compile_pattern :
+  prefix:string -> rename_var:(string -> string) -> Ast.pattern -> block
+(** For-variables are [prefix]1, 2, …; binding variables are renamed
+    through [rename_var] (the rule compiler keeps source and target
+    namespaces apart with it). *)
+
+val compile_pattern_query : ?require_uri:bool -> Ast.pattern -> Xq_ast.flwor
+(** Example 8: a single pattern compiled to the query returning its
+    embeddings, one [<emb>] column per binding variable plus [r].
+    [require_uri] (default [false], matching the printed example) adds
+    the implicit Definition 4 condition that the result node carries
+    [@id]. *)
+
+val compile_rule_query :
+  Ast.pattern -> Ast.pattern -> service:string -> time:int -> Xq_ast.flwor
+(** Example 9: the provenance query of a rule for the call
+    [(service, time)], to be evaluated against the {e final} document;
+    returns [in]/[out] columns. *)

@@ -1,0 +1,26 @@
+(** The query optimization of Example 9: when the where clause contains
+    [$x1 = $x2] with [$x1 := $v1/@id], [$x2 := $v2/@id], @id a key
+    attribute, and $v1/$v2 ranging over the same path, the two
+    for-variables denote the same node — so they merge, turning a join
+    into a navigation.  Dead lets are then eliminated. *)
+
+val merge_key_joins : ?key_attrs:string list -> Xq_ast.flwor -> Xq_ast.flwor
+(** Iterate the merge to a fixpoint, then clean up.  [key_attrs] defaults
+    to [\["id"\]] — the justification being that @id is of type ID.
+    Semantics-preserving (tested against the unoptimized query). *)
+
+val eliminate_dead_lets : Xq_ast.flwor -> Xq_ast.flwor
+(** Drop let-clauses whose variable is referenced nowhere. *)
+
+val subst_query : from_var:string -> to_var:string -> Xq_ast.flwor -> Xq_ast.flwor
+(** Substitute one for-variable for another everywhere (paths, conditions,
+    lets, return columns). *)
+
+val push_filters : Xq_ast.flwor -> Xq_ast.flwor
+(** Selection pushdown: move each where-conjunct to the earliest point at
+    which all its variables are bound ({!Xq_ast.Filter} clauses), pruning
+    embeddings before later for-clauses multiply them.
+    Semantics-preserving (tested). *)
+
+val optimize : ?key_attrs:string list -> Xq_ast.flwor -> Xq_ast.flwor
+(** {!merge_key_joins} followed by {!push_filters}. *)

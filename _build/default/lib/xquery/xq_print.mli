@@ -1,0 +1,12 @@
+(** Concrete XQuery syntax for compiled queries, in the layout of
+    Examples 8 and 9: a [for] block, a [let] block, a [where] conjunction
+    and a [return] constructor ([<prov>{in} -> {out}</prov>] for rule
+    queries, [<emb>…</emb>] for embedding queries). *)
+
+val to_string : Xq_ast.flwor -> string
+
+val path_to_string : Xq_ast.path -> string
+
+val expr_to_string : Xq_ast.expr -> string
+
+val cond_to_string : Xq_ast.cond -> string

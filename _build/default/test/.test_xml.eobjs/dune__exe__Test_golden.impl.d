@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Engine Inheritance List Option Printf Prov_graph Rule_parser Service Strategy String Sys Trace_io Weblab_prov Weblab_scenario Weblab_services Weblab_workflow Weblab_xml

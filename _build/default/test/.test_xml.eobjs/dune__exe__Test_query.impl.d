@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Dot Explain Lazy List Paper Prov_export Prov_graph Prov_vocab Query String Trace Triple_store Turtle Weblab_prov Weblab_rdf Weblab_scenario Weblab_workflow

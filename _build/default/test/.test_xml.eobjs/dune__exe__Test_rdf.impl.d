@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest List Printf Prov_vocab Sparql String Table Term Triple_store Turtle Value Weblab_rdf Weblab_relalg

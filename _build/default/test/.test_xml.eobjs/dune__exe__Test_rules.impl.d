@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Doc_state List Mapping Option Orchestrator Pattern_rewrite Rule Rule_parser Service Trace Tree Weblab_prov Weblab_workflow Weblab_xml Weblab_xpath

@@ -1,0 +1,1 @@
+test/test_skolem.ml: Alcotest Doc_state List Mapping Prov_export Prov_graph Prov_vocab Rule Rule_parser Skolem Triple_store Weblab_prov Weblab_rdf Weblab_xml Xml_parser

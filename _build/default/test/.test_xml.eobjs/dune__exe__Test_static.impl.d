@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Catalog Engine List Option Orchestrator Prov_graph Rule_parser Service Static_check String Weblab_prov Weblab_services Weblab_workflow Workload

@@ -1,0 +1,1 @@
+test/test_workflow.ml: Alcotest Doc_state List Option Orchestrator Service String Trace Tree Weblab_workflow Weblab_xml

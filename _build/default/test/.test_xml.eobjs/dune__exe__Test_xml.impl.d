@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Diff Doc_state List Option Printer Printf String Tree Weblab_xml Xml_parser

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Ast Eval List Option Parser Print Printf String Table Tree Value Weblab_relalg Weblab_xml Weblab_xpath Xml_parser

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Ast Eval List Parser Printf String Table Value Weblab_relalg Weblab_xml Weblab_xpath Weblab_xquery Xml_parser Xq_ast Xq_compile Xq_eval Xq_optimize Xq_parser Xq_print

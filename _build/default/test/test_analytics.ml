@@ -1,0 +1,193 @@
+(* Tests for provenance analytics, the storage ablation and replay
+   planning. *)
+
+open Weblab_workflow
+open Weblab_services
+open Weblab_prov
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let rulebook services =
+  List.filter_map
+    (fun svc ->
+      Catalog.find (Service.name svc)
+      |> Option.map (fun e ->
+             (Service.name svc, List.map Rule_parser.parse e.Catalog.rules)))
+    services
+
+let execution ?(units = 3) ?(seed = 19) () =
+  let doc = Workload.make_document ~units ~seed () in
+  let services = Workload.standard_pipeline ~extended:true () in
+  let rb = rulebook services in
+  Engine.run_with_provenance doc services rb
+
+(* --- metrics --- *)
+
+let test_metrics_basic () =
+  let exec, g = execution () in
+  let m = Analytics.metrics g in
+  check_int "resources" (List.length (Prov_graph.labeled_resources g)) m.Analytics.resources;
+  check_int "explicit" (Prov_graph.size g) m.Analytics.explicit_links;
+  check_int "no inherited yet" 0 m.Analytics.inherited_links;
+  check_bool "blowup 1.0" true (m.Analytics.blowup = 1.0);
+  check_bool "depth positive" true (m.Analytics.depth >= 1);
+  check_bool "rules counted" true (m.Analytics.links_per_rule <> []);
+  ignore exec
+
+let test_metrics_with_inheritance () =
+  let exec, g = execution () in
+  let g = Inheritance.close exec.Engine.doc g in
+  let m = Analytics.metrics g in
+  check_bool "inherited links exist" true (m.Analytics.inherited_links > 0);
+  check_bool "blowup > 1" true (m.Analytics.blowup > 1.0);
+  (* the report renders *)
+  check_bool "report" true (String.length (Analytics.metrics_to_string m) > 40)
+
+let test_metrics_depth_chain () =
+  let g = Prov_graph.create () in
+  Prov_graph.set_label g "a" { Trace.service = "S"; time = 1 };
+  Prov_graph.set_label g "b" { Trace.service = "S"; time = 2 };
+  Prov_graph.set_label g "c" { Trace.service = "S"; time = 3 };
+  Prov_graph.add_link g ~from_uri:"b" ~to_uri:"a";
+  Prov_graph.add_link g ~from_uri:"c" ~to_uri:"b";
+  check_int "chain depth" 2 (Analytics.metrics g).Analytics.depth
+
+(* --- storage ablation --- *)
+
+let test_storage_ablation () =
+  let exec, g = execution () in
+  let ab = Analytics.storage_ablation exec.Engine.doc g in
+  check_bool "materialized is larger" true
+    (ab.Analytics.materialized_bytes > ab.Analytics.explicit_only_bytes);
+  check_bool "savings in (0,1)" true
+    (ab.Analytics.savings > 0.0 && ab.Analytics.savings < 1.0)
+
+(* --- replay planning --- *)
+
+let plan_graph () =
+  (*   s1 -> n1 -> a1        s2 -> n2   (independent chains) *)
+  let g = Prov_graph.create () in
+  let label u s t = Prov_graph.set_label g u { Trace.service = s; time = t } in
+  label "s1" "Source" 0;
+  label "s2" "Source" 0;
+  label "n1" "Normaliser" 1;
+  label "n2" "Normaliser" 1;
+  label "a1" "Annotator" 2;
+  Prov_graph.add_link g ~from_uri:"n1" ~to_uri:"s1";
+  Prov_graph.add_link g ~from_uri:"n2" ~to_uri:"s2";
+  Prov_graph.add_link g ~from_uri:"a1" ~to_uri:"n1";
+  g
+
+let test_replay_plan_minimal () =
+  let g = plan_graph () in
+  let plan = Replay_plan.build g ~sources:[ "s1" ] in
+  check (Alcotest.list Alcotest.string) "tainted" [ "a1"; "n1"; "s1" ]
+    plan.Replay_plan.tainted;
+  check (Alcotest.list Alcotest.string) "calls"
+    [ "Normaliser@1"; "Annotator@2" ]
+    (List.map
+       (fun (c : Trace.call) -> Printf.sprintf "%s@%d" c.Trace.service c.Trace.time)
+       plan.Replay_plan.calls);
+  (* the untouched chain survives *)
+  check_bool "n2 unaffected" true (List.mem "n2" plan.Replay_plan.unaffected);
+  check_bool "s2 unaffected" true (List.mem "s2" plan.Replay_plan.unaffected)
+
+let test_replay_plan_empty () =
+  let g = plan_graph () in
+  let plan = Replay_plan.build g ~sources:[ "ghost" ] in
+  check_int "no calls" 0 (List.length plan.Replay_plan.calls);
+  check (Alcotest.list Alcotest.string) "only the ghost itself" [ "ghost" ]
+    plan.Replay_plan.tainted
+
+let test_replay_plan_end_to_end () =
+  (* On a real pipeline: tainting one media unit re-runs every downstream
+     call, but never flags resources of the other units' chains. *)
+  let exec, g = execution ~units:2 () in
+  let g = Inheritance.close exec.Engine.doc g in
+  let plan = Replay_plan.build g ~sources:[ "mu1" ] in
+  check_bool "some calls to re-run" true (plan.Replay_plan.calls <> []);
+  (* calls are ordered by timestamp *)
+  let times = List.map (fun (c : Trace.call) -> c.Trace.time) plan.Replay_plan.calls in
+  check_bool "ordered" true (List.sort compare times = times);
+  (* mu2's normalized unit is not tainted by mu1 *)
+  let mu2_units =
+    Prov_graph.links g
+    |> List.filter_map (fun l ->
+           if l.Prov_graph.to_uri = "mu2" then Some l.Prov_graph.from_uri else None)
+  in
+  List.iter
+    (fun u ->
+      check_bool (u ^ " untouched") true
+        (not (List.mem u plan.Replay_plan.tainted)))
+    mu2_units
+
+let test_metrics_empty_graph () =
+  let m = Analytics.metrics (Prov_graph.create ()) in
+  check_int "no resources" 0 m.Analytics.resources;
+  check_int "no links" 0 m.Analytics.explicit_links;
+  check_bool "blowup defined" true (m.Analytics.blowup = 1.0);
+  check_int "depth" 0 m.Analytics.depth
+
+(* --- quality propagation --- *)
+
+let test_quality_chain () =
+  let g = plan_graph () in
+  let scored = Quality.propagate g ~sources:[ ("s1", 0.5) ] in
+  let score u = List.assoc u scored in
+  check_bool "source pinned" true (score "s1" = 0.5);
+  check_bool "n1 inherits" true (score "n1" = 0.5);
+  check_bool "a1 inherits transitively" true (score "a1" = 0.5);
+  check_bool "other chain untouched" true (score "n2" = 1.0 && score "s2" = 1.0)
+
+let test_quality_weakest_link () =
+  (*    m <- a (0.9)
+        m <- b (0.3)   -> m scores 0.3 *)
+  let g = Prov_graph.create () in
+  let label u t = Prov_graph.set_label g u { Trace.service = "S"; time = t } in
+  label "a" 0; label "b" 0; label "m" 1;
+  Prov_graph.add_link g ~from_uri:"m" ~to_uri:"a";
+  Prov_graph.add_link g ~from_uri:"m" ~to_uri:"b";
+  let scored = Quality.propagate g ~sources:[ ("a", 0.9); ("b", 0.3) ] in
+  check_bool "weakest link" true (List.assoc "m" scored = 0.3)
+
+let test_quality_attenuation () =
+  let g = plan_graph () in
+  let config =
+    { Quality.default_config with
+      Quality.attenuation = (fun s -> if s = "Annotator" then 0.8 else 1.0) }
+  in
+  let scored = Quality.propagate ~config g ~sources:[] in
+  check_bool "n1 lossless" true (List.assoc "n1" scored = 1.0);
+  check_bool "a1 attenuated" true (abs_float (List.assoc "a1" scored -. 0.8) < 1e-9)
+
+let test_quality_review_queue () =
+  let exec, g = execution ~units:2 () in
+  let g = Inheritance.close exec.Engine.doc g in
+  (* one corrupt source: everything downstream lands in the queue *)
+  let queue = Quality.below g ~sources:[ ("mu1", 0.2) ] ~threshold:0.5 in
+  check_bool "queue non-empty" true (List.length queue > 1);
+  List.iter (fun (_, s) -> check_bool "below threshold" true (s < 0.5)) queue;
+  (* with pristine sources the queue is empty *)
+  check_int "clean run" 0
+    (List.length (Quality.below g ~sources:[] ~threshold:0.5))
+
+let () =
+  Alcotest.run "analytics"
+    [ ( "metrics",
+        [ Alcotest.test_case "basic" `Quick test_metrics_basic;
+          Alcotest.test_case "with inheritance" `Quick test_metrics_with_inheritance;
+          Alcotest.test_case "depth" `Quick test_metrics_depth_chain;
+          Alcotest.test_case "empty graph" `Quick test_metrics_empty_graph ] );
+      ( "storage",
+        [ Alcotest.test_case "ablation" `Quick test_storage_ablation ] );
+      ( "quality",
+        [ Alcotest.test_case "chain" `Quick test_quality_chain;
+          Alcotest.test_case "weakest link" `Quick test_quality_weakest_link;
+          Alcotest.test_case "attenuation" `Quick test_quality_attenuation;
+          Alcotest.test_case "review queue" `Quick test_quality_review_queue ] );
+      ( "replay",
+        [ Alcotest.test_case "minimal plan" `Quick test_replay_plan_minimal;
+          Alcotest.test_case "empty plan" `Quick test_replay_plan_empty;
+          Alcotest.test_case "end to end" `Quick test_replay_plan_end_to_end ] ) ]

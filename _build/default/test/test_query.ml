@@ -1,0 +1,199 @@
+(* Tests for the lineage query API and the DOT/RDF exports on a known
+   graph. *)
+
+open Weblab_workflow
+open Weblab_prov
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let strings = Alcotest.(list string)
+
+(* A diamond with a tail:
+     d ──> b ──> a
+     d ──> c ──> a
+     e ──> d               (labels: a@0, b@1, c@1, d@2, e@3)  *)
+let graph () =
+  let g = Prov_graph.create () in
+  Prov_graph.set_label g "a" { Trace.service = "Source"; time = 0 };
+  Prov_graph.set_label g "b" { Trace.service = "S1"; time = 1 };
+  Prov_graph.set_label g "c" { Trace.service = "S1"; time = 1 };
+  Prov_graph.set_label g "d" { Trace.service = "S2"; time = 2 };
+  Prov_graph.set_label g "e" { Trace.service = "S3"; time = 3 };
+  Prov_graph.add_link g ~rule:"m" ~from_uri:"b" ~to_uri:"a";
+  Prov_graph.add_link g ~rule:"m" ~from_uri:"c" ~to_uri:"a";
+  Prov_graph.add_link g ~rule:"m" ~from_uri:"d" ~to_uri:"b";
+  Prov_graph.add_link g ~rule:"m" ~from_uri:"d" ~to_uri:"c";
+  Prov_graph.add_link g ~rule:"m" ~from_uri:"e" ~to_uri:"d";
+  g
+
+let test_direct () =
+  let g = graph () in
+  check strings "deps of d" [ "b"; "c" ] (Prov_graph.depends_on g "d");
+  check strings "used_by a" [ "b"; "c" ] (Prov_graph.used_by g "a");
+  check strings "deps of a" [] (Prov_graph.depends_on g "a")
+
+let test_transitive () =
+  let g = graph () in
+  check strings "transitive deps of e" [ "a"; "b"; "c"; "d" ]
+    (Query.depends_on_transitive g "e");
+  check strings "influences of a" [ "b"; "c"; "d"; "e" ]
+    (Query.influences_transitive g "a");
+  check strings "nothing upstream of a" [] (Query.depends_on_transitive g "a")
+
+let test_path () =
+  let g = graph () in
+  (match Query.path g ~from_uri:"e" ~to_uri:"a" with
+   | Some p ->
+     check_int "shortest path length" 4 (List.length p);
+     check_bool "starts at e" true (List.hd p = "e");
+     check_bool "ends at a" true (List.nth p 3 = "a")
+   | None -> Alcotest.fail "expected a path");
+  check_bool "no reverse path" true (Query.path g ~from_uri:"a" ~to_uri:"e" = None);
+  check_bool "self path" true (Query.path g ~from_uri:"d" ~to_uri:"d" = Some [ "d" ])
+
+let test_call_level () =
+  let g = graph () in
+  let c2 = { Trace.service = "S2"; time = 2 } in
+  check strings "call used" [ "b"; "c" ] (Query.call_used g c2);
+  check strings "call generated" [ "d" ] (Query.call_generated g c2);
+  let informed = Query.informed_by g c2 in
+  check_int "one informing call" 1 (List.length informed);
+  check (Alcotest.list Alcotest.string) "S1 informs S2" [ "S1" ]
+    (List.map (fun c -> c.Trace.service) informed)
+
+let test_call_transitive () =
+  let g = graph () in
+  let c3 = { Trace.service = "S3"; time = 3 } in
+  let services =
+    Query.informed_by_transitive g c3 |> List.map (fun c -> c.Trace.service)
+  in
+  check (Alcotest.list Alcotest.string) "chain" [ "Source"; "S1"; "S2" ] services
+
+let test_dot_export () =
+  let g = graph () in
+  let dot = Dot.to_dot g in
+  let contains needle =
+    let nh = String.length dot and nn = String.length needle in
+    let rec loop i = i + nn <= nh && (String.sub dot i nn = needle || loop (i + 1)) in
+    loop 0
+  in
+  check_bool "digraph" true (contains "digraph provenance");
+  check_bool "edge" true (contains "\"e\" -> \"d\"");
+  check_bool "label" true (contains "S3@t3")
+
+let test_rdf_roundtrip_counts () =
+  let g = graph () in
+  let store = Prov_export.to_store g in
+  let open Weblab_rdf in
+  check_int "derivations" 5
+    (Triple_store.count store (None, Some Prov_vocab.was_derived_from, None));
+  check_int "generations" 5
+    (Triple_store.count store (None, Some Prov_vocab.was_generated_by, None));
+  (* b and c share a call: 4 distinct activities *)
+  check_int "activities" 4
+    (Triple_store.count store
+       (None, Some Prov_vocab.rdf_type, Some Prov_vocab.activity));
+  (* The Turtle output re-parses as N-Triples via the ntriples printer. *)
+  let st2 = Turtle.parse_ntriples (Turtle.to_ntriples store) in
+  check_int "round-trip size" (Triple_store.size store) (Triple_store.size st2)
+
+let test_provenance_table_format () =
+  let g = graph () in
+  let s = Prov_graph.provenance_table g in
+  check_bool "header" true (String.length s > 10 && String.sub s 0 4 = "From")
+
+(* --- link explanation --- *)
+
+let scenario = lazy (Weblab_scenario.Paper.run ())
+
+let test_explain_link () =
+  let e = Lazy.force scenario in
+  let open Weblab_scenario in
+  (* Why does 8 -> 4 exist?  M3 at (Translator, t3), no shared vars. *)
+  let ws =
+    Explain.link ~doc:e.Paper.doc ~trace:e.Paper.trace e.Paper.rulebook
+      ~from_uri:"r8" ~to_uri:"r4"
+  in
+  (match ws with
+   | [ w ] ->
+     check Alcotest.string "rule" "M3" w.Explain.rule;
+     check Alcotest.string "service" "Translator" w.Explain.call.Trace.service;
+     check_int "no shared vars" 0 (List.length w.Explain.bindings)
+   | l -> Alcotest.failf "expected one witness, got %d" (List.length l));
+  (* Why does 6 -> 5 exist?  M2 with $x = r4. *)
+  let ws =
+    Explain.link ~doc:e.Paper.doc ~trace:e.Paper.trace e.Paper.rulebook
+      ~from_uri:"r6" ~to_uri:"r5"
+  in
+  match ws with
+  | [ w ] ->
+    check Alcotest.string "rule" "M2" w.Explain.rule;
+    check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+      "binding" [ ("x", "r4") ] w.Explain.bindings;
+    check_bool "renders" true (String.length (Explain.witness_to_string w) > 10)
+  | l -> Alcotest.failf "expected one witness, got %d" (List.length l)
+
+let test_explain_no_witness () =
+  let e = Lazy.force scenario in
+  let open Weblab_scenario in
+  check_int "no witness for a non-link" 0
+    (List.length
+       (Explain.link ~doc:e.Paper.doc ~trace:e.Paper.trace e.Paper.rulebook
+          ~from_uri:"r4" ~to_uri:"r8"))
+
+let test_explain_missing () =
+  let e = Lazy.force scenario in
+  let open Weblab_scenario in
+  (* Why is there no 6 -> r1 link?  M2's join variable $x differs: r4 on
+     the target side, r1 would have to appear on the source side. *)
+  let ds =
+    Explain.missing ~doc:e.Paper.doc ~trace:e.Paper.trace e.Paper.rulebook
+      ~from_uri:"r6" ~to_uri:"r1"
+  in
+  check_bool "some diagnosis" true (ds <> []);
+  let m2 =
+    List.find_opt (fun d -> d.Explain.d_rule = "M2") ds
+  in
+  (match m2 with
+   | Some d -> (
+     match d.Explain.failure with
+     | Explain.Source_no_match -> ()  (* r1 has no TextContent child *)
+     | f -> Alcotest.failf "unexpected failure: %s" (Explain.failure_to_string f))
+   | None -> Alcotest.fail "expected an M2 diagnosis");
+  (* all diagnoses render *)
+  List.iter
+    (fun d ->
+      check_bool "renders" true
+        (String.length (Explain.failure_to_string d.Explain.failure) > 5))
+    ds
+
+let test_explain_wrong_call () =
+  let e = Lazy.force scenario in
+  let open Weblab_scenario in
+  (* r4 was produced by c1, so c2/c3 rules diagnose Wrong_call for it. *)
+  let ds =
+    Explain.missing ~doc:e.Paper.doc ~trace:e.Paper.trace e.Paper.rulebook
+      ~from_uri:"r4" ~to_uri:"r5"
+  in
+  check_bool "wrong-call diagnosed" true
+    (List.exists (fun d -> d.Explain.failure = Explain.Wrong_call) ds)
+
+let () =
+  Alcotest.run "query"
+    [ ( "lineage",
+        [ Alcotest.test_case "direct" `Quick test_direct;
+          Alcotest.test_case "transitive" `Quick test_transitive;
+          Alcotest.test_case "paths" `Quick test_path;
+          Alcotest.test_case "call level" `Quick test_call_level;
+          Alcotest.test_case "call transitive" `Quick test_call_transitive ] );
+      ( "explain",
+        [ Alcotest.test_case "witnesses" `Quick test_explain_link;
+          Alcotest.test_case "no witness" `Quick test_explain_no_witness;
+          Alcotest.test_case "missing link" `Quick test_explain_missing;
+          Alcotest.test_case "wrong call" `Quick test_explain_wrong_call ] );
+      ( "export",
+        [ Alcotest.test_case "dot" `Quick test_dot_export;
+          Alcotest.test_case "rdf counts" `Quick test_rdf_roundtrip_counts;
+          Alcotest.test_case "table format" `Quick test_provenance_table_format ] ) ]

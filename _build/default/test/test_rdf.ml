@@ -1,0 +1,262 @@
+(* Tests for the RDF substrate: triple store, serialization and the
+   SPARQL subset. *)
+
+open Weblab_rdf
+open Weblab_relalg
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let iri = Term.iri
+let lit = Term.lit
+
+let sample_store () =
+  let st = Triple_store.create () in
+  let add s p o = Triple_store.add st (s, p, o) in
+  add (iri "e:1") Prov_vocab.rdf_type Prov_vocab.entity;
+  add (iri "e:2") Prov_vocab.rdf_type Prov_vocab.entity;
+  add (iri "a:1") Prov_vocab.rdf_type Prov_vocab.activity;
+  add (iri "e:2") Prov_vocab.was_derived_from (iri "e:1");
+  add (iri "e:2") Prov_vocab.was_generated_by (iri "a:1");
+  add (iri "a:1") Prov_vocab.used (iri "e:1");
+  add (iri "e:1") Prov_vocab.rdfs_label (lit "source");
+  st
+
+let test_add_dedup () =
+  let st = Triple_store.create () in
+  let t = (iri "a", iri "b", iri "c") in
+  Triple_store.add st t;
+  Triple_store.add st t;
+  check_int "size" 1 (Triple_store.size st);
+  check_bool "mem" true (Triple_store.mem st t);
+  check_bool "not mem" false (Triple_store.mem st (iri "a", iri "b", iri "d"))
+
+let test_find_patterns () =
+  let st = sample_store () in
+  check_int "by subject" 3 (Triple_store.count st (Some (iri "e:2"), None, None));
+  check_int "by predicate" 3
+    (Triple_store.count st (None, Some Prov_vocab.rdf_type, None));
+  check_int "by object" 2 (Triple_store.count st (None, None, Some (iri "e:1")));
+  check_int "exact" 1
+    (Triple_store.count st
+       (Some (iri "e:2"), Some Prov_vocab.was_derived_from, Some (iri "e:1")));
+  check_int "all" 7 (Triple_store.count st (None, None, None));
+  check_int "no match" 0 (Triple_store.count st (Some (iri "zz"), None, None))
+
+let test_term_semantics () =
+  check_bool "lit with/without dt" false
+    (Term.equal (lit "5") (Term.int_lit 5));
+  check_bool "lit eq" true (Term.equal (lit "a") (lit "a"));
+  check_bool "iri neq bnode" false (Term.equal (iri "x") (Term.bnode "x"))
+
+let test_bgp_query () =
+  let st = sample_store () in
+  let q =
+    [ (Triple_store.Var "e", Triple_store.Const Prov_vocab.rdf_type,
+       Triple_store.Const Prov_vocab.entity) ]
+  in
+  check_int "entities" 2 (Table.cardinality (Triple_store.query st q))
+
+let test_bgp_join () =
+  let st = sample_store () in
+  (* entities derived from something that an activity used *)
+  let q =
+    [ (Triple_store.Var "b", Triple_store.Const Prov_vocab.was_derived_from,
+       Triple_store.Var "a");
+      (Triple_store.Var "act", Triple_store.Const Prov_vocab.used,
+       Triple_store.Var "a") ]
+  in
+  let t = Triple_store.query st q in
+  check_int "joined" 1 (Table.cardinality t);
+  let row = List.hd (Table.rows t) in
+  check_bool "b bound" true
+    (Value.to_string (Table.get t row "b") = "<e:2>")
+
+let test_bgp_repeated_var () =
+  let st = Triple_store.create () in
+  Triple_store.add st (iri "a", iri "p", iri "a");
+  Triple_store.add st (iri "a", iri "p", iri "b");
+  let q = [ (Triple_store.Var "x", Triple_store.Const (iri "p"), Triple_store.Var "x") ] in
+  check_int "self loops" 1 (Table.cardinality (Triple_store.query st q))
+
+let test_ntriples_roundtrip () =
+  let st = sample_store () in
+  Triple_store.add st
+    (iri "e:3", Prov_vocab.rdfs_label, Term.Lit ("line\nbreak \"q\"", None));
+  Triple_store.add st (iri "e:3", Prov_vocab.wl_timestamp, Term.int_lit 42);
+  let text = Turtle.to_ntriples st in
+  let st' = Turtle.parse_ntriples text in
+  check_int "same size" (Triple_store.size st) (Triple_store.size st');
+  Triple_store.iter st (fun t ->
+      check_bool "triple preserved" true (Triple_store.mem st' t))
+
+let test_turtle_output () =
+  let st = sample_store () in
+  let ttl = Turtle.to_turtle st in
+  let contains needle =
+    let nh = String.length ttl and nn = String.length needle in
+    let rec loop i = i + nn <= nh && (String.sub ttl i nn = needle || loop (i + 1)) in
+    loop 0
+  in
+  check_bool "prefix decl" true (contains "@prefix prov:");
+  check_bool "abbreviated" true (contains "prov:Entity");
+  check_bool "derived" true (contains "prov:wasDerivedFrom")
+
+let test_sparql_select () =
+  let st = sample_store () in
+  let t =
+    Sparql.run st "SELECT ?e WHERE { ?e a prov:Entity }"
+  in
+  check_int "two entities" 2 (Table.cardinality t);
+  check (Alcotest.list Alcotest.string) "cols" [ "e" ] (Table.columns t)
+
+let test_sparql_join_and_prefix () =
+  let st = sample_store () in
+  let t =
+    Sparql.run st
+      "PREFIX ex: <e:> SELECT ?a WHERE { ex:2 prov:wasDerivedFrom ?a . \
+       ?act prov:used ?a . }"
+  in
+  check_int "one" 1 (Table.cardinality t)
+
+let test_sparql_star () =
+  let st = sample_store () in
+  let t = Sparql.run st "SELECT * WHERE { ?s prov:used ?o }" in
+  check (Alcotest.list Alcotest.string) "both vars" [ "s"; "o" ] (Table.columns t)
+
+let test_sparql_literal () =
+  let st = sample_store () in
+  let t = Sparql.run st "SELECT ?s WHERE { ?s rdfs:label \"source\" }" in
+  check_int "by label" 1 (Table.cardinality t)
+
+let numbered_store () =
+  let st = Triple_store.create () in
+  for i = 1 to 5 do
+    Triple_store.add st
+      (iri (Printf.sprintf "e:%d" i), Prov_vocab.wl_timestamp, Term.int_lit i)
+  done;
+  st
+
+let test_sparql_filter () =
+  let st = numbered_store () in
+  let t =
+    Sparql.run st
+      "SELECT ?e WHERE { ?e wl:timestamp ?t . FILTER(?t > 3) }"
+  in
+  check_int "filtered" 2 (Table.cardinality t);
+  let t =
+    Sparql.run st
+      "SELECT ?e WHERE { ?e wl:timestamp ?t . FILTER(?t >= 2) FILTER(?t <= 3) }"
+  in
+  check_int "two filters" 2 (Table.cardinality t);
+  let t =
+    Sparql.run st "SELECT ?e WHERE { ?e wl:timestamp ?t . FILTER(?t != 3) }"
+  in
+  check_int "neq" 4 (Table.cardinality t)
+
+let test_sparql_order_limit () =
+  let st = numbered_store () in
+  let first_binding q =
+    let t = Sparql.run st q in
+    check_int "limited to 1" 1 (Table.cardinality t);
+    Value.to_string (Table.get t (List.hd (Table.rows t)) "t")
+  in
+  check Alcotest.string "ascending"
+    "\"1\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+    (first_binding
+       "SELECT ?t WHERE { ?e wl:timestamp ?t } ORDER BY ?t LIMIT 1");
+  check Alcotest.string "descending"
+    "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+    (first_binding
+       "SELECT ?t WHERE { ?e wl:timestamp ?t } ORDER BY DESC(?t) LIMIT 1")
+
+let test_sparql_ask () =
+  let st = sample_store () in
+  check_bool "ask true" true
+    (Sparql.ask st "ASK { ?e a prov:Entity }");
+  check_bool "ask false" false
+    (Sparql.ask st "ASK { ?e a prov:Agent }");
+  check_bool "ask with constant" true
+    (Sparql.ask st "ASK WHERE { <e:2> prov:wasDerivedFrom <e:1> }")
+
+let test_sparql_numeric_order () =
+  (* "10" must sort after "9" (numeric, not lexicographic). *)
+  let st = Triple_store.create () in
+  Triple_store.add st (iri "a", Prov_vocab.wl_timestamp, Term.int_lit 9);
+  Triple_store.add st (iri "b", Prov_vocab.wl_timestamp, Term.int_lit 10);
+  let t =
+    Sparql.run st
+      "SELECT ?e WHERE { ?e wl:timestamp ?t } ORDER BY DESC(?t) LIMIT 1"
+  in
+  check Alcotest.string "b wins" "<b>"
+    (Value.to_string (Table.get t (List.hd (Table.rows t)) "e"))
+
+let test_sparql_distinct_keyword () =
+  let st = sample_store () in
+  (* DISTINCT parses; results are sets either way in this engine. *)
+  let t = Sparql.run st "SELECT DISTINCT ?e WHERE { ?e a prov:Entity }" in
+  check_int "two" 2 (Table.cardinality t)
+
+let test_turtle_abbreviation_edges () =
+  (* Local parts with characters outside the plain-name set fall back to
+     full IRIs instead of producing invalid qnames. *)
+  let st = Triple_store.create () in
+  Triple_store.add st
+    (Term.Iri (Prov_vocab.weblab_ns ^ "resource/r1"), Prov_vocab.rdf_type,
+     Prov_vocab.entity);
+  Triple_store.add st
+    (Term.Iri (Prov_vocab.weblab_ns ^ "call/Svc-1"), Prov_vocab.rdf_type,
+     Prov_vocab.activity);
+  let ttl = Turtle.to_turtle st in
+  let contains needle =
+    let nh = String.length ttl and nn = String.length needle in
+    let rec loop i = i + nn <= nh && (String.sub ttl i nn = needle || loop (i + 1)) in
+    loop 0
+  in
+  (* "resource/r1" has a '/' in the local part: must stay a full IRI *)
+  check_bool "slash stays full IRI" true
+    (contains ("<" ^ Prov_vocab.weblab_ns ^ "resource/r1>"));
+  check_bool "plain local abbreviates" true (contains "prov:Entity")
+
+let test_sparql_errors () =
+  let st = sample_store () in
+  let expect q =
+    match Sparql.run st q with
+    | _ -> Alcotest.failf "expected SPARQL error for %S" q
+    | exception Sparql.Error _ -> ()
+  in
+  expect "FOO ?x WHERE { }";
+  expect "SELECT ?x { ?x a prov:Entity }";
+  expect "SELECT ?x WHERE { ?x a }";
+  expect "SELECT ?x WHERE { ?x unknown:p ?y }";
+  expect "SELECT ?x WHERE { ?x a prov:Entity . FILTER(?x) }";
+  expect "SELECT ?x WHERE { ?x a prov:Entity } LIMIT";
+  expect "ASK { ?x a prov:Entity } LIMIT 1 trailing";
+  expect "SELECT ?x WHERE { ?x a prov:Entity } ORDER BY"
+
+let () =
+  Alcotest.run "rdf"
+    [ ( "store",
+        [ Alcotest.test_case "dedup" `Quick test_add_dedup;
+          Alcotest.test_case "find patterns" `Quick test_find_patterns;
+          Alcotest.test_case "term semantics" `Quick test_term_semantics ] );
+      ( "bgp",
+        [ Alcotest.test_case "single pattern" `Quick test_bgp_query;
+          Alcotest.test_case "join" `Quick test_bgp_join;
+          Alcotest.test_case "repeated variable" `Quick test_bgp_repeated_var ] );
+      ( "serialization",
+        [ Alcotest.test_case "ntriples round-trip" `Quick test_ntriples_roundtrip;
+          Alcotest.test_case "turtle" `Quick test_turtle_output ] );
+      ( "sparql",
+        [ Alcotest.test_case "select" `Quick test_sparql_select;
+          Alcotest.test_case "join + prefix" `Quick test_sparql_join_and_prefix;
+          Alcotest.test_case "select star" `Quick test_sparql_star;
+          Alcotest.test_case "literal" `Quick test_sparql_literal;
+          Alcotest.test_case "filter" `Quick test_sparql_filter;
+          Alcotest.test_case "order by / limit" `Quick test_sparql_order_limit;
+          Alcotest.test_case "ask" `Quick test_sparql_ask;
+          Alcotest.test_case "numeric order" `Quick test_sparql_numeric_order;
+          Alcotest.test_case "distinct keyword" `Quick test_sparql_distinct_keyword;
+          Alcotest.test_case "turtle abbreviation" `Quick test_turtle_abbreviation_edges;
+          Alcotest.test_case "errors" `Quick test_sparql_errors ] ) ]

@@ -1,0 +1,160 @@
+(* Tests for the binding-table algebra (π, ⋈, ρ, σ, ∪) of Definition 8. *)
+
+open Weblab_relalg
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let s x = Value.Str x
+let i x = Value.Int x
+
+let t1 () =
+  Table.of_rows [ "r"; "x" ]
+    [ [| s "r5"; s "r4" |]; [| s "r6"; s "r4" |]; [| s "r7"; s "r9" |] ]
+
+let test_create_duplicate_cols () =
+  Alcotest.check_raises "dup cols"
+    (Invalid_argument "Table.create: duplicate column names") (fun () ->
+      ignore (Table.create [ "a"; "a" ]))
+
+let test_add_row_width () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "width"
+    (Invalid_argument "Table.add_row: row width does not match the schema")
+    (fun () -> Table.add_row t [| s "1" |])
+
+let test_get () =
+  let t = t1 () in
+  let row = List.hd (Table.rows t) in
+  check_bool "get r" true (Value.equal (Table.get t row "r") (s "r5"));
+  check_bool "get x" true (Value.equal (Table.get t row "x") (s "r4"))
+
+let test_project () =
+  let t = Table.project (t1 ()) [ "x" ] in
+  check (Alcotest.list Alcotest.string) "cols" [ "x" ] (Table.columns t);
+  (* set semantics: r4 appears once *)
+  check_int "distinct" 2 (Table.cardinality t)
+
+let test_project_reorder () =
+  let t = Table.project (t1 ()) [ "x"; "r" ] in
+  check (Alcotest.list Alcotest.string) "cols" [ "x"; "r" ] (Table.columns t);
+  let row = List.hd (Table.rows t) in
+  check_bool "reordered" true (Value.equal row.(0) (s "r4"))
+
+let test_rename () =
+  let t = Table.rename (t1 ()) [ ("r", "in") ] in
+  check (Alcotest.list Alcotest.string) "cols" [ "in"; "x" ] (Table.columns t);
+  check_int "rows preserved" 3 (Table.cardinality t)
+
+let test_select () =
+  let t =
+    Table.select (t1 ()) (fun t row -> Value.equal (Table.get t row "x") (s "r4"))
+  in
+  check_int "selected" 2 (Table.cardinality t)
+
+let test_natural_join () =
+  let a = t1 () in
+  let b =
+    Table.of_rows [ "x"; "out" ] [ [| s "r4"; s "o1" |]; [| s "r9"; s "o2" |] ]
+  in
+  let j = Table.natural_join a b in
+  check (Alcotest.list Alcotest.string) "cols" [ "r"; "x"; "out" ] (Table.columns j);
+  check_int "join size" 3 (Table.cardinality j)
+
+let test_join_multiple_matches () =
+  let a = Table.of_rows [ "k"; "l" ] [ [| s "1"; s "a" |] ] in
+  let b =
+    Table.of_rows [ "k"; "m" ] [ [| s "1"; s "x" |]; [| s "1"; s "y" |] ]
+  in
+  let j = Table.natural_join a b in
+  check_int "fanout" 2 (Table.cardinality j)
+
+let test_join_no_shared_is_product () =
+  let a = Table.of_rows [ "a" ] [ [| s "1" |]; [| s "2" |] ] in
+  let b = Table.of_rows [ "b" ] [ [| s "x" |]; [| s "y" |]; [| s "z" |] ] in
+  let j = Table.natural_join a b in
+  check_int "cross product" 6 (Table.cardinality j)
+
+let test_join_empty () =
+  let a = Table.of_rows [ "a" ] [] in
+  let b = Table.of_rows [ "a" ] [ [| s "1" |] ] in
+  check_int "empty join" 0 (Table.cardinality (Table.natural_join a b));
+  check_int "empty join sym" 0 (Table.cardinality (Table.natural_join b a))
+
+let test_union () =
+  let a = Table.of_rows [ "a"; "b" ] [ [| s "1"; s "x" |] ] in
+  let b = Table.of_rows [ "b"; "a" ] [ [| s "x"; s "1" |]; [| s "y"; s "2" |] ] in
+  (* column order differs; rows are aligned by name *)
+  let u = Table.union a b in
+  check_int "union dedups" 2 (Table.cardinality u)
+
+let test_union_schema_mismatch () =
+  let a = Table.of_rows [ "a" ] [] in
+  let b = Table.of_rows [ "b" ] [] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.union: schemas differ")
+    (fun () -> ignore (Table.union a b))
+
+let test_distinct () =
+  let t =
+    Table.of_rows [ "a" ] [ [| s "1" |]; [| s "1" |]; [| i 1 |]; [| s "2" |] ]
+  in
+  (* Str "1" and Int 1 are the same value under the loose comparison the
+     whole algebra uses (joins hash the same way), so they collapse. *)
+  check_int "distinct" 2 (Table.cardinality (Table.distinct t))
+
+let test_equal () =
+  let a = Table.of_rows [ "a"; "b" ] [ [| s "1"; s "x" |]; [| s "2"; s "y" |] ] in
+  let b = Table.of_rows [ "b"; "a" ] [ [| s "y"; s "2" |]; [| s "x"; s "1" |] ] in
+  check_bool "equal modulo order" true (Table.equal a b);
+  let c = Table.of_rows [ "a"; "b" ] [ [| s "1"; s "x" |] ] in
+  check_bool "different rows" false (Table.equal a c)
+
+let test_value_semantics () =
+  check_bool "str eq" true (Value.equal (s "a") (s "a"));
+  check_bool "int-str loose" true (Value.equal (i 5) (s "5"));
+  check_bool "int-str loose sym" true (Value.equal (s "5") (i 5));
+  check_bool "not loose" false (Value.equal (s "5x") (i 5));
+  check_bool "node neq str" false (Value.equal (Value.Node 1) (s "#1"));
+  check_int "as_int str" 7 (Option.get (Value.as_int (s " 7 ")));
+  check_bool "as_int none" true (Value.as_int (s "abc") = None)
+
+let test_mapping_rule_expression () =
+  (* The full Definition 8 expression on hand-built tables:
+     π(in,out)(ρ(r→in) R_S ⋈ ρ(r→out) R_T). *)
+  let r_s = Table.of_rows [ "r"; "x" ] [ [| s "r5"; s "r4" |] ] in
+  let r_t = Table.of_rows [ "r"; "x" ] [ [| s "r6"; s "r4" |]; [| s "r9"; s "zz" |] ] in
+  let j =
+    Table.natural_join
+      (Table.rename r_s [ ("r", "in") ])
+      (Table.rename r_t [ ("r", "out") ])
+  in
+  let result = Table.project j [ "in"; "out" ] in
+  check_int "one link" 1 (Table.cardinality result);
+  let row = List.hd (Table.rows result) in
+  check_bool "link endpoints" true
+    (Value.equal (Table.get result row "in") (s "r5")
+     && Value.equal (Table.get result row "out") (s "r6"))
+
+let () =
+  Alcotest.run "relalg"
+    [ ( "table",
+        [ Alcotest.test_case "duplicate columns" `Quick test_create_duplicate_cols;
+          Alcotest.test_case "row width" `Quick test_add_row_width;
+          Alcotest.test_case "get" `Quick test_get;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "project reorder" `Quick test_project_reorder;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "natural join" `Quick test_natural_join;
+          Alcotest.test_case "join fanout" `Quick test_join_multiple_matches;
+          Alcotest.test_case "cross product" `Quick test_join_no_shared_is_product;
+          Alcotest.test_case "empty join" `Quick test_join_empty;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "union mismatch" `Quick test_union_schema_mismatch;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "equal" `Quick test_equal ] );
+      ( "values",
+        [ Alcotest.test_case "semantics" `Quick test_value_semantics ] );
+      ( "definition 8",
+        [ Alcotest.test_case "rule expression" `Quick test_mapping_rule_expression ] ) ]

@@ -1,0 +1,343 @@
+(* Tests for the simulated media-mining services: each service's text
+   processing, its append behaviour and its mapping rules. *)
+
+open Weblab_xml
+open Weblab_workflow
+open Weblab_services
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_str = check Alcotest.string
+let check_bool = check Alcotest.bool
+
+(* --- text utilities --- *)
+
+let test_tokenize () =
+  check (Alcotest.list Alcotest.string) "basic" [ "a"; "b'c"; "42" ]
+    (Textutil.tokenize "a, b'c! (42)");
+  check (Alcotest.list Alcotest.string) "accents kept"
+    [ "sécurité"; "données" ]
+    (Textutil.tokenize "sécurité, données");
+  check_int "empty" 0 (List.length (Textutil.tokenize "... !!"))
+
+let test_sentences () =
+  check (Alcotest.list Alcotest.string) "split"
+    [ "One."; "Two!"; "Three?"; "Four" ]
+    (Textutil.sentences "One. Two! Three? Four");
+  check_int "no split inside" 1 (List.length (Textutil.sentences "a.b c"))
+
+let test_normalize_whitespace () =
+  check_str "collapse" "a b c" (Textutil.normalize_whitespace "  a \n\t b   c ")
+
+let test_strip_markup () =
+  check_str "strip" "hello world"
+    (Textutil.normalize_whitespace
+       (Textutil.strip_markup "<p>hello</p> <b>world</b>"))
+
+let test_letter_frequencies () =
+  let f = Textutil.letter_frequencies "aab" in
+  check_bool "a freq" true (abs_float (f.(0) -. (2.0 /. 3.0)) < 1e-9);
+  check_bool "b freq" true (abs_float (f.(1) -. (1.0 /. 3.0)) < 1e-9);
+  let z = Textutil.letter_frequencies "123" in
+  check_bool "no letters" true (Array.for_all (fun x -> x = 0.0) z)
+
+(* --- language identification --- *)
+
+let test_detect_languages () =
+  let cases =
+    [ ("The government and the market are in the report of the economy.", "en");
+      ("Le gouvernement est dans une crise politique avec les entreprises.", "fr");
+      ("Die Regierung hat einen Bericht über die Wirtschaft und den Markt.", "de");
+      ("El gobierno publicó un informe sobre la seguridad y la economía.", "es") ]
+  in
+  List.iter
+    (fun (text, code) ->
+      check_str code code (Langdata.code (Language_extractor.detect text)))
+    cases
+
+let test_detect_corpus_accuracy () =
+  (* The detector must be accurate on its own synthetic corpus, even after
+     normalisation (lowercasing). *)
+  let rng = Random.State.make [| 123 |] in
+  let total = ref 0 and correct = ref 0 in
+  for _ = 1 to 40 do
+    List.iter
+      (fun lang ->
+        let text = String.lowercase_ascii (Corpus.text rng lang) in
+        incr total;
+        if Language_extractor.detect text = lang then incr correct)
+      Langdata.all_languages
+  done;
+  check_bool
+    (Printf.sprintf "accuracy %d/%d" !correct !total)
+    true
+    (float_of_int !correct /. float_of_int !total > 0.95)
+
+(* --- translator --- *)
+
+let test_translate_fr () =
+  let out =
+    Translator.translate ~source_lang:Langdata.Fr
+      "le gouvernement et la crise"
+  in
+  check_str "fr->en" "the government and the crisis" out
+
+let test_translate_unknown_words_pass () =
+  let out = Translator.translate ~source_lang:Langdata.Fr "xyzzy le plugh" in
+  check_str "passthrough" "xyzzy the plugh" out
+
+(* --- other service primitives --- *)
+
+let test_summarize () =
+  check_str "two sentences" "One. Two!"
+    (Summarizer.summarize ~sentences:2 "One. Two! Three.");
+  check_str "fewer available" "One." (Summarizer.summarize ~sentences:5 "One.")
+
+let test_sentiment_score () =
+  check_bool "positive" true (Sentiment.score "a great success story" > 0);
+  check_bool "negative" true (Sentiment.score "the war and the crisis" < 0);
+  check_int "neutral" 0 (Sentiment.score "the table is blue");
+  check_str "polarity" "positive" (Sentiment.polarity 2)
+
+let test_entities () =
+  let es = Entity_extractor.entities_of_text "the summit in paris with Merkel" in
+  check_bool "paris found" true (List.mem ("Paris", "location") es);
+  check_bool "merkel found" true (List.mem ("Merkel", "person") es)
+
+let test_ocr_asr_noise () =
+  check_bool "ocr changes something" true
+    (Media.ocr_noise "hello wonderful world of text recognition systems"
+     <> "hello wonderful world of text recognition systems");
+  check_str "asr drops short words" "the quick brown fox"
+    (Media.asr_noise "so the quick brown fox is it")
+
+(* --- end-to-end service behaviour on documents --- *)
+
+let test_normaliser_service () =
+  let doc = Workload.make_document ~units:2 ~seed:3 () in
+  let _ = Orchestrator.execute doc [ Normaliser.service ] in
+  let units = Schema.text_media_units doc in
+  check_int "two units" 2 (List.length units);
+  List.iter
+    (fun u ->
+      check_bool "has src" true (Tree.attr doc u Schema.src_attr <> None);
+      match Schema.text_of_unit doc u with
+      | Some (_, text) ->
+        check_bool "lowercased, no markup" true
+          (not (String.contains text '<')
+           && String.equal text (String.lowercase_ascii text))
+      | None -> Alcotest.fail "unit without TextContent")
+    units
+
+let test_normaliser_idempotent () =
+  let doc = Workload.make_document ~units:2 ~seed:3 () in
+  let _ = Orchestrator.execute doc [ Normaliser.service; Normaliser.service ] in
+  check_int "still two units" 2 (List.length (Schema.text_media_units doc))
+
+let test_language_extractor_service () =
+  let doc = Workload.make_document ~units:3 ~seed:5 () in
+  let _ =
+    Orchestrator.execute doc [ Normaliser.service; Language_extractor.service ]
+  in
+  List.iter
+    (fun u ->
+      check_bool "annotated" true (Schema.language_of_unit doc u <> None))
+    (Schema.text_media_units doc)
+
+let test_translator_service () =
+  (* Force a French unit, then check an English twin appears. *)
+  let doc = Orchestrator.initial_document () in
+  let mu = Tree.new_element doc ~parent:(Tree.root doc) Schema.media_unit in
+  let nc = Tree.new_element doc ~parent:mu Schema.native_content in
+  ignore
+    (Tree.new_text doc ~parent:nc
+       "Le gouvernement est dans une crise politique avec les entreprises \
+        pour la sécurité des données.");
+  let _ =
+    Orchestrator.execute doc
+      [ Normaliser.service; Language_extractor.service; Translator.service () ]
+  in
+  let en_units =
+    Schema.text_media_units doc
+    |> List.filter (fun u -> Schema.language_of_unit doc u = Some "en")
+  in
+  check_int "one translation" 1 (List.length en_units);
+  let u = List.hd en_units in
+  check_bool "src points back" true (Tree.attr doc u Schema.src_attr <> None);
+  match Schema.text_of_unit doc u with
+  | Some (_, text) ->
+    let words = Textutil.tokenize text in
+    check_bool "contains 'government'" true (List.mem "government" words)
+  | None -> Alcotest.fail "translation without text"
+
+let test_media_services () =
+  let doc = Workload.make_document ~units:0 ~images:1 ~audios:1 ~seed:9 () in
+  let _ = Orchestrator.execute doc [ Media.ocr_service; Media.asr_service ] in
+  check_int "two recovered units" 2 (List.length (Schema.text_media_units doc))
+
+let test_extended_pipeline_all_annotations () =
+  let doc = Workload.make_document ~units:2 ~seed:17 () in
+  let _ =
+    Orchestrator.execute doc (Workload.standard_pipeline ~extended:true ())
+  in
+  let originals =
+    Schema.text_media_units doc
+    |> List.filter (fun u -> Tree.attr doc u "kind" <> Some "summary")
+  in
+  List.iter
+    (fun u ->
+      check_bool "tokens" true (Schema.has_annotation doc u Schema.tokens);
+      check_bool "sentiment" true (Schema.has_annotation doc u Schema.sentiment))
+    originals;
+  (* summaries exist for the original units *)
+  let summaries =
+    Schema.text_media_units doc
+    |> List.filter (fun u -> Tree.attr doc u "kind" = Some "summary")
+  in
+  check_bool "summaries" true (List.length summaries >= 2)
+
+let test_classifier () =
+  check Alcotest.string "politics" "politics"
+    (fst (Classifier.classify "the government held an election conference"));
+  check Alcotest.string "security" "security"
+    (fst (Classifier.classify "an attack on the defence network raised the war threat"));
+  check Alcotest.string "general" "general"
+    (fst (Classifier.classify "completely unrelated words"));
+  (* end to end: every unit annotated with a Topic *)
+  let doc = Workload.make_document ~units:2 ~seed:8 () in
+  let _ =
+    Orchestrator.execute doc [ Normaliser.service; Classifier.service ]
+  in
+  List.iter
+    (fun u -> check_bool "topic" true (Schema.has_annotation doc u "Topic"))
+    (Schema.text_media_units doc)
+
+let test_geo_tagger () =
+  let doc = Orchestrator.initial_document () in
+  let mu = Tree.new_element doc ~parent:(Tree.root doc) Schema.media_unit in
+  let nc = Tree.new_element doc ~parent:mu Schema.native_content in
+  ignore
+    (Tree.new_text doc ~parent:nc
+       "The conference in Paris with delegates from Berlin and Madrid.");
+  let _ =
+    Orchestrator.execute doc
+      [ Normaliser.service; Entity_extractor.service; Geo_tagger.service ]
+  in
+  let unit = List.hd (Schema.text_media_units doc) in
+  let places =
+    Schema.annotations_with doc unit "Place"
+    |> List.concat_map (fun a -> Schema.children_named doc a "Place")
+  in
+  check_int "three places" 3 (List.length places);
+  List.iter
+    (fun p ->
+      check_bool "lat" true (Tree.attr doc p "lat" <> None);
+      check_bool "lon" true (Tree.attr doc p "lon" <> None))
+    places;
+  let names = List.map (fun p -> Tree.string_value doc p) places in
+  check (Alcotest.list Alcotest.string) "names"
+    [ "Berlin"; "Madrid"; "Paris" ]
+    (List.sort compare names)
+
+let test_geo_tagger_without_entities () =
+  (* Falls back to scanning the text when the EntityExtractor did not run. *)
+  let doc = Orchestrator.initial_document () in
+  let mu = Tree.new_element doc ~parent:(Tree.root doc) Schema.media_unit in
+  let nc = Tree.new_element doc ~parent:mu Schema.native_content in
+  ignore (Tree.new_text doc ~parent:nc "A report from Geneva.");
+  let _ = Orchestrator.execute doc [ Normaliser.service; Geo_tagger.service ] in
+  let unit = List.hd (Schema.text_media_units doc) in
+  check_bool "place found" true (Schema.has_annotation doc unit "Place")
+
+let test_deduplicator_similarity () =
+  check_bool "identical" true (Deduplicator.similar "a b c d e f" "a b c d e f");
+  check_bool "near duplicate" true
+    (Deduplicator.similar "the government released a report on the economy today"
+       "the government released a report on the economy yesterday");
+  check_bool "unrelated" false
+    (Deduplicator.similar "the quick brown fox jumps over dogs"
+       "completely different words about other topics entirely")
+
+let test_deduplicator_service () =
+  (* Two copies of the same article and one distinct one. *)
+  let doc = Orchestrator.initial_document () in
+  let add_item text =
+    let mu = Tree.new_element doc ~parent:(Tree.root doc) Schema.media_unit in
+    let nc = Tree.new_element doc ~parent:mu Schema.native_content in
+    ignore (Tree.new_text doc ~parent:nc text)
+  in
+  let article = "The government released a report on the market and the economy." in
+  add_item article;
+  add_item (article ^ " It was widely read.");
+  add_item "Le gouvernement est dans une crise politique avec les entreprises.";
+  let trace =
+    Orchestrator.execute doc [ Normaliser.service; Deduplicator.service () ]
+  in
+  let groups = Schema.elements doc Deduplicator.duplicate_group in
+  check_int "one group" 1 (List.length groups);
+  let members = Schema.children_named doc (List.hd groups) "Member" in
+  check_int "two members" 2 (List.length members);
+  (* provenance: the group depends on exactly its two members *)
+  let rb = [ ("Deduplicator", List.map Weblab_prov.Rule_parser.parse Deduplicator.rules) ] in
+  let g =
+    Weblab_prov.Strategy.infer ~strategy:`Rewrite ~doc ~trace rb
+  in
+  let group_uri = Option.get (Tree.uri doc (List.hd groups)) in
+  check_int "two links" 2
+    (List.length (Weblab_prov.Prov_graph.depends_on g group_uri));
+  (* and both strategies agree on this many-to-many rule *)
+  let g2 = Weblab_prov.Strategy.infer ~strategy:`Replay ~doc ~trace rb in
+  check (Alcotest.list Alcotest.string) "strategies agree"
+    (Weblab_prov.Prov_graph.depends_on g group_uri)
+    (Weblab_prov.Prov_graph.depends_on g2 group_uri)
+
+let test_catalog_rules_parse () =
+  List.iter
+    (fun (service, rules) ->
+      List.iter
+        (fun r ->
+          match Weblab_prov.Rule_parser.parse r with
+          | _ -> ()
+          | exception Weblab_prov.Rule_parser.Error msg ->
+            Alcotest.failf "rule of %s does not parse: %s (%s)" service r msg)
+        rules)
+    Catalog.rulebook_syntax
+
+let test_corpus_deterministic () =
+  let t1 = Corpus.text (Random.State.make [| 4 |]) Langdata.Fr in
+  let t2 = Corpus.text (Random.State.make [| 4 |]) Langdata.Fr in
+  check_str "deterministic" t1 t2
+
+let () =
+  Alcotest.run "services"
+    [ ( "textutil",
+        [ Alcotest.test_case "tokenize" `Quick test_tokenize;
+          Alcotest.test_case "sentences" `Quick test_sentences;
+          Alcotest.test_case "whitespace" `Quick test_normalize_whitespace;
+          Alcotest.test_case "strip markup" `Quick test_strip_markup;
+          Alcotest.test_case "letter frequencies" `Quick test_letter_frequencies ] );
+      ( "language",
+        [ Alcotest.test_case "detect" `Quick test_detect_languages;
+          Alcotest.test_case "corpus accuracy" `Quick test_detect_corpus_accuracy ] );
+      ( "translator",
+        [ Alcotest.test_case "french" `Quick test_translate_fr;
+          Alcotest.test_case "passthrough" `Quick test_translate_unknown_words_pass ] );
+      ( "analytics",
+        [ Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "sentiment" `Quick test_sentiment_score;
+          Alcotest.test_case "entities" `Quick test_entities;
+          Alcotest.test_case "media noise" `Quick test_ocr_asr_noise ] );
+      ( "pipeline",
+        [ Alcotest.test_case "normaliser" `Quick test_normaliser_service;
+          Alcotest.test_case "normaliser idempotent" `Quick test_normaliser_idempotent;
+          Alcotest.test_case "language extractor" `Quick test_language_extractor_service;
+          Alcotest.test_case "translator" `Quick test_translator_service;
+          Alcotest.test_case "media" `Quick test_media_services;
+          Alcotest.test_case "extended pipeline" `Quick test_extended_pipeline_all_annotations;
+          Alcotest.test_case "classifier" `Quick test_classifier;
+          Alcotest.test_case "geo tagger" `Quick test_geo_tagger;
+          Alcotest.test_case "geo fallback" `Quick test_geo_tagger_without_entities;
+          Alcotest.test_case "deduplicator similarity" `Quick test_deduplicator_similarity;
+          Alcotest.test_case "deduplicator service" `Quick test_deduplicator_service;
+          Alcotest.test_case "catalog rules parse" `Quick test_catalog_rules_parse;
+          Alcotest.test_case "corpus deterministic" `Quick test_corpus_deterministic ] ) ]

@@ -1,0 +1,165 @@
+(* Tests for the static rulebook analysis (§2's orchestration-constraint
+   pruning). *)
+
+open Weblab_workflow
+open Weblab_services
+open Weblab_prov
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let order = [ "Normaliser"; "LanguageExtractor"; "Translator" ]
+
+let produces : Static_check.produces =
+  [ ("Source", [ "Resource"; "MediaUnit"; "NativeContent" ]);
+    ("Normaliser", [ "NativeContent"; "TextMediaUnit"; "TextContent" ]);
+    ("LanguageExtractor", [ "Annotation"; "Language" ]);
+    ("Translator", [ "TextMediaUnit"; "TextContent"; "Annotation"; "Language" ]) ]
+
+let rb rules_by_service =
+  List.map (fun (s, rs) -> (s, List.map Rule_parser.parse rs)) rules_by_service
+
+let test_clean_rulebook () =
+  let book =
+    rb
+      [ ("Normaliser", [ "N1: //NativeContent[$x := @id] ==> //TextMediaUnit[$x := @src]" ]);
+        ("LanguageExtractor",
+         [ "L1: //TextMediaUnit[$x := @id]/TextContent ==> \
+            //TextMediaUnit[$x := @id]/Annotation[Language]" ]) ]
+  in
+  check_int "no diagnostics" 0
+    (List.length (Static_check.check ~order ~produces book))
+
+let test_never_fires () =
+  (* The Normaliser cannot depend on Annotations: only services running
+     after it produce them. *)
+  let book = rb [ ("Normaliser", [ "BAD: //Annotation ==> //TextMediaUnit" ]) ] in
+  match Static_check.check ~order ~produces book with
+  | [ Static_check.Rule_never_fires { service; rule; _ } ] ->
+    check (Alcotest.pair Alcotest.string Alcotest.string) "who"
+      ("Normaliser", "BAD") (service, rule)
+  | ds ->
+    Alcotest.failf "expected one Rule_never_fires, got %d: %s" (List.length ds)
+      (String.concat "; " (List.map Static_check.diagnostic_to_string ds))
+
+let test_same_service_source_ok () =
+  (* A service may depend on elements it produces itself (earlier calls of
+     the same service in a loop would satisfy it) — but only if it can run
+     before itself, which a single occurrence cannot.  With one occurrence
+     this is still dead. *)
+  let book = rb [ ("LanguageExtractor", [ "S: //Language ==> //Annotation" ]) ] in
+  match Static_check.check ~order ~produces book with
+  | [ Static_check.Rule_never_fires _ ] -> ()
+  | ds -> Alcotest.failf "expected Rule_never_fires, got %d" (List.length ds)
+
+let test_source_pseudo_service () =
+  (* Depending on initial content is always fine. *)
+  let book = rb [ ("Normaliser", [ "M: //MediaUnit ==> //TextMediaUnit" ]) ] in
+  check_int "clean" 0 (List.length (Static_check.check ~order ~produces book))
+
+let test_unknown_service () =
+  let book = rb [ ("Ghost", [ "G: //MediaUnit ==> //TextMediaUnit" ]) ] in
+  match Static_check.check ~order ~produces book with
+  | [ Static_check.Unknown_service { service } ] ->
+    check Alcotest.string "ghost" "Ghost" service
+  | _ -> Alcotest.fail "expected Unknown_service"
+
+let test_unsatisfiable_target () =
+  (* The LanguageExtractor never produces TextMediaUnits. *)
+  let book =
+    rb [ ("LanguageExtractor", [ "T: //NativeContent ==> //TextMediaUnit" ]) ]
+  in
+  match Static_check.check ~order ~produces book with
+  | [ Static_check.Unsatisfiable_target { element; _ } ] ->
+    check Alcotest.string "element" "TextMediaUnit" element
+  | ds ->
+    Alcotest.failf "expected Unsatisfiable_target, got: %s"
+      (String.concat "; " (List.map Static_check.diagnostic_to_string ds))
+
+let test_conservative_on_wildcards () =
+  let book = rb [ ("Normaliser", [ "W: //Unheard ==> //TextMediaUnit" ]) ] in
+  (* Nobody declares <Unheard>: stay silent rather than guess. *)
+  check_int "conservative" 0 (List.length (Static_check.check ~order ~produces book))
+
+let test_observed_produces () =
+  let doc = Workload.make_document ~units:2 ~seed:3 () in
+  let services = Workload.standard_pipeline () in
+  let trace = Orchestrator.execute doc services in
+  let produces = Static_check.observed_produces doc trace in
+  let of_service s = try List.assoc s produces with Not_found -> [] in
+  check_bool "normaliser makes units" true
+    (List.mem "TextMediaUnit" (of_service "Normaliser"));
+  check_bool "extractor makes annotations" true
+    (List.mem "Annotation" (of_service "LanguageExtractor"));
+  check_bool "source owns media units" true
+    (List.mem "MediaUnit" (of_service "Source"))
+
+let test_prune_preserves_provenance () =
+  (* Pruning dead rules must not change the inferred graph. *)
+  let doc = Workload.make_document ~units:2 ~seed:11 () in
+  let services = Workload.standard_pipeline () in
+  let order = List.map Service.name services in
+  let live =
+    List.filter_map
+      (fun svc ->
+        Catalog.find (Service.name svc)
+        |> Option.map (fun e ->
+               (Service.name svc, List.map Rule_parser.parse e.Catalog.rules)))
+      services
+  in
+  let book =
+    ("Normaliser",
+     List.assoc "Normaliser" live
+     @ [ Rule_parser.parse "DEAD: //Annotation ==> //TextMediaUnit" ])
+    :: List.remove_assoc "Normaliser" live
+  in
+  let exec = Engine.run doc services in
+  let produces = Static_check.observed_produces doc exec.Engine.trace in
+  let pruned = Static_check.prune ~order ~produces book in
+  let n_rules b = List.fold_left (fun a (_, rs) -> a + List.length rs) 0 b in
+  check_int "one rule pruned" (n_rules book - 1) (n_rules pruned);
+  let key g =
+    Prov_graph.links g
+    |> List.map (fun l -> (l.Prov_graph.from_uri, l.Prov_graph.to_uri))
+    |> List.sort_uniq compare
+  in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "same graph"
+    (key (Engine.provenance exec book))
+    (key (Engine.provenance exec pruned))
+
+let catalog_rulebook services =
+  List.filter_map
+    (fun svc ->
+      Catalog.find (Service.name svc)
+      |> Option.map (fun e ->
+             (Service.name svc, List.map Rule_parser.parse e.Catalog.rules)))
+    services
+
+let test_unused_rules () =
+  let doc = Workload.make_document ~units:2 ~seed:3 () in
+  let services = Workload.standard_pipeline () in
+  let book =
+    catalog_rulebook services
+    @ [ ("Normaliser", [ Rule_parser.parse "NEVER: //Annotation ==> //TextMediaUnit" ]) ]
+  in
+  let _, g = Engine.run_with_provenance doc services book in
+  let unused = Static_check.unused_rules g book in
+  check_bool "NEVER reported" true (List.mem ("Normaliser", "NEVER") unused);
+  check_bool "N1 fired" false (List.mem ("Normaliser", "N1") unused)
+
+let () =
+  Alcotest.run "static"
+    [ ( "check",
+        [ Alcotest.test_case "clean rulebook" `Quick test_clean_rulebook;
+          Alcotest.test_case "never fires" `Quick test_never_fires;
+          Alcotest.test_case "self dependency" `Quick test_same_service_source_ok;
+          Alcotest.test_case "Source pseudo-service" `Quick test_source_pseudo_service;
+          Alcotest.test_case "unknown service" `Quick test_unknown_service;
+          Alcotest.test_case "unsatisfiable target" `Quick test_unsatisfiable_target;
+          Alcotest.test_case "conservative" `Quick test_conservative_on_wildcards ] );
+      ( "integration",
+        [ Alcotest.test_case "observed production map" `Quick test_observed_produces;
+          Alcotest.test_case "prune preserves provenance" `Quick test_prune_preserves_provenance;
+          Alcotest.test_case "unused rules" `Quick test_unused_rules ] ) ]

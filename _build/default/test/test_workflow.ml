@@ -1,0 +1,301 @@
+(* Tests for the orchestrator / Recorder: append-semantics enforcement,
+   resource labeling, trace construction, black-box integration. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_str = check Alcotest.string
+let check_bool = check Alcotest.bool
+
+let add_service name f = Service.inproc ~name ~description:"" f
+
+(* A service appending one <F id?> fragment under the root. *)
+let appender ?uri name =
+  add_service name (fun doc ->
+      let n = Tree.new_element doc ~parent:(Tree.root doc) "F" in
+      match uri with Some u -> Tree.set_uri doc n u | None -> ())
+
+let test_basic_execution () =
+  let doc = Orchestrator.initial_document () in
+  let trace =
+    Orchestrator.execute doc [ appender "S1"; appender "S2" ]
+  in
+  let calls = Trace.calls trace in
+  check_int "three calls (incl. Source)" 3 (List.length calls);
+  check (Alcotest.list Alcotest.string) "call order"
+    [ "Source"; "S1"; "S2" ]
+    (List.map (fun c -> c.Trace.service) calls);
+  (* root + two fragments *)
+  check_int "entries" 3 (List.length (Trace.entries trace))
+
+let test_labels_and_timestamps () =
+  let doc = Orchestrator.initial_document () in
+  let _ = Orchestrator.execute doc [ appender "S1"; appender "S2" ] in
+  let resources = Tree.resources doc in
+  check_int "three resources" 3 (List.length resources);
+  List.iter
+    (fun n ->
+      match Tree.service_label doc n with
+      | Some (s, t) ->
+        check_int "label time = creation" (Tree.created doc n) t;
+        if t = 0 then check_str "initial label" "Source" s
+      | None -> Alcotest.fail "resource without label")
+    resources
+
+let test_auto_uri_assignment () =
+  let doc = Orchestrator.initial_document () in
+  let trace = Orchestrator.execute doc [ appender "S1" ] in
+  let call = Option.get (Trace.call_at trace 1) in
+  match Trace.resources_of_call trace call with
+  | [ uri ] -> check_bool "fresh uri" true (uri <> "r1" && String.length uri > 1)
+  | l -> Alcotest.failf "expected one resource, got %d" (List.length l)
+
+let test_nested_resources_labeled () =
+  (* A fragment containing an inner resource: both get trace entries. *)
+  let svc =
+    add_service "S" (fun doc ->
+        let f = Tree.new_element doc ~parent:(Tree.root doc) "F" in
+        let inner = Tree.new_element doc ~parent:f "G" in
+        Tree.set_uri doc inner "inner1")
+  in
+  let doc = Orchestrator.initial_document () in
+  let trace = Orchestrator.execute doc [ svc ] in
+  let call = Option.get (Trace.call_at trace 1) in
+  check_int "two resources for the call" 2
+    (List.length (Trace.resources_of_call trace call))
+
+let test_promotion_attribution () =
+  (* A later call promotes an initial node: the resource is attributed to
+     Source/t0, as node 3 of the paper is. *)
+  let doc = Orchestrator.initial_document () in
+  let n = Tree.new_element doc ~parent:(Tree.root doc) "N" in
+  let promoter =
+    add_service "P" (fun doc ->
+        Tree.set_uri doc n "rn";
+        ignore (Tree.new_element doc ~parent:(Tree.root doc) "F"))
+  in
+  let trace = Orchestrator.execute doc [ promoter ] in
+  match Trace.call_of_resource trace "rn" with
+  | Some c ->
+    check_str "service" "Source" c.Trace.service;
+    check_int "time" 0 c.Trace.time;
+    check_int "promotion time recorded" 1 (Tree.uri_time doc n)
+  | None -> Alcotest.fail "promoted resource not in trace"
+
+let expect_violation doc services =
+  match Orchestrator.execute doc services with
+  | _ -> Alcotest.fail "expected Append_violation"
+  | exception Orchestrator.Append_violation _ -> ()
+
+let test_violation_text_change () =
+  let doc = Orchestrator.initial_document () in
+  let t = Tree.new_text doc ~parent:(Tree.root doc) "original" in
+  expect_violation doc
+    [ add_service "Bad" (fun doc -> Tree.set_text doc t "changed") ]
+
+let test_violation_attr_change () =
+  let doc = Orchestrator.initial_document () in
+  expect_violation doc
+    [ add_service "Bad" (fun doc -> Tree.set_uri doc (Tree.root doc) "other") ]
+
+let test_violation_foreign_attr_added () =
+  let doc = Orchestrator.initial_document () in
+  expect_violation doc
+    [ add_service "Bad" (fun doc -> Tree.set_attr doc (Tree.root doc) "x" "1") ]
+
+let test_duplicate_uri_rejected () =
+  let doc = Orchestrator.initial_document () in
+  match Orchestrator.execute doc [ appender ~uri:"r1" "S" ] with
+  | _ -> Alcotest.fail "expected Duplicate_uri"
+  | exception Orchestrator.Duplicate_uri u -> check_str "dup" "r1" u
+
+let test_on_step_states () =
+  let doc = Orchestrator.initial_document () in
+  let seen = ref [] in
+  let on_step call before after =
+    seen :=
+      (call.Trace.service, Doc_state.time before, Doc_state.time after) :: !seen
+  in
+  let _ = Orchestrator.execute ~on_step doc [ appender "S1"; appender "S2" ] in
+  check (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
+    "steps"
+    [ ("S1", 0, 1); ("S2", 1, 2) ]
+    (List.rev !seen)
+
+let test_states_grow () =
+  let doc = Orchestrator.initial_document () in
+  let _ = Orchestrator.execute doc [ appender "S1"; appender "S2" ] in
+  let d0 = Doc_state.at doc 0 and d1 = Doc_state.at doc 1 and d2 = Doc_state.at doc 2 in
+  check_int "d0" 1 (List.length (Doc_state.nodes d0));
+  check_int "d1" 2 (List.length (Doc_state.nodes d1));
+  check_int "d2" 3 (List.length (Doc_state.nodes d2));
+  check_bool "monotone" true (Doc_state.timestamps_monotonic doc)
+
+(* --- black-box services --- *)
+
+let test_blackbox_append () =
+  (* The service sees serialized XML and returns it with a new fragment. *)
+  let svc =
+    Service.blackbox ~name:"BB" ~description:"" (fun xml ->
+        let stripped = String.sub xml 0 (String.length xml - String.length "</Resource>") in
+        stripped ^ "<F id=\"bb1\">out</F></Resource>")
+  in
+  let doc = Orchestrator.initial_document () in
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "A");
+  let trace = Orchestrator.execute doc [ svc ] in
+  let call = Option.get (Trace.call_at trace 1) in
+  check (Alcotest.list Alcotest.string) "bb resource" [ "bb1" ]
+    (Trace.resources_of_call trace call);
+  let n = Option.get (Tree.find_resource doc "bb1") in
+  check_str "content copied" "out" (Tree.string_value doc n);
+  check_int "created time" 1 (Tree.created doc n)
+
+let test_blackbox_violation () =
+  let svc =
+    Service.blackbox ~name:"BB" ~description:"" (fun _ -> "<Other/>")
+  in
+  let doc = Orchestrator.initial_document () in
+  expect_violation doc [ svc ]
+
+let test_blackbox_unparsable () =
+  let svc = Service.blackbox ~name:"BB" ~description:"" (fun _ -> "garbage <") in
+  let doc = Orchestrator.initial_document () in
+  expect_violation doc [ svc ]
+
+(* naive substring replace, first occurrence *)
+let replace_once hay needle replacement =
+  let nh = String.length hay and nn = String.length needle in
+  let rec find i = if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i else find (i + 1) in
+  match find 0 with
+  | None -> hay
+  | Some i ->
+    String.sub hay 0 i ^ replacement ^ String.sub hay (i + nn) (nh - i - nn)
+
+let test_blackbox_promotion () =
+  (* Black-box services can promote nodes by returning them with an id. *)
+  let svc =
+    Service.blackbox ~name:"BB" ~description:"" (fun xml ->
+        replace_once xml "<A/>" "<A id=\"pr1\"/>")
+  in
+  let doc = Orchestrator.initial_document () in
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "A");
+  let trace = Orchestrator.execute doc [ svc ] in
+  check_bool "promoted in arena" true (Tree.find_resource doc "pr1" <> None);
+  check_bool "in trace" true (Trace.call_of_resource trace "pr1" <> None)
+
+let test_equivalence_inproc_blackbox () =
+  (* The same logical service implemented both ways yields the same final
+     document content. *)
+  let in_doc () =
+    let doc = Orchestrator.initial_document () in
+    ignore (Tree.new_text doc ~parent:(Tree.root doc) "seed");
+    doc
+  in
+  let doc1 = in_doc () in
+  let _ =
+    Orchestrator.execute doc1
+      [ add_service "S" (fun doc ->
+            let f = Tree.new_element doc ~parent:(Tree.root doc) "F" in
+            ignore (Tree.new_text doc ~parent:f "x")) ]
+  in
+  let doc2 = in_doc () in
+  let _ =
+    Orchestrator.execute doc2
+      [ Service.blackbox ~name:"S" ~description:"" (fun xml ->
+            let stripped =
+              String.sub xml 0 (String.length xml - String.length "</Resource>")
+            in
+            stripped ^ "<F>x</F></Resource>") ]
+  in
+  (* Compare string values and resource counts (URIs are auto-assigned the
+     same way). *)
+  check_str "same content" (Tree.string_value doc1 (Tree.root doc1))
+    (Tree.string_value doc2 (Tree.root doc2));
+  check_int "same resources" (List.length (Tree.resources doc1))
+    (List.length (Tree.resources doc2))
+
+let test_empty_workflow () =
+  let doc = Orchestrator.initial_document () in
+  let trace = Orchestrator.execute doc [] in
+  check_int "just Source" 1 (List.length (Trace.calls trace));
+  check_int "root labeled" 1 (List.length (Trace.entries trace))
+
+let test_blackbox_noop () =
+  (* A service returning the document unchanged adds nothing — and is not
+     a violation. *)
+  let svc = Service.blackbox ~name:"Noop" ~description:"" (fun xml -> xml) in
+  let doc = Orchestrator.initial_document () in
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "A");
+  let before = Tree.size doc in
+  let trace = Orchestrator.execute doc [ svc ] in
+  check_int "no new nodes" before (Tree.size doc);
+  let call = Option.get (Trace.call_at trace 1) in
+  check_int "no resources" 0 (List.length (Trace.resources_of_call trace call))
+
+let test_inproc_noop () =
+  let svc = add_service "Noop" (fun _ -> ()) in
+  let doc = Orchestrator.initial_document () in
+  let trace = Orchestrator.execute doc [ svc ] in
+  let call = Option.get (Trace.call_at trace 1) in
+  check_int "no resources" 0 (List.length (Trace.resources_of_call trace call))
+
+let test_text_fragment_root () =
+  (* A text node appended directly under the root is an unidentifiable
+     fragment: tolerated, simply not a resource. *)
+  let svc =
+    add_service "Texty" (fun doc ->
+        ignore (Tree.new_text doc ~parent:(Tree.root doc) "loose text"))
+  in
+  let doc = Orchestrator.initial_document () in
+  let trace = Orchestrator.execute doc [ svc ] in
+  let call = Option.get (Trace.call_at trace 1) in
+  check_int "text is not a resource" 0
+    (List.length (Trace.resources_of_call trace call));
+  check_bool "text present" true
+    (Tree.string_value doc (Tree.root doc) = "loose text")
+
+let test_service_raises () =
+  (* A raising service propagates its exception; nothing is committed
+     beyond the arena appends it already made. *)
+  let svc = add_service "Boom" (fun _ -> failwith "boom") in
+  let doc = Orchestrator.initial_document () in
+  match Orchestrator.execute doc [ svc ] with
+  | _ -> Alcotest.fail "expected the service exception"
+  | exception Failure m -> check Alcotest.string "propagated" "boom" m
+
+let test_initial_document_options () =
+  let doc = Orchestrator.initial_document ~root_name:"Corpus" ~root_uri:"c0" () in
+  check Alcotest.string "name" "Corpus" (Tree.name doc (Tree.root doc));
+  check Alcotest.string "uri" "c0" (Option.get (Tree.uri doc (Tree.root doc)))
+
+let () =
+  Alcotest.run "workflow"
+    [ ( "execution",
+        [ Alcotest.test_case "basic" `Quick test_basic_execution;
+          Alcotest.test_case "labels" `Quick test_labels_and_timestamps;
+          Alcotest.test_case "auto uri" `Quick test_auto_uri_assignment;
+          Alcotest.test_case "nested resources" `Quick test_nested_resources_labeled;
+          Alcotest.test_case "promotion" `Quick test_promotion_attribution;
+          Alcotest.test_case "on_step" `Quick test_on_step_states;
+          Alcotest.test_case "states grow" `Quick test_states_grow ] );
+      ( "edges",
+        [ Alcotest.test_case "empty workflow" `Quick test_empty_workflow;
+          Alcotest.test_case "blackbox noop" `Quick test_blackbox_noop;
+          Alcotest.test_case "inproc noop" `Quick test_inproc_noop;
+          Alcotest.test_case "text fragment" `Quick test_text_fragment_root;
+          Alcotest.test_case "service raises" `Quick test_service_raises;
+          Alcotest.test_case "initial options" `Quick test_initial_document_options ] );
+      ( "violations",
+        [ Alcotest.test_case "text change" `Quick test_violation_text_change;
+          Alcotest.test_case "attr change" `Quick test_violation_attr_change;
+          Alcotest.test_case "foreign attr" `Quick test_violation_foreign_attr_added;
+          Alcotest.test_case "duplicate uri" `Quick test_duplicate_uri_rejected ] );
+      ( "blackbox",
+        [ Alcotest.test_case "append" `Quick test_blackbox_append;
+          Alcotest.test_case "violation" `Quick test_blackbox_violation;
+          Alcotest.test_case "unparsable" `Quick test_blackbox_unparsable;
+          Alcotest.test_case "promotion" `Quick test_blackbox_promotion;
+          Alcotest.test_case "inproc ≡ blackbox" `Quick test_equivalence_inproc_blackbox ] ) ]
