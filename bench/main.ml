@@ -15,6 +15,40 @@ open Weblab_workflow
 open Weblab_services
 open Weblab_prov
 
+(* ---------- configuration (CLI / env) ----------
+
+   The CI smoke job runs [--quick] (or WEBLAB_BENCH_QUICK=1): one size per
+   scaling series and a tiny Bechamel quota — enough to prove every
+   benchmark still runs, useless for numbers.  [--json PATH] (or
+   WEBLAB_BENCH_JSON) dumps the estimates for the artifact upload. *)
+
+let quick =
+  ref
+    (match Sys.getenv_opt "WEBLAB_BENCH_QUICK" with
+    | Some ("" | "0") | None -> false
+    | Some _ -> true)
+
+let json_path = ref (Sys.getenv_opt "WEBLAB_BENCH_JSON")
+
+let () =
+  let rec scan = function
+    | "--quick" :: rest ->
+      quick := true;
+      scan rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      scan rest
+    | arg :: _ ->
+      Printf.eprintf "usage: %s [--quick] [--json PATH]  (unknown arg %s)\n"
+        Sys.argv.(0) arg;
+      exit 2
+    | [] -> ()
+  in
+  scan (List.tl (Array.to_list Sys.argv))
+
+(* Full scaling series, or just the smallest point in quick mode. *)
+let pick full = if !quick then [ List.hd full ] else full
+
 let rulebook services =
   List.filter_map
     (fun svc ->
@@ -76,7 +110,7 @@ let strategy_tests =
                let doc = Workload.make_document ~units:p.units ~seed:p.seed () in
                ignore (Engine.run doc p.services)))
       ])
-    [ 4; 8; 16; 32; 64 ]
+    (pick [ 4; 8; 16; 32; 64 ])
 
 (* ---------- P2: document-size scaling (fixed pipeline) ---------- *)
 
@@ -88,7 +122,7 @@ let doc_scaling_tests =
         ~name:(Printf.sprintf "scale_doc/rewrite/units=%03d" units)
         (Staged.stage (fun () ->
              ignore (Engine.provenance ~strategy:`Rewrite p.exec p.rb))))
-    [ 2; 8; 32 ]
+    (pick [ 2; 8; 32 ])
 
 (* ---------- P3: rule-set scaling ---------- *)
 
@@ -114,7 +148,7 @@ let rule_scaling_tests =
         ~name:(Printf.sprintf "scale_rules/rewrite/x%02d" k)
         (Staged.stage (fun () ->
              ignore (Engine.provenance ~strategy:`Rewrite p.exec rb))))
-    [ 1; 4; 16 ]
+    (pick [ 1; 4; 16 ])
 
 (* ---------- P4: the Example 9 optimizer at scale ---------- *)
 
@@ -261,12 +295,73 @@ let analytics_tests =
            ignore (Replay_plan.build g_explicit ~sources:[ "mu1" ])))
   ]
 
+(* ---------- P10: indexed vs unindexed pattern evaluation ---------- *)
+
+let index_tests =
+  List.concat_map
+    (fun units ->
+      let p = prepare ~units ~calls:7 () in
+      let doc = p.exec.Engine.doc in
+      let label_pat = Weblab_xpath.Parser.pattern "//Annotation[Language]" in
+      let narrow_pat =
+        Weblab_xpath.Parser.pattern
+          "//TextMediaUnit[$x := @id]/Annotation[Language]"
+      in
+      let idx = Index.for_tree doc in
+      [ Test.make
+          ~name:(Printf.sprintf "index/build/units=%03d" units)
+          (Staged.stage (fun () -> ignore (Index.build doc)));
+        Test.make
+          ~name:(Printf.sprintf "index/eval_naive/units=%03d" units)
+          (Staged.stage (fun () ->
+               ignore (Weblab_xpath.Eval.eval_unindexed doc label_pat)));
+        Test.make
+          ~name:(Printf.sprintf "index/eval_indexed/units=%03d" units)
+          (Staged.stage (fun () ->
+               ignore (Weblab_xpath.Eval.eval ~index:idx doc label_pat)));
+        Test.make
+          ~name:(Printf.sprintf "index/bind_naive/units=%03d" units)
+          (Staged.stage (fun () ->
+               ignore (Weblab_xpath.Eval.eval_unindexed doc narrow_pat)));
+        Test.make
+          ~name:(Printf.sprintf "index/bind_indexed/units=%03d" units)
+          (Staged.stage (fun () ->
+               ignore (Weblab_xpath.Eval.eval ~index:idx doc narrow_pat)))
+      ])
+    (pick [ 2; 8; 32 ])
+
+(* ---------- P11: hash join vs nested-loop join ---------- *)
+
+let join_tests =
+  let open Weblab_relalg in
+  List.concat_map
+    (fun n ->
+      (* Two relations sharing a key column with ~4 rows per key on each
+         side, so the join output stays quadratic-in-duplicates but the
+         probe is O(1) per row. *)
+      let mk other =
+        Table.of_rows [ "k"; other ]
+          (List.init n (fun i ->
+               [| Value.Str (Printf.sprintf "k%d" (i mod (max 1 (n / 4))));
+                  Value.Int i |]))
+      in
+      let a = mk "a" and b = mk "b" in
+      [ Test.make
+          ~name:(Printf.sprintf "join/nested_loop/rows=%04d" n)
+          (Staged.stage (fun () -> ignore (Table.nested_loop_join a b)));
+        Test.make
+          ~name:(Printf.sprintf "join/hash/rows=%04d" n)
+          (Staged.stage (fun () -> ignore (Table.hash_join a b)))
+      ])
+    (pick [ 32; 128; 512 ])
+
 (* ---------- harness ---------- *)
 
 let all_tests =
   [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
   @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
-  @ reachability_tests @ extension_tests @ analytics_tests
+  @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
+  @ join_tests
 
 let benchmark test =
   let ols =
@@ -274,7 +369,8 @@ let benchmark test =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+    if !quick then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.01) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances test in
   let results =
@@ -307,9 +403,24 @@ let () =
     |> List.sort compare
   in
   List.iter (fun (name, est) -> Fmt.pr "%-54s %a/run@." name pp_ns est) rows;
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc "[\n";
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i (name, est) ->
+        Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s}%s\n" name
+          (if Float.is_nan est then "null" else Printf.sprintf "%.1f" est)
+          (if i = last then "" else ","))
+      rows;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "Wrote %d estimates to %s\n" (last + 1) path);
   print_endline "------------------------------------------------------------";
   print_endline
     "Series: strategy/* (P1), scale_doc/* (P2), scale_rules/* (P3),\n\
      xquery_opt/* (P4), rdf/* (P5), xml/* (P6), reach/* (P7),\n\
-     ext/* (P8), paper/* (F1-E9).\n\
+     ext/* (P8), index/* (P10), join/* (P11), paper/* (F1-E9).\n\
      See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -33,13 +33,13 @@ let skolem_id_of_target (target : Ast.pattern) =
 
 let is_skolem_rule rule = skolem_id_of_target (Rule.target rule) <> None
 
-let source_table ?(guards : Eval.guards option) doc (rule : Rule.t) =
-  let t = Eval.eval ?guards doc (Rule.source rule) in
+let source_table ?(guards : Eval.guards option) ?index doc (rule : Rule.t) =
+  let t = Eval.eval ?guards ?index doc (Rule.source rule) in
   let vars = Ast.variables (Rule.source rule) in
   Table.project (Table.rename t [ ("r", "in") ]) ("in" :: vars)
 
 (* R_φT with $r renamed to $out (non-Skolem rules only). *)
-let target_table ?(guards : Eval.guards option) doc (rule : Rule.t) =
+let target_table ?(guards : Eval.guards option) ?index doc (rule : Rule.t) =
   let target = Rule.target rule in
   if skolem_id_of_target target <> None then
     invalid_arg "Mapping.target_table: Skolem rules need the joined form";
@@ -48,7 +48,7 @@ let target_table ?(guards : Eval.guards option) doc (rule : Rule.t) =
       (Ast.variables target @ Ast.free_variables target)
   in
   let vars = List.filter (fun v -> v <> "r" && v <> "node") vars in
-  let t = Eval.eval ?guards doc target in
+  let t = Eval.eval ?guards ?index doc target in
   Table.project (Table.rename t [ ("r", "out") ]) ("out" :: vars)
 
 (* Target side of a Skolem rule: the skolem predicate is stripped (there is
@@ -109,7 +109,7 @@ let rec skolem_arg_value doc table row (arg : Ast.operand) =
 let join_table (rule : Rule.t) d d' =
   let rs = source_table ~guards:(Eval.state_guards d) (Doc_state.doc d) rule in
   let rt = target_table ~guards:(Eval.state_guards d') (Doc_state.doc d') rule in
-  Table.natural_join rs rt
+  Table.hash_join rs rt
 
 let links_of_table table =
   Table.rows table
@@ -125,7 +125,7 @@ let apply_states (rule : Rule.t) d d' =
   | None ->
     let rs = source_table ~guards:(Eval.state_guards d) (Doc_state.doc d) rule in
     let rt = target_table ~guards:(Eval.state_guards d') (Doc_state.doc d') rule in
-    let j = Table.natural_join rs rt in
+    let j = Table.hash_join rs rt in
     { links = links_of_table j; members = [] }
   | Some (f, args) ->
     let doc' = Doc_state.doc d' in
@@ -134,7 +134,7 @@ let apply_states (rule : Rule.t) d d' =
       skolem_target_table ~guards:(Eval.state_guards d') doc' (Rule.target rule)
         (f, args)
     in
-    let j = Table.natural_join rs rt in
+    let j = Table.hash_join rs rt in
     let links = ref [] and members = ref [] in
     List.iter
       (fun row ->
@@ -185,7 +185,7 @@ let apply_guarded (rule : Rule.t) ~doc ~source_visible ~target_state =
   | None ->
     let rs = source_table ~guards:d doc rule in
     let rt = target_table ~guards:(Eval.state_guards target_state) doc rule in
-    let j = Table.natural_join rs rt in
+    let j = Table.hash_join rs rt in
     { links = links_of_table j; members = [] }
   | Some (f, args) ->
     let rs = source_table ~guards:d doc rule in
@@ -193,7 +193,7 @@ let apply_guarded (rule : Rule.t) ~doc ~source_visible ~target_state =
       skolem_target_table ~guards:(Eval.state_guards target_state) doc
         (Rule.target rule) (f, args)
     in
-    let j = Table.natural_join rs rt in
+    let j = Table.hash_join rs rt in
     let links = ref [] and members = ref [] in
     List.iter
       (fun row ->

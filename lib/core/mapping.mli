@@ -27,11 +27,14 @@ val skolem_id_of_target : Ast.pattern -> (string * Ast.operand list) option
 
 val is_skolem_rule : Rule.t -> bool
 
-val source_table : ?guards:Eval.guards -> Tree.t -> Rule.t -> Table.t
+val source_table :
+  ?guards:Eval.guards -> ?index:Index.t -> Tree.t -> Rule.t -> Table.t
 (** ρ(r→in) R{_φS}: the source embeddings with the result column renamed
-    to ["in"], projected to the join-relevant columns. *)
+    to ["in"], projected to the join-relevant columns.  [index] is handed
+    to {!Eval.eval} (the document index fast path). *)
 
-val target_table : ?guards:Eval.guards -> Tree.t -> Rule.t -> Table.t
+val target_table :
+  ?guards:Eval.guards -> ?index:Index.t -> Tree.t -> Rule.t -> Table.t
 (** ρ(r→out) R{_φT}, for non-Skolem rules.
     @raise Invalid_argument on a Skolem rule. *)
 

@@ -71,8 +71,36 @@ let call_times trace service =
            Some c.Trace.time
          else None)
 
-let infer_rewrite_rule ?(happened_before = sequential_hb) ~doc ~trace ~service
-    rule g =
+(* Memoized pattern evaluations for one [infer_rewrite] pass.  Rulebooks
+   routinely attach the same source pattern to many rules (and the same
+   rule to many services), and the per-timestamp source restriction
+   re-evaluates it once per distinct call time: keying on the pattern AST
+   (structural equality — patterns are small finite trees) collapses all
+   of that to one evaluation each.  The cache is valid only within a
+   single pass: entries depend on the pass's [happened_before] relation.
+   The cached tables are shared, never mutated — every consumer only joins
+   or projects them. *)
+type rewrite_cache = {
+  sources : (Ast.pattern * int, Table.t) Hashtbl.t;
+      (* (source pattern, call time) → projected source table *)
+  targets : (Ast.pattern * string, Table.t) Hashtbl.t;
+      (* (target pattern, service) → rewritten-target evaluation *)
+}
+
+let make_cache () = { sources = Hashtbl.create 32; targets = Hashtbl.create 32 }
+
+let cached tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add tbl key v;
+    v
+
+let infer_rewrite_rule ?(happened_before = sequential_hb) ?cache ~doc ~trace
+    ~service rule g =
+  let cache = match cache with Some c -> c | None -> make_cache () in
+  let index = Index.for_tree doc in
   if Mapping.is_skolem_rule rule then
     (* Skolem targets have no @s/@t labels to rewrite against; they fall
        back to per-call evaluation. *)
@@ -89,8 +117,15 @@ let infer_rewrite_rule ?(happened_before = sequential_hb) ~doc ~trace ~service
       List.sort_uniq String.compare
         (Ast.variables target @ Ast.free_variables target)
     in
-    (* One evaluation of the rewritten target for all calls of the service. *)
-    let rt = Eval.eval doc (Pattern_rewrite.target_service target service) in
+    (* One evaluation of the rewritten target for all calls of the service
+       — and for all rules sharing this target pattern.  The rewritten
+       pattern ends in [@s = service], which the indexed evaluator serves
+       from the by-attribute index: candidates are exactly the resources
+       this service labeled, not the whole document. *)
+    let rt =
+      cached cache.targets (target, service) (fun () ->
+          Eval.eval ~index doc (Pattern_rewrite.target_service target service))
+    in
     (* Group target rows by the timestamp of the matched resource. *)
     let groups = Hashtbl.create 8 in
     List.iter
@@ -110,14 +145,20 @@ let infer_rewrite_rule ?(happened_before = sequential_hb) ~doc ~trace ~service
           let sub = Table.create (Table.columns rt) in
           List.iter (Table.add_row sub) rows;
           let rt' = Table.project (Table.rename sub [ ("r", "out") ]) ("out" :: tgt_vars) in
-          (* φ'_S: resources that happened before the call. *)
-          let guards =
-            { Eval.visible =
-                (fun n -> happened_before (Tree.created doc n) time);
-              env = [] }
+          (* φ'_S: resources that happened before the call.  Memoized per
+             (source pattern, time): every rule with this source — and
+             every service whose calls share the timestamp — reuses the
+             evaluation. *)
+          let rs =
+            cached cache.sources (Rule.source rule, time) (fun () ->
+                let guards =
+                  { Eval.visible =
+                      (fun n -> happened_before (Tree.created doc n) time);
+                    env = [] }
+                in
+                Mapping.source_table ~guards ~index doc rule)
           in
-          let rs = Mapping.source_table ~guards doc rule in
-          let j = Table.natural_join rs rt' in
+          let j = Table.hash_join rs rt' in
           List.iter
             (fun (out, inp) ->
               Prov_graph.add_link g ~rule:(Rule.name rule) ~from_uri:out ~to_uri:inp)
@@ -133,10 +174,14 @@ let infer_rewrite ?happened_before ~doc ~trace (rb : rulebook) g =
            if c.Trace.time > 0 then Some c.Trace.service else None)
     |> List.sort_uniq String.compare
   in
+  (* One evaluation cache for the whole pass; sound because
+     [happened_before] is fixed for the pass. *)
+  let cache = make_cache () in
   List.iter
     (fun service ->
       List.iter
-        (fun rule -> infer_rewrite_rule ?happened_before ~doc ~trace ~service rule g)
+        (fun rule ->
+          infer_rewrite_rule ?happened_before ~cache ~doc ~trace ~service rule g)
         (rules_for rb service))
     services
 

@@ -1,0 +1,124 @@
+(* Per-document evaluation index: nodes-by-label, nodes-by-attribute for
+   the provenance attributes, and pre/post-order intervals.  Built in one
+   DFS; see index.mli for the contract. *)
+
+let indexed_attrs = [ "id"; "s"; "t" ]
+
+let attr_indexed a = List.mem a indexed_attrs
+
+type t = {
+  tree : Tree.t;
+  stamp : int;  (* arena size at build time *)
+  pre : int array;  (* preorder rank, -1 for nodes outside the tree *)
+  post : int array;
+  size : int array;  (* descendant-or-self count *)
+  elements : Tree.node list;  (* all elements, document order *)
+  by_label : (string, Tree.node list) Hashtbl.t;
+  label_counts : (string, int) Hashtbl.t;
+  by_attr : (string * string, Tree.node list) Hashtbl.t;
+  some_attr : (string, Tree.node list) Hashtbl.t;
+}
+
+let push tbl key n =
+  Hashtbl.replace tbl key (n :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+
+(* Accumulation lists are built most-recent-first; one final reversal
+   restores document order. *)
+let rev_lists tbl = Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl
+
+let build tree =
+  let n = Tree.size tree in
+  let pre = Array.make n (-1) and post = Array.make n (-1) in
+  let size = Array.make n 0 in
+  let by_label = Hashtbl.create 64 in
+  let by_attr = Hashtbl.create 64 in
+  let some_attr = Hashtbl.create 8 in
+  let elements = ref [] in
+  let clock = ref 0 in
+  let rec visit node =
+    pre.(node) <- !clock;
+    incr clock;
+    if Tree.is_element tree node then begin
+      elements := node :: !elements;
+      push by_label (Tree.name tree node) node;
+      List.iter
+        (fun (a, v) ->
+          if attr_indexed a then begin
+            push by_attr (a, v) node;
+            push some_attr a node
+          end)
+        (Tree.attrs tree node)
+    end;
+    let sz = ref 1 in
+    List.iter
+      (fun child ->
+        visit child;
+        sz := !sz + size.(child))
+      (Tree.children tree node);
+    size.(node) <- !sz;
+    post.(node) <- !clock;
+    incr clock
+  in
+  if Tree.has_root tree then visit (Tree.root tree);
+  rev_lists by_label;
+  rev_lists by_attr;
+  rev_lists some_attr;
+  let label_counts = Hashtbl.create (Hashtbl.length by_label) in
+  Hashtbl.iter (fun l ns -> Hashtbl.replace label_counts l (List.length ns)) by_label;
+  { tree; stamp = n; pre; post; size;
+    elements = List.rev !elements;
+    by_label; label_counts; by_attr; some_attr }
+
+let stamp t = t.stamp
+
+let valid_for t doc = t.tree == doc && t.stamp = Tree.size doc
+
+(* A tiny bounded cache keyed by physical document identity; the stamp
+   detects appends.  Eight entries cover every concurrent workload in the
+   engine (one long-lived arena per execution) without pinning an
+   unbounded set of dead documents. *)
+let max_cached = 8
+
+let cache : (Tree.t * t) list ref = ref []
+
+let for_tree tree =
+  match List.find_opt (fun (d, _) -> d == tree) !cache with
+  | Some (_, idx) when idx.stamp = Tree.size tree -> idx
+  | Some _ | None ->
+    let idx = build tree in
+    let others = List.filter (fun (d, _) -> d != tree) !cache in
+    cache := (tree, idx) :: (if List.length others >= max_cached
+                             then List.filteri (fun i _ -> i < max_cached - 1) others
+                             else others);
+    idx
+
+let nodes_with_label t l = Option.value ~default:[] (Hashtbl.find_opt t.by_label l)
+
+let label_count t l = Option.value ~default:0 (Hashtbl.find_opt t.label_counts l)
+
+let elements t = t.elements
+
+let nodes_with_attr t a v =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_attr (a, v))
+
+let nodes_with_some_attr t a =
+  Option.value ~default:[] (Hashtbl.find_opt t.some_attr a)
+
+let resource t u =
+  match Hashtbl.find_opt t.by_attr ("id", u) with
+  | Some (n :: _) -> Some n
+  | Some [] | None -> None
+
+let in_tree t n = n >= 0 && n < Array.length t.pre && t.pre.(n) >= 0
+
+let strictly_below t ~ancestor n =
+  in_tree t ancestor && in_tree t n
+  && t.pre.(ancestor) < t.pre.(n)
+  && t.post.(n) < t.post.(ancestor)
+
+let below_or_self t ~ancestor n =
+  in_tree t ancestor && in_tree t n
+  && t.pre.(ancestor) <= t.pre.(n)
+  && t.post.(n) <= t.post.(ancestor)
+
+let subtree_size t n = if in_tree t n then t.size.(n) else 0

@@ -1,0 +1,76 @@
+(** Per-document evaluation index.
+
+    A snapshot of derived structures over a {!Tree.t}, built in one
+    traversal and amortized over the many pattern evaluations of post-hoc
+    provenance inference:
+
+    - {b nodes by label}: element name → nodes, document order — turns
+      [//Name] steps into lookups;
+    - {b nodes by attribute}: [(attr, value)] → nodes for the provenance
+      attributes [@id], [@s] and [@t] — turns the service/identity guards
+      the §4 rewriting injects into lookups;
+    - {b pre/post-order intervals}: [descendant(a, n)] becomes two integer
+      comparisons, so descendant steps from an inner context filter a
+      label list instead of walking the subtree.
+
+    The index is a snapshot stamped with the arena size at build time:
+    nodes appended later are not covered, and {!valid_for} turns false.
+    {!for_tree} keeps a small cache keyed by physical document identity,
+    so frozen documents (the post-hoc case) build their index exactly
+    once. *)
+
+type t
+
+val build : Tree.t -> t
+(** One full traversal: O(nodes) time and space. *)
+
+val for_tree : Tree.t -> t
+(** The cached index for the document's current size, (re)built on
+    demand; any append invalidates it (arena sizes only grow). *)
+
+val valid_for : t -> Tree.t -> bool
+(** [valid_for idx doc]: [idx] was built from this very [doc] and no node
+    has been appended since. *)
+
+val stamp : t -> int
+(** The arena size the index was built at. *)
+
+(** {1 Label and attribute lookups}
+
+    All node lists are in document order. *)
+
+val nodes_with_label : t -> string -> Tree.node list
+(** Elements named [label]. *)
+
+val label_count : t -> string -> int
+(** [List.length (nodes_with_label t l)], O(1). *)
+
+val elements : t -> Tree.node list
+(** Every element node. *)
+
+val indexed_attrs : string list
+(** The attribute names covered by {!nodes_with_attr}: [["id"; "s"; "t"]]
+    — the identifiers and service labels of the provenance model. *)
+
+val attr_indexed : string -> bool
+
+val nodes_with_attr : t -> string -> string -> Tree.node list
+(** [nodes_with_attr t a v]: elements with [a="v"], for [a] in
+    {!indexed_attrs} ([[]] for any other attribute). *)
+
+val nodes_with_some_attr : t -> string -> Tree.node list
+(** Elements carrying attribute [a] (any value), [a] in {!indexed_attrs}. *)
+
+val resource : t -> string -> Tree.node option
+(** [resource t u]: the first (document order) element with [@id = u] —
+    an O(1) {!Tree.find_resource}. *)
+
+(** {1 Structural tests (pre/post-order intervals)} *)
+
+val strictly_below : t -> ancestor:Tree.node -> Tree.node -> bool
+(** [n] is a proper descendant of [ancestor]: two integer comparisons. *)
+
+val below_or_self : t -> ancestor:Tree.node -> Tree.node -> bool
+
+val subtree_size : t -> Tree.node -> int
+(** Number of nodes in the subtree rooted at [n] (including [n]). *)

@@ -183,6 +183,106 @@ let rec eval_bool doc visible env ~pos ~last ctx (p : Ast.pred) : bool =
     || eval_bool doc visible env ~pos ~last ctx b
   | Ast.Not a -> not (eval_bool doc visible env ~pos ~last ctx a)
 
+(* ----- Indexed candidate generation -----
+
+   A step's candidates (axis ∩ name test ∩ visibility) are served from the
+   document index when doing so is guaranteed to produce the same list in
+   the same (document) order as the traversal:
+
+   - descendant steps with a name test read the by-label list, restricted
+     to the context's pre/post-order interval;
+   - a position-insensitive [@a = 'v'] predicate over an indexed attribute
+     ([@id], [@s], [@t] — exactly what the §4 rewriting injects) narrows
+     the candidates to the by-attribute list before any predicate runs.
+
+   Narrowing by a predicate p_j is sound iff p_1..p_j are all
+   position-insensitive: such predicates are pure (node, env) filters, so
+   applying p_j's node-only filter first commutes with them, and later
+   (possibly positional) predicates see the exact same list. *)
+
+let rec operand_position_sensitive (op : Ast.operand) =
+  match op with
+  | Ast.Position | Ast.Last -> true
+  | Ast.Strlen a -> operand_position_sensitive a
+  | Ast.Skolem (_, args) -> List.exists operand_position_sensitive args
+  | Ast.Attr _ | Ast.Lit _ | Ast.Num _ | Ast.Var _ | Ast.Count _ | Ast.Path _
+  | Ast.Path_attr _ -> false
+
+let rec pred_position_sensitive (p : Ast.pred) =
+  match p with
+  | Ast.Index _ -> true
+  | Ast.Bind (_, src) -> operand_position_sensitive src
+  | Ast.Cmp (a, _, b) ->
+    operand_position_sensitive a || operand_position_sensitive b
+  | Ast.Fn_bool (_, args) -> List.exists operand_position_sensitive args
+  | Ast.And (a, b) | Ast.Or (a, b) ->
+    pred_position_sensitive a || pred_position_sensitive b
+  | Ast.Not a -> pred_position_sensitive a
+  | Ast.Exists_path _ | Ast.Exists_attr _ -> false
+
+(* The first usable narrowing predicate: an env-independent equality
+   [@a = 'v'] (or the symmetric form) on an indexed attribute, preceded
+   only by position-insensitive predicates.  Literal (string) comparisands
+   only: [@t = 5] uses numeric loose equality, which the exact-string
+   attribute index must not answer. *)
+let narrowing_attr (preds : Ast.pred list) =
+  let rec scan = function
+    | [] -> None
+    | p :: rest ->
+      if pred_position_sensitive p then None
+      else (
+        match p with
+        | Ast.Cmp (Ast.Attr a, Ast.Eq, Ast.Lit v)
+        | Ast.Cmp (Ast.Lit v, Ast.Eq, Ast.Attr a)
+          when Index.attr_indexed a -> Some (a, v)
+        | _ -> scan rest)
+  in
+  scan preds
+
+(* [Some candidates] when the index can serve the step for this context —
+   the same nodes, in document order, as the traversal path — or [None]
+   to fall back (including when the by-label list is larger than the
+   subtree it would be filtered against). *)
+let fast_candidates doc idx visible ctx (step : Ast.step) =
+  let from_document = ctx = Tree.no_node in
+  let label_ok n = test_matches doc step.Ast.test n in
+  let narrowing = narrowing_attr step.Ast.preds in
+  let axis_ok =
+    match step.Ast.axis, from_document with
+    | (Ast.Descendant | Ast.Descendant_or_self), true -> Some (fun _ -> true)
+    | Ast.Descendant, false -> Some (Index.strictly_below idx ~ancestor:ctx)
+    | Ast.Descendant_or_self, false -> Some (Index.below_or_self idx ~ancestor:ctx)
+    | Ast.Child, _ when narrowing <> None ->
+      (* Only worth consulting the attribute index for: without a
+         narrowing attribute the child list itself is the cheapest plan. *)
+      if from_document then
+        Some (fun n -> Tree.has_root doc && Tree.root doc = n)
+      else Some (fun n -> Tree.parent doc n = ctx)
+    | _ -> None
+  in
+  match axis_ok with
+  | None -> None
+  | Some axis_ok -> (
+    match narrowing with
+    | Some (a, v) ->
+      Some
+        (Index.nodes_with_attr idx a v
+        |> List.filter (fun n -> label_ok n && axis_ok n && visible n))
+    | None -> (
+      match step.Ast.test with
+      | Ast.Name l ->
+        if
+          (not from_document)
+          && Index.label_count idx l > Index.subtree_size idx ctx
+        then None (* walking the subtree is cheaper than filtering the label list *)
+        else
+          Some
+            (Index.nodes_with_label idx l
+            |> List.filter (fun n -> axis_ok n && visible n))
+      | Ast.Any ->
+        if from_document then Some (List.filter visible (Index.elements idx))
+        else None))
+
 (* Apply one predicate to a candidate list, XPath-style: positions are
    1-based indices into the current list, recomputed after each predicate. *)
 let apply_pred doc visible candidates (p : Ast.pred) =
@@ -204,18 +304,18 @@ let apply_pred doc visible candidates (p : Ast.pred) =
         else None)
       (List.mapi (fun i c -> (i + 1, c)) candidates)
 
-let apply_step doc visible contexts (step : Ast.step) =
+let apply_step doc index visible contexts (step : Ast.step) =
   List.concat_map
     (fun (ctx, env) ->
+      let fast =
+        match index with
+        | Some idx -> fast_candidates doc idx visible ctx step
+        | None -> None
+      in
       let candidates =
-        (* //Name from the document node is the hot path of the Rewrite
-           strategy; serve it from the cached name index instead of a full
-           traversal. *)
-        match step.Ast.axis, step.Ast.test with
-        | Ast.Descendant, Ast.Name name when ctx = Tree.no_node ->
-          Tree.index_lookup (Tree.name_index_for doc) name
-          |> List.filter visible
-        | _ ->
+        match fast with
+        | Some candidates -> candidates
+        | None ->
           axis_nodes doc visible ctx step.Ast.axis
           |> List.filter (test_matches doc step.Ast.test)
       in
@@ -223,7 +323,7 @@ let apply_step doc visible contexts (step : Ast.step) =
       List.fold_left (apply_pred doc visible) candidates step.Ast.preds)
     contexts
 
-let eval ?(require_uri = true) ?(guards = no_guards) doc (pattern : Ast.pattern) =
+let eval_with ~require_uri ~guards ~index doc (pattern : Ast.pattern) =
   (* An explicit [$r := @id] is the implicit result binding of Definition 4
      condition (3) spelled out (the pattern φ2 of Example 3), so the "r"
      column is never duplicated; "node" is likewise reserved. *)
@@ -232,7 +332,7 @@ let eval ?(require_uri = true) ?(guards = no_guards) doc (pattern : Ast.pattern)
   in
   let finals =
     List.fold_left
-      (apply_step doc guards.visible)
+      (apply_step doc index guards.visible)
       [ (Tree.no_node, guards.env) ]
       pattern
   in
@@ -264,6 +364,24 @@ let eval ?(require_uri = true) ?(guards = no_guards) doc (pattern : Ast.pattern)
         Table.add_row table row)
     finals;
   Table.distinct table
+
+(* The default mode: serve candidates from the cached per-document index
+   (see {!Index.for_tree}); a caller that already holds a valid index
+   passes it to skip the cache lookup.  A stale index is never used — a
+   snapshot of a smaller arena would silently miss appended nodes. *)
+let eval ?(require_uri = true) ?(guards = no_guards) ?index doc
+    (pattern : Ast.pattern) =
+  let index =
+    match index with
+    | Some idx when Index.valid_for idx doc -> Some idx
+    | Some _ | None -> Some (Index.for_tree doc)
+  in
+  eval_with ~require_uri ~guards ~index doc pattern
+
+(* The reference evaluator the indexed path is property-tested against:
+   pure tree traversal, no index consulted. *)
+let eval_unindexed ?(require_uri = true) ?(guards = no_guards) doc pattern =
+  eval_with ~require_uri ~guards ~index:None doc pattern
 
 let eval_state ?require_uri st pattern =
   eval ?require_uri ~guards:(state_guards st) (Doc_state.doc st) pattern

@@ -30,8 +30,28 @@ val state_guards : Doc_state.t -> guards
 (** Visibility of the given document state, empty environment. *)
 
 val eval :
+  ?require_uri:bool ->
+  ?guards:guards ->
+  ?index:Index.t ->
+  Tree.t ->
+  Ast.pattern ->
+  Table.t
+(** [eval doc φ] computes R_φ(d).  [require_uri] defaults to [true].
+
+    Candidate nodes of descendant steps and of indexed-attribute guards
+    ([@id], [@s], [@t] equalities — what the §4 rewriting injects) are
+    served from the per-document {!Weblab_xml.Index} instead of tree
+    traversals.  By default the cached index ({!Weblab_xml.Index.for_tree})
+    is used; pass [~index] to reuse one already in hand.  A stale index
+    (document grew since {!Weblab_xml.Index.build}) is ignored, never
+    trusted.  The result is identical — rows {e and} order — to
+    {!eval_unindexed}, which is enforced by property tests. *)
+
+val eval_unindexed :
   ?require_uri:bool -> ?guards:guards -> Tree.t -> Ast.pattern -> Table.t
-(** [eval doc φ] computes R_φ(d).  [require_uri] defaults to [true]. *)
+(** The reference evaluator: pure tree traversal, no index.  Exists so the
+    indexed fast path has an executable specification to be checked
+    against (and benchmarked against). *)
 
 val eval_state : ?require_uri:bool -> Doc_state.t -> Ast.pattern -> Table.t
 (** [eval_state d φ] = [eval ~guards:(state_guards d) (Doc_state.doc d) φ]. *)

@@ -1,0 +1,435 @@
+(* The document index and the join/evaluation fast paths it enables.
+
+   Unit tests pin the index structures themselves (label/attribute lists
+   in document order, pre/post-order intervals, snapshot invalidation);
+   property tests are differential: the indexed evaluator against the
+   traversal evaluator, the hash join against the nested-loop join, and
+   the full Rewrite strategy against Replay on random workflows — the
+   fast paths must be invisible except in time. *)
+
+open Weblab_xml
+open Weblab_workflow
+open Weblab_prov
+open QCheck
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_nodes = Alcotest.(check (list int))
+
+let sample_doc () =
+  Xml_parser.parse
+    "<Resource id=\"r1\"><MediaUnit id=\"mu1\" s=\"Loader\" t=\"1\">\
+     <Annotation s=\"Tagger\" t=\"2\">hi</Annotation>\
+     <Annotation s=\"Tagger\" t=\"3\"><Language>fr</Language></Annotation>\
+     </MediaUnit><MediaUnit id=\"mu2\"><Annotation s=\"Other\" t=\"2\"/>\
+     </MediaUnit></Resource>"
+
+(* ---------- unit: index structures ---------- *)
+
+let test_by_label () =
+  let doc = sample_doc () in
+  let idx = Index.build doc in
+  let names ns = List.map (Tree.name doc) ns in
+  check_nodes "labels in document order"
+    (Tree.descendant_or_self doc (Tree.root doc)
+    |> List.filter (fun n -> Tree.is_element doc n && Tree.name doc n = "Annotation"))
+    (Index.nodes_with_label idx "Annotation");
+  check_int "label_count" 3 (Index.label_count idx "Annotation");
+  check_int "absent label" 0 (Index.label_count idx "Nope");
+  Alcotest.(check (list string))
+    "elements covers every element, document order"
+    [ "Resource"; "MediaUnit"; "Annotation"; "Annotation"; "Language";
+      "MediaUnit"; "Annotation" ]
+    (names (Index.elements idx))
+
+let test_by_attr () =
+  let doc = sample_doc () in
+  let idx = Index.build doc in
+  check_int "s=Tagger" 2 (List.length (Index.nodes_with_attr idx "s" "Tagger"));
+  check_int "t=2" 2 (List.length (Index.nodes_with_attr idx "t" "2"));
+  check_int "unindexed attr is not answered" 0
+    (List.length (Index.nodes_with_attr idx "lang" "fr"));
+  check_int "some_attr id" 3 (List.length (Index.nodes_with_some_attr idx "id"));
+  check_bool "resource = find_resource" true
+    (Index.resource idx "mu2" = Tree.find_resource doc "mu2");
+  check_bool "missing resource" true (Index.resource idx "zz" = None)
+
+let test_intervals () =
+  let doc = sample_doc () in
+  let idx = Index.build doc in
+  let root = Tree.root doc in
+  Tree.iter_subtree doc root (fun n ->
+      Tree.iter_subtree doc root (fun m ->
+          check_bool
+            (Printf.sprintf "strictly_below %d %d" n m)
+            (Tree.is_ancestor doc ~ancestor:n m)
+            (Index.strictly_below idx ~ancestor:n m);
+          check_bool
+            (Printf.sprintf "below_or_self %d %d" n m)
+            (n = m || Tree.is_ancestor doc ~ancestor:n m)
+            (Index.below_or_self idx ~ancestor:n m)));
+  Tree.iter_subtree doc root (fun n ->
+      check_int
+        (Printf.sprintf "subtree_size %d" n)
+        (List.length (Tree.descendant_or_self doc n))
+        (Index.subtree_size idx n))
+
+let test_snapshot_invalidation () =
+  let doc = sample_doc () in
+  let idx1 = Index.for_tree doc in
+  check_bool "cached while unchanged" true (Index.for_tree doc == idx1);
+  check_bool "valid_for" true (Index.valid_for idx1 doc);
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "Extra");
+  check_bool "append invalidates" false (Index.valid_for idx1 doc);
+  let idx2 = Index.for_tree doc in
+  check_bool "rebuilt" true (idx2 != idx1);
+  check_int "new node covered" 1 (Index.label_count idx2 "Extra")
+
+(* ---------- generators (documents with provenance-shaped attributes) ---------- *)
+
+let gen_name = Gen.oneofl [ "A"; "B"; "C"; "D" ]
+
+(* Attribute pool biased towards the indexed provenance attributes so the
+   narrowing fast path actually fires. *)
+let gen_attr =
+  Gen.oneofl
+    [ ("id", "r1"); ("id", "r2"); ("id", "r3"); ("s", "Svc1"); ("s", "Svc2");
+      ("t", "1"); ("t", "2"); ("k", "x"); ("k", "y") ]
+
+let rec gen_fragment doc parent depth st =
+  let name = gen_name st in
+  let attrs =
+    List.init (Gen.int_bound 2 st) (fun _ -> gen_attr st)
+    |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+  in
+  let n = Tree.new_element doc ~parent name ~attrs in
+  if Gen.bool st then ignore (Tree.new_text doc ~parent:n "txt");
+  if depth > 0 then
+    for _ = 1 to Gen.int_bound 2 st do
+      ignore (gen_fragment doc n (depth - 1) st)
+    done
+
+let gen_doc : Tree.t Gen.t =
+ fun st ->
+  let doc = Tree.create () in
+  let root = Tree.new_element doc ~parent:Tree.no_node "R" ~attrs:[ ("id", "root") ] in
+  for _ = 1 to 1 + Gen.int_bound 3 st do
+    gen_fragment doc root 2 st
+  done;
+  doc
+
+let arb_doc = make ~print:(fun d -> Printer.to_string ~indent:true d) gen_doc
+
+(* Patterns exercising every candidate-generation path: descendant and
+   child axes, name and wildcard tests, indexed-attribute equalities in
+   every predicate slot (so narrowing must prove position-insensitivity),
+   positional predicates, binds, and nested paths. *)
+let gen_pred ~var_counter st =
+  let open Weblab_xpath.Ast in
+  match Gen.int_bound 7 st with
+  | 0 -> Index (1 + Gen.int_bound 2 st)
+  | 1 -> Exists_attr (fst (gen_attr st))
+  | 2 ->
+    incr var_counter;
+    Bind (Printf.sprintf "x%d" !var_counter, Attr (fst (gen_attr st)))
+  | 3 | 4 ->
+    let a, v = gen_attr st in
+    if Gen.bool st then Cmp (Attr a, Eq, Lit v) else Cmp (Lit v, Eq, Attr a)
+  | 5 -> Cmp (Position, Eq, Last)
+  | 6 -> Cmp (Attr "t", Eq, Num (1 + Gen.int_bound 2 st))
+  | _ ->
+    Exists_path [ { raxis = Child; rtest = Name (gen_name st) } ]
+
+let gen_pattern : Weblab_xpath.Ast.pattern Gen.t =
+ fun st ->
+  let open Weblab_xpath.Ast in
+  let var_counter = ref 0 in
+  List.init
+    (1 + Gen.int_bound 2 st)
+    (fun _ ->
+      let axis =
+        match Gen.int_bound 5 st with
+        | 0 | 1 -> Descendant
+        | 2 | 3 -> Child
+        | 4 -> Descendant_or_self
+        | _ -> Self
+      in
+      let test = if Gen.int_bound 4 st = 0 then Any else Name (gen_name st) in
+      { axis; test;
+        preds = List.init (Gen.int_bound 3 st) (fun _ -> gen_pred ~var_counter st) })
+
+let arb_pattern = make ~print:Weblab_xpath.Print.pattern_to_string gen_pattern
+
+let count = 200
+
+(* ---------- property: indexed evaluation ≡ traversal evaluation ---------- *)
+
+let rows_exactly_equal a b =
+  let open Weblab_relalg in
+  Table.columns a = Table.columns b
+  && List.length (Table.rows a) = List.length (Table.rows b)
+  && List.for_all2 (fun ra rb -> Array.for_all2 Value.equal ra rb)
+       (Table.rows a) (Table.rows b)
+
+let prop_indexed_eval_equals_unindexed =
+  Test.make ~name:"Eval.eval (indexed) ≡ Eval.eval_unindexed" ~count
+    (pair arb_doc arb_pattern)
+    (fun (doc, pat) ->
+      List.for_all
+        (fun require_uri ->
+          rows_exactly_equal
+            (Weblab_xpath.Eval.eval ~require_uri doc pat)
+            (Weblab_xpath.Eval.eval_unindexed ~require_uri doc pat))
+        [ true; false ])
+
+(* The same under a visibility guard (the Rewrite strategy's situation):
+   the index is built over the whole arena but must honor the guard. *)
+let prop_indexed_eval_guarded =
+  Test.make ~name:"indexed ≡ unindexed under visibility guards" ~count
+    (triple arb_doc arb_pattern (make Gen.(int_bound 1000)))
+    (fun (doc, pat, salt) ->
+      (* An arbitrary but deterministic node filter. *)
+      let visible n = (n * 2654435761 + salt) land 7 <> 0 in
+      let guards = { Weblab_xpath.Eval.visible; env = [] } in
+      rows_exactly_equal
+        (Weblab_xpath.Eval.eval ~require_uri:false ~guards doc pat)
+        (Weblab_xpath.Eval.eval_unindexed ~require_uri:false ~guards doc pat))
+
+(* A prebuilt index for the *wrong* (smaller) snapshot must be ignored,
+   not trusted. *)
+let prop_stale_index_ignored =
+  Test.make ~name:"stale index is never trusted" ~count:50
+    (pair arb_doc arb_pattern)
+    (fun (doc, pat) ->
+      let stale = Index.build doc in
+      ignore (Tree.new_element doc ~parent:(Tree.root doc) "A" ~attrs:[ ("s", "Svc1") ]);
+      rows_exactly_equal
+        (Weblab_xpath.Eval.eval ~require_uri:false ~index:stale doc pat)
+        (Weblab_xpath.Eval.eval_unindexed ~require_uri:false doc pat))
+
+(* ---------- property: hash join ≡ nested-loop join ---------- *)
+
+(* Small value pools force duplicate join keys; occasional empty tables
+   and disjoint schemas cover the degenerate shapes. *)
+let gen_join_pair : (Weblab_relalg.Table.t * Weblab_relalg.Table.t) Gen.t =
+ fun st ->
+  let open Weblab_relalg in
+  let cols_a, cols_b =
+    match Gen.int_bound 3 st with
+    | 0 -> ([ "a"; "k" ], [ "k"; "b" ])   (* one shared column *)
+    | 1 -> ([ "a"; "k"; "l" ], [ "k"; "l"; "b" ])  (* two shared *)
+    | 2 -> ([ "a" ], [ "b" ])             (* cross product *)
+    | _ -> ([ "k" ], [ "k" ])             (* all shared *)
+  in
+  let value () =
+    match Gen.int_bound 3 st with
+    | 0 -> Value.Str (Gen.oneofl [ "u"; "v"; "5" ] st)
+    | 1 -> Value.Int (Gen.int_bound 5 st)
+    | _ -> Value.Node (Gen.int_bound 3 st)
+  in
+  let table cols =
+    let t = Table.create cols in
+    for _ = 1 to Gen.int_bound 8 st do   (* int_bound includes 0: empty tables *)
+      Table.add_row t (Array.of_list (List.map (fun _ -> value ()) cols))
+    done;
+    t
+  in
+  (table cols_a, table cols_b)
+
+let arb_join_pair =
+  make
+    ~print:(fun (a, b) ->
+      Weblab_relalg.Table.to_string a ^ "\n⋈\n" ^ Weblab_relalg.Table.to_string b)
+    gen_join_pair
+
+let prop_hash_join_equals_nested_loop =
+  Test.make ~name:"hash_join ≡ nested_loop_join (exact row sequence)" ~count
+    arb_join_pair
+    (fun (a, b) ->
+      let open Weblab_relalg in
+      let h = Table.hash_join a b and n = Table.nested_loop_join a b in
+      Table.columns h = Table.columns n
+      && Table.rows h = Table.rows n)
+
+let prop_hash_join_empty =
+  Test.make ~name:"join with an empty relation is empty" ~count:50 arb_join_pair
+    (fun (a, _) ->
+      let open Weblab_relalg in
+      let empty = Table.create (Table.columns a) in
+      Table.cardinality (Table.hash_join a empty) = 0
+      && Table.cardinality (Table.hash_join empty a) = 0)
+
+(* ---------- property: the indexed Rewrite strategy end to end ---------- *)
+
+(* Random append-only workflows (as in test_props, with provenance-shaped
+   attributes): the Rewrite strategy — indexed evaluation, memoized
+   source/target tables, hash joins — must produce a graph identical in
+   every component to Replay's. *)
+(* Workflow documents need globally unique @id values (the orchestrator
+   enforces URI uniqueness), so fragments appended during a run draw ids
+   from a counter instead of the small pool above. *)
+let uid = ref 0
+
+let rec gen_wf_fragment doc parent depth st =
+  let attrs =
+    (if Gen.bool st then begin
+       incr uid;
+       [ ("id", Printf.sprintf "u%d" !uid) ]
+     end
+     else [])
+    @ (if Gen.bool st then [ ("k", Gen.oneofl [ "x"; "y" ] st) ] else [])
+  in
+  let n = Tree.new_element doc ~parent (gen_name st) ~attrs in
+  if Gen.bool st then ignore (Tree.new_text doc ~parent:n "txt");
+  if depth > 0 then
+    for _ = 1 to Gen.int_bound 2 st do
+      ignore (gen_wf_fragment doc n (depth - 1) st)
+    done
+
+let gen_service i : Service.t Gen.t =
+ fun st ->
+  let seeds = List.init (1 + Gen.int_bound 1 st) (fun _ -> Gen.int_bound 1_000_000 st) in
+  Service.inproc ~name:(Printf.sprintf "Svc%d" i) ~description:"" (fun doc ->
+      List.iter
+        (fun seed ->
+          gen_wf_fragment doc (Tree.root doc) 1 (Random.State.make [| seed |]))
+        seeds)
+
+let gen_rule : Rule.t Gen.t =
+ fun st ->
+  let open Weblab_xpath.Ast in
+  let step name preds = { axis = Descendant; test = Name name; preds } in
+  let bind x a = Bind (x, Attr a) in
+  let shared = Gen.bool st in
+  Rule.make ~name:"q"
+    ~source:[ step (gen_name st) (if shared then [ bind "x" "k" ] else []) ]
+    ~target:[ step (gen_name st) (if shared then [ bind "x" "k" ] else []) ]
+    ()
+
+let gen_workflow : (Tree.t * Service.t list * Strategy.rulebook) Gen.t =
+ fun st ->
+  let doc = Weblab_workflow.Orchestrator.initial_document () in
+  for _ = 1 to 1 + Gen.int_bound 2 st do
+    gen_wf_fragment doc (Tree.root doc) 2 st
+  done;
+  let services = List.init (1 + Gen.int_bound 3 st) (fun i -> gen_service (i + 1) st) in
+  let rb =
+    List.map
+      (fun svc ->
+        (Service.name svc, List.init (Gen.int_bound 2 st) (fun _ -> gen_rule st)))
+      services
+  in
+  (doc, services, rb)
+
+let arb_workflow =
+  make
+    ~print:(fun (doc, services, _) ->
+      Printf.sprintf "doc=%s services=%s" (Printer.to_string doc)
+        (String.concat "," (List.map Service.name services)))
+    gen_workflow
+
+let graph_signature g =
+  let links =
+    Prov_graph.links g
+    |> List.map (fun l ->
+           (l.Prov_graph.from_uri, l.Prov_graph.to_uri, l.Prov_graph.rule,
+            l.Prov_graph.inherited))
+    |> List.sort compare
+  in
+  let labels =
+    Prov_graph.labeled_resources g
+    |> List.map (fun (u, c) -> (u, c.Trace.service, c.Trace.time))
+    |> List.sort compare
+  in
+  let members =
+    Prov_graph.skolem_entities g
+    |> List.concat_map (fun e -> List.map (fun m -> (e, m)) (Prov_graph.members g e))
+    |> List.sort compare
+  in
+  (links, labels, members)
+
+let prop_rewrite_identical_to_replay =
+  Test.make ~name:"indexed Rewrite graph ≡ Replay graph (all components)"
+    ~count:80 arb_workflow
+    (fun (doc, services, rb) ->
+      let exec = Engine.run doc services in
+      graph_signature (Engine.provenance ~strategy:`Rewrite exec rb)
+      = graph_signature (Engine.provenance ~strategy:`Replay exec rb))
+
+(* Duplicated rules (the memoization hot case) must not duplicate or drop
+   links. *)
+let prop_rewrite_duplicate_rules =
+  Test.make ~name:"rule duplication changes nothing but rule names" ~count:40
+    arb_workflow
+    (fun (doc, services, rb) ->
+      let dup =
+        List.map
+          (fun (svc, rules) ->
+            ( svc,
+              List.concat_map
+                (fun r ->
+                  List.init 3 (fun i ->
+                      Rule.make
+                        ~name:(Printf.sprintf "%s#%d" (Rule.name r) i)
+                        ~source:(Rule.source r) ~target:(Rule.target r) ()))
+                rules ))
+          rb
+      in
+      let exec = Engine.run doc services in
+      let strip (links, labels, members) =
+        (List.map (fun (f, t, _, i) -> (f, t, i)) links |> List.sort_uniq compare,
+         labels, members)
+      in
+      strip (graph_signature (Engine.provenance ~strategy:`Rewrite exec dup))
+      = strip (graph_signature (Engine.provenance ~strategy:`Rewrite exec rb)))
+
+(* ---------- reachability closure tables ---------- *)
+
+let test_closure_table () =
+  let g = Prov_graph.create () in
+  Prov_graph.add_link g ~from_uri:"c" ~to_uri:"b";
+  Prov_graph.add_link g ~from_uri:"b" ~to_uri:"a";
+  let idx = Reachability.build g in
+  let t = Reachability.closure_table idx in
+  let open Weblab_relalg in
+  let pairs =
+    Table.rows t
+    |> List.map (fun row ->
+           (Value.to_string (Table.get t row "from"),
+            Value.to_string (Table.get t row "to")))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string string)))
+    "closure pairs"
+    [ ("b", "a"); ("c", "a"); ("c", "b") ]
+    pairs;
+  let imp = Reachability.impact_table idx "b" in
+  let rows =
+    Table.rows imp
+    |> List.map (fun row ->
+           (Value.to_string (Table.get imp row "impacted"),
+            Value.to_string (Table.get imp row "cause")))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string string))) "impact × cause through b"
+    [ ("c", "a") ] rows
+
+let () =
+  let to_alcotest = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "index"
+    [ ( "structures",
+        [ Alcotest.test_case "by label" `Quick test_by_label;
+          Alcotest.test_case "by attribute" `Quick test_by_attr;
+          Alcotest.test_case "pre/post intervals" `Quick test_intervals;
+          Alcotest.test_case "snapshot invalidation" `Quick
+            test_snapshot_invalidation;
+          Alcotest.test_case "closure table" `Quick test_closure_table ] );
+      ( "eval",
+        to_alcotest
+          [ prop_indexed_eval_equals_unindexed; prop_indexed_eval_guarded;
+            prop_stale_index_ignored ] );
+      ( "join",
+        to_alcotest [ prop_hash_join_equals_nested_loop; prop_hash_join_empty ] );
+      ( "strategy",
+        to_alcotest
+          [ prop_rewrite_identical_to_replay; prop_rewrite_duplicate_rules ] ) ]
