@@ -30,6 +30,11 @@ let quick =
 
 let json_path = ref (Sys.getenv_opt "WEBLAB_BENCH_JSON")
 
+(* [--only SUBSTR] (or WEBLAB_BENCH_ONLY) keeps only the tests whose name
+   contains the substring — how CI uploads a dedicated fault/* artifact
+   without paying for the full suite twice. *)
+let only = ref (Sys.getenv_opt "WEBLAB_BENCH_ONLY")
+
 let () =
   let rec scan = function
     | "--quick" :: rest ->
@@ -38,13 +43,22 @@ let () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       scan rest
+    | "--only" :: sub :: rest ->
+      only := Some sub;
+      scan rest
     | arg :: _ ->
-      Printf.eprintf "usage: %s [--quick] [--json PATH]  (unknown arg %s)\n"
+      Printf.eprintf
+        "usage: %s [--quick] [--json PATH] [--only SUBSTR]  (unknown arg %s)\n"
         Sys.argv.(0) arg;
       exit 2
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv))
+
+let name_contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
 
 (* Full scaling series, or just the smallest point in quick mode. *)
 let pick full = if !quick then [ List.hd full ] else full
@@ -355,13 +369,69 @@ let join_tests =
       ])
     (pick [ 32; 128; 512 ])
 
+(* ---------- P12: fault-tolerant orchestration over degraded runs ---------- *)
+
+(* Executions with injected faults (skip-on-failure, one retry) and
+   inference over what survived.  Stall is excluded from the bench plan:
+   it measures sleeping, not orchestration.  The wrapped services carry
+   per-instance attempt counters, so the exec benchmark re-wraps inside
+   the staged closure to keep every iteration's fault pattern identical. *)
+let fault_tests =
+  let bench_faults =
+    Faulty.[ Crash; Garbage_xml; Mutate_committed; Duplicate_uri ]
+  in
+  let policy =
+    { Orchestrator.default_policy with
+      retries = 1; backoff_ms = 10.; on_failure = `Skip }
+  in
+  let services = Workload.chain_pipeline 7 in
+  let rb = rulebook services in
+  List.concat_map
+    (fun rate ->
+      let tag = int_of_float ((rate *. 100.) +. 0.5) in
+      let degraded () =
+        let doc = Workload.make_document ~units:3 ~seed:42 () in
+        let faulty =
+          Faulty.wrap_all
+            (Faulty.plan ~faults:bench_faults ~rate ~seed:42 ())
+            services
+        in
+        Engine.run ~policy doc faulty
+      in
+      let p = degraded () in
+      [ Test.make
+          ~name:(Printf.sprintf "fault/exec/rate=%02d" tag)
+          (Staged.stage (fun () -> ignore (degraded ())));
+        Test.make
+          ~name:(Printf.sprintf "fault/replay/rate=%02d" tag)
+          (Staged.stage (fun () ->
+               ignore (Engine.provenance ~strategy:`Replay p rb)));
+        Test.make
+          ~name:(Printf.sprintf "fault/rewrite/rate=%02d" tag)
+          (Staged.stage (fun () ->
+               ignore (Engine.provenance ~strategy:`Rewrite p rb)))
+      ])
+    (pick [ 0.0; 0.2; 0.5 ])
+
 (* ---------- harness ---------- *)
 
 let all_tests =
   [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
   @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
   @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
-  @ join_tests
+  @ join_tests @ fault_tests
+
+let all_tests =
+  match !only with
+  | None -> all_tests
+  | Some sub -> List.filter (fun t -> name_contains ~sub (Test.name t)) all_tests
+
+let () =
+  if all_tests = [] then begin
+    Printf.eprintf "--only %s matched no benchmarks\n"
+      (Option.value ~default:"" !only);
+    exit 2
+  end
 
 let benchmark test =
   let ols =
@@ -422,5 +492,5 @@ let () =
   print_endline
     "Series: strategy/* (P1), scale_doc/* (P2), scale_rules/* (P3),\n\
      xquery_opt/* (P4), rdf/* (P5), xml/* (P6), reach/* (P7),\n\
-     ext/* (P8), index/* (P10), join/* (P11), paper/* (F1-E9).\n\
-     See EXPERIMENTS.md for the paper-vs-measured discussion."
+     ext/* (P8), index/* (P10), join/* (P11), fault/* (P12),\n\
+     paper/* (F1-E9).  See EXPERIMENTS.md for the discussion."

@@ -43,6 +43,20 @@ let extended_arg =
            ~doc:"Use the extended pipeline (tokenizer, entities, summary, \
                  sentiment).")
 
+let fault_rate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "fault-rate" ] ~docv:"RATE"
+           ~doc:"Inject seeded faults (crash, garbage XML, committed-node \
+                 mutation, duplicate URI, stall) with this per-attempt \
+                 probability; failed calls are rolled back and skipped, and \
+                 provenance is inferred over the surviving calls.")
+
+let retries_arg =
+  Arg.(value & opt int 0
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry each failing call up to $(docv) times with simulated \
+                 exponential backoff before giving up on it.")
+
 (* --- figures --- *)
 
 let figures only =
@@ -80,12 +94,31 @@ let build_rulebook services =
              (name, List.map Rule_parser.parse e.Weblab_services.Catalog.rules)))
     services
 
-let run_pipeline ~units ~seed ~extended ~strategy ~inheritance =
+(* Supervision policy from the CLI knobs: a positive fault rate turns on
+   skip-on-failure (the run completes and provenance covers the surviving
+   calls); retries get a 10 ms simulated backoff base. *)
+let fault_policy ~fault_rate ~retries =
+  { Weblab_workflow.Orchestrator.default_policy with
+    retries;
+    backoff_ms = (if retries > 0 then 10. else 0.);
+    on_failure = (if fault_rate > 0. then `Skip else `Propagate) }
+
+let maybe_wrap_faulty ~fault_rate ~seed services =
+  if fault_rate > 0. then
+    Weblab_services.Faulty.wrap_all
+      (Weblab_services.Faulty.plan ~rate:fault_rate ~seed ())
+      services
+  else services
+
+let run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate
+    ~retries =
   let doc = Weblab_services.Workload.make_document ~units ~seed () in
   let services = Weblab_services.Workload.standard_pipeline ~extended () in
   let rb = build_rulebook services in
+  let services = maybe_wrap_faulty ~fault_rate ~seed services in
+  let policy = fault_policy ~fault_rate ~retries in
   let exec, g =
-    Engine.run_with_provenance ~strategy ~inheritance doc services rb
+    Engine.run_with_provenance ~policy ~strategy ~inheritance doc services rb
   in
   (exec, g)
 
@@ -96,7 +129,17 @@ let resolve_catalog name =
     (fun e -> e.Weblab_services.Catalog.service)
     (Weblab_services.Catalog.find name)
 
-let run_dsl ~units ~seed ~strategy ~inheritance spec =
+let rec wrap_wf plan = function
+  | Weblab_workflow.Parallel.Call s ->
+    Weblab_workflow.Parallel.Call (Weblab_services.Faulty.wrap plan s)
+  | Weblab_workflow.Parallel.Seq l ->
+    Weblab_workflow.Parallel.Seq (List.map (wrap_wf plan) l)
+  | Weblab_workflow.Parallel.Par l ->
+    Weblab_workflow.Parallel.Par (List.map (wrap_wf plan) l)
+  | Weblab_workflow.Parallel.Nested (n, b) ->
+    Weblab_workflow.Parallel.Nested (n, wrap_wf plan b)
+
+let run_dsl ~units ~seed ~strategy ~inheritance ~fault_rate ~retries spec =
   let doc = Weblab_services.Workload.make_document ~units ~seed () in
   match Weblab_workflow.Wf_parser.parse_opt ~resolve:resolve_catalog spec with
   | Error msg ->
@@ -117,7 +160,15 @@ let run_dsl ~units ~seed ~strategy ~inheritance spec =
              |> Option.map (fun e ->
                     (name, List.map Rule_parser.parse e.Weblab_services.Catalog.rules)))
     in
-    let exec, pexec, g = Engine.run_parallel ~strategy ~inheritance doc wf rb in
+    let wf =
+      if fault_rate > 0. then
+        wrap_wf (Weblab_services.Faulty.plan ~rate:fault_rate ~seed ()) wf
+      else wf
+    in
+    let policy = fault_policy ~fault_rate ~retries in
+    let exec, pexec, g =
+      Engine.run_parallel ~policy ~strategy ~inheritance doc wf rb
+    in
     print_string "Schedule (with channels):\n";
     List.iter
       (fun (c : Weblab_workflow.Trace.call) ->
@@ -130,14 +181,26 @@ let run_dsl ~units ~seed ~strategy ~inheritance spec =
       (Weblab_workflow.Trace.calls exec.Engine.trace);
     (exec, g)
 
-let run units seed extended strategy inheritance show_doc workflow =
+let run units seed extended strategy inheritance fault_rate retries show_doc
+    workflow =
   let exec, g =
     match workflow with
-    | Some spec -> run_dsl ~units ~seed ~strategy ~inheritance spec
-    | None -> run_pipeline ~units ~seed ~extended ~strategy ~inheritance
+    | Some spec ->
+      run_dsl ~units ~seed ~strategy ~inheritance ~fault_rate ~retries spec
+    | None ->
+      run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate
+        ~retries
   in
   print_string "Source (execution trace):\n";
   print_string (Weblab_workflow.Trace.source_table exec.Engine.trace);
+  if fault_rate > 0. then begin
+    print_string "\nAttempts:\n";
+    print_string (Weblab_workflow.Trace.attempts_table exec.Engine.trace);
+    print_string "\nFailure summary:\n";
+    print_string
+      (Analytics.failure_stats_to_string
+         (Analytics.failure_stats exec.Engine.trace))
+  end;
   print_string "\nProvenance links:\n";
   print_string (Prov_graph.provenance_table ~with_rule:true g);
   Printf.printf "\n%d resources, %d links, acyclic=%b, temporally sound=%b\n"
@@ -162,12 +225,15 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a synthetic media-mining workflow")
     Term.(const run $ units_arg $ seed_arg $ extended_arg $ strategy_arg
-          $ inherit_arg $ show_doc $ workflow)
+          $ inherit_arg $ fault_rate_arg $ retries_arg $ show_doc $ workflow)
 
 (* --- export --- *)
 
 let export units seed extended strategy inheritance format =
-  let _, g = run_pipeline ~units ~seed ~extended ~strategy ~inheritance in
+  let _, g =
+    run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate:0.0
+      ~retries:0
+  in
   match format with
   | "turtle" -> print_string (Prov_export.to_turtle g)
   | "ntriples" -> print_string (Prov_export.to_ntriples g)
@@ -191,7 +257,10 @@ let export_cmd =
 (* --- query --- *)
 
 let query units seed extended strategy inheritance q =
-  let _, g = run_pipeline ~units ~seed ~extended ~strategy ~inheritance in
+  let _, g =
+    run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate:0.0
+      ~retries:0
+  in
   let store = Prov_export.to_store g in
   match Weblab_rdf.Sparql.run store q with
   | table -> print_string (Weblab_relalg.Table.to_string table)
@@ -243,6 +312,7 @@ let lint_cmd =
 let analyze units seed extended taint =
   let exec, g =
     run_pipeline ~units ~seed ~extended ~strategy:`Rewrite ~inheritance:false
+      ~fault_rate:0.0 ~retries:0
   in
   print_endline "=== Provenance metrics (explicit graph) ===";
   print_string (Analytics.metrics_to_string (Analytics.metrics g));

@@ -124,3 +124,70 @@ let storage_ablation doc (g_explicit : Prov_graph.t) : ablation =
                     /. float_of_int materialized_bytes));
     closure_cost_ms_hint = Printf.sprintf "%.2f ms to recompute the closure" dt;
   }
+
+(* ---- failure statistics ---- *)
+
+(* Aggregates over an outcome-labelled trace: how much of the execution
+   survived, what it cost in attempts and simulated backoff, and which
+   services failed. *)
+
+open Weblab_workflow
+
+type failure_stats = {
+  calls_total : int;        (* committed + failed (Source excluded) *)
+  calls_committed : int;
+  calls_failed : int;
+  calls_retried : int;      (* committed only after >= 1 failed attempt *)
+  attempts_total : int;
+  backoff_ms_total : float; (* simulated, summed over all attempts *)
+  failures_by_service : (string * int) list;  (* most failures first *)
+}
+
+let failure_stats (trace : Trace.t) : failure_stats =
+  let committed =
+    List.filter (fun (c : Trace.call) -> c.Trace.time > 0) (Trace.calls trace)
+  in
+  let failed = Trace.failed_calls trace in
+  let retried =
+    List.filter
+      (fun (c : Trace.call) ->
+        match Trace.outcome_at trace c.Trace.time with
+        | Some (Trace.Retried _) -> true
+        | _ -> false)
+      committed
+  in
+  let attempts = Trace.attempts trace in
+  let by_service = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Trace.call) ->
+      Hashtbl.replace by_service c.Trace.service
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_service c.Trace.service)))
+    failed;
+  {
+    calls_total = List.length committed + List.length failed;
+    calls_committed = List.length committed;
+    calls_failed = List.length failed;
+    calls_retried = List.length retried;
+    attempts_total = List.length attempts;
+    backoff_ms_total =
+      List.fold_left (fun acc (a : Trace.attempt) -> acc +. a.Trace.a_backoff_ms)
+        0. attempts;
+    failures_by_service =
+      Hashtbl.fold (fun s n acc -> (s, n) :: acc) by_service []
+      |> List.sort (fun (s1, n1) (s2, n2) ->
+             let c = compare n2 n1 in
+             if c <> 0 then c else String.compare s1 s2);
+  }
+
+let failure_stats_to_string st =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "calls=%d committed=%d failed=%d retried=%d attempts=%d backoff=%.1fms\n"
+       st.calls_total st.calls_committed st.calls_failed st.calls_retried
+       st.attempts_total st.backoff_ms_total);
+  List.iter
+    (fun (s, n) ->
+      Buffer.add_string buf (Printf.sprintf "  %-20s %d failure(s)\n" s n))
+    st.failures_by_service;
+  Buffer.contents buf

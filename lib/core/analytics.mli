@@ -31,3 +31,23 @@ val storage_ablation : Weblab_xml.Tree.t -> Prov_graph.t -> ablation
 (** Quantify the storage trade-off on a concrete execution: how much the
     store shrinks when inherited links are recomputed on demand instead of
     materialized.  The input graph must be explicit-only. *)
+
+(** {1 Failure statistics}
+
+    Aggregates over an outcome-labelled trace (see
+    {!Weblab_workflow.Trace}): how much of the execution survived and what
+    supervision cost. *)
+
+type failure_stats = {
+  calls_total : int;  (** committed + failed; the Source pseudo-call excluded *)
+  calls_committed : int;
+  calls_failed : int;
+  calls_retried : int;  (** committed only after at least one failed attempt *)
+  attempts_total : int;
+  backoff_ms_total : float;  (** simulated backoff, summed over all attempts *)
+  failures_by_service : (string * int) list;  (** most failures first *)
+}
+
+val failure_stats : Weblab_workflow.Trace.t -> failure_stats
+
+val failure_stats_to_string : failure_stats -> string

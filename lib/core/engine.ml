@@ -12,15 +12,16 @@ type execution = {
 }
 
 (* Run a sequential workflow (without provenance inference). *)
-let run doc services =
-  let trace = Orchestrator.execute doc services in
+let run ?policy doc services =
+  let trace = Orchestrator.execute ?policy doc services in
   { doc; trace }
 
 (* Run a workflow with Online provenance inference: rules are applied by
-   the orchestrator hook after each call. *)
-let run_online doc services (rb : Strategy.rulebook) =
+   the orchestrator hook after each call (committed calls only — the hook
+   never fires for a failed, rolled-back call). *)
+let run_online ?policy doc services (rb : Strategy.rulebook) =
   let g, hook = Strategy.online rb in
-  let trace = Orchestrator.execute ~on_step:hook doc services in
+  let trace = Orchestrator.execute ?policy ~on_step:hook doc services in
   (* The hook sees only data dependencies; the labeling function λ comes
      from the trace. *)
   List.iter
@@ -35,8 +36,8 @@ let provenance ?strategy ?inheritance ?happened_before { doc; trace } rb =
 (* Series-parallel workflows (§8): execute with channel recording, then
    infer with the happened-before relation of the series-parallel order
    instead of plain timestamp comparison. *)
-let run_parallel ?strategy ?inheritance doc (wf : Parallel.wf) rb =
-  let pexec = Parallel.execute doc wf in
+let run_parallel ?policy ?strategy ?inheritance doc (wf : Parallel.wf) rb =
+  let pexec = Parallel.execute ?policy doc wf in
   let exec = { doc; trace = pexec.Parallel.trace } in
   let happened_before = Parallel.happened_before pexec in
   let g =
@@ -46,10 +47,10 @@ let run_parallel ?strategy ?inheritance doc (wf : Parallel.wf) rb =
   (exec, pexec, g)
 
 (* End to end: run, infer, export. *)
-let run_with_provenance ?strategy ?inheritance doc services rb =
-  let exec = run doc services in
+let run_with_provenance ?policy ?strategy ?inheritance doc services rb =
+  let exec = run ?policy doc services in
   (exec, provenance ?strategy ?inheritance exec rb)
 
-let to_turtle = Prov_export.to_turtle
+let to_turtle ?trace g = Prov_export.to_turtle ?trace g
 
 let to_dot = Dot.to_dot

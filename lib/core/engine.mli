@@ -10,13 +10,17 @@ type execution = {
   trace : Trace.t;   (** the execution trace (the Source table) *)
 }
 
-val run : Tree.t -> Service.t list -> execution
-(** Execute a sequential workflow (no provenance inference). *)
+val run : ?policy:Orchestrator.policy -> Tree.t -> Service.t list -> execution
+(** Execute a sequential workflow (no provenance inference).  [policy]
+    supervises each call — retries, budgets, skip-or-propagate on failure
+    (see {!Orchestrator.execute}). *)
 
-val run_online : Tree.t -> Service.t list -> Strategy.rulebook ->
+val run_online :
+  ?policy:Orchestrator.policy ->
+  Tree.t -> Service.t list -> Strategy.rulebook ->
   execution * Prov_graph.t
 (** Execute with Online inference: rules are applied by the orchestrator
-    hook after each call; λ is populated from the trace. *)
+    hook after each committed call; λ is populated from the trace. *)
 
 val provenance :
   ?strategy:Strategy.post_hoc ->
@@ -28,6 +32,7 @@ val provenance :
 (** Post-hoc inference (see {!Strategy.infer}). *)
 
 val run_parallel :
+  ?policy:Orchestrator.policy ->
   ?strategy:Strategy.post_hoc ->
   ?inheritance:bool ->
   Tree.t ->
@@ -39,6 +44,7 @@ val run_parallel :
     instead of plain timestamp comparison. *)
 
 val run_with_provenance :
+  ?policy:Orchestrator.policy ->
   ?strategy:Strategy.post_hoc ->
   ?inheritance:bool ->
   Tree.t ->
@@ -47,6 +53,8 @@ val run_with_provenance :
   execution * Prov_graph.t
 (** [run] followed by [provenance]. *)
 
-val to_turtle : Prov_graph.t -> string
+val to_turtle : ?trace:Trace.t -> Prov_graph.t -> string
+(** Passing [trace] additionally exports failed service calls as
+    invalidated activities (see {!Prov_export.to_store}). *)
 
 val to_dot : Prov_graph.t -> string

@@ -13,17 +13,22 @@ val entity_term : string -> Term.t
 val call_term : Trace.call -> Term.t
 (** The IRI of a service-call activity. *)
 
-val to_store : Prov_graph.t -> Triple_store.t
-(** The RDF graph, queryable with {!Weblab_rdf.Sparql}. *)
+val to_store : ?trace:Trace.t -> Prov_graph.t -> Triple_store.t
+(** The RDF graph, queryable with {!Weblab_rdf.Sparql}.  When [trace] is
+    supplied, failed service calls are additionally exported as
+    prov:Activity nodes marked with [prov:invalidatedAtTime] (the burned
+    timestamp), [wl:failed], [wl:failureReason] and [wl:attempts]; calls
+    committed after retries carry [wl:attempts].  Failed activities
+    generate no entities — their appends were rolled back. *)
 
 val of_store : Triple_store.t -> Prov_graph.t
 (** Inverse of {!to_store}: labels, links, rule names and Skolem members
     are recovered; the [inherited] flag is not part of the RDF encoding
     (round-trip loses it — inherited links come back as plain links). *)
 
-val to_turtle : Prov_graph.t -> string
+val to_turtle : ?trace:Trace.t -> Prov_graph.t -> string
 
-val to_ntriples : Prov_graph.t -> string
+val to_ntriples : ?trace:Trace.t -> Prov_graph.t -> string
 
 val to_prov_xml : Prov_graph.t -> string
 (** PROV-XML — the alternative serialization §8 mentions; built with the

@@ -28,6 +28,7 @@ let was_informed_by = Term.Iri (prov_ns ^ "wasInformedBy")
 let was_associated_with = Term.Iri (prov_ns ^ "wasAssociatedWith")
 let started_at_time = Term.Iri (prov_ns ^ "startedAtTime")
 let ended_at_time = Term.Iri (prov_ns ^ "endedAtTime")
+let invalidated_at_time = Term.Iri (prov_ns ^ "invalidatedAtTime")
 let had_member = Term.Iri (prov_ns ^ "hadMember")
 
 (* WebLab-specific terms *)
@@ -35,6 +36,9 @@ let wl_rule = Term.Iri (weblab_ns ^ "inferredByRule")
 let wl_inherited = Term.Iri (weblab_ns ^ "inheritedFrom")
 let wl_timestamp = Term.Iri (weblab_ns ^ "timestamp")
 let wl_service = Term.Iri (weblab_ns ^ "service")
+let wl_failed = Term.Iri (weblab_ns ^ "failed")
+let wl_failure_reason = Term.Iri (weblab_ns ^ "failureReason")
+let wl_attempts = Term.Iri (weblab_ns ^ "attempts")
 
 (* IRI builders for WebLab resources and service calls. *)
 let resource_iri uri =

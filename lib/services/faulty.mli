@@ -1,0 +1,53 @@
+(** Seeded fault injection for workflow services.
+
+    Wraps any catalog service so that attempts fail in controlled,
+    reproducible ways — the test and bench harness for the orchestrator's
+    failure subsystem (supervision, rollback, retry, outcome-labelled
+    traces).
+
+    Faults are decided {e per attempt}: the wrapper counts the attempts
+    made against it, and the (seed, service name, attempt) triple seeds
+    the decision.  A given plan over a given workflow is deterministic,
+    yet faults are transient — a retried call rolls a fresh decision and
+    can succeed. *)
+
+open Weblab_workflow
+
+type fault =
+  | Crash
+      (** the service raises {e after} doing its work, leaving partial
+          appends for the orchestrator to roll back *)
+  | Garbage_xml  (** the service output does not parse *)
+  | Mutate_committed  (** the service edits a committed node *)
+  | Duplicate_uri  (** the service mints a URI that is already taken *)
+  | Stall
+      (** the service busy-loops before doing its work — tripped by a
+          [max_call_s] budget, harmless otherwise *)
+
+val fault_name : fault -> string
+
+val all_faults : fault list
+
+type plan
+
+val plan :
+  ?faults:fault list -> ?stall_s:float -> rate:float -> seed:int -> unit -> plan
+(** [plan ~rate ~seed ()] injects one of [faults] (default: all five)
+    with probability [rate] on each attempt.  [stall_s] is the busy-wait
+    of {!Stall} (default 0.02 CPU-seconds).
+    @raise Invalid_argument on an empty fault list. *)
+
+val wrap : plan -> Service.t -> Service.t
+(** The wrapped service keeps its name (rulebooks key on service names,
+    so provenance rules keep applying to surviving calls). *)
+
+val wrap_all : plan -> Service.t list -> Service.t list
+
+val with_fault : ?stall_s:float -> fault -> Service.t -> Service.t
+(** Inject the given fault on {e every} attempt — a call supervised with
+    finitely many retries always fails.  For deterministic tests. *)
+
+val failing_first : ?stall_s:float -> int -> fault -> Service.t -> Service.t
+(** [failing_first k fault svc] fails the first [k] attempts with [fault]
+    and then behaves normally — a call supervised with [retries >= k]
+    commits as [Retried k].  For deterministic tests. *)

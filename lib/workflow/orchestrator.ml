@@ -4,6 +4,8 @@ exception Append_violation of string
 
 exception Duplicate_uri of string
 
+exception Budget_exceeded of string
+
 let log = Logs.Src.create "weblab.orchestrator" ~doc:"WebLab workflow orchestrator"
 
 module Log = (val Logs.src_log log)
@@ -14,16 +16,87 @@ let initial_document ?(root_name = "Resource") ?(root_uri = "r1") () =
   Tree.set_uri doc root root_uri;
   doc
 
-let fresh_uri doc =
-  let used = Hashtbl.create 16 in
-  List.iter
-    (fun n -> match Tree.uri doc n with Some u -> Hashtbl.replace used u () | None -> ())
-    (Tree.resources doc);
-  let rec next k =
-    let u = Printf.sprintf "r%d" k in
-    if Hashtbl.mem used u then next (k + 1) else u
-  in
-  next (Tree.size doc)
+(* ----- URI allocation -----
+
+   The allocator keeps, per live document, the set of URIs in use, and
+   extends it incrementally: each allocation only scans the arena nodes
+   appended since the previous one (plus any promotions the orchestrator
+   registers), instead of rescanning every resource — the old behavior
+   was O(n) per allocation, O(n²) per workflow.  Candidates are probed
+   against the set and registered at allocation time, so two allocations
+   can never hand out the same URI even before the first is assigned.
+
+   The candidate sequence is unchanged from the original allocator: the
+   probe starts at the current arena size, so documents produce the exact
+   same auto-assigned URIs as before.
+
+   Rollbacks bump the document generation; the allocator detects that and
+   rebuilds its set from scratch (one O(n) scan per rollback — failures
+   are the rare path). *)
+module Uri_alloc = struct
+  type state = {
+    used : (string, unit) Hashtbl.t;
+    mutable stamp : int;  (* arena prefix [0, stamp) already scanned *)
+    mutable gen : int;  (* document generation the state is valid for *)
+  }
+
+  let max_cached = 8
+
+  let cache : (Tree.t * state) list ref = ref []
+
+  let mutex = Mutex.create ()
+
+  let state_for doc =
+    Mutex.protect mutex (fun () ->
+        match List.find_opt (fun (d, _) -> d == doc) !cache with
+        | Some (_, st) -> st
+        | None ->
+          let st = { used = Hashtbl.create 64; stamp = 0;
+                     gen = Tree.generation doc } in
+          let others = List.filter (fun (d, _) -> d != doc) !cache in
+          cache :=
+            (doc, st)
+            :: (if List.length others >= max_cached
+                then List.filteri (fun i _ -> i < max_cached - 1) others
+                else others);
+          st)
+
+  (* Catch up with the arena: rescan from zero after a rollback, else
+     just the appended tail. *)
+  let sync doc st =
+    if st.gen <> Tree.generation doc then begin
+      Hashtbl.reset st.used;
+      st.stamp <- 0;
+      st.gen <- Tree.generation doc
+    end;
+    let n = Tree.size doc in
+    for i = st.stamp to n - 1 do
+      match Tree.uri doc i with
+      | Some u -> Hashtbl.replace st.used u ()
+      | None -> ()
+    done;
+    st.stamp <- n
+
+  (* Register a URI that appeared on an already-scanned node (a resource
+     promotion): the tail scan cannot see those. *)
+  let register doc u =
+    let st = state_for doc in
+    sync doc st;
+    Hashtbl.replace st.used u ()
+
+  let fresh doc =
+    let st = state_for doc in
+    sync doc st;
+    let rec next k =
+      let u = Printf.sprintf "r%d" k in
+      if Hashtbl.mem st.used u then next (k + 1) else u
+    in
+    let u = next (Tree.size doc) in
+    Hashtbl.replace st.used u ();
+    u
+end
+
+let fresh_uri doc = Uri_alloc.fresh doc
 
 let check_unique_uris doc =
   let seen = Hashtbl.create 16 in
@@ -88,15 +161,20 @@ let check_fingerprint doc n fp =
         fail (Printf.sprintf "attribute %s added to committed node" k))
     (Tree.attrs doc n)
 
+(* Both runners return (new nodes, promoted nodes): the arena tail the
+   call appended, and the committed nodes the call gave an "id" to. *)
 let run_inproc doc f =
   let old_size = Tree.size doc in
   let fps = Array.init old_size (fun n -> fingerprint doc n) in
   f doc;
+  let promoted = ref [] in
   for n = 0 to old_size - 1 do
-    check_fingerprint doc n fps.(n)
+    check_fingerprint doc n fps.(n);
+    if (not (List.mem_assoc "id" fps.(n).f_attrs)) && Tree.uri doc n <> None
+    then promoted := n :: !promoted
   done;
-  (* New nodes are exactly the arena tail. *)
-  List.init (Tree.size doc - old_size) (fun i -> old_size + i)
+  (List.init (Tree.size doc - old_size) (fun i -> old_size + i),
+   List.rev !promoted)
 
 let run_blackbox doc f =
   let input = Printer.to_string doc in
@@ -117,11 +195,14 @@ let run_blackbox doc f =
     (fun (old_n, new_n) -> Hashtbl.replace to_arena new_n old_n)
     result.matched;
   (* Adopt URI promotions on matched nodes. *)
+  let promoted = ref [] in
   List.iter
     (fun (old_n, new_n) ->
       if Tree.is_element doc old_n then
         match Tree.uri doc old_n, Tree.uri new_doc new_n with
-        | None, Some u -> Tree.set_uri doc old_n u
+        | None, Some u ->
+          Tree.set_uri doc old_n u;
+          promoted := old_n :: !promoted
         | _ -> ())
     result.matched;
   let old_size = Tree.size doc in
@@ -139,9 +220,39 @@ let run_blackbox doc f =
       in
       ignore (Tree.copy_subtree doc ~src:new_doc new_node ~parent))
     result.added;
-  List.init (Tree.size doc - old_size) (fun i -> old_size + i)
+  (List.init (Tree.size doc - old_size) (fun i -> old_size + i),
+   List.rev !promoted)
 
-let execute ?(on_step = fun _ _ _ -> ()) doc services =
+(* ----- Supervision policy ----- *)
+
+type policy = {
+  retries : int;
+  backoff_ms : float;
+  max_new_nodes : int option;
+  max_call_s : float option;
+  on_failure : [ `Propagate | `Skip ];
+}
+
+let default_policy =
+  { retries = 0; backoff_ms = 0.; max_new_nodes = None; max_call_s = None;
+    on_failure = `Propagate }
+
+(* Deterministic simulated exponential backoff: attempt k (1-based) is
+   charged base * 2^(k-2) milliseconds, attempt 1 none.  The charge is
+   recorded in the trace, never slept — executions stay reproducible and
+   fast. *)
+let backoff_for policy attempt =
+  if attempt <= 1 || policy.backoff_ms <= 0. then 0.
+  else policy.backoff_ms *. (2. ** float_of_int (attempt - 2))
+
+let failure_reason = function
+  | Append_violation m -> "append violation: " ^ m
+  | Duplicate_uri u -> "duplicate URI " ^ u
+  | Budget_exceeded m -> "budget exceeded: " ^ m
+  | Failure m -> "failure: " ^ m
+  | e -> Printexc.to_string e
+
+let execute ?(policy = default_policy) ?(on_step = fun _ _ _ -> ()) doc services =
   if not (Tree.has_root doc) then
     invalid_arg "Orchestrator.execute: the document needs a root";
   let trace = Trace.create () in
@@ -151,6 +262,15 @@ let execute ?(on_step = fun _ _ _ -> ()) doc services =
   if Tree.uri doc (Tree.root doc) = None then
     Tree.set_uri doc (Tree.root doc) (fresh_uri doc);
   check_unique_uris doc;
+  (* Every URI committed so far; per-call additions are checked against it
+     incrementally, replacing the old full rescan after every call. *)
+  let seen_uris = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      match Tree.uri doc n with
+      | Some u -> Hashtbl.replace seen_uris u ()
+      | None -> ())
+    (Tree.resources doc);
   let labeled = Hashtbl.create 64 in
   (* Label all resources that still lack a service-call label, attributing
      them to the call active at their creation timestamp (this covers both
@@ -187,26 +307,117 @@ let execute ?(on_step = fun _ _ _ -> ()) doc services =
       let name = Service.name service in
       Log.debug (fun m -> m "call %d: %s" time name);
       Hashtbl.replace service_of_time time name;
+      let call = { Trace.service = name; time } in
       let before = Doc_state.at doc (time - 1) in
-      let new_nodes =
-        match service.Service.impl with
-        | Service.Inproc f -> run_inproc doc f
-        | Service.Blackbox f -> run_blackbox doc f
+      let ck = Tree.checkpoint doc in
+      (* One supervised attempt: run the service, verify budgets, assign
+         identities, and check this call's URIs against everything already
+         committed.  Raises on any violation; nothing here mutates the
+         trace, so a raise rolls back to [ck] with no bookkeeping to
+         undo. *)
+      let attempt_once () =
+        let t0 = Sys.time () in
+        let new_nodes, promoted =
+          match service.Service.impl with
+          | Service.Inproc f -> run_inproc doc f
+          | Service.Blackbox f -> run_blackbox doc f
+        in
+        (match policy.max_call_s with
+         | Some limit when Sys.time () -. t0 > limit ->
+           raise
+             (Budget_exceeded
+                (Printf.sprintf "call ran %.3fs, budget %.3fs"
+                   (Sys.time () -. t0) limit))
+         | _ -> ());
+        (match policy.max_new_nodes with
+         | Some limit when List.length new_nodes > limit ->
+           raise
+             (Budget_exceeded
+                (Printf.sprintf "call appended %d nodes, budget %d"
+                   (List.length new_nodes) limit))
+         | _ -> ());
+        List.iter (fun n -> Tree.set_created doc n time) new_nodes;
+        (* Give every added fragment root an identity: it is a new resource
+           of this call. *)
+        List.iter
+          (fun n ->
+            let p = Tree.parent doc n in
+            let is_fragment_root = p = Tree.no_node || Tree.created doc p < time in
+            if is_fragment_root && Tree.is_element doc n && Tree.uri doc n = None
+            then Tree.set_uri doc n (fresh_uri doc))
+          new_nodes;
+        (* Collision check at commit boundary: the URIs this call minted
+           (on new nodes or by promotion) must be new to the execution and
+           pairwise distinct. *)
+        let this_call = Hashtbl.create 16 in
+        let check_new u =
+          if Hashtbl.mem seen_uris u || Hashtbl.mem this_call u then
+            raise (Duplicate_uri u);
+          Hashtbl.add this_call u ()
+        in
+        List.iter
+          (fun n ->
+            match Tree.uri doc n with Some u -> check_new u | None -> ())
+          new_nodes;
+        List.iter
+          (fun n ->
+            match Tree.uri doc n with Some u -> check_new u | None -> ())
+          promoted;
+        (new_nodes, promoted)
       in
-      List.iter (fun n -> Tree.set_created doc n time) new_nodes;
-      (* Give every added fragment root an identity: it is a new resource
-         of this call. *)
-      List.iter
-        (fun n ->
-          let p = Tree.parent doc n in
-          let is_fragment_root = p = Tree.no_node || Tree.created doc p < time in
-          if is_fragment_root && Tree.is_element doc n && Tree.uri doc n = None
-          then Tree.set_uri doc n (fresh_uri doc))
-        new_nodes;
-      check_unique_uris doc;
-      Trace.add_call trace { Trace.service = name; time };
-      label_resources ~now:time;
-      let after = Doc_state.at doc time in
-      on_step { Trace.service = name; time } before after)
+      let rec supervise attempt =
+        let bo = backoff_for policy attempt in
+        match attempt_once () with
+        | (new_nodes, promoted) ->
+          Trace.record_attempt trace
+            { Trace.a_service = name; a_time = time; a_attempt = attempt;
+              a_ok = true; a_reason = ""; a_backoff_ms = bo };
+          `Committed (new_nodes, promoted, attempt)
+        | exception e ->
+          let reason = failure_reason e in
+          Tree.restore doc ck;
+          Log.debug (fun m ->
+              m "call %d (%s) attempt %d failed: %s" time name attempt reason);
+          Trace.record_attempt trace
+            { Trace.a_service = name; a_time = time; a_attempt = attempt;
+              a_ok = false; a_reason = reason; a_backoff_ms = bo };
+          if attempt <= policy.retries then supervise (attempt + 1)
+          else `Failed (reason, e)
+      in
+      match supervise 1 with
+      | `Committed (new_nodes, promoted, attempts) ->
+        (* Commit: from here on nothing can fail, so a later call's
+           rollback never has trace bookkeeping to undo. *)
+        List.iter
+          (fun n ->
+            match Tree.uri doc n with
+            | Some u ->
+              Hashtbl.replace seen_uris u ();
+              (* the allocator's tail scan cannot see promotions *)
+              Uri_alloc.register doc u
+            | None -> ())
+          promoted;
+        List.iter
+          (fun n ->
+            match Tree.uri doc n with
+            | Some u -> Hashtbl.replace seen_uris u ()
+            | None -> ())
+          new_nodes;
+        Trace.add_call trace call;
+        Trace.record_outcome trace call
+          (if attempts > 1 then Trace.Retried (attempts - 1) else Trace.Ok);
+        label_resources ~now:time;
+        let after = Doc_state.at doc time in
+        on_step call before after
+      | `Failed (reason, e) ->
+        (* The timestamp is burned: the document is bit-identical to the
+           previous commit and the strategies will never see this call. *)
+        Trace.record_outcome trace call (Trace.Failed reason);
+        (match policy.on_failure with
+         | `Propagate -> raise e
+         | `Skip ->
+           Log.info (fun m ->
+               m "call %d (%s) failed after %d attempt(s): %s — skipped" time
+                 name (policy.retries + 1) reason)))
     services;
   trace

@@ -117,10 +117,10 @@ let channel_of exec t = Hashtbl.find_opt exec.channels t
 
 (* Execute a series-parallel workflow.  Calls get timestamps in schedule
    order; every resource additionally carries its channel in @ch. *)
-let execute ?(on_step = fun _ _ _ -> ()) doc (wf : wf) : execution =
+let execute ?policy ?(on_step = fun _ _ _ -> ()) doc (wf : wf) : execution =
   let tasks = compile wf in
   if tasks = [] then
-    { trace = Orchestrator.execute doc [];
+    { trace = Orchestrator.execute ?policy doc [];
       before = Hashtbl.create 1; channels = Hashtbl.create 1 }
   else begin
     let hb = happened_before_sets tasks in
@@ -157,7 +157,8 @@ let execute ?(on_step = fun _ _ _ -> ()) doc (wf : wf) : execution =
       on_step call b a
     in
     let trace =
-      Orchestrator.execute ~on_step:hook doc (List.map (fun t -> t.service) ordered)
+      Orchestrator.execute ?policy ~on_step:hook doc
+        (List.map (fun t -> t.service) ordered)
     in
     { trace; before; channels }
   end

@@ -34,12 +34,14 @@ type execution = {
 }
 
 val execute :
+  ?policy:Orchestrator.policy ->
   ?on_step:(Trace.call -> Doc_state.t -> Doc_state.t -> unit) ->
   Tree.t ->
   wf ->
   execution
 (** Execute the workflow.  Calls receive timestamps in schedule order;
-    every resource additionally carries its channel in [@ch]. *)
+    every resource additionally carries its channel in [@ch].  [policy]
+    supervises each call as in {!Orchestrator.execute}. *)
 
 val happened_before : execution -> int -> int -> bool
 (** [happened_before e t' t]: did the call at [t'] happen before the call

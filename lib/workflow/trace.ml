@@ -20,16 +20,50 @@ type entry = {
   call : call;
 }
 
+(* Outcome of a call's supervision (§ Failure model of DESIGN.md).  [Ok]
+   and [Retried _] describe committed calls; [Failed _] calls burned
+   their timestamp but left no mark on the document — the orchestrator
+   rolled their appends back. *)
+type outcome =
+  | Ok
+  | Failed of string  (* the reason of the last attempt *)
+  | Retried of int  (* committed after this many failed attempts *)
+
+type attempt = {
+  a_service : string;
+  a_time : int;
+  a_attempt : int;  (* 1-based *)
+  a_ok : bool;
+  a_reason : string;  (* "" when [a_ok] *)
+  a_backoff_ms : float;  (* simulated backoff charged before this attempt *)
+}
+
 type t = {
   mutable entries_rev : entry list;
   mutable calls_rev : call list;
+  mutable failed_rev : call list;
+  mutable attempts_rev : attempt list;
+  outcomes : (int, outcome) Hashtbl.t;  (* timestamp → outcome *)
 }
 
-let create () = { entries_rev = []; calls_rev = [] }
+let create () =
+  { entries_rev = []; calls_rev = []; failed_rev = []; attempts_rev = [];
+    outcomes = Hashtbl.create 16 }
 
-let add_call t call = t.calls_rev <- call :: t.calls_rev
+let add_call t call =
+  t.calls_rev <- call :: t.calls_rev;
+  if not (Hashtbl.mem t.outcomes call.time) then
+    Hashtbl.replace t.outcomes call.time Ok
 
 let add_entry t entry = t.entries_rev <- entry :: t.entries_rev
+
+let record_attempt t a = t.attempts_rev <- a :: t.attempts_rev
+
+let record_outcome t call outcome =
+  Hashtbl.replace t.outcomes call.time outcome;
+  match outcome with
+  | Failed _ -> t.failed_rev <- call :: t.failed_rev
+  | Ok | Retried _ -> ()
 
 let calls t = List.rev t.calls_rev
 
@@ -38,6 +72,12 @@ let entries t =
   |> List.sort (fun a b ->
          let c = compare a.call.time b.call.time in
          if c <> 0 then c else compare a.node b.node)
+
+let failed_calls t = List.rev t.failed_rev
+
+let attempts t = List.rev t.attempts_rev
+
+let outcome_at t time = Hashtbl.find_opt t.outcomes time
 
 let call_at t time = List.find_opt (fun c -> c.time = time) (calls t)
 
@@ -60,4 +100,19 @@ let source_table t =
         (Printf.sprintf "%-4s | %-4s | %-16s | t%d\n" e.uri (call_id e.call)
            e.call.service e.call.time))
     (entries t);
+  Buffer.contents buf
+
+(* Attempts | outcome table, same spirit as the Source table: one row per
+   supervision attempt, failed timestamps included. *)
+let attempts_table t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Call | Service          | Try | Outcome\n";
+  Buffer.add_string buf "-----+------------------+-----+--------\n";
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "c%-3d | %-16s | %-3d | %s\n" a.a_time a.a_service
+           a.a_attempt
+           (if a.a_ok then "ok" else "failed: " ^ a.a_reason)))
+    (attempts t);
   Buffer.contents buf

@@ -21,16 +21,60 @@ type entry = {
   call : call;
 }
 
+(** {1 Outcomes}
+
+    Execution stopped being all-or-nothing: calls can fail (and be rolled
+    back) or succeed after retries.  Outcomes label timestamps; the link
+    inference strategies only ever see committed calls ({!calls} stays
+    successful-only), while analytics and PROV export also report the
+    failed ones. *)
+
+type outcome =
+  | Ok  (** committed on the first attempt *)
+  | Failed of string
+      (** never committed; the timestamp is burned and the document state
+          is bit-identical to the previous commit *)
+  | Retried of int  (** committed after this many failed attempts *)
+
+type attempt = {
+  a_service : string;
+  a_time : int;
+  a_attempt : int;  (** 1-based attempt number within the call *)
+  a_ok : bool;
+  a_reason : string;  (** failure reason; [""] when [a_ok] *)
+  a_backoff_ms : float;
+      (** simulated (deterministic, never slept) backoff charged before
+          this attempt *)
+}
+
 type t
 
 val create : unit -> t
 
 val add_call : t -> call -> unit
+(** Record a {e committed} call (outcome defaults to [Ok]). *)
 
 val add_entry : t -> entry -> unit
 
+val record_attempt : t -> attempt -> unit
+
+val record_outcome : t -> call -> outcome -> unit
+(** Set the outcome of a timestamp; [Failed _] calls are additionally
+    listed by {!failed_calls} (and must {e not} be [add_call]ed). *)
+
 val calls : t -> call list
-(** In execution order. *)
+(** Committed calls only, in execution order — the domain the inference
+    strategies quantify over.  Failed timestamps never appear here. *)
+
+val failed_calls : t -> call list
+(** Calls whose every attempt failed, in execution order. *)
+
+val attempts : t -> attempt list
+(** Every supervision attempt (successful, retried and failed), in
+    execution order. *)
+
+val outcome_at : t -> int -> outcome option
+(** The outcome recorded for a timestamp, committed or failed. *)
 
 val entries : t -> entry list
 (** Sorted by call timestamp. *)
@@ -45,3 +89,6 @@ val call_of_resource : t -> string -> call option
 
 val source_table : t -> string
 (** The rendered Source table (Res. | Call | Service | Time). *)
+
+val attempts_table : t -> string
+(** A rendered table of every supervision attempt and its outcome. *)

@@ -9,6 +9,7 @@ let attr_indexed a = List.mem a indexed_attrs
 type t = {
   tree : Tree.t;
   stamp : int;  (* arena size at build time *)
+  gen : int;  (* arena generation at build time: detects rollbacks *)
   pre : int array;  (* preorder rank, -1 for nodes outside the tree *)
   post : int array;
   size : int array;  (* descendant-or-self count *)
@@ -65,31 +66,51 @@ let build tree =
   rev_lists some_attr;
   let label_counts = Hashtbl.create (Hashtbl.length by_label) in
   Hashtbl.iter (fun l ns -> Hashtbl.replace label_counts l (List.length ns)) by_label;
-  { tree; stamp = n; pre; post; size;
+  { tree; stamp = n; gen = Tree.generation tree; pre; post; size;
     elements = List.rev !elements;
     by_label; label_counts; by_attr; some_attr }
 
 let stamp t = t.stamp
 
-let valid_for t doc = t.tree == doc && t.stamp = Tree.size doc
+let valid_for t doc =
+  t.tree == doc && t.stamp = Tree.size doc && t.gen = Tree.generation doc
 
 (* A tiny bounded cache keyed by physical document identity; the stamp
-   detects appends.  Eight entries cover every concurrent workload in the
-   engine (one long-lived arena per execution) without pinning an
-   unbounded set of dead documents. *)
+   detects appends and the generation detects rollbacks (a truncate
+   followed by fresh appends can revisit an old size).  Eight entries
+   cover every concurrent workload in the engine (one long-lived arena
+   per execution) without pinning an unbounded set of dead documents.
+
+   The cache is shared across the whole process, and inference may run in
+   one domain while a parallel execution mutates another document in a
+   second domain — so every access goes through [cache_mutex].  [build]
+   itself runs outside the lock: it only reads the one tree the caller
+   owns, and a racing duplicate build is harmless (last writer wins). *)
 let max_cached = 8
 
 let cache : (Tree.t * t) list ref = ref []
 
+let cache_mutex = Mutex.create ()
+
+let cache_find tree =
+  Mutex.protect cache_mutex (fun () ->
+      List.find_opt (fun (d, _) -> d == tree) !cache)
+
+let cache_put tree idx =
+  Mutex.protect cache_mutex (fun () ->
+      let others = List.filter (fun (d, _) -> d != tree) !cache in
+      cache :=
+        (tree, idx)
+        :: (if List.length others >= max_cached
+            then List.filteri (fun i _ -> i < max_cached - 1) others
+            else others))
+
 let for_tree tree =
-  match List.find_opt (fun (d, _) -> d == tree) !cache with
-  | Some (_, idx) when idx.stamp = Tree.size tree -> idx
+  match cache_find tree with
+  | Some (_, idx) when valid_for idx tree -> idx
   | Some _ | None ->
     let idx = build tree in
-    let others = List.filter (fun (d, _) -> d != tree) !cache in
-    cache := (tree, idx) :: (if List.length others >= max_cached
-                             then List.filteri (fun i _ -> i < max_cached - 1) others
-                             else others);
+    cache_put tree idx;
     idx
 
 let nodes_with_label t l = Option.value ~default:[] (Hashtbl.find_opt t.by_label l)

@@ -26,11 +26,13 @@ val build : Tree.t -> t
 
 val for_tree : Tree.t -> t
 (** The cached index for the document's current size, (re)built on
-    demand; any append invalidates it (arena sizes only grow). *)
+    demand; any append — and any rollback, via the arena generation —
+    invalidates it.  The cache is mutex-guarded and safe to call from
+    multiple domains. *)
 
 val valid_for : t -> Tree.t -> bool
-(** [valid_for idx doc]: [idx] was built from this very [doc] and no node
-    has been appended since. *)
+(** [valid_for idx doc]: [idx] was built from this very [doc], no node
+    has been appended since, and no rollback happened since. *)
 
 val stamp : t -> int
 (** The arena size the index was built at. *)

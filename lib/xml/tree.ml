@@ -25,6 +25,9 @@ type t = {
   mutable cached_index : (int * (string, node list) Hashtbl.t) option;
       (* name index stamped with the arena size it was built at; any
          append invalidates it (sizes only grow) *)
+  mutable generation : int;
+      (* bumped on every rollback (truncate/restore); lets size-stamped
+         caches detect a truncate-then-regrow to the same size *)
 }
 
 let dummy_cell () =
@@ -33,9 +36,11 @@ let dummy_cell () =
 
 let create () =
   { cells = Vec.create ~dummy:(dummy_cell ()); root = no_node;
-    cached_index = None }
+    cached_index = None; generation = 0 }
 
 let size t = Vec.length t.cells
+
+let generation t = t.generation
 
 let cell t n =
   if n < 0 || n >= size t then invalid_arg "Tree: invalid node id";
@@ -182,6 +187,66 @@ let rec copy_subtree dst ~src n ~parent =
   set_created dst id (created src n);
   List.iter (fun c -> ignore (copy_subtree dst ~src c ~parent:id)) (children src n);
   id
+
+(* ----- Rollback primitives -----
+
+   The arena is append-only from the services' point of view; rollback
+   exists solely so the orchestrator can undo a *failed* call's partial
+   appends.  Node ids are allocated in increasing order and appended to
+   their parent's children vector in that same order, so the nodes with
+   id >= n form (a) a suffix of the cells vector and (b) a suffix of every
+   surviving node's children vector — dropping them is two truncations. *)
+
+let invalidate_caches t =
+  t.cached_index <- None;
+  t.generation <- t.generation + 1
+
+let truncate_to t n =
+  if n < 0 || n > size t then invalid_arg "Tree.truncate_to";
+  if n < size t then begin
+    for i = 0 to n - 1 do
+      let ch = (Vec.get t.cells i).children in
+      let keep = ref (Vec.length ch) in
+      while !keep > 0 && Vec.get ch (!keep - 1) >= n do decr keep done;
+      if !keep < Vec.length ch then Vec.truncate ch !keep
+    done;
+    Vec.truncate t.cells n;
+    if t.root >= n then t.root <- no_node;
+    invalidate_caches t
+  end
+
+type checkpoint = {
+  ck_size : int;
+  ck_root : node;
+  ck_cells : (kind * (string * string) list * timestamp * timestamp) array;
+      (* per surviving cell: kind, attrs, created, uri_time.  Parents and
+         child order are never mutated after allocation, so this plus the
+         two truncations restores the exact pre-checkpoint state. *)
+}
+
+let checkpoint t =
+  { ck_size = size t;
+    ck_root = t.root;
+    ck_cells =
+      Array.init (size t) (fun i ->
+          let c = Vec.get t.cells i in
+          (c.kind, c.attrs, c.created, c.uri_time)) }
+
+let restore t ck =
+  if size t < ck.ck_size then
+    invalid_arg "Tree.restore: arena shrank below the checkpoint";
+  if ck.ck_size < size t then truncate_to t ck.ck_size;
+  t.root <- ck.ck_root;
+  Array.iteri
+    (fun i (kind, attrs, created, uri_time) ->
+      let c = Vec.get t.cells i in
+      c.kind <- kind;
+      c.attrs <- attrs;
+      c.created <- created;
+      c.uri_time <- uri_time)
+    ck.ck_cells;
+  (* Even at unchanged size the cells may have been mutated in place. *)
+  invalidate_caches t
 
 let sorted_attrs l = List.sort compare l
 

@@ -137,6 +137,39 @@ val equal_subtree : t -> node -> t -> node -> bool
 (** Structural equality of two subtrees: same kinds, names, texts,
     attribute sets and child sequences. *)
 
+(** {1 Rollback}
+
+    The arena is append-only from the services' point of view; the
+    operations below exist solely so the orchestrator can undo a {e
+    failed} call's partial appends and in-place mutations, restoring the
+    exact last-committed state.  They must not be used to edit committed
+    history. *)
+
+val generation : t -> int
+(** Bumped on every {!truncate_to}/{!restore}.  Size-stamped caches must
+    also compare generations: a truncate followed by new appends can
+    return the arena to a previously seen size. *)
+
+val truncate_to : t -> int -> unit
+(** [truncate_to t n] drops every node with id [>= n] — both from the
+    arena and from the children of surviving nodes (appends are id-ordered,
+    so those are suffixes).  Rollback-only primitive.
+    @raise Invalid_argument if [n] is negative or exceeds {!size}. *)
+
+type checkpoint
+(** A snapshot of the full document state: arena size, root, and every
+    cell's kind, attributes and timestamps. *)
+
+val checkpoint : t -> checkpoint
+
+val restore : t -> checkpoint -> unit
+(** Truncate back to the checkpoint's size and restore every surviving
+    cell's mutable state — bit-identical to the state at {!checkpoint}
+    time, provided only appends and in-place cell mutations happened in
+    between (parents and child order are never mutated after allocation).
+    @raise Invalid_argument if the arena already shrank below the
+    checkpoint. *)
+
 val uri_time : t -> node -> timestamp
 (** When the node became a resource: its creation timestamp, unless a later
     service call promoted it by adding the identifier (the node-3-to-r3

@@ -33,6 +33,15 @@ let push v x =
   v.data.(v.size) <- x;
   v.size <- v.size + 1
 
+(* Drop the suffix [n..size).  Dropped slots are reset to [dummy] so the
+   array holds no reference to the removed elements. *)
+let truncate v n =
+  if n < 0 || n > v.size then invalid_arg "Vec.truncate";
+  for i = n to v.size - 1 do
+    v.data.(i) <- v.dummy
+  done;
+  v.size <- n
+
 let iter f v =
   for i = 0 to v.size - 1 do
     f v.data.(i)

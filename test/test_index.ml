@@ -383,6 +383,58 @@ let prop_rewrite_duplicate_rules =
       strip (graph_signature (Engine.provenance ~strategy:`Rewrite exec dup))
       = strip (graph_signature (Engine.provenance ~strategy:`Rewrite exec rb)))
 
+(* ---------- unit: cache under concurrency, numeric bypass ---------- *)
+
+(* Regression: the for_tree LRU cache is shared mutable state; concurrent
+   lookups from several domains used to race on it.  Hammer the cache from
+   four domains over more documents than it holds and check every answer. *)
+let test_concurrent_for_tree () =
+  let docs = Array.init 12 (fun i ->
+      let doc = sample_doc () in
+      for _ = 1 to i do
+        ignore (Tree.new_element doc ~parent:(Tree.root doc) "Extra")
+      done;
+      (doc, 3 + i))
+  in
+  let worker () =
+    for _ = 1 to 100 do
+      Array.iter
+        (fun (doc, annotations_plus_extra) ->
+          let idx = Index.for_tree doc in
+          if not (Index.valid_for idx doc) then failwith "stale index served";
+          let got =
+            Index.label_count idx "Annotation" + Index.label_count idx "Extra"
+          in
+          if got <> annotations_plus_extra then
+            failwith
+              (Printf.sprintf "bad index: %d, wanted %d" got
+                 annotations_plus_extra))
+        docs
+    done;
+    true
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  check_bool "all domains served consistent indexes" true
+    (List.for_all Domain.join domains)
+
+(* Regression: [@t = 5] compares numerically (Num operand, so "05"
+   matches) and must bypass the exact-string attribute index — narrowing
+   through it would miss the "05" spelling. *)
+let test_loose_numeric_not_narrowed () =
+  let doc =
+    Xml_parser.parse
+      "<R id=\"root\"><A t=\"05\"/><A t=\"5\"/><A t=\"6\"/></R>"
+  in
+  let pat = Weblab_xpath.Parser.pattern "//A[@t = 5]" in
+  (match pat with
+   | [ { Weblab_xpath.Ast.preds = [ Weblab_xpath.Ast.Cmp (_, _, Weblab_xpath.Ast.Num 5) ]; _ } ] -> ()
+   | _ -> Alcotest.fail "expected a Num comparison (bare 5 must not parse as a string)");
+  let indexed = Weblab_xpath.Eval.eval ~require_uri:false doc pat in
+  let unindexed = Weblab_xpath.Eval.eval_unindexed ~require_uri:false doc pat in
+  check_bool "indexed ≡ unindexed" true (rows_exactly_equal indexed unindexed);
+  check_int "matches both numeric spellings" 2
+    (List.length (Weblab_relalg.Table.rows indexed))
+
 (* ---------- reachability closure tables ---------- *)
 
 let test_closure_table () =
@@ -423,6 +475,10 @@ let () =
           Alcotest.test_case "pre/post intervals" `Quick test_intervals;
           Alcotest.test_case "snapshot invalidation" `Quick
             test_snapshot_invalidation;
+          Alcotest.test_case "concurrent for_tree" `Quick
+            test_concurrent_for_tree;
+          Alcotest.test_case "loose numeric bypasses index" `Quick
+            test_loose_numeric_not_narrowed;
           Alcotest.test_case "closure table" `Quick test_closure_table ] );
       ( "eval",
         to_alcotest
