@@ -413,13 +413,89 @@ let fault_tests =
       ])
     (pick [ 0.0; 0.2; 0.5 ])
 
+(* ---------- P13: delta-driven incremental inference ---------- *)
+
+(* Execution-time inference as the document grows, against an exec-only
+   baseline that isolates the inference overhead: compare (online − exec)
+   with (incremental − exec) across each series.
+
+   - pipeline-*: the real media-mining chain.  Services process every
+     unit, so the per-call delta grows with the corpus too — the honest
+     end-to-end comparison.
+   - delta1-*: a pipeline of 12 calls that each append exactly ONE node
+     joining (by key) against a corpus that scales.  The per-call delta is
+     constant, so Online's overhead grows with [units] while
+     Incremental's — after the first observation builds its memo — should
+     stay flat. *)
+let incr_pipeline_tests =
+  let services = Workload.chain_pipeline 7 in
+  let rb = rulebook services in
+  List.concat_map
+    (fun units ->
+      let run kind () =
+        let doc = Workload.make_document ~units ~seed:42 () in
+        ignore (Engine.run_with_strategy kind doc services rb)
+      in
+      [ Test.make
+          ~name:(Printf.sprintf "incr/pipeline-exec/units=%03d" units)
+          (Staged.stage (fun () ->
+               let doc = Workload.make_document ~units ~seed:42 () in
+               ignore (Engine.run doc services)));
+        Test.make
+          ~name:(Printf.sprintf "incr/pipeline-online/units=%03d" units)
+          (Staged.stage (run `Online));
+        Test.make
+          ~name:(Printf.sprintf "incr/pipeline-incremental/units=%03d" units)
+          (Staged.stage (run `Incremental))
+      ])
+    (pick [ 2; 8; 32; 64 ])
+
+let incr_fixed_delta_tests =
+  (* Unique across every bench iteration — URIs only need to be unique
+     within one execution, and a monotone counter guarantees that. *)
+  let counter = ref 0 in
+  let tagger =
+    Service.inproc ~name:"DeltaTagger" ~description:"" (fun doc ->
+        incr counter;
+        ignore
+          (Tree.new_element doc ~parent:(Tree.root doc) "DeltaNote"
+             ~attrs:[ ("id", Printf.sprintf "dn%d" !counter); ("ref", "mu1") ]))
+  in
+  let services = List.init 12 (fun _ -> tagger) in
+  let rb =
+    [ ( "DeltaTagger",
+        [ Rule_parser.parse "//MediaUnit[$x := @id] ==> //DeltaNote[$x := @ref]" ]
+      ) ]
+  in
+  List.concat_map
+    (fun units ->
+      let run kind () =
+        let doc = Workload.make_document ~units ~seed:42 () in
+        ignore (Engine.run_with_strategy kind doc services rb)
+      in
+      [ Test.make
+          ~name:(Printf.sprintf "incr/delta1-exec/units=%03d" units)
+          (Staged.stage (fun () ->
+               let doc = Workload.make_document ~units ~seed:42 () in
+               ignore (Engine.run doc services)));
+        Test.make
+          ~name:(Printf.sprintf "incr/delta1-online/units=%03d" units)
+          (Staged.stage (run `Online));
+        Test.make
+          ~name:(Printf.sprintf "incr/delta1-incremental/units=%03d" units)
+          (Staged.stage (run `Incremental))
+      ])
+    (pick [ 2; 8; 32; 64 ])
+
+let incr_tests = incr_pipeline_tests @ incr_fixed_delta_tests
+
 (* ---------- harness ---------- *)
 
 let all_tests =
   [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
   @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
   @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
-  @ join_tests @ fault_tests
+  @ join_tests @ fault_tests @ incr_tests
 
 let all_tests =
   match !only with
@@ -493,4 +569,4 @@ let () =
     "Series: strategy/* (P1), scale_doc/* (P2), scale_rules/* (P3),\n\
      xquery_opt/* (P4), rdf/* (P5), xml/* (P6), reach/* (P7),\n\
      ext/* (P8), index/* (P10), join/* (P11), fault/* (P12),\n\
-     paper/* (F1-E9).  See EXPERIMENTS.md for the discussion."
+     incr/* (P13), paper/* (F1-E9).  See EXPERIMENTS.md for the discussion."

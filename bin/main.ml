@@ -11,20 +11,25 @@ open Weblab_prov
 open Weblab_scenario
 
 let strategy_conv =
-  let parse = function
-    | "replay" -> Ok `Replay
-    | "rewrite" -> Ok `Rewrite
-    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (replay|rewrite)" s))
+  let parse s =
+    match Strategy.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown strategy %S (online|replay|rewrite|incremental)"
+             s))
   in
-  let print ppf s =
-    Fmt.string ppf (match s with `Replay -> "replay" | `Rewrite -> "rewrite")
-  in
+  let print ppf s = Fmt.string ppf (Strategy.kind_to_string s) in
   Arg.conv (parse, print)
 
 let strategy_arg =
   Arg.(value & opt strategy_conv `Rewrite
        & info [ "strategy" ] ~docv:"STRATEGY"
-           ~doc:"Evaluation strategy: $(b,replay) or $(b,rewrite).")
+           ~doc:"Evaluation strategy: $(b,online), $(b,replay), $(b,rewrite) \
+                 or $(b,incremental).  All four produce the same links; \
+                 online and incremental infer during execution, replay and \
+                 rewrite post-hoc.")
 
 let inherit_arg =
   Arg.(value & flag
@@ -110,16 +115,15 @@ let maybe_wrap_faulty ~fault_rate ~seed services =
       services
   else services
 
-let run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate
-    ~retries =
+let run_pipeline ~units ~seed ~extended ~(strategy : Strategy.kind)
+    ~inheritance ~fault_rate ~retries =
   let doc = Weblab_services.Workload.make_document ~units ~seed () in
   let services = Weblab_services.Workload.standard_pipeline ~extended () in
   let rb = build_rulebook services in
   let services = maybe_wrap_faulty ~fault_rate ~seed services in
   let policy = fault_policy ~fault_rate ~retries in
-  let exec, g =
-    Engine.run_with_provenance ~policy ~strategy ~inheritance doc services rb
-  in
+  let exec, g = Engine.run_with_strategy ~policy strategy doc services rb in
+  let g = if inheritance then Inheritance.close exec.Engine.doc g else g in
   (exec, g)
 
 (* --- run --- *)
@@ -139,7 +143,20 @@ let rec wrap_wf plan = function
   | Weblab_workflow.Parallel.Nested (n, b) ->
     Weblab_workflow.Parallel.Nested (n, wrap_wf plan b)
 
-let run_dsl ~units ~seed ~strategy ~inheritance ~fault_rate ~retries spec =
+let run_dsl ~units ~seed ~(strategy : Strategy.kind) ~inheritance ~fault_rate
+    ~retries spec =
+  (* Parallel workflow inference is post-hoc (it needs the series-parallel
+     happened-before relation, only known once the schedule is recorded). *)
+  let strategy : Strategy.post_hoc =
+    match strategy with
+    | (`Replay | `Rewrite) as s -> s
+    | (`Online | `Incremental) as s ->
+      Printf.eprintf
+        "strategy %s is execution-time only; parallel workflow expressions \
+         infer post-hoc (use replay or rewrite)\n"
+        (Strategy.kind_to_string s);
+      exit 1
+  in
   let doc = Weblab_services.Workload.make_document ~units ~seed () in
   match Weblab_workflow.Wf_parser.parse_opt ~resolve:resolve_catalog spec with
   | Error msg ->

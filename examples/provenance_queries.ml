@@ -4,7 +4,7 @@
    - what does a given resource depend on (directly / transitively)?
    - which call used which resources, and which calls informed which?
    - how does a dependency actually flow (shortest explanation path)?
-   - what is the difference between the three evaluation strategies'
+   - what is the difference between the four evaluation strategies'
      outputs (none — demonstrated live)?
 
    Run with:  dune exec examples/provenance_queries.exe *)
@@ -26,21 +26,32 @@ let () =
   let services = Workload.standard_pipeline ~extended:true () in
   let rb = rulebook services in
 
-  (* Infer with all three strategies and show they agree. *)
+  (* Infer with all four strategies and show they agree.  Incremental is
+     an execution-time strategy, so it re-runs the (deterministic)
+     workload on a fresh document. *)
   let exec, g_online = Engine.run_online doc services rb in
   let g_replay = Engine.provenance ~strategy:`Replay exec rb in
   let g_rewrite = Engine.provenance ~strategy:`Rewrite exec rb in
+  let g_incr =
+    let doc = Workload.make_document ~units:3 ~seed:7 () in
+    let services = Workload.standard_pipeline ~extended:true () in
+    snd (Engine.run_with_strategy `Incremental doc services (rulebook services))
+  in
   let key g =
     Prov_graph.links g
     |> List.map (fun l -> (l.Prov_graph.from_uri, l.Prov_graph.to_uri))
     |> List.sort_uniq compare
   in
   Printf.printf
-    "Strategies agree: online=%d links, replay=%d, rewrite=%d, equal=%b\n\n"
+    "Strategies agree: online=%d links, replay=%d, rewrite=%d, \
+     incremental=%d, equal=%b\n\n"
     (List.length (key g_online))
     (List.length (key g_replay))
     (List.length (key g_rewrite))
-    (key g_online = key g_replay && key g_replay = key g_rewrite);
+    (List.length (key g_incr))
+    (key g_online = key g_replay
+    && key g_replay = key g_rewrite
+    && key g_rewrite = key g_incr);
 
   let g = Inheritance.close exec.Engine.doc g_rewrite in
 

@@ -16,18 +16,32 @@ let run ?policy doc services =
   let trace = Orchestrator.execute ?policy doc services in
   { doc; trace }
 
-(* Run a workflow with Online provenance inference: rules are applied by
-   the orchestrator hook after each call (committed calls only — the hook
-   never fires for a failed, rolled-back call). *)
+(* Run a workflow with a strategy backend observing the execution: the
+   backend is initialized on the input document, fed every committed call
+   (the hook never fires for a failed, rolled-back call), and finalized
+   into the provenance graph once the trace is complete. *)
+let run_with_backend ?policy (backend : Strategy_sig.backend) doc services
+    (rb : Strategy.rulebook) =
+  let module B = (val backend : Strategy_sig.STRATEGY_BACKEND) in
+  let st = B.init ~doc rb in
+  let trace =
+    Orchestrator.execute ?policy
+      ~on_step:(fun call before after delta ->
+        B.observe st ~call ~before ~after ~delta)
+      doc services
+  in
+  ({ doc; trace }, B.finalize st ~doc ~trace)
+
+(* Run a workflow under any named strategy.  Execution-time backends
+   (Online, Incremental) do their work in the hook; post-hoc backends
+   (Replay, Rewrite) ignore the hook and infer in [finalize]. *)
+let run_with_strategy ?policy (kind : Strategy.kind) doc services rb =
+  run_with_backend ?policy (Strategy.backend_of kind) doc services rb
+
+(* Run a workflow with Online provenance inference — the historical entry
+   point, now a thin shim over the backend machinery. *)
 let run_online ?policy doc services (rb : Strategy.rulebook) =
-  let g, hook = Strategy.online rb in
-  let trace = Orchestrator.execute ?policy ~on_step:hook doc services in
-  (* The hook sees only data dependencies; the labeling function λ comes
-     from the trace. *)
-  List.iter
-    (fun e -> Prov_graph.set_label g e.Trace.uri e.Trace.call)
-    (Trace.entries trace);
-  ({ doc; trace }, g)
+  run_with_backend ?policy (Strategy.backend_of `Online) doc services rb
 
 (* Post-hoc inference from the final document and the execution trace. *)
 let provenance ?strategy ?inheritance ?happened_before { doc; trace } rb =

@@ -15,12 +15,31 @@ val run : ?policy:Orchestrator.policy -> Tree.t -> Service.t list -> execution
     supervises each call — retries, budgets, skip-or-propagate on failure
     (see {!Orchestrator.execute}). *)
 
+val run_with_backend :
+  ?policy:Orchestrator.policy ->
+  Strategy_sig.backend ->
+  Tree.t -> Service.t list -> Strategy.rulebook ->
+  execution * Prov_graph.t
+(** Execute a workflow with a strategy backend observing it: [init] on
+    the input document, [observe] after each committed call (failed,
+    rolled-back calls are never observed), [finalize] once the trace is
+    complete. *)
+
+val run_with_strategy :
+  ?policy:Orchestrator.policy ->
+  Strategy.kind ->
+  Tree.t -> Service.t list -> Strategy.rulebook ->
+  execution * Prov_graph.t
+(** [run_with_backend] on {!Strategy.backend_of}.  All four strategies
+    produce identical link sets. *)
+
 val run_online :
   ?policy:Orchestrator.policy ->
   Tree.t -> Service.t list -> Strategy.rulebook ->
   execution * Prov_graph.t
 (** Execute with Online inference: rules are applied by the orchestrator
-    hook after each committed call; λ is populated from the trace. *)
+    hook after each committed call; λ is populated from the trace.
+    Equivalent to [run_with_strategy `Online]. *)
 
 val provenance :
   ?strategy:Strategy.post_hoc ->

@@ -1,217 +1,60 @@
-(* The three evaluation strategies for mapping rules (§4 and §6).
+(* The evaluation strategies for mapping rules (§4 and §6).
 
-   - [Online]: rules are evaluated during the workflow execution, on the
-     document states before and after each call.  This is the semantics of
-     Definition 9 applied literally; the paper lists its drawbacks (it is
-     invasive and prevents cross-call optimization) and it serves here as
-     the reference implementation the post-hoc strategies are checked
-     against.
+   Each strategy is implemented as a {!Strategy_sig.STRATEGY_BACKEND}
+   (Strategy_online, Strategy_replay, Strategy_rewrite,
+   Strategy_incremental); this module is the thin shim that keeps the
+   historical entry points — post-hoc [infer] and the [online] hook —
+   and names the backends for dispatch. *)
 
-   - [`Replay]: post-hoc, per call: the states d_{i-1} and d_i are
-     reconstructed from the final document (cheap in this code base, since
-     states are timestamp-filtered views of the arena).
-
-   - [`Rewrite]: post-hoc, single-pass: each rule's target pattern is
-     rewritten with the [@s] service constraint and evaluated *once* on the
-     final document for all calls of the service; the rows are then grouped
-     by the creation timestamp of the matched resources and joined against
-     the source pattern restricted to the resources existing before that
-     timestamp.  This is the §4 rewriting, operationalized. *)
-
-open Weblab_xml
-open Weblab_xpath
-open Weblab_relalg
 open Weblab_workflow
 
-type rulebook = (string * Rule.t list) list
-(* Rules attached to each service name: the M(s) of the paper. *)
+type rulebook = Strategy_sig.rulebook
 
-let rules_for (rb : rulebook) service =
-  match List.assoc_opt service rb with Some rules -> rules | None -> []
+let rules_for = Strategy_sig.rules_for
 
 type post_hoc = [ `Replay | `Rewrite ]
 
-let add_application g rule_name (app : Mapping.application) =
-  List.iter
-    (fun (out, inp) -> Prov_graph.add_link g ~rule:rule_name ~from_uri:out ~to_uri:inp)
-    app.Mapping.links;
-  List.iter
-    (fun (entity, member) -> Prov_graph.add_member g ~entity ~member)
-    app.Mapping.members
+type kind = [ `Online | `Replay | `Rewrite | `Incremental ]
 
-(* ----- Replay ----- *)
+let sequential_hb = Strategy_sig.sequential_hb
 
-(* The default control flow is sequential: "t' happened before t" is
-   simply t' < t.  Parallel executions (§8) supply the series-parallel
-   happened-before relation instead. *)
-let sequential_hb t' t = t' < t
+let backend_of : kind -> Strategy_sig.backend = function
+  | `Online -> (module Strategy_online)
+  | `Replay -> (module Strategy_replay)
+  | `Rewrite -> (module Strategy_rewrite)
+  | `Incremental -> (module Strategy_incremental)
 
-let infer_replay ?(happened_before = sequential_hb) ~doc ~trace (rb : rulebook) g =
-  List.iter
-    (fun (call : Trace.call) ->
-      if call.Trace.time > 0 then begin
-        let source_visible n =
-          happened_before (Tree.created doc n) call.Trace.time
-        in
-        List.iter
-          (fun rule ->
-            let app = Mapping.apply_call ~source_visible rule ~doc ~trace ~call in
-            add_application g (Rule.name rule) app)
-          (rules_for rb call.Trace.service)
-      end)
-    (Trace.calls trace)
+let kind_of_string = function
+  | "online" -> Some `Online
+  | "replay" -> Some `Replay
+  | "rewrite" -> Some `Rewrite
+  | "incremental" -> Some `Incremental
+  | _ -> None
 
-(* ----- Rewrite ----- *)
+let kind_to_string : kind -> string = function
+  | `Online -> Strategy_online.name
+  | `Replay -> Strategy_replay.name
+  | `Rewrite -> Strategy_rewrite.name
+  | `Incremental -> Strategy_incremental.name
 
-(* All calls of [service] in the trace, by timestamp. *)
-let call_times trace service =
-  Trace.calls trace
-  |> List.filter_map (fun (c : Trace.call) ->
-         if String.equal c.Trace.service service && c.Trace.time > 0 then
-           Some c.Trace.time
-         else None)
-
-(* Memoized pattern evaluations for one [infer_rewrite] pass.  Rulebooks
-   routinely attach the same source pattern to many rules (and the same
-   rule to many services), and the per-timestamp source restriction
-   re-evaluates it once per distinct call time: keying on the pattern AST
-   (structural equality — patterns are small finite trees) collapses all
-   of that to one evaluation each.  The cache is valid only within a
-   single pass: entries depend on the pass's [happened_before] relation.
-   The cached tables are shared, never mutated — every consumer only joins
-   or projects them. *)
-type rewrite_cache = {
-  sources : (Ast.pattern * int, Table.t) Hashtbl.t;
-      (* (source pattern, call time) → projected source table *)
-  targets : (Ast.pattern * string, Table.t) Hashtbl.t;
-      (* (target pattern, service) → rewritten-target evaluation *)
-}
-
-let make_cache () = { sources = Hashtbl.create 32; targets = Hashtbl.create 32 }
-
-let cached tbl key compute =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
-  | None ->
-    let v = compute () in
-    Hashtbl.add tbl key v;
-    v
-
-let infer_rewrite_rule ?(happened_before = sequential_hb) ?cache ~doc ~trace
-    ~service rule g =
-  let cache = match cache with Some c -> c | None -> make_cache () in
-  let index = Index.for_tree doc in
-  if Mapping.is_skolem_rule rule then
-    (* Skolem targets have no @s/@t labels to rewrite against; they fall
-       back to per-call evaluation. *)
-    List.iter
-      (fun time ->
-        let call = { Trace.service; time } in
-        let source_visible n = happened_before (Tree.created doc n) time in
-        add_application g (Rule.name rule)
-          (Mapping.apply_call ~source_visible rule ~doc ~trace ~call))
-      (call_times trace service)
-  else begin
-    let target = Rule.target rule in
-    let tgt_vars =
-      List.sort_uniq String.compare
-        (Ast.variables target @ Ast.free_variables target)
-    in
-    (* One evaluation of the rewritten target for all calls of the service
-       — and for all rules sharing this target pattern.  The rewritten
-       pattern ends in [@s = service], which the indexed evaluator serves
-       from the by-attribute index: candidates are exactly the resources
-       this service labeled, not the whole document. *)
-    let rt =
-      cached cache.targets (target, service) (fun () ->
-          Eval.eval ~index doc (Pattern_rewrite.target_service target service))
-    in
-    (* Group target rows by the timestamp of the matched resource. *)
-    let groups = Hashtbl.create 8 in
-    List.iter
-      (fun row ->
-        match Table.get rt row "node" with
-        | Value.Node n ->
-          let time = Tree.created doc n in
-          let rows = try Hashtbl.find groups time with Not_found -> [] in
-          Hashtbl.replace groups time (row :: rows)
-        | Value.Str _ | Value.Int _ -> ())
-      (Table.rows rt);
-    let times = Hashtbl.fold (fun t _ acc -> t :: acc) groups [] in
-    List.iter
-      (fun time ->
-        if time > 0 then begin
-          let rows = Hashtbl.find groups time in
-          let sub = Table.create (Table.columns rt) in
-          List.iter (Table.add_row sub) rows;
-          let rt' = Table.project (Table.rename sub [ ("r", "out") ]) ("out" :: tgt_vars) in
-          (* φ'_S: resources that happened before the call.  Memoized per
-             (source pattern, time): every rule with this source — and
-             every service whose calls share the timestamp — reuses the
-             evaluation. *)
-          let rs =
-            cached cache.sources (Rule.source rule, time) (fun () ->
-                let guards =
-                  { Eval.visible =
-                      (fun n -> happened_before (Tree.created doc n) time);
-                    env = [] }
-                in
-                Mapping.source_table ~guards ~index doc rule)
-          in
-          let j = Table.hash_join rs rt' in
-          List.iter
-            (fun (out, inp) ->
-              Prov_graph.add_link g ~rule:(Rule.name rule) ~from_uri:out ~to_uri:inp)
-            (Mapping.links_of_table j)
-        end)
-      (List.sort compare times)
-  end
-
-let infer_rewrite ?happened_before ~doc ~trace (rb : rulebook) g =
-  let services =
-    Trace.calls trace
-    |> List.filter_map (fun (c : Trace.call) ->
-           if c.Trace.time > 0 then Some c.Trace.service else None)
-    |> List.sort_uniq String.compare
-  in
-  (* One evaluation cache for the whole pass; sound because
-     [happened_before] is fixed for the pass. *)
-  let cache = make_cache () in
-  List.iter
-    (fun service ->
-      List.iter
-        (fun rule ->
-          infer_rewrite_rule ?happened_before ~cache ~doc ~trace ~service rule g)
-        (rules_for rb service))
-    services
-
-(* ----- Entry points ----- *)
+(* ----- Post-hoc entry point ----- *)
 
 let infer ?(strategy : post_hoc = `Rewrite) ?(inheritance = false)
     ?happened_before ~doc ~trace (rb : rulebook) =
   let g = Prov_graph.of_trace trace in
   (match strategy with
-   | `Replay -> infer_replay ?happened_before ~doc ~trace rb g
-   | `Rewrite -> infer_rewrite ?happened_before ~doc ~trace rb g);
+   | `Replay -> Strategy_replay.infer ?happened_before ~doc ~trace rb g
+   | `Rewrite -> Strategy_rewrite.infer ?happened_before ~doc ~trace rb g);
   if inheritance then ignore (Inheritance.close doc g);
   g
+
+(* ----- Online hook ----- *)
 
 (* Online: returns the graph under construction and the orchestrator hook
    feeding it. *)
 let online (rb : rulebook) =
   let g = Prov_graph.create () in
-  let hook (call : Trace.call) before after =
-    let doc = Doc_state.doc after in
-    let generated u =
-      match Tree.find_resource doc u with
-      | Some n -> Tree.created doc n = call.Trace.time
-      | None -> false
-    in
-    List.iter
-      (fun rule ->
-        let app = Mapping.apply_states rule before after in
-        let app = Mapping.restrict_to_generated app ~generated in
-        add_application g (Rule.name rule) app)
-      (rules_for rb call.Trace.service)
+  let hook (call : Trace.call) before after (_ : Orchestrator.delta) =
+    Strategy_online.observe_call g rb call before after
   in
   (g, hook)

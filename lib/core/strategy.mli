@@ -4,8 +4,7 @@
       the document states before and after each call — Definition 9
       applied literally.  The paper lists its drawbacks (invasive, slows
       the workflow, no cross-call optimization); here it doubles as the
-      reference implementation the post-hoc strategies are checked
-      against.
+      reference implementation the other backends are checked against.
     - {b [`Replay]}: post-hoc, per call, on states reconstructed from the
       final document (cheap: states are timestamp-filtered views).
     - {b [`Rewrite]}: post-hoc, single-pass — the §4 rewriting: each
@@ -14,8 +13,15 @@
       service; rows are grouped by the matched resource's timestamp and
       joined against the source pattern restricted to what happened
       before.
+    - {b [`Incremental]}: execution-time like Online, but delta-driven —
+      per-call cost proportional to the appended fragment, not the
+      document (see {!Strategy_incremental}).
 
-    All three produce identical link sets (property-tested). *)
+    Each strategy is a first-class {!Strategy_sig.STRATEGY_BACKEND}
+    (init → observe committed calls → finalize); this module names them
+    for dispatch and keeps the historical entry points.  All four
+    produce identical link sets (property-tested, including under fault
+    plans). *)
 
 open Weblab_xml
 open Weblab_workflow
@@ -26,6 +32,18 @@ type rulebook = (string * Rule.t list) list
 val rules_for : rulebook -> string -> Rule.t list
 
 type post_hoc = [ `Replay | `Rewrite ]
+
+type kind = [ `Online | `Replay | `Rewrite | `Incremental ]
+(** Every strategy, as selectable from the CLI ([--strategy]). *)
+
+val backend_of : kind -> Strategy_sig.backend
+(** The backend implementing a strategy — feed it to
+    {!Engine.run_with_backend}. *)
+
+val kind_of_string : string -> kind option
+(** ["online" | "replay" | "rewrite" | "incremental"]. *)
+
+val kind_to_string : kind -> string
 
 val sequential_hb : int -> int -> bool
 (** The default happened-before relation: plain timestamp order [t' < t].
@@ -43,7 +61,9 @@ val infer :
     Defaults: [`Rewrite], no inherited closure, sequential control flow. *)
 
 val online :
-  rulebook -> Prov_graph.t * (Trace.call -> Doc_state.t -> Doc_state.t -> unit)
+  rulebook ->
+  Prov_graph.t
+  * (Trace.call -> Doc_state.t -> Doc_state.t -> Orchestrator.delta -> unit)
 (** The Online strategy: a graph under construction and the
     {!Orchestrator.execute} [on_step] hook that feeds it.  The hook adds
     data-dependency links only; populate λ from the trace afterwards

@@ -1,0 +1,297 @@
+(* The Incremental strategy: execution-time like Online, but delta-driven.
+
+   Online re-evaluates every rule on whole document states after every
+   call, even though the arena is append-only and the orchestrator knows
+   exactly which fragment each call added.  This backend consumes that
+   delta instead:
+
+   - it owns a document {!Index} and catches it up in place after each
+     committed call ({!Index.extend}) — amortized O(delta), with a full
+     rebuild only after a rollback or when an order-key band is
+     exhausted;
+   - target matches of a call are enumerated with {!Eval.eval_delta},
+     looking only at the appended fragment and its ancestor spine (full
+     evaluation is the fallback for non-delta-localizable targets);
+   - source-side binding tables are memoized across calls, keyed by the
+     rule's join variables, so each call's target rows hash-join against
+     already-materialized source rows instead of re-evaluating φ_S.
+
+   Source memoization is sound only for rules whose source rows are
+   {e stable under appends}: downward-axis patterns (every chain node is
+   an ancestor-or-self of the final node, so a row's visibility at call
+   time t reduces to created(final) < t by timestamp monotonicity) whose
+   predicates read nothing but the context node's attributes — committed
+   attributes never change.  Anything else — Exists_path and Count can
+   flip when descendants are appended, Path string-values grow, positions
+   shift — falls back to the exact per-call Online computation for that
+   rule, as do Skolem rules.
+
+   The one event that does change committed attributes is URI promotion
+   (a call giving an old node an @id — and, via resource labeling, @s and
+   @t).  Promotions can create, and with negated predicates destroy,
+   memoized rows anywhere; they are rare, so the backend simply resets
+   its memo tables and rebuilds them from the current arena.  Because the
+   orchestrator only runs the hook for committed calls — failed attempts
+   are rolled back first — the memo never sees a discarded node, and
+   after a rollback the arena is bit-identical to the last observed
+   commit, so the memo prefix stays valid (only the index, which carries
+   a generation stamp, needs a rebuild). *)
+
+open Weblab_xml
+open Weblab_xpath
+open Weblab_relalg
+open Weblab_workflow
+
+let name = "incremental"
+
+(* ----- Memoizability of source patterns ----- *)
+
+(* Operands whose value at a node is fixed once the node's attributes
+   are: no positions, no traversals, no string-values of subtrees. *)
+let rec operand_memoizable (op : Ast.operand) =
+  match op with
+  | Ast.Attr _ | Ast.Lit _ | Ast.Num _ | Ast.Var _ -> true
+  | Ast.Strlen a -> operand_memoizable a
+  | Ast.Skolem (_, args) -> List.for_all operand_memoizable args
+  | Ast.Position | Ast.Last | Ast.Count _ | Ast.Path _ | Ast.Path_attr _ ->
+    false
+
+let rec pred_memoizable (p : Ast.pred) =
+  match p with
+  | Ast.Bind (_, src) -> operand_memoizable src
+  | Ast.Cmp (a, _, b) -> operand_memoizable a && operand_memoizable b
+  | Ast.Exists_attr _ -> true
+  | Ast.Fn_bool (_, args) -> List.for_all operand_memoizable args
+  | Ast.And (a, b) | Ast.Or (a, b) -> pred_memoizable a && pred_memoizable b
+  | Ast.Not a -> pred_memoizable a
+  | Ast.Exists_path _ | Ast.Index _ -> false
+
+let source_memoizable (p : Ast.pattern) =
+  Eval.delta_localizable p
+  && List.for_all
+       (fun (s : Ast.step) -> List.for_all pred_memoizable s.Ast.preds)
+       p
+
+(* ----- Per-rule plans ----- *)
+
+(* Shared across rules with the same source pattern and join columns: the
+   memoized source rows, keyed by join-variable values.  Entries carry
+   the row's birth timestamp — created(final node), which by timestamp
+   monotonicity bounds the whole downward chain — so a call at time t
+   joins against exactly the rows visible in d_{t-1} (birth < t). *)
+type memo = {
+  keys : string list;  (* join columns, sorted; [] joins everything *)
+  rows : (Value.t list, (string * int) list ref) Hashtbl.t;
+      (* key values → (source "in" URI, birth) *)
+}
+
+type plan =
+  | Fallback  (* exact per-call Online computation *)
+  | Join of memo  (* delta-evaluated target ⋈ memoized source *)
+
+type state = {
+  rb : Strategy_sig.rulebook;
+  doc : Tree.t;
+  g : Prov_graph.t;
+  plans : (Rule.t * plan) list array;  (* per service, aligned with [services] *)
+  services : (string, int) Hashtbl.t;  (* service name → [plans] slot *)
+  memos : (Ast.pattern * string list, memo) Hashtbl.t;
+  mutable index : Index.t option;  (* owned: extended in place, never shared *)
+  mutable upto : int;  (* arena prefix [0, upto) folded into the memos *)
+}
+
+let plan_for memos rule =
+  let source = Rule.source rule and target = Rule.target rule in
+  let src_vars = Ast.variables source in
+  let tgt_bound = Ast.variables target in
+  if
+    Mapping.is_skolem_rule rule
+    || (not (source_memoizable source))
+    || Ast.free_variables target <> []
+       (* a free target variable would join on a column the target
+          evaluation cannot produce — exact semantics only *)
+  then Fallback
+  else begin
+    let keys =
+      List.filter (fun v -> List.mem v tgt_bound) src_vars
+      |> List.sort_uniq String.compare
+    in
+    let mk = (source, keys) in
+    match Hashtbl.find_opt memos mk with
+    | Some m -> Join m
+    | None ->
+      let m = { keys; rows = Hashtbl.create 64 } in
+      Hashtbl.add memos mk m;
+      Join m
+  end
+
+let init ~doc (rb : Strategy_sig.rulebook) =
+  let memos = Hashtbl.create 8 in
+  let services = Hashtbl.create 8 in
+  let plans =
+    Array.of_list
+      (List.mapi
+         (fun i (service, rules) ->
+           if not (Hashtbl.mem services service) then
+             Hashtbl.replace services service i;
+           List.map (fun rule -> (rule, plan_for memos rule)) rules)
+         rb)
+  in
+  (* Index and memos are built lazily at the first observation: [init]
+     runs before the orchestrator's prologue has labeled the initial
+     resources, so indexing here would snapshot unlabeled attributes. *)
+  { rb; doc; g = Prov_graph.create (); plans; services; memos;
+    index = None; upto = 0 }
+
+(* ----- Index maintenance ----- *)
+
+let current_index st ~promoted =
+  let doc = st.doc in
+  match st.index with
+  | Some idx when Index.extend idx doc ~promoted -> idx
+  | Some _ | None ->
+    (* First observation, a rollback happened (generation mismatch), or a
+       key band was exhausted: rebuild.  The rebuilt index is privately
+       owned, so the shared {!Index.for_tree} cache is left alone. *)
+    let idx = Index.build doc in
+    st.index <- Some idx;
+    idx
+
+(* ----- Source memo maintenance ----- *)
+
+let reset_memos st =
+  Hashtbl.iter (fun _ m -> Hashtbl.reset m.rows) st.memos;
+  st.upto <- 0
+
+let memo_add st m table =
+  List.iter
+    (fun row ->
+      match Table.get table row "node" with
+      | Value.Node n ->
+        let birth = Tree.created st.doc n in
+        let inp = Value.to_string (Table.get table row "r") in
+        let key = List.map (fun k -> Table.get table row k) m.keys in
+        (match Hashtbl.find_opt m.rows key with
+         | Some entries -> entries := (inp, birth) :: !entries
+         | None -> Hashtbl.add m.rows key (ref [ (inp, birth) ]))
+      | Value.Str _ | Value.Int _ -> ())
+    (Table.rows table)
+
+(* The ancestor-or-self closure of the appended fragment: the only nodes
+   a downward chain ending in the fragment can pass through. *)
+let spine_of doc new_nodes =
+  let spine = Hashtbl.create 64 in
+  let rec up n =
+    if n <> Tree.no_node && not (Hashtbl.mem spine n) then begin
+      Hashtbl.add spine n ();
+      up (Tree.parent doc n)
+    end
+  in
+  List.iter up new_nodes;
+  fun n -> Hashtbl.mem spine n
+
+(* Fold the arena tail [upto, size) into every memo.  Memoizable sources
+   are delta-localizable by construction, so the new rows are exactly the
+   embeddings ending in the tail — one delta evaluation per distinct
+   source pattern.  After a reset (upto = 0) this is one full evaluation
+   instead. *)
+let extend_memos st idx =
+  let doc = st.doc in
+  let size = Tree.size doc in
+  if Tree.size doc < st.upto then reset_memos st;
+  if st.upto < size && Hashtbl.length st.memos > 0 then begin
+    let lo = st.upto in
+    let eval_chunk source =
+      if lo = 0 then Eval.eval ~index:idx doc source
+      else begin
+        let chunk = List.init (size - lo) (fun i -> lo + i) in
+        let touched n = n >= lo && n < size in
+        let spine = spine_of doc chunk in
+        match Eval.eval_delta ~index:idx ~touched ~spine doc source with
+        | Some t -> t
+        | None -> assert false (* memoizable ⇒ delta-localizable *)
+      end
+    in
+    Hashtbl.iter
+      (fun (source, _) m -> memo_add st m (eval_chunk source))
+      st.memos
+  end;
+  st.upto <- size
+
+(* ----- Per-call link emission ----- *)
+
+let emit_join st idx ~(call : Trace.call) ~after ~touched ~spine rule
+    (m : memo) =
+  let doc = st.doc in
+  let t = call.Trace.time in
+  let target = Rule.target rule in
+  let tgt =
+    match
+      Eval.eval_delta ~guards:(Eval.state_guards after) ~index:idx ~touched
+        ~spine doc target
+    with
+    | Some tbl -> tbl
+    | None ->
+      (* Non-local axes in the target: full evaluation, restricted to the
+         generated rows below. *)
+      Eval.eval ~guards:(Eval.state_guards after) ~index:idx doc target
+  in
+  List.iter
+    (fun row ->
+      match Table.get tgt row "node" with
+      | Value.Node n when touched n ->
+        (* Only this call's appends count as generated (Definition 9's
+           ⋉ out(c)); promoted nodes keep their original timestamp and
+           are never an [out]. *)
+        let out = Value.to_string (Table.get tgt row "r") in
+        let key = List.map (fun k -> Table.get tgt row k) m.keys in
+        (match Hashtbl.find_opt m.rows key with
+         | Some entries ->
+           List.iter
+             (fun (inp, birth) ->
+               if birth < t && not (String.equal inp out) then
+                 Prov_graph.add_link st.g ~rule:(Rule.name rule) ~from_uri:out
+                   ~to_uri:inp)
+             !entries
+         | None -> ())
+      | _ -> ())
+    (Table.rows tgt)
+
+let observe st ~call ~before ~after ~(delta : Orchestrator.delta) =
+  let idx = current_index st ~promoted:delta.Orchestrator.promoted in
+  if delta.Orchestrator.promoted <> [] then
+    (* Promotion changed committed attributes: memoized rows may appear
+       or (under negation) disappear anywhere.  Rare — reset and rebuild
+       from the live arena, which is exactly what Online reads. *)
+    reset_memos st;
+  extend_memos st idx;
+  match Hashtbl.find_opt st.services call.Trace.service with
+  | None -> ()
+  | Some slot ->
+    let delta_lo = Tree.size st.doc - List.length delta.Orchestrator.new_nodes in
+    let touched n = n >= delta_lo in
+    let spine = lazy (spine_of st.doc delta.Orchestrator.new_nodes) in
+    List.iter
+      (fun (rule, plan) ->
+        match plan with
+        | Fallback ->
+          let generated u =
+            match Tree.find_resource st.doc u with
+            | Some n -> Tree.created st.doc n = call.Trace.time
+            | None -> false
+          in
+          let app = Mapping.apply_states rule before after in
+          let app = Mapping.restrict_to_generated app ~generated in
+          Strategy_sig.add_application st.g (Rule.name rule) app
+        | Join m ->
+          if delta.Orchestrator.new_nodes <> [] then
+            emit_join st idx ~call ~after ~touched
+              ~spine:(fun n -> Lazy.force spine n)
+              rule m)
+      st.plans.(slot)
+
+let finalize st ~doc:_ ~trace =
+  List.iter
+    (fun e -> Prov_graph.set_label st.g e.Trace.uri e.Trace.call)
+    (Trace.entries trace);
+  st.g

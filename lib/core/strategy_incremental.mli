@@ -1,0 +1,20 @@
+(** The Incremental strategy backend: execution-time like Online, but
+    per-call cost proportional to the appended delta, not the document.
+
+    After each committed call the backend extends its privately owned
+    {!Weblab_xml.Index} in place, enumerates the call's target matches
+    with {!Weblab_xpath.Eval.eval_delta} (fragment + ancestor spine
+    only), and hash-joins them against source-side binding tables
+    memoized across calls.  Rules whose source rows are not stable under
+    appends — non-downward axes, positional predicates, predicates that
+    traverse the document (Exists_path, Count, string-values) — and
+    Skolem rules fall back to the exact per-call Online computation; URI
+    promotions reset the memo tables.  Failed, rolled-back calls are
+    never observed, so the memoized state cannot be poisoned by discarded
+    nodes.
+
+    Produces the same graph as every other backend (property-tested,
+    including under fault plans).  Sequential executions only — parallel
+    (§8) inference stays post-hoc. *)
+
+include Strategy_sig.STRATEGY_BACKEND

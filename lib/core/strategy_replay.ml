@@ -1,0 +1,36 @@
+(* The Replay strategy, as a backend: post-hoc, per call — the states
+   d_{i-1} and d_i are reconstructed from the final document (cheap in
+   this code base, since states are timestamp-filtered views of the
+   arena) and the service's rules are applied to each pair. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+let name = "replay"
+
+let infer ?(happened_before = Strategy_sig.sequential_hb) ~doc ~trace
+    (rb : Strategy_sig.rulebook) g =
+  List.iter
+    (fun (call : Trace.call) ->
+      if call.Trace.time > 0 then begin
+        let source_visible n =
+          happened_before (Tree.created doc n) call.Trace.time
+        in
+        List.iter
+          (fun rule ->
+            let app = Mapping.apply_call ~source_visible rule ~doc ~trace ~call in
+            Strategy_sig.add_application g (Rule.name rule) app)
+          (Strategy_sig.rules_for rb call.Trace.service)
+      end)
+    (Trace.calls trace)
+
+type state = { rb : Strategy_sig.rulebook }
+
+let init ~doc:_ rb = { rb }
+
+let observe _ ~call:_ ~before:_ ~after:_ ~delta:_ = ()
+
+let finalize st ~doc ~trace =
+  let g = Prov_graph.of_trace trace in
+  infer ~doc ~trace st.rb g;
+  g

@@ -1,0 +1,18 @@
+(** The Replay strategy backend — post-hoc, per call, on states
+    reconstructed from the final document. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val infer :
+  ?happened_before:(int -> int -> bool) ->
+  doc:Tree.t ->
+  trace:Trace.t ->
+  Strategy_sig.rulebook ->
+  Prov_graph.t ->
+  unit
+(** Add every replayed link to an existing graph — the work
+    {!Strategy.infer} [~strategy:`Replay] delegates here, with the
+    happened-before hook for parallel (§8) executions. *)
+
+include Strategy_sig.STRATEGY_BACKEND

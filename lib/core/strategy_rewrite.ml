@@ -1,0 +1,150 @@
+(* The Rewrite strategy, as a backend: post-hoc, single-pass — each
+   rule's target pattern is rewritten with the [@s] service constraint
+   and evaluated *once* on the final document for all calls of the
+   service; the rows are then grouped by the creation timestamp of the
+   matched resources and joined against the source pattern restricted to
+   the resources existing before that timestamp.  This is the §4
+   rewriting, operationalized. *)
+
+open Weblab_xml
+open Weblab_xpath
+open Weblab_relalg
+open Weblab_workflow
+
+let name = "rewrite"
+
+(* All calls of [service] in the trace, by timestamp. *)
+let call_times trace service =
+  Trace.calls trace
+  |> List.filter_map (fun (c : Trace.call) ->
+         if String.equal c.Trace.service service && c.Trace.time > 0 then
+           Some c.Trace.time
+         else None)
+
+(* Memoized pattern evaluations for one inference pass.  Rulebooks
+   routinely attach the same source pattern to many rules (and the same
+   rule to many services), and the per-timestamp source restriction
+   re-evaluates it once per distinct call time: keying on the pattern AST
+   (structural equality — patterns are small finite trees) collapses all
+   of that to one evaluation each.  The cache is valid only within a
+   single pass: entries depend on the pass's [happened_before] relation.
+   The cached tables are shared, never mutated — every consumer only joins
+   or projects them. *)
+type cache = {
+  sources : (Ast.pattern * int, Table.t) Hashtbl.t;
+      (* (source pattern, call time) → projected source table *)
+  targets : (Ast.pattern * string, Table.t) Hashtbl.t;
+      (* (target pattern, service) → rewritten-target evaluation *)
+}
+
+let make_cache () = { sources = Hashtbl.create 32; targets = Hashtbl.create 32 }
+
+let cached tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add tbl key v;
+    v
+
+let infer_rule ?(happened_before = Strategy_sig.sequential_hb) ?cache ~doc
+    ~trace ~service rule g =
+  let cache = match cache with Some c -> c | None -> make_cache () in
+  let index = Index.for_tree doc in
+  if Mapping.is_skolem_rule rule then
+    (* Skolem targets have no @s/@t labels to rewrite against; they fall
+       back to per-call evaluation. *)
+    List.iter
+      (fun time ->
+        let call = { Trace.service; time } in
+        let source_visible n = happened_before (Tree.created doc n) time in
+        Strategy_sig.add_application g (Rule.name rule)
+          (Mapping.apply_call ~source_visible rule ~doc ~trace ~call))
+      (call_times trace service)
+  else begin
+    let target = Rule.target rule in
+    let tgt_vars =
+      List.sort_uniq String.compare
+        (Ast.variables target @ Ast.free_variables target)
+    in
+    (* One evaluation of the rewritten target for all calls of the service
+       — and for all rules sharing this target pattern.  The rewritten
+       pattern ends in [@s = service], which the indexed evaluator serves
+       from the by-attribute index: candidates are exactly the resources
+       this service labeled, not the whole document. *)
+    let rt =
+      cached cache.targets (target, service) (fun () ->
+          Eval.eval ~index doc (Pattern_rewrite.target_service target service))
+    in
+    (* Group target rows by the timestamp of the matched resource. *)
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun row ->
+        match Table.get rt row "node" with
+        | Value.Node n ->
+          let time = Tree.created doc n in
+          let rows = try Hashtbl.find groups time with Not_found -> [] in
+          Hashtbl.replace groups time (row :: rows)
+        | Value.Str _ | Value.Int _ -> ())
+      (Table.rows rt);
+    let times = Hashtbl.fold (fun t _ acc -> t :: acc) groups [] in
+    List.iter
+      (fun time ->
+        if time > 0 then begin
+          let rows = Hashtbl.find groups time in
+          let sub = Table.create (Table.columns rt) in
+          List.iter (Table.add_row sub) rows;
+          let rt' =
+            Table.project (Table.rename sub [ ("r", "out") ]) ("out" :: tgt_vars)
+          in
+          (* φ'_S: resources that happened before the call.  Memoized per
+             (source pattern, time): every rule with this source — and
+             every service whose calls share the timestamp — reuses the
+             evaluation. *)
+          let rs =
+            cached cache.sources (Rule.source rule, time) (fun () ->
+                let guards =
+                  { Eval.visible =
+                      (fun n -> happened_before (Tree.created doc n) time);
+                    env = [] }
+                in
+                Mapping.source_table ~guards ~index doc rule)
+          in
+          let j = Table.hash_join rs rt' in
+          List.iter
+            (fun (out, inp) ->
+              Prov_graph.add_link g ~rule:(Rule.name rule) ~from_uri:out
+                ~to_uri:inp)
+            (Mapping.links_of_table j)
+        end)
+      (List.sort compare times)
+  end
+
+let infer ?happened_before ~doc ~trace (rb : Strategy_sig.rulebook) g =
+  let services =
+    Trace.calls trace
+    |> List.filter_map (fun (c : Trace.call) ->
+           if c.Trace.time > 0 then Some c.Trace.service else None)
+    |> List.sort_uniq String.compare
+  in
+  (* One evaluation cache for the whole pass; sound because
+     [happened_before] is fixed for the pass. *)
+  let cache = make_cache () in
+  List.iter
+    (fun service ->
+      List.iter
+        (fun rule ->
+          infer_rule ?happened_before ~cache ~doc ~trace ~service rule g)
+        (Strategy_sig.rules_for rb service))
+    services
+
+type state = { rb : Strategy_sig.rulebook }
+
+let init ~doc:_ rb = { rb }
+
+let observe _ ~call:_ ~before:_ ~after:_ ~delta:_ = ()
+
+let finalize st ~doc ~trace =
+  let g = Prov_graph.of_trace trace in
+  infer ~doc ~trace st.rb g;
+  g

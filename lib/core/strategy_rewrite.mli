@@ -1,0 +1,17 @@
+(** The Rewrite strategy backend — the §4 temporal rewriting,
+    operationalized as a post-hoc single pass. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+val infer :
+  ?happened_before:(int -> int -> bool) ->
+  doc:Tree.t ->
+  trace:Trace.t ->
+  Strategy_sig.rulebook ->
+  Prov_graph.t ->
+  unit
+(** Add every rewritten-pass link to an existing graph — the work
+    {!Strategy.infer} [~strategy:`Rewrite] delegates here. *)
+
+include Strategy_sig.STRATEGY_BACKEND

@@ -1,0 +1,65 @@
+(* First-class evaluation-strategy backends.
+
+   The paper's §6 presents the evaluation strategies as interchangeable
+   ways of computing the same provenance mapping; this signature makes
+   that interchangeability explicit in the code.  A backend is driven by
+   the engine through three phases:
+
+   - [init] before the workflow starts, with the initial document and the
+     rulebook;
+   - [observe] after every {e committed} call, with the call, the
+     surrounding document states, and the delta the call committed
+     (failed, rolled-back calls are never observed — the orchestrator
+     restores the arena before the hook could run, so a backend's
+     accumulated state cannot be poisoned by discarded nodes);
+   - [finalize] once the workflow is over, with the final document and
+     trace, producing the provenance graph.
+
+   Post-hoc strategies (Replay, Rewrite) ignore the observations and do
+   all their work in [finalize]; execution-time strategies (Online,
+   Incremental) accumulate links in [observe] and only label resources in
+   [finalize].  All backends produce identical graphs — property-tested,
+   including under fault plans. *)
+
+open Weblab_xml
+open Weblab_workflow
+
+type rulebook = (string * Rule.t list) list
+(* Rules attached to each service name: the M(s) of the paper. *)
+
+let rules_for (rb : rulebook) service =
+  match List.assoc_opt service rb with Some rules -> rules | None -> []
+
+(* The default control flow is sequential: "t' happened before t" is
+   simply t' < t.  Parallel executions (§8) supply the series-parallel
+   happened-before relation instead. *)
+let sequential_hb t' t = t' < t
+
+let add_application g rule_name (app : Mapping.application) =
+  List.iter
+    (fun (out, inp) ->
+      Prov_graph.add_link g ~rule:rule_name ~from_uri:out ~to_uri:inp)
+    app.Mapping.links;
+  List.iter
+    (fun (entity, member) -> Prov_graph.add_member g ~entity ~member)
+    app.Mapping.members
+
+module type STRATEGY_BACKEND = sig
+  val name : string
+
+  type state
+
+  val init : doc:Tree.t -> rulebook -> state
+
+  val observe :
+    state ->
+    call:Trace.call ->
+    before:Doc_state.t ->
+    after:Doc_state.t ->
+    delta:Orchestrator.delta ->
+    unit
+
+  val finalize : state -> doc:Tree.t -> trace:Trace.t -> Prov_graph.t
+end
+
+type backend = (module STRATEGY_BACKEND)

@@ -2,6 +2,15 @@ open Weblab_xml
 
 exception Append_violation of string
 
+(* What a committed call changed: the arena tail it appended (in id
+   order, which is also fragment pre-order) and the committed nodes it
+   promoted to resources.  Handed to the [on_step] hook so strategies can
+   work from the delta instead of re-scanning states. *)
+type delta = {
+  new_nodes : Tree.node list;
+  promoted : Tree.node list;
+}
+
 exception Duplicate_uri of string
 
 exception Budget_exceeded of string
@@ -252,7 +261,8 @@ let failure_reason = function
   | Failure m -> "failure: " ^ m
   | e -> Printexc.to_string e
 
-let execute ?(policy = default_policy) ?(on_step = fun _ _ _ -> ()) doc services =
+let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
+    services =
   if not (Tree.has_root doc) then
     invalid_arg "Orchestrator.execute: the document needs a root";
   let trace = Trace.create () in
@@ -408,7 +418,7 @@ let execute ?(policy = default_policy) ?(on_step = fun _ _ _ -> ()) doc services
           (if attempts > 1 then Trace.Retried (attempts - 1) else Trace.Ok);
         label_resources ~now:time;
         let after = Doc_state.at doc time in
-        on_step call before after
+        on_step call before after { new_nodes; promoted }
       | `Failed (reason, e) ->
         (* The timestamp is burned: the document is bit-identical to the
            previous commit and the strategies will never see this call. *)

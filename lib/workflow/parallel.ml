@@ -117,7 +117,7 @@ let channel_of exec t = Hashtbl.find_opt exec.channels t
 
 (* Execute a series-parallel workflow.  Calls get timestamps in schedule
    order; every resource additionally carries its channel in @ch. *)
-let execute ?policy ?(on_step = fun _ _ _ -> ()) doc (wf : wf) : execution =
+let execute ?policy ?(on_step = fun _ _ _ _ -> ()) doc (wf : wf) : execution =
   let tasks = compile wf in
   if tasks = [] then
     { trace = Orchestrator.execute ?policy doc [];
@@ -152,9 +152,9 @@ let execute ?policy ?(on_step = fun _ _ _ -> ()) doc (wf : wf) : execution =
            (Doc_state.nodes after)
        | None -> ())
     in
-    let hook call b a =
+    let hook call b a delta =
       tag_channel call b a;
-      on_step call b a
+      on_step call b a delta
     in
     let trace =
       Orchestrator.execute ?policy ~on_step:hook doc

@@ -35,7 +35,8 @@ type execution = {
 
 val execute :
   ?policy:Orchestrator.policy ->
-  ?on_step:(Trace.call -> Doc_state.t -> Doc_state.t -> unit) ->
+  ?on_step:
+    (Trace.call -> Doc_state.t -> Doc_state.t -> Orchestrator.delta -> unit) ->
   Tree.t ->
   wf ->
   execution

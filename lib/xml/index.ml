@@ -1,52 +1,110 @@
 (* Per-document evaluation index: nodes-by-label, nodes-by-attribute for
    the provenance attributes, and pre/post-order intervals.  Built in one
-   DFS; see index.mli for the contract. *)
+   DFS and — new — extensible in place when the arena grows by appends;
+   see index.mli for the contract. *)
 
 let indexed_attrs = [ "id"; "s"; "t" ]
 
 let attr_indexed a = List.mem a indexed_attrs
 
+(* ----- Order keys -----
+
+   Pre/post ranks are not dense: consecutive DFS events are [key_gap]
+   apart, so a fragment appended later can be keyed *inside* its parent's
+   interval without renumbering anything.  Only the order of keys matters
+   to the interval tests; [subtree_size] is maintained separately.
+
+   Appends always add a last child (Tree.new_element), so a new node [n]
+   is keyed in the free band between its preceding sibling's post key (or
+   the parent's pre key) and the parent's post key.  The node takes a
+   bounded slice at the start of the band — [child_room] keys of interior,
+   for its own future descendants — and leaves the rest to future
+   siblings.  When a band is too narrow to split, the index declares
+   itself exhausted and the caller falls back to a full rebuild: the
+   rebuilt index starts from fresh uniform gaps, so the rebuild cost is
+   amortized over the appends that consumed the band. *)
+
+let key_gap = if Sys.int_size >= 63 then 1 lsl 30 else 1 lsl 10
+
+let child_room = max 16 (key_gap lsr 14)
+
 type t = {
   tree : Tree.t;
-  stamp : int;  (* arena size at build time *)
+  mutable stamp : int;  (* arena prefix [0, stamp) covered *)
   gen : int;  (* arena generation at build time: detects rollbacks *)
-  pre : int array;  (* preorder rank, -1 for nodes outside the tree *)
-  post : int array;
-  size : int array;  (* descendant-or-self count *)
-  elements : Tree.node list;  (* all elements, document order *)
-  by_label : (string, Tree.node list) Hashtbl.t;
-  label_counts : (string, int) Hashtbl.t;
-  by_attr : (string * string, Tree.node list) Hashtbl.t;
-  some_attr : (string, Tree.node list) Hashtbl.t;
+  mutable pre : int array;  (* preorder key, -1 for nodes outside the tree *)
+  mutable post : int array;
+  mutable sizes : int array;  (* descendant-or-self count *)
+  elements : Tree.node Vec.t;  (* all elements, document order *)
+  by_label : (string, Tree.node Vec.t) Hashtbl.t;
+  by_attr : (string * string, Tree.node Vec.t) Hashtbl.t;
+  some_attr : (string, Tree.node Vec.t) Hashtbl.t;
+  mutable exhausted : bool;  (* a key band ran out: refuse to extend *)
 }
 
-let push tbl key n =
-  Hashtbl.replace tbl key (n :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+(* Postings are kept sorted by pre key = document order. *)
+let posting tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = Vec.create ~dummy:Tree.no_node in
+    Hashtbl.add tbl key v;
+    v
 
-(* Accumulation lists are built most-recent-first; one final reversal
-   restores document order. *)
-let rev_lists tbl = Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl
+(* First position whose pre key is >= [pre.(node)] — the insertion point,
+   and the only place [node] can already sit (keys are unique). *)
+let posting_pos t v node =
+  let key = t.pre.(node) in
+  let lo = ref 0 and hi = ref (Vec.length v) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.pre.(Vec.get v mid) < key then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let posting_mem t v node =
+  let i = posting_pos t v node in
+  i < Vec.length v && Vec.get v i = node
+
+let posting_insert t v node = Vec.insert v (posting_pos t v node) node
+
+let add_element_postings t node =
+  posting_insert t t.elements node;
+  posting_insert t (posting t.by_label (Tree.name t.tree node)) node;
+  List.iter
+    (fun (a, v) ->
+      if attr_indexed a then begin
+        posting_insert t (posting t.by_attr (a, v)) node;
+        posting_insert t (posting t.some_attr a) node
+      end)
+    (Tree.attrs t.tree node)
 
 let build tree =
   let n = Tree.size tree in
-  let pre = Array.make n (-1) and post = Array.make n (-1) in
-  let size = Array.make n 0 in
-  let by_label = Hashtbl.create 64 in
-  let by_attr = Hashtbl.create 64 in
-  let some_attr = Hashtbl.create 8 in
-  let elements = ref [] in
+  let pre = Array.make (max n 1) (-1) and post = Array.make (max n 1) (-1) in
+  let sizes = Array.make (max n 1) 0 in
+  let t =
+    { tree; stamp = n; gen = Tree.generation tree; pre; post; sizes;
+      elements = Vec.create ~dummy:Tree.no_node;
+      by_label = Hashtbl.create 64;
+      by_attr = Hashtbl.create 64;
+      some_attr = Hashtbl.create 8;
+      exhausted = false }
+  in
   let clock = ref 0 in
   let rec visit node =
-    pre.(node) <- !clock;
+    pre.(node) <- !clock * key_gap;
     incr clock;
     if Tree.is_element tree node then begin
-      elements := node :: !elements;
-      push by_label (Tree.name tree node) node;
+      (* DFS visits in document order, so plain pushes keep the postings
+         sorted by pre key. *)
+      Vec.push t.elements node;
+      Vec.push (posting t.by_label (Tree.name tree node)) node;
       List.iter
         (fun (a, v) ->
           if attr_indexed a then begin
-            push by_attr (a, v) node;
-            push some_attr a node
+            Vec.push (posting t.by_attr (a, v)) node;
+            Vec.push (posting t.some_attr a) node
           end)
         (Tree.attrs tree node)
     end;
@@ -54,26 +112,131 @@ let build tree =
     List.iter
       (fun child ->
         visit child;
-        sz := !sz + size.(child))
+        sz := !sz + sizes.(child))
       (Tree.children tree node);
-    size.(node) <- !sz;
-    post.(node) <- !clock;
+    sizes.(node) <- !sz;
+    post.(node) <- !clock * key_gap;
     incr clock
   in
   if Tree.has_root tree then visit (Tree.root tree);
-  rev_lists by_label;
-  rev_lists by_attr;
-  rev_lists some_attr;
-  let label_counts = Hashtbl.create (Hashtbl.length by_label) in
-  Hashtbl.iter (fun l ns -> Hashtbl.replace label_counts l (List.length ns)) by_label;
-  { tree; stamp = n; gen = Tree.generation tree; pre; post; size;
-    elements = List.rev !elements;
-    by_label; label_counts; by_attr; some_attr }
+  t
 
 let stamp t = t.stamp
 
 let valid_for t doc =
   t.tree == doc && t.stamp = Tree.size doc && t.gen = Tree.generation doc
+
+(* ----- In-place extension -----
+
+   Replays the appended arena tail [stamp, size) in id order.  Appends
+   only ever add a last child and fragments are materialized parent
+   before children (new_element, copy_subtree), so when node [n] is
+   processed its parent and preceding siblings already carry keys. *)
+
+let ensure_arrays t n =
+  if n > Array.length t.pre then begin
+    let cap = max n (2 * Array.length t.pre) in
+    let grow a default =
+      let a' = Array.make cap default in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    t.pre <- grow t.pre (-1);
+    t.post <- grow t.post (-1);
+    t.sizes <- grow t.sizes 0
+  end
+
+let alloc_keys t node =
+  let p = Tree.parent t.tree node in
+  if p = Tree.no_node || t.pre.(p) < 0 then false
+  else begin
+    let prev =
+      let rec find prev = function
+        | [] -> prev
+        | c :: rest -> if c = node then prev else find (Some c) rest
+      in
+      find None (Tree.children t.tree p)
+    in
+    let lo = match prev with Some s -> t.post.(s) | None -> t.pre.(p) in
+    let hi = t.post.(p) in
+    let room = hi - lo in
+    let s = min (room / 8) child_room in
+    if s < 2 then false
+    else begin
+      (* Nothing is ever inserted before a last child, so the node sits
+         right after [lo]; the interior slice bounds how deep future
+         appends can nest below it before a rebuild. *)
+      t.pre.(node) <- lo + 1;
+      t.post.(node) <- lo + 1 + s;
+      true
+    end
+  end
+
+let extend_node t node =
+  if not (alloc_keys t node) then false
+  else begin
+    t.sizes.(node) <- 1;
+    let rec bump p =
+      if p <> Tree.no_node then begin
+        t.sizes.(p) <- t.sizes.(p) + 1;
+        bump (Tree.parent t.tree p)
+      end
+    in
+    bump (Tree.parent t.tree node);
+    if Tree.is_element t.tree node then add_element_postings t node;
+    true
+  end
+
+(* Promoted nodes gained attributes after they were first indexed (URI
+   promotion adds an "id" to a committed node); refresh their attribute
+   postings.  Append semantics forbid removal or modification, so only
+   insertions are needed. *)
+let refresh_promoted t nodes =
+  List.iter
+    (fun node ->
+      if node >= 0 && node < Array.length t.pre && t.pre.(node) >= 0
+         && Tree.is_element t.tree node
+      then
+        List.iter
+          (fun (a, v) ->
+            if attr_indexed a then begin
+              let va = posting t.by_attr (a, v) in
+              if not (posting_mem t va node) then posting_insert t va node;
+              let sa = posting t.some_attr a in
+              if not (posting_mem t sa node) then posting_insert t sa node
+            end)
+          (Tree.attrs t.tree node))
+    nodes
+
+let extend t doc ~promoted =
+  if t.exhausted || not (t.tree == doc) || t.gen <> Tree.generation doc
+     || Tree.size doc < t.stamp
+  then false
+  else begin
+    let n = Tree.size doc in
+    ensure_arrays t n;
+    let ok = ref true in
+    (try
+       for node = t.stamp to n - 1 do
+         if not (extend_node t node) then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if not !ok then begin
+      (* A partial extension leaves the postings inconsistent; the frozen
+         stamp keeps [valid_for] false forever and the flag refuses any
+         further extension.  The caller rebuilds. *)
+      t.exhausted <- true;
+      false
+    end
+    else begin
+      t.stamp <- n;
+      refresh_promoted t promoted;
+      true
+    end
+  end
 
 (* A tiny bounded cache keyed by physical document identity; the stamp
    detects appends and the generation detects rollbacks (a truncate
@@ -85,7 +248,12 @@ let valid_for t doc =
    one domain while a parallel execution mutates another document in a
    second domain — so every access goes through [cache_mutex].  [build]
    itself runs outside the lock: it only reads the one tree the caller
-   owns, and a racing duplicate build is harmless (last writer wins). *)
+   owns, and a racing duplicate build is harmless (last writer wins).
+
+   Cached indexes are never extended in place: extension mutates the
+   postings, and a racing domain could be reading them.  In-place
+   extension is reserved for privately owned indexes (the Incremental
+   backend holds its own); the shared cache always rebuilds. *)
 let max_cached = 8
 
 let cache : (Tree.t * t) list ref = ref []
@@ -113,22 +281,28 @@ let for_tree tree =
     cache_put tree idx;
     idx
 
-let nodes_with_label t l = Option.value ~default:[] (Hashtbl.find_opt t.by_label l)
+let posting_list tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> Vec.to_list v
+  | None -> []
 
-let label_count t l = Option.value ~default:0 (Hashtbl.find_opt t.label_counts l)
+let nodes_with_label t l = posting_list t.by_label l
 
-let elements t = t.elements
+let label_count t l =
+  match Hashtbl.find_opt t.by_label l with
+  | Some v -> Vec.length v
+  | None -> 0
 
-let nodes_with_attr t a v =
-  Option.value ~default:[] (Hashtbl.find_opt t.by_attr (a, v))
+let elements t = Vec.to_list t.elements
 
-let nodes_with_some_attr t a =
-  Option.value ~default:[] (Hashtbl.find_opt t.some_attr a)
+let nodes_with_attr t a v = posting_list t.by_attr (a, v)
+
+let nodes_with_some_attr t a = posting_list t.some_attr a
 
 let resource t u =
   match Hashtbl.find_opt t.by_attr ("id", u) with
-  | Some (n :: _) -> Some n
-  | Some [] | None -> None
+  | Some v when Vec.length v > 0 -> Some (Vec.get v 0)
+  | Some _ | None -> None
 
 let in_tree t n = n >= 0 && n < Array.length t.pre && t.pre.(n) >= 0
 
@@ -142,4 +316,4 @@ let below_or_self t ~ancestor n =
   && t.pre.(ancestor) <= t.pre.(n)
   && t.post.(n) <= t.post.(ancestor)
 
-let subtree_size t n = if in_tree t n then t.size.(n) else 0
+let subtree_size t n = if in_tree t n then t.sizes.(n) else 0

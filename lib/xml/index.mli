@@ -13,16 +13,48 @@
       comparisons, so descendant steps from an inner context filter a
       label list instead of walking the subtree.
 
-    The index is a snapshot stamped with the arena size at build time:
-    nodes appended later are not covered, and {!valid_for} turns false.
-    {!for_tree} keeps a small cache keyed by physical document identity,
-    so frozen documents (the post-hoc case) build their index exactly
-    once. *)
+    The index is stamped with the arena size it covers: nodes appended
+    later are not covered, and {!valid_for} turns false.  A caller that
+    owns its index exclusively can catch up in place with {!extend}
+    (amortized O(appended nodes), not O(document)); {!for_tree} keeps a
+    small cache keyed by physical document identity, so frozen documents
+    (the post-hoc case) build their index exactly once.
+
+    Pre/post ranks are {e gapped} order keys rather than dense ranks:
+    only their relative order is observable (through {!strictly_below} /
+    {!below_or_self}), and the gaps are what let an appended fragment be
+    keyed inside its parent's interval without renumbering the rest of
+    the document. *)
 
 type t
 
 val build : Tree.t -> t
 (** One full traversal: O(nodes) time and space. *)
+
+val extend : t -> Tree.t -> promoted:Tree.node list -> bool
+(** [extend t doc ~promoted] catches the index up with the arena in
+    place: the appended tail [stamp t, size doc) is replayed in id order
+    (appends are always last-child, so parents and preceding siblings are
+    already keyed), postings are extended, interval keys are allocated
+    inside the parent's free band, and subtree sizes are updated along
+    the ancestor chains.  [promoted] lists committed nodes that gained
+    attributes since they were indexed (URI promotion): their attribute
+    postings are refreshed — the tail replay cannot see them.
+
+    Returns [true] when the index now satisfies [valid_for t doc].
+    Returns [false] — and the caller must fall back to {!build} — when:
+    - the index was built from a different arena, or
+    - the document generation changed (a {!Tree.restore} /
+      {!Tree.truncate_to} rollback: in-place postings may reference
+      discarded nodes, so rollbacks always invalidate), or
+    - a key band is exhausted (too many appends under one parent since
+      the last full build; the rebuild restores uniform gaps, so its cost
+      is amortized over the appends that consumed the band).
+    After a [false] the index refuses further extension and [valid_for]
+    stays false; it must be discarded.
+
+    Extension mutates the index: it is only safe on an index the caller
+    owns exclusively (the {!for_tree} cache never extends, it rebuilds). *)
 
 val for_tree : Tree.t -> t
 (** The cached index for the document's current size, (re)built on

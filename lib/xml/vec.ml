@@ -33,6 +33,16 @@ let push v x =
   v.data.(v.size) <- x;
   v.size <- v.size + 1
 
+(* Insert [x] at position [i], shifting the suffix right.  O(size - i):
+   constant at the tail, where the index extension inserts almost always
+   (appends land at the end of document order). *)
+let insert v i x =
+  if i < 0 || i > v.size then invalid_arg "Vec.insert";
+  ensure_capacity v (v.size + 1);
+  Array.blit v.data i v.data (i + 1) (v.size - i);
+  v.data.(i) <- x;
+  v.size <- v.size + 1
+
 (* Drop the suffix [n..size).  Dropped slots are reset to [dummy] so the
    array holds no reference to the removed elements. *)
 let truncate v n =

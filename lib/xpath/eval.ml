@@ -304,7 +304,7 @@ let apply_pred doc visible candidates (p : Ast.pred) =
         else None)
       (List.mapi (fun i c -> (i + 1, c)) candidates)
 
-let apply_step doc index visible contexts (step : Ast.step) =
+let apply_step ?keep doc index visible contexts (step : Ast.step) =
   List.concat_map
     (fun (ctx, env) ->
       let fast =
@@ -319,11 +319,20 @@ let apply_step doc index visible contexts (step : Ast.step) =
           axis_nodes doc visible ctx step.Ast.axis
           |> List.filter (test_matches doc step.Ast.test)
       in
+      let candidates =
+        match keep with
+        | None -> candidates
+        | Some f -> List.filter f candidates
+      in
       let candidates = List.map (fun n -> (n, env)) candidates in
       List.fold_left (apply_pred doc visible) candidates step.Ast.preds)
     contexts
 
-let eval_with ~require_uri ~guards ~index doc (pattern : Ast.pattern) =
+(* [restrict], when provided, prunes the candidates of step [i] (0-based)
+   to a node predicate — the delta-restricted evaluation hook.  It is only
+   sound for patterns where the pruning commutes with the predicates (see
+   [delta_localizable]); predicates themselves are never restricted. *)
+let eval_with ?restrict ~require_uri ~guards ~index doc (pattern : Ast.pattern) =
   (* An explicit [$r := @id] is the implicit result binding of Definition 4
      condition (3) spelled out (the pattern φ2 of Example 3), so the "r"
      column is never duplicated; "node" is likewise reserved. *)
@@ -331,10 +340,16 @@ let eval_with ~require_uri ~guards ~index doc (pattern : Ast.pattern) =
     List.filter (fun v -> v <> "r" && v <> "node") (Ast.variables pattern)
   in
   let finals =
+    let step_keep i =
+      match restrict with None -> None | Some f -> Some (f i)
+    in
     List.fold_left
-      (apply_step doc index guards.visible)
-      [ (Tree.no_node, guards.env) ]
+      (fun (ctxs, i) step ->
+        (apply_step ?keep:(step_keep i) doc index guards.visible ctxs step,
+         i + 1))
+      ([ (Tree.no_node, guards.env) ], 0)
       pattern
+    |> fst
   in
   let table = Table.create (("node" :: "r" :: vars)) in
   List.iter
@@ -385,6 +400,52 @@ let eval_unindexed ?(require_uri = true) ?(guards = no_guards) doc pattern =
 
 let eval_state ?require_uri st pattern =
   eval ?require_uri ~guards:(state_guards st) (Doc_state.doc st) pattern
+
+(* ----- Delta-restricted evaluation -----
+
+   When a call appends a fragment to the arena, the only {e new}
+   embeddings of a pattern are those whose final node lies in the
+   fragment.  For patterns built from downward axes only (child,
+   descendant, descendant-or-self, self), every node of such an
+   embedding's step chain is an ancestor-or-self of the final node — so
+   restricting the final step's candidates to the fragment ([touched])
+   and every earlier step's candidates to the ancestor-or-self closure of
+   the fragment ([spine]) yields exactly those embeddings, while looking
+   at O(delta × depth) nodes instead of the whole document.
+
+   The restriction prunes {e candidates} only; predicates still read the
+   full document (relative paths, counts, string-values), so their truth
+   values are untouched.  Pruning commutes with predicate filtering only
+   when no predicate is position-sensitive: positions are 1-based indices
+   into the candidate list, which the pruning shortens.  Patterns with an
+   upward or sibling axis (the final node no longer dominates the chain)
+   or a position-sensitive predicate are not delta-localizable and the
+   caller must fall back to full evaluation. *)
+
+let delta_localizable (pattern : Ast.pattern) =
+  List.for_all
+    (fun (s : Ast.step) ->
+      (match s.Ast.axis with
+       | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Self ->
+         true
+       | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self
+       | Ast.Following_sibling | Ast.Preceding_sibling -> false)
+      && not (List.exists pred_position_sensitive s.Ast.preds))
+    pattern
+
+let eval_delta ?(require_uri = true) ?(guards = no_guards) ?index ~touched
+    ~spine doc (pattern : Ast.pattern) =
+  if not (delta_localizable pattern) then None
+  else begin
+    let index =
+      match index with
+      | Some idx when Index.valid_for idx doc -> Some idx
+      | Some _ | None -> Some (Index.for_tree doc)
+    in
+    let last = List.length pattern - 1 in
+    let restrict i = if i = last then touched else spine in
+    Some (eval_with ~restrict ~require_uri ~guards ~index doc pattern)
+  end
 
 let matching_nodes ?(guards = no_guards) doc pattern =
   let t = eval ~require_uri:false ~guards doc pattern in

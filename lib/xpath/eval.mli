@@ -56,6 +56,34 @@ val eval_unindexed :
 val eval_state : ?require_uri:bool -> Doc_state.t -> Ast.pattern -> Table.t
 (** [eval_state d φ] = [eval ~guards:(state_guards d) (Doc_state.doc d) φ]. *)
 
+val delta_localizable : Ast.pattern -> bool
+(** Whether {!eval_delta} can serve the pattern: every step uses a
+    downward axis (child, descendant, descendant-or-self, self) and no
+    step carries a position-sensitive predicate.  For such patterns every
+    node of an embedding's step chain is an ancestor-or-self of the final
+    node, so embeddings ending in an appended fragment can be enumerated
+    from the fragment and its ancestor spine alone. *)
+
+val eval_delta :
+  ?require_uri:bool ->
+  ?guards:guards ->
+  ?index:Index.t ->
+  touched:(Tree.node -> bool) ->
+  spine:(Tree.node -> bool) ->
+  Tree.t ->
+  Ast.pattern ->
+  Table.t option
+(** [eval_delta ~touched ~spine doc φ] computes exactly the rows of
+    [eval doc φ] whose final node satisfies [touched] — the embeddings a
+    delta could have created — by pruning the final step's candidates to
+    [touched] and every earlier step's candidates to [spine].  [spine]
+    {e must} hold on every ancestor-or-self of every [touched] node (it
+    may hold more broadly; correctness is unaffected, only cost).
+    Predicates are evaluated unrestricted, against the full document.
+
+    Returns [None] when the pattern is not {!delta_localizable} — the
+    non-local-axis fallback rule: the caller evaluates in full instead. *)
+
 val matching_nodes :
   ?guards:guards -> Tree.t -> Ast.pattern -> Tree.node list
 (** Nodes matched by the final step, regardless of URIs; distinct, in

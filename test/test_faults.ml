@@ -4,8 +4,10 @@
 
    - roll every failed attempt back to a bit-identical arena,
    - record each attempt and outcome in the trace,
-   - keep the three inference strategies in agreement over the surviving
-     calls, with every link endpoint owned by a successful call.
+   - keep all four inference strategies (Online, Replay, Rewrite,
+     Incremental) in agreement over the surviving calls, with every link
+     endpoint owned by a successful call — in particular, rolled-back
+     calls must not poison the Incremental backend's memoized state.
 
    Deterministic tests pin the acceptance scenario; qcheck properties
    cover random workflows under random fault plans and the rollback
@@ -365,7 +367,9 @@ let plan_faults =
     Faulty.Duplicate_uri ]
 
 let prop_agreement_under_faults =
-  Test.make ~name:"Online = Replay = Rewrite under injected faults" ~count:60
+  Test.make
+    ~name:"Online = Replay = Rewrite = Incremental under injected faults"
+    ~count:60
     (pair arb_workflow (make Gen.(pair (int_bound 1_000_000) (int_bound 2))))
     (fun ((doc, services, rb), (seed, r)) ->
       let rate = [| 0.3; 0.5; 0.8 |].(r) in
@@ -375,8 +379,22 @@ let prop_agreement_under_faults =
         { Orchestrator.default_policy with
           retries = 1; backoff_ms = 5.; on_failure = `Skip }
       in
-      let exec, g_online = Engine.run_online ~policy doc services rb in
-      let trace = exec.Engine.trace in
+      (* The two execution-time backends observe the same single run: the
+         fault plan is consumed by the execution, so equivalence must be
+         checked on shared state, not on a re-run.  Rolled-back attempts
+         are never observed and must leave the Incremental memo sound. *)
+      let on_st = Strategy_online.init ~doc rb in
+      let inc_st = Strategy_incremental.init ~doc rb in
+      let trace =
+        Orchestrator.execute ~policy
+          ~on_step:(fun call before after delta ->
+            Strategy_online.observe on_st ~call ~before ~after ~delta;
+            Strategy_incremental.observe inc_st ~call ~before ~after ~delta)
+          doc services
+      in
+      let g_online = Strategy_online.finalize on_st ~doc ~trace in
+      let g_incr = Strategy_incremental.finalize inc_st ~doc ~trace in
+      let exec = { Engine.doc; trace } in
       let g_replay = Engine.provenance ~strategy:`Replay exec rb in
       let g_rewrite = Engine.provenance ~strategy:`Rewrite exec rb in
       let failed_times =
@@ -389,6 +407,7 @@ let prop_agreement_under_faults =
       in
       graph_links g_online = graph_links g_replay
       && graph_links g_replay = graph_links g_rewrite
+      && graph_links g_rewrite = graph_links g_incr
       && List.for_all
            (fun (f, t, _) -> owned_by_survivor f && owned_by_survivor t)
            (graph_links g_replay))

@@ -435,6 +435,146 @@ let test_loose_numeric_not_narrowed () =
   check_int "matches both numeric spellings" 2
     (List.length (Weblab_relalg.Table.rows indexed))
 
+(* ---------- incremental extension ---------- *)
+
+(* An extended index must be indistinguishable from a fresh build on
+   every query surface: element list, label postings, attribute postings,
+   interval containment and subtree sizes.  Only the order of the pre/post
+   keys is observable, never their values, so the comparison goes through
+   the query API. *)
+let same_answers doc idx fresh =
+  let labels =
+    let acc = ref [] in
+    Tree.iter_subtree doc (Tree.root doc) (fun n ->
+        if Tree.is_element doc n then acc := Tree.name doc n :: !acc);
+    List.sort_uniq compare !acc
+  in
+  let attr_pairs =
+    let acc = ref [] in
+    Tree.iter_subtree doc (Tree.root doc) (fun n ->
+        acc := Tree.attrs doc n @ !acc);
+    List.sort_uniq compare !acc
+  in
+  let nodes = Tree.descendant_or_self doc (Tree.root doc) in
+  Index.elements idx = Index.elements fresh
+  && List.for_all
+       (fun l -> Index.nodes_with_label idx l = Index.nodes_with_label fresh l)
+       labels
+  && List.for_all
+       (fun (a, v) ->
+         Index.nodes_with_attr idx a v = Index.nodes_with_attr fresh a v
+         && Index.nodes_with_some_attr idx a = Index.nodes_with_some_attr fresh a)
+       attr_pairs
+  && List.for_all
+       (fun n ->
+         Index.subtree_size idx n = Index.subtree_size fresh n
+         && List.for_all
+              (fun m ->
+                Index.strictly_below idx ~ancestor:n m
+                = Index.strictly_below fresh ~ancestor:n m
+                && Index.below_or_self idx ~ancestor:n m
+                   = Index.below_or_self fresh ~ancestor:n m)
+              nodes)
+       nodes
+
+let test_extend_basic () =
+  let doc = sample_doc () in
+  let idx = Index.build doc in
+  let extra = Tree.new_element doc ~parent:(Tree.root doc) "Extra" in
+  ignore (Tree.new_element doc ~parent:extra "Annotation" ~attrs:[ ("t", "9") ]);
+  check_bool "extend succeeds" true (Index.extend idx doc ~promoted:[]);
+  check_bool "valid after extend" true (Index.valid_for idx doc);
+  check_int "new label indexed" 1 (Index.label_count idx "Extra");
+  check_int "nested label indexed" 4 (Index.label_count idx "Annotation");
+  check_bool "matches a fresh build" true (same_answers doc idx (Index.build doc))
+
+let test_extend_promotion () =
+  (* URI promotion adds indexed attributes to an already-indexed node;
+     a size-based staleness check cannot see it, so [extend] takes the
+     promoted set explicitly. *)
+  let doc = sample_doc () in
+  let idx = Index.build doc in
+  let lang =
+    List.find
+      (fun n -> Tree.is_element doc n && Tree.name doc n = "Language")
+      (Tree.descendant_or_self doc (Tree.root doc))
+  in
+  Tree.set_uri doc lang "r9";
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "Extra");
+  check_bool "extend with promotion" true (Index.extend idx doc ~promoted:[ lang ]);
+  check_bool "promoted node resolvable" true (Index.resource idx "r9" = Some lang);
+  check_bool "promoted in some_attr" true
+    (List.mem lang (Index.nodes_with_some_attr idx "id"));
+  check_bool "matches a fresh build" true (same_answers doc idx (Index.build doc))
+
+let test_extend_checkpoint_restore () =
+  (* The satellite regression: append → checkpoint → failing call →
+     restore → append.  The restore bumps the arena generation, so the
+     in-place postings must be refused, never served. *)
+  let doc = sample_doc () in
+  let idx = Index.build doc in
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "Extra");
+  check_bool "committed append extends" true (Index.extend idx doc ~promoted:[]);
+  let ck = Tree.checkpoint doc in
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "Doomed");
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "Doomed");
+  Tree.restore doc ck;
+  check_bool "extend refused after restore" false (Index.extend idx doc ~promoted:[]);
+  check_bool "index invalidated" false (Index.valid_for idx doc);
+  check_int "no ghost postings" 0 (Index.label_count idx "Doomed");
+  (* the amortized recovery: rebuild once, then extension works again *)
+  let idx = Index.build doc in
+  ignore (Tree.new_element doc ~parent:(Tree.root doc) "After");
+  check_bool "extend after rebuild" true (Index.extend idx doc ~promoted:[]);
+  check_int "post-restore append indexed" 1 (Index.label_count idx "After");
+  check_bool "matches a fresh build" true (same_answers doc idx (Index.build doc))
+
+let test_extend_band_exhaustion () =
+  (* Ever-deeper nesting into freshly appended nodes divides the interior
+     key bands until allocation fails; [extend] must then refuse (and keep
+     refusing) rather than emit inconsistent keys, and a rebuild restores
+     full gaps.  Answers must match a fresh build at every step. *)
+  let doc = sample_doc () in
+  let idx = ref (Index.build doc) in
+  let parent = ref (Tree.root doc) in
+  let rebuilds = ref 0 in
+  for i = 1 to 30 do
+    parent := Tree.new_element doc ~parent:!parent "N";
+    if not (Index.extend !idx doc ~promoted:[]) then begin
+      check_bool "exhausted index stays invalid" false (Index.valid_for !idx doc);
+      incr rebuilds;
+      idx := Index.build doc
+    end;
+    if i mod 5 = 0 then
+      check_bool
+        (Printf.sprintf "matches fresh build at depth %d" i)
+        true
+        (same_answers doc !idx (Index.build doc))
+  done;
+  check_bool "exhaustion forced at least one rebuild" true (!rebuilds > 0)
+
+let prop_extend_equals_rebuild =
+  Test.make ~name:"extend ≡ fresh build on random appends" ~count:100
+    (pair arb_doc (make Gen.(int_bound 1_000_000)))
+    (fun (doc, seed) ->
+      let idx = ref (Index.build doc) in
+      let st = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 1 + Random.State.int st 4 do
+        (* one "call": a few fragments under random committed elements *)
+        for _ = 1 to 1 + Random.State.int st 2 do
+          let rec pick tries =
+            let n = Random.State.int st (Tree.size doc) in
+            if Tree.is_element doc n || tries > 20 then n else pick (tries + 1)
+          in
+          let p = pick 0 in
+          if Tree.is_element doc p then gen_fragment doc p 2 st
+        done;
+        if not (Index.extend !idx doc ~promoted:[]) then idx := Index.build doc;
+        ok := !ok && same_answers doc !idx (Index.build doc)
+      done;
+      !ok)
+
 (* ---------- reachability closure tables ---------- *)
 
 let test_closure_table () =
@@ -480,6 +620,15 @@ let () =
           Alcotest.test_case "loose numeric bypasses index" `Quick
             test_loose_numeric_not_narrowed;
           Alcotest.test_case "closure table" `Quick test_closure_table ] );
+      ( "extension",
+        Alcotest.test_case "append extends in place" `Quick test_extend_basic
+        :: Alcotest.test_case "promotion refreshes attributes" `Quick
+             test_extend_promotion
+        :: Alcotest.test_case "checkpoint/restore invalidates" `Quick
+             test_extend_checkpoint_restore
+        :: Alcotest.test_case "band exhaustion forces rebuild" `Quick
+             test_extend_band_exhaustion
+        :: to_alcotest [ prop_extend_equals_rebuild ] );
       ( "eval",
         to_alcotest
           [ prop_indexed_eval_equals_unindexed; prop_indexed_eval_guarded;

@@ -51,6 +51,64 @@ let test_online_equals_posthoc () =
   let g_replay = Engine.provenance ~strategy:`Replay exec rb in
   check links_testable "online = replay" (link_list g_replay) (link_list g_online)
 
+(* --- four-way backend agreement --- *)
+
+let all_kinds : Strategy.kind list = [ `Online; `Replay; `Rewrite; `Incremental ]
+
+let test_four_way_agreement () =
+  (* Same deterministic workload re-run once per backend (execution
+     mutates the document): all four strategies, one link set. *)
+  List.iter
+    (fun seed ->
+      let run kind =
+        let doc, services, rb = pipeline ~seed () in
+        let _, g = Engine.run_with_strategy kind doc services rb in
+        link_list g
+      in
+      let reference = run `Online in
+      List.iter
+        (fun kind ->
+          check links_testable
+            (Printf.sprintf "online = %s (seed %d)"
+               (Strategy.kind_to_string kind) seed)
+            reference (run kind))
+        all_kinds)
+    [ 3; 11; 42 ]
+
+let test_four_way_paper_scenario () =
+  (* The paper's running example exercises URI promotion (the Normaliser
+     promotes node 3 to r3), which forces the Incremental backend to
+     reset its memo tables — all four backends must still agree. *)
+  let run kind =
+    let doc = Weblab_scenario.Paper.initial_document () in
+    let _, g =
+      Engine.run_with_strategy kind doc Weblab_scenario.Paper.services
+        (Weblab_scenario.Paper.rulebook ())
+    in
+    link_list g
+  in
+  let reference = run `Online in
+  check_bool "paper scenario has links" true (reference <> []);
+  List.iter
+    (fun kind ->
+      check links_testable
+        ("paper: online = " ^ Strategy.kind_to_string kind)
+        reference (run kind))
+    all_kinds
+
+let test_incremental_long_chain () =
+  (* Repeated services over many calls: the memoized source tables must
+     attribute each link to the right call. *)
+  let run kind =
+    let doc = Workload.make_document ~units:2 ~seed:21 () in
+    let services = Workload.chain_pipeline 10 in
+    let rb = rulebook_of services in
+    let _, g = Engine.run_with_strategy kind doc services rb in
+    link_list g
+  in
+  check links_testable "chain: incremental = online" (run `Online)
+    (run `Incremental)
+
 let test_nonempty () =
   let doc, services, rb = pipeline ~seed:3 () in
   let _, g = Engine.run_with_provenance doc services rb in
@@ -240,6 +298,9 @@ let () =
     [ ( "agreement",
         [ Alcotest.test_case "replay = rewrite" `Quick test_replay_equals_rewrite;
           Alcotest.test_case "online = post-hoc" `Quick test_online_equals_posthoc;
+          Alcotest.test_case "four-way agreement" `Quick test_four_way_agreement;
+          Alcotest.test_case "four-way paper scenario" `Quick test_four_way_paper_scenario;
+          Alcotest.test_case "incremental long chain" `Quick test_incremental_long_chain;
           Alcotest.test_case "non-empty" `Quick test_nonempty;
           Alcotest.test_case "invariants" `Quick test_graph_invariants;
           Alcotest.test_case "long chains" `Quick test_chain_pipeline_strategies;

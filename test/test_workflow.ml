@@ -114,14 +114,21 @@ let test_duplicate_uri_rejected () =
 let test_on_step_states () =
   let doc = Orchestrator.initial_document () in
   let seen = ref [] in
-  let on_step call before after =
+  let on_step call before after (delta : Orchestrator.delta) =
     seen :=
-      (call.Trace.service, Doc_state.time before, Doc_state.time after) :: !seen
+      ( call.Trace.service,
+        ( Doc_state.time before,
+          Doc_state.time after,
+          List.length delta.Orchestrator.new_nodes ) )
+      :: !seen
   in
   let _ = Orchestrator.execute ~on_step doc [ appender "S1"; appender "S2" ] in
-  check (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
+  check
+    (Alcotest.list
+       (Alcotest.pair Alcotest.string
+          (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)))
     "steps"
-    [ ("S1", 0, 1); ("S2", 1, 2) ]
+    [ ("S1", (0, 1, 1)); ("S2", (1, 2, 1)) ]
     (List.rev !seen)
 
 let test_states_grow () =

@@ -343,6 +343,44 @@ let test_diff_reorder_rejected () =
   (* Reordering is not an append: A must embed before B. *)
   check_bool "reorder" false (Diff.contains ~old_doc ~new_doc)
 
+let test_diff_not_contained_reasons () =
+  (* Every append-semantics violation class must surface as Not_contained
+     (the boolean [contains] is just its non-raising wrapper), with a
+     human-readable reason. *)
+  let old_doc = parse "<R a=\"1\"><A>x</A><B k=\"v\"/></R>" in
+  let expect_violation name new_doc =
+    match Diff.diff ~old_doc ~new_doc with
+    | _ -> Alcotest.failf "%s: expected Not_contained" name
+    | exception Diff.Not_contained msg ->
+      check_bool (name ^ ": reason attached") true (String.length msg > 0)
+  in
+  (* modification *)
+  expect_violation "text modified" (parse "<R a=\"1\"><A>z</A><B k=\"v\"/></R>");
+  expect_violation "element renamed" (parse "<R a=\"1\"><A2>x</A2><B k=\"v\"/></R>");
+  expect_violation "attribute value changed"
+    (parse "<R a=\"2\"><A>x</A><B k=\"v\"/></R>");
+  (* removal *)
+  expect_violation "child removed" (parse "<R a=\"1\"><B k=\"v\"/></R>");
+  expect_violation "text removed" (parse "<R a=\"1\"><A/><B k=\"v\"/></R>");
+  expect_violation "attribute removed" (parse "<R a=\"1\"><A>x</A><B/></R>");
+  (* reorder *)
+  expect_violation "children reordered"
+    (parse "<R a=\"1\"><B k=\"v\"/><A>x</A></R>")
+
+let test_diff_attr_addition_tolerated () =
+  (* The tolerance path: attribute additions on matched nodes at any
+     depth (URI promotion, the Recorder's @s/@t labels) are not edits —
+     diff reports no additions and matches every old node. *)
+  let old_doc = parse "<R id=\"r1\"><A><X>x</X></A></R>" in
+  let new_doc =
+    parse
+      "<R id=\"r1\" s=\"Svc\" t=\"3\"><A id=\"r2\"><X id=\"r3\" k=\"w\">x</X></A></R>"
+  in
+  let result = Diff.diff ~old_doc ~new_doc in
+  check_int "no additions" 0 (List.length result.Diff.added);
+  check_int "every old node matched" 4 (List.length result.Diff.matched);
+  check_bool "contains" true (Diff.contains ~old_doc ~new_doc)
+
 let test_diff_matched_pairs () =
   let old_doc = parse "<R><A/><B/></R>" in
   let new_doc = parse "<R><A/><N/><B/></R>" in
@@ -396,5 +434,9 @@ let () =
           Alcotest.test_case "id promotion" `Quick test_diff_id_promotion;
           Alcotest.test_case "violations" `Quick test_diff_violations;
           Alcotest.test_case "reorder rejected" `Quick test_diff_reorder_rejected;
+          Alcotest.test_case "Not_contained per violation class" `Quick
+            test_diff_not_contained_reasons;
+          Alcotest.test_case "attribute addition tolerated" `Quick
+            test_diff_attr_addition_tolerated;
           Alcotest.test_case "matched pairs" `Quick test_diff_matched_pairs;
           Alcotest.test_case "empty old" `Quick test_diff_empty_old ] ) ]
