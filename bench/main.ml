@@ -35,7 +35,22 @@ let json_path = ref (Sys.getenv_opt "WEBLAB_BENCH_JSON")
    without paying for the full suite twice. *)
 let only = ref (Sys.getenv_opt "WEBLAB_BENCH_ONLY")
 
+(* The jobs axis of the par/* series; [--jobs N] narrows it to {1, N}. *)
+let par_jobs = ref [ 1; 2; 4; 8 ]
+
+(* [--parallel-report PATH] runs the wall-clock parallel speedup study
+   (P14) instead of the Bechamel suite and writes the machine-readable
+   BENCH_parallel.json artifact. *)
+let parallel_report = ref None
+
 let () =
+  let usage unknown =
+    Printf.eprintf
+      "usage: %s [--quick] [--json PATH] [--only SUBSTR] [--jobs N] \
+       [--parallel-report PATH]  (unknown arg %s)\n"
+      Sys.argv.(0) unknown;
+    exit 2
+  in
   let rec scan = function
     | "--quick" :: rest ->
       quick := true;
@@ -46,11 +61,16 @@ let () =
     | "--only" :: sub :: rest ->
       only := Some sub;
       scan rest
-    | arg :: _ ->
-      Printf.eprintf
-        "usage: %s [--quick] [--json PATH] [--only SUBSTR]  (unknown arg %s)\n"
-        Sys.argv.(0) arg;
-      exit 2
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n > 1 -> par_jobs := [ 1; n ]
+       | Some 1 -> par_jobs := [ 1 ]
+       | Some _ | None -> usage n);
+      scan rest
+    | "--parallel-report" :: path :: rest ->
+      parallel_report := Some path;
+      scan rest
+    | arg :: _ -> usage arg
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv))
@@ -86,6 +106,75 @@ let prepare ?(units = 3) ?(seed = 42) ?(calls = 7) () =
   let rb = rulebook services in
   let exec = Engine.run doc services in
   { exec; rb; services; units; seed }
+
+(* ---------- P14: parallel speedup report (BENCH_parallel.json) ----------
+
+   Wall-clock, not Bechamel: a parallel run burns CPU time on every
+   domain, so per-run CPU estimates would hide the speedup entirely.
+   Each (series, jobs) point is the best of [reps] runs; speedup is
+   measured against the jobs=1 point of the same series.  This mode runs
+   *instead of* the Bechamel suite and exits. *)
+
+let run_parallel_report path =
+  let units, calls, reps = if !quick then (4, 4, 1) else (24, 16, 3) in
+  let p = prepare ~units ~calls () in
+  let wall f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let series =
+    [ ( "par/rewrite-large",
+        fun jobs ->
+          ignore (Engine.provenance ~strategy:`Rewrite ~jobs p.exec p.rb) );
+      ( "par/replay-large",
+        fun jobs ->
+          ignore (Engine.provenance ~strategy:`Replay ~jobs p.exec p.rb) ) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, f) ->
+        let base = wall (fun () -> f 1) in
+        List.map
+          (fun jobs ->
+            let w = if jobs = 1 then base else wall (fun () -> f jobs) in
+            (name, jobs, w, base /. w))
+          !par_jobs)
+      series
+  in
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, jobs, w, s) ->
+      Printf.fprintf oc
+        "  {\"series\": %S, \"jobs\": %d, \"wall_s\": %.6f, \
+         \"speedup_vs_jobs1\": %.3f}%s\n"
+        name jobs w s
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "Parallel speedup (units=%d, calls=%d, best of %d):\n" units
+    calls reps;
+  List.iter
+    (fun (name, jobs, w, s) ->
+      Printf.printf "  %-20s jobs=%d  %8.2f ms  x%.2f\n" name jobs (w *. 1000.)
+        s)
+    rows;
+  Printf.printf "Wrote %d datapoints to %s\n" (List.length rows) path
+
+let () =
+  match !parallel_report with
+  | Some path ->
+    run_parallel_report path;
+    exit 0
+  | None -> ()
 
 (* ---------- F/E: paper artifact regeneration ---------- *)
 
@@ -489,13 +578,37 @@ let incr_fixed_delta_tests =
 
 let incr_tests = incr_pipeline_tests @ incr_fixed_delta_tests
 
+(* ---------- P14: multicore post-hoc inference ---------- *)
+
+(* The Bechamel twin of the wall-clock report: the same workload, timed
+   with the monotonic clock per jobs value.  Useful for tracking the
+   sequential cost of the parallel code path (jobs=1 vs the pre-pool
+   strategy/* series). *)
+let parallel_tests =
+  let p =
+    if !quick then prepare ~units:4 ~calls:4 ()
+    else prepare ~units:24 ~calls:16 ()
+  in
+  List.concat_map
+    (fun jobs ->
+      [ Test.make
+          ~name:(Printf.sprintf "par/rewrite-large/jobs=%d" jobs)
+          (Staged.stage (fun () ->
+               ignore (Engine.provenance ~strategy:`Rewrite ~jobs p.exec p.rb)));
+        Test.make
+          ~name:(Printf.sprintf "par/replay-large/jobs=%d" jobs)
+          (Staged.stage (fun () ->
+               ignore (Engine.provenance ~strategy:`Replay ~jobs p.exec p.rb)))
+      ])
+    (if !quick then [ 1; 2 ] else !par_jobs)
+
 (* ---------- harness ---------- *)
 
 let all_tests =
   [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
   @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
   @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
-  @ join_tests @ fault_tests @ incr_tests
+  @ join_tests @ fault_tests @ incr_tests @ parallel_tests
 
 let all_tests =
   match !only with
@@ -569,4 +682,5 @@ let () =
     "Series: strategy/* (P1), scale_doc/* (P2), scale_rules/* (P3),\n\
      xquery_opt/* (P4), rdf/* (P5), xml/* (P6), reach/* (P7),\n\
      ext/* (P8), index/* (P10), join/* (P11), fault/* (P12),\n\
-     incr/* (P13), paper/* (F1-E9).  See EXPERIMENTS.md for the discussion."
+     incr/* (P13), par/* (P14; see also --parallel-report),\n\
+     paper/* (F1-E9).  See EXPERIMENTS.md for the discussion."

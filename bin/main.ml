@@ -62,6 +62,15 @@ let retries_arg =
            ~doc:"Retry each failing call up to $(docv) times with simulated \
                  exponential backoff before giving up on it.")
 
+let jobs_arg =
+  Arg.(value & opt int (Pool.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Inference parallelism: fan rule evaluation out over \
+                 $(docv) domains (default: available cores minus one, or \
+                 the $(b,JOBS) environment variable).  The provenance \
+                 graph is bit-identical for every value; $(b,--jobs 1) \
+                 is the sequential path.")
+
 (* --- figures --- *)
 
 let figures only =
@@ -116,13 +125,13 @@ let maybe_wrap_faulty ~fault_rate ~seed services =
   else services
 
 let run_pipeline ~units ~seed ~extended ~(strategy : Strategy.kind)
-    ~inheritance ~fault_rate ~retries =
+    ~inheritance ~fault_rate ~retries ~jobs =
   let doc = Weblab_services.Workload.make_document ~units ~seed () in
   let services = Weblab_services.Workload.standard_pipeline ~extended () in
   let rb = build_rulebook services in
   let services = maybe_wrap_faulty ~fault_rate ~seed services in
   let policy = fault_policy ~fault_rate ~retries in
-  let exec, g = Engine.run_with_strategy ~policy strategy doc services rb in
+  let exec, g = Engine.run_with_strategy ~policy ~jobs strategy doc services rb in
   let g = if inheritance then Inheritance.close exec.Engine.doc g else g in
   (exec, g)
 
@@ -144,7 +153,7 @@ let rec wrap_wf plan = function
     Weblab_workflow.Parallel.Nested (n, wrap_wf plan b)
 
 let run_dsl ~units ~seed ~(strategy : Strategy.kind) ~inheritance ~fault_rate
-    ~retries spec =
+    ~retries ~jobs spec =
   (* Parallel workflow inference is post-hoc (it needs the series-parallel
      happened-before relation, only known once the schedule is recorded). *)
   let strategy : Strategy.post_hoc =
@@ -184,7 +193,7 @@ let run_dsl ~units ~seed ~(strategy : Strategy.kind) ~inheritance ~fault_rate
     in
     let policy = fault_policy ~fault_rate ~retries in
     let exec, pexec, g =
-      Engine.run_parallel ~policy ~strategy ~inheritance doc wf rb
+      Engine.run_parallel ~policy ~strategy ~inheritance ~jobs doc wf rb
     in
     print_string "Schedule (with channels):\n";
     List.iter
@@ -198,15 +207,16 @@ let run_dsl ~units ~seed ~(strategy : Strategy.kind) ~inheritance ~fault_rate
       (Weblab_workflow.Trace.calls exec.Engine.trace);
     (exec, g)
 
-let run units seed extended strategy inheritance fault_rate retries show_doc
-    workflow =
+let run units seed extended strategy inheritance fault_rate retries jobs
+    show_doc workflow =
   let exec, g =
     match workflow with
     | Some spec ->
-      run_dsl ~units ~seed ~strategy ~inheritance ~fault_rate ~retries spec
+      run_dsl ~units ~seed ~strategy ~inheritance ~fault_rate ~retries ~jobs
+        spec
     | None ->
       run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate
-        ~retries
+        ~retries ~jobs
   in
   print_string "Source (execution trace):\n";
   print_string (Weblab_workflow.Trace.source_table exec.Engine.trace);
@@ -242,14 +252,15 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a synthetic media-mining workflow")
     Term.(const run $ units_arg $ seed_arg $ extended_arg $ strategy_arg
-          $ inherit_arg $ fault_rate_arg $ retries_arg $ show_doc $ workflow)
+          $ inherit_arg $ fault_rate_arg $ retries_arg $ jobs_arg $ show_doc
+          $ workflow)
 
 (* --- export --- *)
 
-let export units seed extended strategy inheritance format =
+let export units seed extended strategy inheritance jobs format =
   let _, g =
     run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate:0.0
-      ~retries:0
+      ~retries:0 ~jobs
   in
   match format with
   | "turtle" -> print_string (Prov_export.to_turtle g)
@@ -269,14 +280,14 @@ let export_cmd =
   in
   Cmd.v (Cmd.info "export" ~doc:"Export the provenance graph")
     Term.(const export $ units_arg $ seed_arg $ extended_arg $ strategy_arg
-          $ inherit_arg $ format)
+          $ inherit_arg $ jobs_arg $ format)
 
 (* --- query --- *)
 
-let query units seed extended strategy inheritance q =
+let query units seed extended strategy inheritance jobs q =
   let _, g =
     run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate:0.0
-      ~retries:0
+      ~retries:0 ~jobs
   in
   let store = Prov_export.to_store g in
   match Weblab_rdf.Sparql.run store q with
@@ -293,7 +304,7 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Query the provenance graph with SPARQL")
     Term.(const query $ units_arg $ seed_arg $ extended_arg $ strategy_arg
-          $ inherit_arg $ q)
+          $ inherit_arg $ jobs_arg $ q)
 
 (* --- lint --- *)
 
@@ -326,10 +337,10 @@ let lint_cmd =
 
 (* --- analyze --- *)
 
-let analyze units seed extended taint =
+let analyze units seed extended jobs taint =
   let exec, g =
     run_pipeline ~units ~seed ~extended ~strategy:`Rewrite ~inheritance:false
-      ~fault_rate:0.0 ~retries:0
+      ~fault_rate:0.0 ~retries:0 ~jobs
   in
   print_endline "=== Provenance metrics (explicit graph) ===";
   print_string (Analytics.metrics_to_string (Analytics.metrics g));
@@ -357,7 +368,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Provenance metrics, storage ablation and replay planning")
-    Term.(const analyze $ units_arg $ seed_arg $ extended_arg $ taint)
+    Term.(const analyze $ units_arg $ seed_arg $ extended_arg $ jobs_arg
+          $ taint)
 
 (* --- explain --- *)
 

@@ -17,16 +17,20 @@ val run : ?policy:Orchestrator.policy -> Tree.t -> Service.t list -> execution
 
 val run_with_backend :
   ?policy:Orchestrator.policy ->
+  ?jobs:int ->
   Strategy_sig.backend ->
   Tree.t -> Service.t list -> Strategy.rulebook ->
   execution * Prov_graph.t
 (** Execute a workflow with a strategy backend observing it: [init] on
     the input document, [observe] after each committed call (failed,
     rolled-back calls are never observed), [finalize] once the trace is
-    complete. *)
+    complete.  [jobs] is the inference parallelism (see
+    {!Strategy_sig.STRATEGY_BACKEND.init}); the graph is bit-identical
+    to the sequential one for any value. *)
 
 val run_with_strategy :
   ?policy:Orchestrator.policy ->
+  ?jobs:int ->
   Strategy.kind ->
   Tree.t -> Service.t list -> Strategy.rulebook ->
   execution * Prov_graph.t
@@ -35,6 +39,7 @@ val run_with_strategy :
 
 val run_online :
   ?policy:Orchestrator.policy ->
+  ?jobs:int ->
   Tree.t -> Service.t list -> Strategy.rulebook ->
   execution * Prov_graph.t
 (** Execute with Online inference: rules are applied by the orchestrator
@@ -45,6 +50,7 @@ val provenance :
   ?strategy:Strategy.post_hoc ->
   ?inheritance:bool ->
   ?happened_before:(int -> int -> bool) ->
+  ?jobs:int ->
   execution ->
   Strategy.rulebook ->
   Prov_graph.t
@@ -54,6 +60,7 @@ val run_parallel :
   ?policy:Orchestrator.policy ->
   ?strategy:Strategy.post_hoc ->
   ?inheritance:bool ->
+  ?jobs:int ->
   Tree.t ->
   Parallel.wf ->
   Strategy.rulebook ->
@@ -66,6 +73,7 @@ val run_with_provenance :
   ?policy:Orchestrator.policy ->
   ?strategy:Strategy.post_hoc ->
   ?inheritance:bool ->
+  ?jobs:int ->
   Tree.t ->
   Service.t list ->
   Strategy.rulebook ->

@@ -54,8 +54,8 @@ let target_table ?(guards : Eval.guards option) ?index doc (rule : Rule.t) =
 (* Target side of a Skolem rule: the skolem predicate is stripped (there is
    no literal @id to match); the synthetic identifier is computed per
    *joined* row, because its arguments may refer to source bindings. *)
-let skolem_target_table ?(guards : Eval.guards option) doc (target : Ast.pattern)
-    (f, args) =
+let skolem_target_table ?(guards : Eval.guards option) ?index doc
+    (target : Ast.pattern) (f, args) =
   let stripped =
     match List.rev target with
     | [] -> assert false
@@ -74,7 +74,7 @@ let skolem_target_table ?(guards : Eval.guards option) doc (target : Ast.pattern
     List.filter (fun v -> v <> "r" && v <> "node")
       (Ast.variables stripped)
   in
-  let t = Eval.eval ~require_uri:false ?guards doc stripped in
+  let t = Eval.eval ~require_uri:false ?guards ?index doc stripped in
   ignore (f, args);
   Table.project
     (Table.rename t [ ("r", "__tgt_r"); ("node", "__tgt_node") ])
@@ -119,20 +119,28 @@ let links_of_table table =
   |> List.filter (fun (o, i) -> not (String.equal o i))
   |> List.sort_uniq compare
 
-(* Definition 8. *)
-let apply_states (rule : Rule.t) d d' =
+(* Definition 8.  [?index] is an optional prebuilt index snapshot for the
+   (shared) document — parallel inference builds it once up front so the
+   workers never touch the [Index.for_tree] cache. *)
+let apply_states ?index (rule : Rule.t) d d' =
   match skolem_id_of_target (Rule.target rule) with
   | None ->
-    let rs = source_table ~guards:(Eval.state_guards d) (Doc_state.doc d) rule in
-    let rt = target_table ~guards:(Eval.state_guards d') (Doc_state.doc d') rule in
+    let rs =
+      source_table ~guards:(Eval.state_guards d) ?index (Doc_state.doc d) rule
+    in
+    let rt =
+      target_table ~guards:(Eval.state_guards d') ?index (Doc_state.doc d') rule
+    in
     let j = Table.hash_join rs rt in
     { links = links_of_table j; members = [] }
   | Some (f, args) ->
     let doc' = Doc_state.doc d' in
-    let rs = source_table ~guards:(Eval.state_guards d) (Doc_state.doc d) rule in
+    let rs =
+      source_table ~guards:(Eval.state_guards d) ?index (Doc_state.doc d) rule
+    in
     let rt =
-      skolem_target_table ~guards:(Eval.state_guards d') doc' (Rule.target rule)
-        (f, args)
+      skolem_target_table ~guards:(Eval.state_guards d') ?index doc'
+        (Rule.target rule) (f, args)
     in
     let j = Table.hash_join rs rt in
     let links = ref [] and members = ref [] in
@@ -179,18 +187,20 @@ let restrict_to_call (app : application) ~trace ~(call : Trace.call) =
    the hook for non-sequential control flow (§8): under parallel branches
    "existed before the call" is the happened-before relation of the
    series-parallel order, not a timestamp comparison. *)
-let apply_guarded (rule : Rule.t) ~doc ~source_visible ~target_state =
+let apply_guarded ?index (rule : Rule.t) ~doc ~source_visible ~target_state =
   let d = { Eval.visible = source_visible; env = [] } in
   match skolem_id_of_target (Rule.target rule) with
   | None ->
-    let rs = source_table ~guards:d doc rule in
-    let rt = target_table ~guards:(Eval.state_guards target_state) doc rule in
+    let rs = source_table ~guards:d ?index doc rule in
+    let rt =
+      target_table ~guards:(Eval.state_guards target_state) ?index doc rule
+    in
     let j = Table.hash_join rs rt in
     { links = links_of_table j; members = [] }
   | Some (f, args) ->
-    let rs = source_table ~guards:d doc rule in
+    let rs = source_table ~guards:d ?index doc rule in
     let rt =
-      skolem_target_table ~guards:(Eval.state_guards target_state) doc
+      skolem_target_table ~guards:(Eval.state_guards target_state) ?index doc
         (Rule.target rule) (f, args)
     in
     let j = Table.hash_join rs rt in
@@ -213,15 +223,16 @@ let apply_guarded (rule : Rule.t) ~doc ~source_visible ~target_state =
     { links = List.sort_uniq compare !links;
       members = List.sort_uniq compare !members }
 
-let apply_call ?source_visible (rule : Rule.t) ~doc ~trace ~(call : Trace.call) =
+let apply_call ?source_visible ?index (rule : Rule.t) ~doc ~trace
+    ~(call : Trace.call) =
   let app =
     match source_visible with
     | None ->
       let d = Doc_state.at doc (call.Trace.time - 1) in
       let d' = Doc_state.at doc call.Trace.time in
-      apply_states rule d d'
+      apply_states ?index rule d d'
     | Some source_visible ->
-      apply_guarded rule ~doc ~source_visible
+      apply_guarded ?index rule ~doc ~source_visible
         ~target_state:(Doc_state.at doc call.Trace.time)
   in
   restrict_to_call app ~trace ~call

@@ -45,10 +45,14 @@ val join_table : Rule.t -> Doc_state.t -> Doc_state.t -> Table.t
 val links_of_table : Table.t -> (string * string) list
 (** Extract (out, in) links from a joined table, dropping self-links. *)
 
-val apply_states : Rule.t -> Doc_state.t -> Doc_state.t -> application
-(** Definition 8: M(d, d'). *)
+val apply_states :
+  ?index:Index.t -> Rule.t -> Doc_state.t -> Doc_state.t -> application
+(** Definition 8: M(d, d').  [index] is a prebuilt snapshot for the
+    (shared) document: parallel inference builds it once up front so
+    workers never contend on the {!Index.for_tree} cache. *)
 
 val apply_guarded :
+  ?index:Index.t ->
   Rule.t ->
   doc:Tree.t ->
   source_visible:(Tree.node -> bool) ->
@@ -69,10 +73,11 @@ val restrict_to_call : application -> trace:Trace.t -> call:Trace.call -> applic
 
 val apply_call :
   ?source_visible:(Tree.node -> bool) ->
+  ?index:Index.t ->
   Rule.t ->
   doc:Tree.t ->
   trace:Trace.t ->
   call:Trace.call ->
   application
 (** Definition 9: M(c), on the states reconstructed from [doc] (or with
-    the supplied source visibility). *)
+    the supplied source visibility).  [index] as in {!apply_states}. *)

@@ -40,11 +40,11 @@ let kind_to_string : kind -> string = function
 (* ----- Post-hoc entry point ----- *)
 
 let infer ?(strategy : post_hoc = `Rewrite) ?(inheritance = false)
-    ?happened_before ~doc ~trace (rb : rulebook) =
+    ?happened_before ?jobs ~doc ~trace (rb : rulebook) =
   let g = Prov_graph.of_trace trace in
   (match strategy with
-   | `Replay -> Strategy_replay.infer ?happened_before ~doc ~trace rb g
-   | `Rewrite -> Strategy_rewrite.infer ?happened_before ~doc ~trace rb g);
+   | `Replay -> Strategy_replay.infer ?happened_before ?jobs ~doc ~trace rb g
+   | `Rewrite -> Strategy_rewrite.infer ?happened_before ?jobs ~doc ~trace rb g);
   if inheritance then ignore (Inheritance.close doc g);
   g
 

@@ -53,12 +53,15 @@ val infer :
   ?strategy:post_hoc ->
   ?inheritance:bool ->
   ?happened_before:(int -> int -> bool) ->
+  ?jobs:int ->
   doc:Tree.t ->
   trace:Trace.t ->
   rulebook ->
   Prov_graph.t
 (** Post-hoc inference from a final document and its execution trace.
-    Defaults: [`Rewrite], no inherited closure, sequential control flow. *)
+    Defaults: [`Rewrite], no inherited closure, sequential control flow,
+    [jobs] from {!Pool.configured_jobs}.  For any [jobs] the graph is
+    bit-identical to the sequential one. *)
 
 val online :
   rulebook ->

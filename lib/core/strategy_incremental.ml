@@ -93,9 +93,11 @@ type state = {
   rb : Strategy_sig.rulebook;
   doc : Tree.t;
   g : Prov_graph.t;
-  plans : (Rule.t * plan) list array;  (* per service, aligned with [services] *)
+  plans : (Rule.t * plan) array array;
+      (* per service, aligned with [services] *)
   services : (string, int) Hashtbl.t;  (* service name → [plans] slot *)
   memos : (Ast.pattern * string list, memo) Hashtbl.t;
+  pool : Pool.t;  (* fans the per-call rule loop out *)
   mutable index : Index.t option;  (* owned: extended in place, never shared *)
   mutable upto : int;  (* arena prefix [0, upto) folded into the memos *)
 }
@@ -125,7 +127,7 @@ let plan_for memos rule =
       Join m
   end
 
-let init ~doc (rb : Strategy_sig.rulebook) =
+let init ?jobs ~doc (rb : Strategy_sig.rulebook) =
   let memos = Hashtbl.create 8 in
   let services = Hashtbl.create 8 in
   let plans =
@@ -134,14 +136,16 @@ let init ~doc (rb : Strategy_sig.rulebook) =
          (fun i (service, rules) ->
            if not (Hashtbl.mem services service) then
              Hashtbl.replace services service i;
-           List.map (fun rule -> (rule, plan_for memos rule)) rules)
+           Array.of_list
+             (List.map (fun rule -> (rule, plan_for memos rule)) rules))
          rb)
   in
+  let jobs = match jobs with Some j -> j | None -> Pool.configured_jobs () in
   (* Index and memos are built lazily at the first observation: [init]
      runs before the orchestrator's prologue has labeled the initial
      resources, so indexing here would snapshot unlabeled attributes. *)
   { rb; doc; g = Prov_graph.create (); plans; services; memos;
-    index = None; upto = 0 }
+    pool = Pool.create ~jobs (); index = None; upto = 0 }
 
 (* ----- Index maintenance ----- *)
 
@@ -218,9 +222,25 @@ let extend_memos st idx =
   end;
   st.upto <- size
 
-(* ----- Per-call link emission ----- *)
+(* ----- Per-call link emission -----
 
-let emit_join st idx ~(call : Trace.call) ~after ~touched ~spine rule
+   The per-rule loop fans out over the backend's pool, so a rule's work
+   writes into an emission buffer instead of into the graph; the buffers
+   are replayed in rulebook order, reproducing the sequential insertion
+   sequence exactly.  During the fan-out [idx], the memos, and the arena
+   are all frozen (the call has committed, maintenance ran up front), so
+   workers only read shared state. *)
+
+type emission =
+  | App of string * Mapping.application
+  | Link of { rule : string; from_uri : string; to_uri : string }
+
+let replay_emission g = function
+  | App (rule_name, app) -> Strategy_sig.add_application g rule_name app
+  | Link { rule; from_uri; to_uri } ->
+    Prov_graph.add_link g ~rule ~from_uri ~to_uri
+
+let emit_join st idx ~(call : Trace.call) ~after ~touched ~spine ~emit rule
     (m : memo) =
   let doc = st.doc in
   let t = call.Trace.time in
@@ -250,8 +270,9 @@ let emit_join st idx ~(call : Trace.call) ~after ~touched ~spine rule
            List.iter
              (fun (inp, birth) ->
                if birth < t && not (String.equal inp out) then
-                 Prov_graph.add_link st.g ~rule:(Rule.name rule) ~from_uri:out
-                   ~to_uri:inp)
+                 emit
+                   (Link
+                      { rule = Rule.name rule; from_uri = out; to_uri = inp }))
              !entries
          | None -> ())
       | _ -> ())
@@ -268,29 +289,47 @@ let observe st ~call ~before ~after ~(delta : Orchestrator.delta) =
   match Hashtbl.find_opt st.services call.Trace.service with
   | None -> ()
   | Some slot ->
-    let delta_lo = Tree.size st.doc - List.length delta.Orchestrator.new_nodes in
-    let touched n = n >= delta_lo in
-    let spine = lazy (spine_of st.doc delta.Orchestrator.new_nodes) in
-    List.iter
-      (fun (rule, plan) ->
-        match plan with
-        | Fallback ->
-          let generated u =
-            match Tree.find_resource st.doc u with
-            | Some n -> Tree.created st.doc n = call.Trace.time
-            | None -> false
-          in
-          let app = Mapping.apply_states rule before after in
-          let app = Mapping.restrict_to_generated app ~generated in
-          Strategy_sig.add_application st.g (Rule.name rule) app
-        | Join m ->
-          if delta.Orchestrator.new_nodes <> [] then
-            emit_join st idx ~call ~after ~touched
-              ~spine:(fun n -> Lazy.force spine n)
-              rule m)
-      st.plans.(slot)
+    let plans = st.plans.(slot) in
+    if Array.length plans > 0 then begin
+      let delta_lo =
+        Tree.size st.doc - List.length delta.Orchestrator.new_nodes
+      in
+      let touched n = n >= delta_lo in
+      (* Forced eagerly, not on first use: [Lazy.force] from several
+         domains is a race. *)
+      let spine =
+        if delta.Orchestrator.new_nodes <> [] then
+          spine_of st.doc delta.Orchestrator.new_nodes
+        else fun _ -> false
+      in
+      let buffers =
+        Pool.map st.pool (Array.length plans) (fun i ->
+            let rule, plan = plans.(i) in
+            match plan with
+            | Fallback ->
+              let generated u =
+                match Tree.find_resource st.doc u with
+                | Some n -> Tree.created st.doc n = call.Trace.time
+                | None -> false
+              in
+              let app = Mapping.apply_states ~index:idx rule before after in
+              let app = Mapping.restrict_to_generated app ~generated in
+              [ App (Rule.name rule, app) ]
+            | Join m ->
+              if delta.Orchestrator.new_nodes <> [] then begin
+                let out = ref [] in
+                emit_join st idx ~call ~after ~touched ~spine
+                  ~emit:(fun e -> out := e :: !out)
+                  rule m;
+                List.rev !out
+              end
+              else [])
+      in
+      Array.iter (List.iter (replay_emission st.g)) buffers
+    end
 
 let finalize st ~doc:_ ~trace =
+  Pool.shutdown st.pool;
   List.iter
     (fun e -> Prov_graph.set_label st.g e.Trace.uri e.Trace.call)
     (Trace.entries trace);

@@ -1,36 +1,63 @@
 (* The Replay strategy, as a backend: post-hoc, per call — the states
    d_{i-1} and d_i are reconstructed from the final document (cheap in
    this code base, since states are timestamp-filtered views of the
-   arena) and the service's rules are applied to each pair. *)
+   arena) and the service's rules are applied to each pair.
+
+   Replay is the embarrassingly parallel strategy: every (call, rule)
+   work item reads the same frozen document through timestamp-filtered
+   views, so the items fan out over a {!Pool} with no shared mutable
+   state at all.  The index snapshot is built once up front and handed
+   to every worker; the per-item applications are merged back into the
+   graph in trace order, which performs the exact [add_link] sequence of
+   the sequential loop — the graph is bit-identical whatever the
+   schedule. *)
 
 open Weblab_xml
 open Weblab_workflow
 
 let name = "replay"
 
-let infer ?(happened_before = Strategy_sig.sequential_hb) ~doc ~trace
+let infer ?(happened_before = Strategy_sig.sequential_hb) ?jobs ~doc ~trace
     (rb : Strategy_sig.rulebook) g =
-  List.iter
-    (fun (call : Trace.call) ->
-      if call.Trace.time > 0 then begin
-        let source_visible n =
-          happened_before (Tree.created doc n) call.Trace.time
-        in
-        List.iter
-          (fun rule ->
-            let app = Mapping.apply_call ~source_visible rule ~doc ~trace ~call in
-            Strategy_sig.add_application g (Rule.name rule) app)
-          (Strategy_sig.rules_for rb call.Trace.service)
-      end)
-    (Trace.calls trace)
+  (* The flattened (call, rule) work items, in trace order. *)
+  let items =
+    Trace.calls trace
+    |> List.concat_map (fun (call : Trace.call) ->
+           if call.Trace.time > 0 then
+             List.map
+               (fun rule -> (call, rule))
+               (Strategy_sig.rules_for rb call.Trace.service)
+           else [])
+    |> Array.of_list
+  in
+  if Array.length items > 0 then begin
+    let index = Index.for_tree doc in
+    let apply (call, rule) =
+      let source_visible n =
+        happened_before (Tree.created doc n) call.Trace.time
+      in
+      Mapping.apply_call ~source_visible ~index rule ~doc ~trace ~call
+    in
+    let apps =
+      Pool.with_pool ?jobs (fun pool ->
+          Pool.map pool (Array.length items) (fun i -> apply items.(i)))
+    in
+    (* Merge in item order = trace order: the same insertion sequence the
+       sequential loop performs. *)
+    Array.iteri
+      (fun i app ->
+        let _, rule = items.(i) in
+        Strategy_sig.add_application g (Rule.name rule) app)
+      apps
+  end
 
-type state = { rb : Strategy_sig.rulebook }
+type state = { rb : Strategy_sig.rulebook; jobs : int option }
 
-let init ~doc:_ rb = { rb }
+let init ?jobs ~doc:_ rb = { rb; jobs }
 
 let observe _ ~call:_ ~before:_ ~after:_ ~delta:_ = ()
 
 let finalize st ~doc ~trace =
   let g = Prov_graph.of_trace trace in
-  infer ~doc ~trace st.rb g;
+  infer ?jobs:st.jobs ~doc ~trace st.rb g;
   g

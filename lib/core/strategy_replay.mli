@@ -6,6 +6,7 @@ open Weblab_workflow
 
 val infer :
   ?happened_before:(int -> int -> bool) ->
+  ?jobs:int ->
   doc:Tree.t ->
   trace:Trace.t ->
   Strategy_sig.rulebook ->
@@ -13,6 +14,8 @@ val infer :
   unit
 (** Add every replayed link to an existing graph — the work
     {!Strategy.infer} [~strategy:`Replay] delegates here, with the
-    happened-before hook for parallel (§8) executions. *)
+    happened-before hook for parallel (§8) executions.  [jobs] fans the
+    (call, rule) work items out over a {!Pool}; the result is
+    bit-identical to the sequential graph for any [jobs]. *)
 
 include Strategy_sig.STRATEGY_BACKEND

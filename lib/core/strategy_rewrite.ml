@@ -4,7 +4,16 @@
    service; the rows are then grouped by the creation timestamp of the
    matched resources and joined against the source pattern restricted to
    the resources existing before that timestamp.  This is the §4
-   rewriting, operationalized. *)
+   rewriting, operationalized.
+
+   Parallel inference fans the (service, rule) work items out over a
+   {!Pool}.  Each item computes an ordered emission buffer instead of
+   writing into the graph directly; the buffers are replayed in item
+   order afterwards, which performs the exact [add_link] sequence the
+   sequential pass would — bit-identical graphs for any schedule.  The
+   memo cache stays shared (a mutex guards the table; computation runs
+   outside the lock and a racing duplicate is harmless because entries
+   are pure functions of their key). *)
 
 open Weblab_xml
 open Weblab_xpath
@@ -29,122 +38,165 @@ let call_times trace service =
    of that to one evaluation each.  The cache is valid only within a
    single pass: entries depend on the pass's [happened_before] relation.
    The cached tables are shared, never mutated — every consumer only joins
-   or projects them. *)
+   or projects them.
+
+   Workers from several domains share one cache, so the tables are
+   guarded by [lock].  [cached] looks up under the lock but computes
+   outside it: two workers may briefly duplicate an evaluation, but the
+   values are deterministic, so first-writer-wins keeps every consumer
+   consistent. *)
 type cache = {
   sources : (Ast.pattern * int, Table.t) Hashtbl.t;
       (* (source pattern, call time) → projected source table *)
   targets : (Ast.pattern * string, Table.t) Hashtbl.t;
       (* (target pattern, service) → rewritten-target evaluation *)
+  lock : Mutex.t;
 }
 
-let make_cache () = { sources = Hashtbl.create 32; targets = Hashtbl.create 32 }
+let make_cache () =
+  { sources = Hashtbl.create 32; targets = Hashtbl.create 32;
+    lock = Mutex.create () }
 
-let cached tbl key compute =
-  match Hashtbl.find_opt tbl key with
+let cached cache tbl key compute =
+  match Mutex.protect cache.lock (fun () -> Hashtbl.find_opt tbl key) with
   | Some v -> v
   | None ->
     let v = compute () in
-    Hashtbl.add tbl key v;
-    v
+    Mutex.protect cache.lock (fun () ->
+        match Hashtbl.find_opt tbl key with
+        | Some winner -> winner
+        | None ->
+          Hashtbl.add tbl key v;
+          v)
 
-let infer_rule ?(happened_before = Strategy_sig.sequential_hb) ?cache ~doc
-    ~trace ~service rule g =
-  let cache = match cache with Some c -> c | None -> make_cache () in
-  let index = Index.for_tree doc in
-  if Mapping.is_skolem_rule rule then
-    (* Skolem targets have no @s/@t labels to rewrite against; they fall
-       back to per-call evaluation. *)
-    List.iter
-      (fun time ->
-        let call = { Trace.service; time } in
-        let source_visible n = happened_before (Tree.created doc n) time in
-        Strategy_sig.add_application g (Rule.name rule)
-          (Mapping.apply_call ~source_visible rule ~doc ~trace ~call))
-      (call_times trace service)
-  else begin
-    let target = Rule.target rule in
-    let tgt_vars =
-      List.sort_uniq String.compare
-        (Ast.variables target @ Ast.free_variables target)
-    in
-    (* One evaluation of the rewritten target for all calls of the service
-       — and for all rules sharing this target pattern.  The rewritten
-       pattern ends in [@s = service], which the indexed evaluator serves
-       from the by-attribute index: candidates are exactly the resources
-       this service labeled, not the whole document. *)
-    let rt =
-      cached cache.targets (target, service) (fun () ->
-          Eval.eval ~index doc (Pattern_rewrite.target_service target service))
-    in
-    (* Group target rows by the timestamp of the matched resource. *)
-    let groups = Hashtbl.create 8 in
-    List.iter
-      (fun row ->
-        match Table.get rt row "node" with
-        | Value.Node n ->
-          let time = Tree.created doc n in
-          let rows = try Hashtbl.find groups time with Not_found -> [] in
-          Hashtbl.replace groups time (row :: rows)
-        | Value.Str _ | Value.Int _ -> ())
-      (Table.rows rt);
-    let times = Hashtbl.fold (fun t _ acc -> t :: acc) groups [] in
-    List.iter
-      (fun time ->
-        if time > 0 then begin
-          let rows = Hashtbl.find groups time in
-          let sub = Table.create (Table.columns rt) in
-          List.iter (Table.add_row sub) rows;
-          let rt' =
-            Table.project (Table.rename sub [ ("r", "out") ]) ("out" :: tgt_vars)
-          in
-          (* φ'_S: resources that happened before the call.  Memoized per
-             (source pattern, time): every rule with this source — and
-             every service whose calls share the timestamp — reuses the
-             evaluation. *)
-          let rs =
-            cached cache.sources (Rule.source rule, time) (fun () ->
-                let guards =
-                  { Eval.visible =
-                      (fun n -> happened_before (Tree.created doc n) time);
-                    env = [] }
-                in
-                Mapping.source_table ~guards ~index doc rule)
-          in
-          let j = Table.hash_join rs rt' in
-          List.iter
-            (fun (out, inp) ->
-              Prov_graph.add_link g ~rule:(Rule.name rule) ~from_uri:out
-                ~to_uri:inp)
-            (Mapping.links_of_table j)
-        end)
-      (List.sort compare times)
-  end
+(* One work item's output: the graph operations it would have performed,
+   in order.  Buffering them (instead of writing to the graph) is what
+   lets items run on any domain and still merge deterministically. *)
+type emission =
+  | App of string * Mapping.application
+  | Link of { rule : string; from_uri : string; to_uri : string }
 
-let infer ?happened_before ~doc ~trace (rb : Strategy_sig.rulebook) g =
+let replay_emission g = function
+  | App (rule_name, app) -> Strategy_sig.add_application g rule_name app
+  | Link { rule; from_uri; to_uri } ->
+    Prov_graph.add_link g ~rule ~from_uri ~to_uri
+
+let infer_rule ?(happened_before = Strategy_sig.sequential_hb) ~cache ~index
+    ~doc ~trace ~service rule =
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  (if Mapping.is_skolem_rule rule then
+     (* Skolem targets have no @s/@t labels to rewrite against; they fall
+        back to per-call evaluation. *)
+     List.iter
+       (fun time ->
+         let call = { Trace.service; time } in
+         let source_visible n = happened_before (Tree.created doc n) time in
+         emit
+           (App
+              ( Rule.name rule,
+                Mapping.apply_call ~source_visible ~index rule ~doc ~trace
+                  ~call )))
+       (call_times trace service)
+   else begin
+     let target = Rule.target rule in
+     let tgt_vars =
+       List.sort_uniq String.compare
+         (Ast.variables target @ Ast.free_variables target)
+     in
+     (* One evaluation of the rewritten target for all calls of the service
+        — and for all rules sharing this target pattern.  The rewritten
+        pattern ends in [@s = service], which the indexed evaluator serves
+        from the by-attribute index: candidates are exactly the resources
+        this service labeled, not the whole document. *)
+     let rt =
+       cached cache cache.targets (target, service) (fun () ->
+           Eval.eval ~index doc (Pattern_rewrite.target_service target service))
+     in
+     (* Group target rows by the timestamp of the matched resource. *)
+     let groups = Hashtbl.create 8 in
+     List.iter
+       (fun row ->
+         match Table.get rt row "node" with
+         | Value.Node n ->
+           let time = Tree.created doc n in
+           let rows = try Hashtbl.find groups time with Not_found -> [] in
+           Hashtbl.replace groups time (row :: rows)
+         | Value.Str _ | Value.Int _ -> ())
+       (Table.rows rt);
+     let times = Hashtbl.fold (fun t _ acc -> t :: acc) groups [] in
+     List.iter
+       (fun time ->
+         if time > 0 then begin
+           let rows = Hashtbl.find groups time in
+           let sub = Table.create (Table.columns rt) in
+           List.iter (Table.add_row sub) rows;
+           let rt' =
+             Table.project
+               (Table.rename sub [ ("r", "out") ])
+               ("out" :: tgt_vars)
+           in
+           (* φ'_S: resources that happened before the call.  Memoized per
+              (source pattern, time): every rule with this source — and
+              every service whose calls share the timestamp — reuses the
+              evaluation. *)
+           let rs =
+             cached cache cache.sources (Rule.source rule, time) (fun () ->
+                 let guards =
+                   { Eval.visible =
+                       (fun n -> happened_before (Tree.created doc n) time);
+                     env = [] }
+                 in
+                 Mapping.source_table ~guards ~index doc rule)
+           in
+           let j = Table.hash_join rs rt' in
+           List.iter
+             (fun (out, inp) ->
+               emit
+                 (Link { rule = Rule.name rule; from_uri = out; to_uri = inp }))
+             (Mapping.links_of_table j)
+         end)
+       (List.sort compare times)
+   end);
+  List.rev !out
+
+let infer ?happened_before ?jobs ~doc ~trace (rb : Strategy_sig.rulebook) g =
   let services =
     Trace.calls trace
     |> List.filter_map (fun (c : Trace.call) ->
            if c.Trace.time > 0 then Some c.Trace.service else None)
     |> List.sort_uniq String.compare
   in
-  (* One evaluation cache for the whole pass; sound because
-     [happened_before] is fixed for the pass. *)
-  let cache = make_cache () in
-  List.iter
-    (fun service ->
-      List.iter
-        (fun rule ->
-          infer_rule ?happened_before ~cache ~doc ~trace ~service rule g)
-        (Strategy_sig.rules_for rb service))
+  (* The flattened (service, rule) work items, in the deterministic
+     sorted-service, rulebook-order traversal of the sequential pass. *)
+  let items =
     services
+    |> List.concat_map (fun service ->
+           List.map (fun rule -> (service, rule)) (Strategy_sig.rules_for rb service))
+    |> Array.of_list
+  in
+  if Array.length items > 0 then begin
+    (* One evaluation cache for the whole pass; sound because
+       [happened_before] is fixed for the pass. *)
+    let cache = make_cache () in
+    let index = Index.for_tree doc in
+    let buffers =
+      Pool.with_pool ?jobs (fun pool ->
+          Pool.map pool (Array.length items) (fun i ->
+              let service, rule = items.(i) in
+              infer_rule ?happened_before ~cache ~index ~doc ~trace ~service
+                rule))
+    in
+    Array.iter (List.iter (replay_emission g)) buffers
+  end
 
-type state = { rb : Strategy_sig.rulebook }
+type state = { rb : Strategy_sig.rulebook; jobs : int option }
 
-let init ~doc:_ rb = { rb }
+let init ?jobs ~doc:_ rb = { rb; jobs }
 
 let observe _ ~call:_ ~before:_ ~after:_ ~delta:_ = ()
 
 let finalize st ~doc ~trace =
   let g = Prov_graph.of_trace trace in
-  infer ~doc ~trace st.rb g;
+  infer ?jobs:st.jobs ~doc ~trace st.rb g;
   g

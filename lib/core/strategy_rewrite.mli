@@ -6,12 +6,16 @@ open Weblab_workflow
 
 val infer :
   ?happened_before:(int -> int -> bool) ->
+  ?jobs:int ->
   doc:Tree.t ->
   trace:Trace.t ->
   Strategy_sig.rulebook ->
   Prov_graph.t ->
   unit
 (** Add every rewritten-pass link to an existing graph — the work
-    {!Strategy.infer} [~strategy:`Rewrite] delegates here. *)
+    {!Strategy.infer} [~strategy:`Rewrite] delegates here.  [jobs] fans
+    the (service, rule) work items out over a {!Pool}; per-item emission
+    buffers are replayed in item order, so the graph is bit-identical to
+    the sequential pass for any [jobs]. *)
 
 include Strategy_sig.STRATEGY_BACKEND

@@ -49,7 +49,12 @@ module type STRATEGY_BACKEND = sig
 
   type state
 
-  val init : doc:Tree.t -> rulebook -> state
+  val init : ?jobs:int -> doc:Tree.t -> rulebook -> state
+  (* [jobs] is the inference parallelism (a {!Pool} size).  Defaults to
+     {!Pool.configured_jobs} — sequential unless the [JOBS] environment
+     variable says otherwise — and [jobs = 1] must take the exact
+     sequential path.  Whatever the schedule, the finalized graph is
+     bit-identical to the sequential one. *)
 
   val observe :
     state ->

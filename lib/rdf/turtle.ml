@@ -40,48 +40,70 @@ let term_to_turtle prefixes = function
     | Some qname -> Printf.sprintf "\"%s\"^^%s" (Term.escape_lit s) qname
     | None -> Printf.sprintf "\"%s\"^^<%s>" (Term.escape_lit s) dt)
 
-(* Group triples by subject, then by predicate, for compact Turtle. *)
+(* First-seen-order deduplication.  Terms are small immutable trees, so
+   structural hashing is safe; the hash set replaces a [List.exists]
+   probe that made subject collection quadratic in distinct subjects. *)
+let dedup_in_order size f =
+  let seen : (Term.t, unit) Hashtbl.t = Hashtbl.create size in
+  let acc = ref [] in
+  f (fun t ->
+      if not (Hashtbl.mem seen t) then begin
+        Hashtbl.add seen t ();
+        acc := t :: !acc
+      end);
+  List.rev !acc
+
+(* Group triples by subject, then by predicate, for compact Turtle.
+   Everything is written straight into one buffer — no intermediate
+   per-predicate strings, no [String.concat] over them. *)
 let to_turtle ?(prefixes = Prov_vocab.prefixes) store =
   let buf = Buffer.create 1024 in
   List.iter
-    (fun (p, ns) -> Buffer.add_string buf (Printf.sprintf "@prefix %s: <%s> .\n" p ns))
+    (fun (p, ns) ->
+      Buffer.add_string buf "@prefix ";
+      Buffer.add_string buf p;
+      Buffer.add_string buf ": <";
+      Buffer.add_string buf ns;
+      Buffer.add_string buf "> .\n")
     prefixes;
   Buffer.add_char buf '\n';
-  let subjects = ref [] in
-  Triple_store.iter store (fun (s, _, _) ->
-      if not (List.exists (Term.equal s) !subjects) then subjects := s :: !subjects);
+  let subjects =
+    dedup_in_order 64 (fun note ->
+        Triple_store.iter store (fun (s, _, _) -> note s))
+  in
   List.iter
     (fun s ->
       let triples = Triple_store.find store (Some s, None, None) in
-      let preds = ref [] in
-      List.iter
-        (fun (_, p, _) ->
-          if not (List.exists (Term.equal p) !preds) then preds := p :: !preds)
-        triples;
-      Buffer.add_string buf (term_to_turtle prefixes s);
-      let pred_strings =
-        List.rev_map
-          (fun p ->
-            let objs =
-              Triple_store.find store (Some s, Some p, None)
-              |> List.map (fun (_, _, o) -> term_to_turtle prefixes o)
-            in
-            Printf.sprintf "  %s %s" (term_to_turtle prefixes p)
-              (String.concat ", " objs))
-          !preds
+      let preds =
+        dedup_in_order 8 (fun note -> List.iter (fun (_, p, _) -> note p) triples)
       in
-      Buffer.add_string buf "\n";
-      Buffer.add_string buf (String.concat " ;\n" pred_strings);
+      Buffer.add_string buf (term_to_turtle prefixes s);
+      Buffer.add_char buf '\n';
+      List.iteri
+        (fun i p ->
+          if i > 0 then Buffer.add_string buf " ;\n";
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf (term_to_turtle prefixes p);
+          Buffer.add_char buf ' ';
+          List.iteri
+            (fun j (_, _, o) ->
+              if j > 0 then Buffer.add_string buf ", ";
+              Buffer.add_string buf (term_to_turtle prefixes o))
+            (Triple_store.find store (Some s, Some p, None)))
+        preds;
       Buffer.add_string buf " .\n\n")
-    (List.rev !subjects);
+    subjects;
   Buffer.contents buf
 
 let to_ntriples store =
   let buf = Buffer.create 1024 in
   Triple_store.iter store (fun (s, p, o) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s %s %s .\n" (Term.to_ntriples s) (Term.to_ntriples p)
-           (Term.to_ntriples o)));
+      Buffer.add_string buf (Term.to_ntriples s);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Term.to_ntriples p);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Term.to_ntriples o);
+      Buffer.add_string buf " .\n");
   Buffer.contents buf
 
 exception Parse_error of string

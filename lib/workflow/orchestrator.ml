@@ -47,6 +47,12 @@ module Uri_alloc = struct
     used : (string, unit) Hashtbl.t;
     mutable stamp : int;  (* arena prefix [0, stamp) already scanned *)
     mutable gen : int;  (* document generation the state is valid for *)
+    lock : Mutex.t;
+        (* guards the three fields above: allocations may race (Skolem
+           workers in a parallel inference pool, or a second domain's
+           execution probing the same document), and the global [mutex]
+           below only covers the cache lookup, not the per-document
+           scan-probe-register sequence *)
   }
 
   let max_cached = 8
@@ -61,7 +67,7 @@ module Uri_alloc = struct
         | Some (_, st) -> st
         | None ->
           let st = { used = Hashtbl.create 64; stamp = 0;
-                     gen = Tree.generation doc } in
+                     gen = Tree.generation doc; lock = Mutex.create () } in
           let others = List.filter (fun (d, _) -> d != doc) !cache in
           cache :=
             (doc, st)
@@ -90,19 +96,23 @@ module Uri_alloc = struct
      promotion): the tail scan cannot see those. *)
   let register doc u =
     let st = state_for doc in
-    sync doc st;
-    Hashtbl.replace st.used u ()
+    Mutex.protect st.lock (fun () ->
+        sync doc st;
+        Hashtbl.replace st.used u ())
 
+  (* Scan, probe, and claim atomically: two racing allocations must never
+     observe the same "unused" candidate. *)
   let fresh doc =
     let st = state_for doc in
-    sync doc st;
-    let rec next k =
-      let u = Printf.sprintf "r%d" k in
-      if Hashtbl.mem st.used u then next (k + 1) else u
-    in
-    let u = next (Tree.size doc) in
-    Hashtbl.replace st.used u ();
-    u
+    Mutex.protect st.lock (fun () ->
+        sync doc st;
+        let rec next k =
+          let u = Printf.sprintf "r%d" k in
+          if Hashtbl.mem st.used u then next (k + 1) else u
+        in
+        let u = next (Tree.size doc) in
+        Hashtbl.replace st.used u ();
+        u)
 end
 
 let fresh_uri doc = Uri_alloc.fresh doc

@@ -238,17 +238,23 @@ let extend t doc ~promoted =
     end
   end
 
-(* A tiny bounded cache keyed by physical document identity; the stamp
-   detects appends and the generation detects rollbacks (a truncate
-   followed by fresh appends can revisit an old size).  Eight entries
-   cover every concurrent workload in the engine (one long-lived arena
-   per execution) without pinning an unbounded set of dead documents.
+(* A tiny bounded LRU keyed by [Tree.id]; the stamp detects appends and
+   the generation detects rollbacks (a truncate followed by fresh appends
+   can revisit an old size).  Eight entries cover every concurrent
+   workload in the engine (one long-lived arena per execution) without
+   pinning an unbounded set of dead documents.
 
-   The cache is shared across the whole process, and inference may run in
-   one domain while a parallel execution mutates another document in a
-   second domain — so every access goes through [cache_mutex].  [build]
-   itself runs outside the lock: it only reads the one tree the caller
-   owns, and a racing duplicate build is harmless (last writer wins).
+   Recency is a monotone tick: every hit restamps the entry (O(1) under
+   the lock), and eviction scans the at-most-eight entries for the
+   smallest tick.  The previous assoc-list version re-sorted the whole
+   list on every insert ([List.length] + [List.filter] under the mutex);
+   the table keeps the critical section to a find or a replace.
+
+   The cache is shared across the whole process, and inference workers in
+   other domains go through it whenever a caller did not pass an explicit
+   index — so every access goes through [cache_mutex].  [build] itself
+   runs outside the lock: it only reads the one tree the caller owns, and
+   a racing duplicate build is harmless (last writer wins).
 
    Cached indexes are never extended in place: extension mutates the
    postings, and a racing domain could be reading them.  In-place
@@ -256,26 +262,50 @@ let extend t doc ~promoted =
    backend holds its own); the shared cache always rebuilds. *)
 let max_cached = 8
 
-let cache : (Tree.t * t) list ref = ref []
+type cache_entry = { idx : t; mutable tick : int }
+
+let cache : (int, cache_entry) Hashtbl.t = Hashtbl.create max_cached
+
+let cache_tick = ref 0
 
 let cache_mutex = Mutex.create ()
 
 let cache_find tree =
   Mutex.protect cache_mutex (fun () ->
-      List.find_opt (fun (d, _) -> d == tree) !cache)
+      match Hashtbl.find_opt cache (Tree.id tree) with
+      | Some e ->
+        incr cache_tick;
+        e.tick <- !cache_tick;
+        Some e.idx
+      | None -> None)
 
 let cache_put tree idx =
   Mutex.protect cache_mutex (fun () ->
-      let others = List.filter (fun (d, _) -> d != tree) !cache in
-      cache :=
-        (tree, idx)
-        :: (if List.length others >= max_cached
-            then List.filteri (fun i _ -> i < max_cached - 1) others
-            else others))
+      let key = Tree.id tree in
+      if not (Hashtbl.mem cache key) && Hashtbl.length cache >= max_cached
+      then begin
+        (* Evict the least recently used entry: a bounded scan. *)
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, t) when t <= e.tick -> acc
+              | _ -> Some (k, e.tick))
+            cache None
+        in
+        match victim with
+        | Some (k, _) -> Hashtbl.remove cache k
+        | None -> ()
+      end;
+      incr cache_tick;
+      Hashtbl.replace cache key { idx; tick = !cache_tick })
+
+let cached_count () =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.length cache)
 
 let for_tree tree =
   match cache_find tree with
-  | Some (_, idx) when valid_for idx tree -> idx
+  | Some idx when valid_for idx tree -> idx
   | Some _ | None ->
     let idx = build tree in
     cache_put tree idx;

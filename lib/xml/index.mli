@@ -59,8 +59,12 @@ val extend : t -> Tree.t -> promoted:Tree.node list -> bool
 val for_tree : Tree.t -> t
 (** The cached index for the document's current size, (re)built on
     demand; any append — and any rollback, via the arena generation —
-    invalidates it.  The cache is mutex-guarded and safe to call from
-    multiple domains. *)
+    invalidates it.  The cache is a small capped LRU keyed on {!Tree.id},
+    mutex-guarded and safe to call from multiple domains; the index is
+    built outside the lock. *)
+
+val cached_count : unit -> int
+(** Number of live entries in the {!for_tree} cache (capped; for tests). *)
 
 val valid_for : t -> Tree.t -> bool
 (** [valid_for idx doc]: [idx] was built from this very [doc], no node

@@ -1,35 +1,76 @@
-(* Serialization of WebLab documents back to XML text. *)
+(* Serialization of WebLab documents back to XML text.
+
+   Everything is written straight into the caller's buffer: escaping
+   takes a fast path that memcpy-appends the whole string when it
+   contains nothing to escape (the overwhelmingly common case for
+   element content), and attributes are emitted without the old
+   per-attribute [Printf.sprintf] + [String.concat] round-trip. *)
+
+let text_needs_escape s =
+  let n = String.length s in
+  let rec probe i =
+    i < n && (match s.[i] with '&' | '<' | '>' -> true | _ -> probe (i + 1))
+  in
+  probe 0
+
+let add_escaped_text buf s =
+  if not (text_needs_escape s) then Buffer.add_string buf s
+  else
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | c -> Buffer.add_char buf c)
+      s
+
+let attr_needs_escape s =
+  let n = String.length s in
+  let rec probe i =
+    i < n && (match s.[i] with '&' | '<' | '"' -> true | _ -> probe (i + 1))
+  in
+  probe 0
+
+let add_escaped_attr buf s =
+  if not (attr_needs_escape s) then Buffer.add_string buf s
+  else
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '"' -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s
 
 let escape_text s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '&' -> Buffer.add_string buf "&amp;"
-      | '<' -> Buffer.add_string buf "&lt;"
-      | '>' -> Buffer.add_string buf "&gt;"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+  if not (text_needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    add_escaped_text buf s;
+    Buffer.contents buf
+  end
 
 let escape_attr s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '&' -> Buffer.add_string buf "&amp;"
-      | '<' -> Buffer.add_string buf "&lt;"
-      | '"' -> Buffer.add_string buf "&quot;"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+  if not (attr_needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    add_escaped_attr buf s;
+    Buffer.contents buf
+  end
 
 (* Attributes are printed sorted so that output is canonical: two documents
    that are [Tree.equal_subtree] print identically. *)
-let attrs_to_string attrs =
-  List.sort compare attrs
-  |> List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape_attr v))
-  |> String.concat ""
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      add_escaped_attr buf v;
+      Buffer.add_char buf '"')
+    (List.sort compare attrs)
 
 (* [visible] restricts printing to a document state (see {!Doc_state}). *)
 let subtree_to_buf ?(indent = false) ?(visible = fun _ -> true) buf doc node =
@@ -43,23 +84,24 @@ let subtree_to_buf ?(indent = false) ?(visible = fun _ -> true) buf doc node =
       in
       if Tree.is_text doc n then begin
         pad ();
-        Buffer.add_string buf (escape_text (Tree.text doc n))
+        add_escaped_text buf (Tree.text doc n)
       end
       else begin
         pad ();
         let name = Tree.name doc n in
         let kids = List.filter visible (Tree.children doc n) in
-        Buffer.add_string buf
-          (Printf.sprintf "<%s%s" name (attrs_to_string (Tree.attrs doc n)));
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        add_attrs buf (Tree.attrs doc n);
         if kids = [] then Buffer.add_string buf "/>"
         else if indent && List.for_all (fun k -> Tree.is_text doc k) kids then begin
           (* Text-only content stays inline, so indentation never leaks
              into string values. *)
           Buffer.add_char buf '>';
-          List.iter
-            (fun k -> Buffer.add_string buf (escape_text (Tree.text doc k)))
-            kids;
-          Buffer.add_string buf (Printf.sprintf "</%s>" name)
+          List.iter (fun k -> add_escaped_text buf (Tree.text doc k)) kids;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf name;
+          Buffer.add_char buf '>'
         end
         else begin
           Buffer.add_char buf '>';
@@ -68,7 +110,9 @@ let subtree_to_buf ?(indent = false) ?(visible = fun _ -> true) buf doc node =
             Buffer.add_char buf '\n';
             Buffer.add_string buf (String.make (2 * depth) ' ')
           end;
-          Buffer.add_string buf (Printf.sprintf "</%s>" name)
+          Buffer.add_string buf "</";
+          Buffer.add_string buf name;
+          Buffer.add_char buf '>'
         end
       end
     end

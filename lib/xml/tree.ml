@@ -20,6 +20,7 @@ type cell = {
 }
 
 type t = {
+  uid : int;  (* process-unique: lets caches key on document identity *)
   cells : cell Vec.t;
   mutable root : node;
   mutable cached_index : (int * (string, node list) Hashtbl.t) option;
@@ -34,9 +35,17 @@ let dummy_cell () =
   { kind = Text ""; attrs = []; parent = no_node;
     children = Vec.create ~dummy:no_node; created = 0; uri_time = 0 }
 
+(* An atomic counter, not a plain ref: documents are created from several
+   domains (parallel inference spawns workers while another execution
+   allocates documents). *)
+let next_uid = Atomic.make 0
+
 let create () =
-  { cells = Vec.create ~dummy:(dummy_cell ()); root = no_node;
+  { uid = Atomic.fetch_and_add next_uid 1;
+    cells = Vec.create ~dummy:(dummy_cell ()); root = no_node;
     cached_index = None; generation = 0 }
+
+let id t = t.uid
 
 let size t = Vec.length t.cells
 

@@ -55,6 +55,11 @@ val has_root : t -> bool
 val size : t -> int
 (** Number of nodes ever allocated (= upper bound for node ids + 1). *)
 
+val id : t -> int
+(** A process-unique document id, assigned at {!create}.  Caches key on
+    it instead of on the document's physical identity (hashing a cyclic
+    record is unsafe; an [int] key is free). *)
+
 val is_element : t -> node -> bool
 val is_text : t -> node -> bool
 
