@@ -43,11 +43,16 @@ let par_jobs = ref [ 1; 2; 4; 8 ]
    BENCH_parallel.json artifact. *)
 let parallel_report = ref None
 
+(* [--obs-guard] runs the disabled-recorder overhead check (P15) instead
+   of the Bechamel suite: fails the process if the estimated cost of the
+   Off-level telemetry call sites exceeds 2% of the smoke workload. *)
+let obs_guard = ref false
+
 let () =
   let usage unknown =
     Printf.eprintf
       "usage: %s [--quick] [--json PATH] [--only SUBSTR] [--jobs N] \
-       [--parallel-report PATH]  (unknown arg %s)\n"
+       [--parallel-report PATH] [--obs-guard]  (unknown arg %s)\n"
       Sys.argv.(0) unknown;
     exit 2
   in
@@ -69,6 +74,9 @@ let () =
       scan rest
     | "--parallel-report" :: path :: rest ->
       parallel_report := Some path;
+      scan rest
+    | "--obs-guard" :: rest ->
+      obs_guard := true;
       scan rest
     | arg :: _ -> usage arg
     | [] -> ()
@@ -168,6 +176,60 @@ let run_parallel_report path =
         s)
     rows;
   Printf.printf "Wrote %d datapoints to %s\n" (List.length rows) path
+
+(* ---------- P15: recorder overhead guard (--obs-guard) ----------
+
+   A direct disabled-vs-removed A/B is impossible (the call sites are
+   compiled in), and a wall-clock A/B against the Counters level drowns
+   in CI noise at the 2% scale.  Instead, bound the disabled cost from
+   measurables: (a) the per-call cost of an Off-level entry point, from a
+   tight micro-loop; (b) the number of gated calls the smoke workload
+   makes, over-approximated by the counter totals at the Counters level
+   (an [add n] counts n times but is one call — the estimate only errs
+   upward); (c) the workload's disabled-path wall time.  Fail if
+   a*b/c > 2%. *)
+let run_obs_guard () =
+  let module T = Weblab_obs.Telemetry in
+  let probe = T.counter "guard.probe" in
+  T.set_level T.Off;
+  let n = 20_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    T.incr probe
+  done;
+  let per_op = (Unix.gettimeofday () -. t0) /. float_of_int n in
+  let p = prepare ~units:8 ~calls:7 () in
+  let infer () = ignore (Engine.provenance ~strategy:`Rewrite p.exec p.rb) in
+  T.set_level T.Counters;
+  T.reset ();
+  infer ();
+  let ops = List.fold_left (fun acc (_, v) -> acc + v) 0 (T.counters ()) in
+  T.set_level T.Off;
+  let wall = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    infer ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !wall then wall := dt
+  done;
+  let overhead = float_of_int ops *. per_op /. !wall in
+  Printf.printf
+    "obs guard: %d gated ops x %.2f ns = %.1f us, against %.2f ms wall => \
+     %.4f%% (limit 2%%)\n"
+    ops (per_op *. 1e9)
+    (float_of_int ops *. per_op *. 1e6)
+    (!wall *. 1000.) (overhead *. 100.);
+  if overhead > 0.02 then begin
+    Printf.eprintf "obs guard FAILED: disabled-recorder overhead %.4f%% > 2%%\n"
+      (overhead *. 100.);
+    exit 1
+  end
+
+let () =
+  if !obs_guard then begin
+    run_obs_guard ();
+    exit 0
+  end
 
 let () =
   match !parallel_report with
@@ -602,13 +664,37 @@ let parallel_tests =
       ])
     (if !quick then [ 1; 2 ] else !par_jobs)
 
+(* ---------- P15: recorder overhead (disabled / counters / full) ---------- *)
+
+(* The same inference workload under the three recorder levels.  Each
+   closure sets its level on entry and restores Off on exit so the rest
+   of the suite stays uninstrumented; obs/full also resets the recorder
+   per run, which bounds the event buffers AND charges the run for the
+   buffer management it causes. *)
+let obs_tests =
+  let module T = Weblab_obs.Telemetry in
+  let p = prepare ~units:8 ~calls:7 () in
+  let infer () = ignore (Engine.provenance ~strategy:`Rewrite p.exec p.rb) in
+  let at level f () =
+    T.set_level level;
+    Fun.protect ~finally:(fun () -> T.set_level T.Off) f
+  in
+  [ Test.make ~name:"obs/disabled" (Staged.stage (at T.Off infer));
+    Test.make ~name:"obs/counters" (Staged.stage (at T.Counters infer));
+    Test.make ~name:"obs/full"
+      (Staged.stage
+         (at T.Full (fun () ->
+              T.reset ();
+              infer ())))
+  ]
+
 (* ---------- harness ---------- *)
 
 let all_tests =
   [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
   @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
   @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
-  @ join_tests @ fault_tests @ incr_tests @ parallel_tests
+  @ join_tests @ fault_tests @ incr_tests @ parallel_tests @ obs_tests
 
 let all_tests =
   match !only with
@@ -683,4 +769,5 @@ let () =
      xquery_opt/* (P4), rdf/* (P5), xml/* (P6), reach/* (P7),\n\
      ext/* (P8), index/* (P10), join/* (P11), fault/* (P12),\n\
      incr/* (P13), par/* (P14; see also --parallel-report),\n\
-     paper/* (F1-E9).  See EXPERIMENTS.md for the discussion."
+     obs/* (P15; see also --obs-guard), paper/* (F1-E9).\n\
+     See EXPERIMENTS.md for the discussion."

@@ -71,9 +71,92 @@ let jobs_arg =
                  graph is bit-identical for every value; $(b,--jobs 1) \
                  is the sequential path.")
 
+(* --- observability options (shared by figures/run/export) --- *)
+
+type obs_opts = {
+  profile : bool;
+  trace_out : string option;
+  events_out : string option;
+  meta_prov : bool;
+  logical_clock : bool;
+}
+
+let obs_term =
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Record telemetry during the run and print a summary \
+                   (span table and counters) at the end.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE.json"
+             ~doc:"Write a Chrome trace-event JSON file — load it in \
+                   Perfetto; one track per domain worker.")
+  in
+  let events_out =
+    Arg.(value & opt (some string) None
+         & info [ "events-out" ] ~docv:"FILE.jsonl"
+             ~doc:"Write the telemetry event log as JSON Lines.")
+  in
+  let meta_prov =
+    Arg.(value & flag
+         & info [ "meta-prov" ]
+             ~doc:"Record the inference run itself as PROV: one activity \
+                   per service call × rule evaluation, every inferred link \
+                   $(b,prov:wasGeneratedBy) the evaluation that produced \
+                   it.")
+  in
+  let logical_clock =
+    Arg.(value & flag
+         & info [ "logical-clock" ]
+             ~doc:"Timestamp telemetry with a deterministic logical tick \
+                   counter instead of the wall clock (stable output for \
+                   golden tests).")
+  in
+  Term.(const (fun profile trace_out events_out meta_prov logical_clock ->
+            { profile; trace_out; events_out; meta_prov; logical_clock })
+        $ profile $ trace_out $ events_out $ meta_prov $ logical_clock)
+
+let obs_setup (o : obs_opts) =
+  let module T = Weblab_obs.Telemetry in
+  let full = o.profile || o.trace_out <> None || o.events_out <> None in
+  T.set_level (if full then T.Full else T.Off);
+  T.set_meta o.meta_prov;
+  T.set_clock (if o.logical_clock then T.Logical else T.Wall);
+  T.reset ()
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Flush the recorder after an instrumented run: sink files first, the
+   human summary last so it reads as the run's epilogue. *)
+let obs_report (o : obs_opts) =
+  (match o.events_out with
+   | Some path ->
+     write_file path (Weblab_obs.Sinks.jsonl ());
+     Printf.eprintf "telemetry events written to %s\n%!" path
+   | None -> ());
+  (match o.trace_out with
+   | Some path ->
+     write_file path (Weblab_obs.Sinks.chrome_trace ());
+     Printf.eprintf "Chrome trace written to %s (open in Perfetto)\n%!" path
+   | None -> ());
+  if o.profile then begin
+    print_string "\n=== Telemetry summary ===\n";
+    print_string (Weblab_obs.Sinks.summary ())
+  end
+
+let meta_prov_turtle () =
+  Weblab_rdf.Turtle.to_turtle
+    (Prov_export.meta_to_store (Weblab_obs.Telemetry.meta_activities ()))
+
 (* --- figures --- *)
 
-let figures only =
+let figures obs only =
+  obs_setup obs;
   let e = Paper.run () in
   List.iter
     (fun (title, body) ->
@@ -85,7 +168,12 @@ let figures only =
           || String.equal (List.nth (String.split_on_char ' ' title) 1) o
       in
       if wanted then Printf.printf "=== %s ===\n%s\n" title body)
-    (Figures.all e)
+    (Figures.all e);
+  if obs.meta_prov then begin
+    print_string "=== Meta-provenance (inference run as PROV) ===\n";
+    print_string (meta_prov_turtle ())
+  end;
+  obs_report obs
 
 let figures_cmd =
   let only =
@@ -95,7 +183,7 @@ let figures_cmd =
                    $(b,--only 5).")
   in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures and examples")
-    Term.(const figures $ only)
+    Term.(const figures $ obs_term $ only)
 
 (* --- shared pipeline runner --- *)
 
@@ -207,8 +295,9 @@ let run_dsl ~units ~seed ~(strategy : Strategy.kind) ~inheritance ~fault_rate
       (Weblab_workflow.Trace.calls exec.Engine.trace);
     (exec, g)
 
-let run units seed extended strategy inheritance fault_rate retries jobs
+let run obs units seed extended strategy inheritance fault_rate retries jobs
     show_doc workflow =
+  obs_setup obs;
   let exec, g =
     match workflow with
     | Some spec ->
@@ -233,11 +322,29 @@ let run units seed extended strategy inheritance fault_rate retries jobs
   Printf.printf "\n%d resources, %d links, acyclic=%b, temporally sound=%b\n"
     (List.length (Prov_graph.labeled_resources g))
     (Prov_graph.size g) (Prov_graph.is_acyclic g) (Prov_graph.temporally_sound g);
+  (* With fault injection the failure tally belongs in the closing summary
+     too — the tables above scroll away, and these are the same numbers the
+     telemetry counters (orch.calls.*, orch.attempts, orch.backoff_ms)
+     accumulate. *)
+  if fault_rate > 0. then begin
+    let st = Analytics.failure_stats exec.Engine.trace in
+    Printf.printf
+      "faults: %d/%d calls failed, %d retried, %d attempts, %.1f ms \
+       simulated backoff\n"
+      st.Analytics.calls_failed st.Analytics.calls_total
+      st.Analytics.calls_retried st.Analytics.attempts_total
+      st.Analytics.backoff_ms_total
+  end;
   if show_doc then begin
     print_string "\nFinal document:\n";
     print_string (Weblab_xml.Printer.to_string ~indent:true exec.Engine.doc);
     print_newline ()
-  end
+  end;
+  if obs.meta_prov then begin
+    print_string "\nMeta-provenance (inference run as PROV):\n";
+    print_string (meta_prov_turtle ())
+  end;
+  obs_report obs
 
 let run_cmd =
   let show_doc =
@@ -251,25 +358,31 @@ let run_cmd =
                    ';' sequences, '|' parallelizes, 'name:(...)' nests.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a synthetic media-mining workflow")
-    Term.(const run $ units_arg $ seed_arg $ extended_arg $ strategy_arg
-          $ inherit_arg $ fault_rate_arg $ retries_arg $ jobs_arg $ show_doc
-          $ workflow)
+    Term.(const run $ obs_term $ units_arg $ seed_arg $ extended_arg
+          $ strategy_arg $ inherit_arg $ fault_rate_arg $ retries_arg
+          $ jobs_arg $ show_doc $ workflow)
 
 (* --- export --- *)
 
-let export units seed extended strategy inheritance jobs format =
+let export obs units seed extended strategy inheritance jobs format =
+  obs_setup obs;
   let _, g =
     run_pipeline ~units ~seed ~extended ~strategy ~inheritance ~fault_rate:0.0
       ~retries:0 ~jobs
   in
-  match format with
-  | "turtle" -> print_string (Prov_export.to_turtle g)
-  | "ntriples" -> print_string (Prov_export.to_ntriples g)
-  | "dot" -> print_string (Dot.to_dot g)
-  | "provxml" -> print_string (Prov_export.to_prov_xml g)
-  | f ->
-    Printf.eprintf "unknown format %S (turtle|ntriples|dot|provxml)\n" f;
-    exit 1
+  let meta =
+    if obs.meta_prov then Some (Weblab_obs.Telemetry.meta_activities ())
+    else None
+  in
+  (match format with
+   | "turtle" -> print_string (Prov_export.to_turtle ?meta g)
+   | "ntriples" -> print_string (Prov_export.to_ntriples ?meta g)
+   | "dot" -> print_string (Dot.to_dot g)
+   | "provxml" -> print_string (Prov_export.to_prov_xml g)
+   | f ->
+     Printf.eprintf "unknown format %S (turtle|ntriples|dot|provxml)\n" f;
+     exit 1);
+  obs_report obs
 
 let export_cmd =
   let format =
@@ -279,8 +392,8 @@ let export_cmd =
                    $(b,provxml).")
   in
   Cmd.v (Cmd.info "export" ~doc:"Export the provenance graph")
-    Term.(const export $ units_arg $ seed_arg $ extended_arg $ strategy_arg
-          $ inherit_arg $ jobs_arg $ format)
+    Term.(const export $ obs_term $ units_arg $ seed_arg $ extended_arg
+          $ strategy_arg $ inherit_arg $ jobs_arg $ format)
 
 (* --- query --- *)
 

@@ -23,14 +23,19 @@ let run ?policy doc services =
 let run_with_backend ?policy ?jobs (backend : Strategy_sig.backend) doc
     services (rb : Strategy.rulebook) =
   let module B = (val backend : Strategy_sig.STRATEGY_BACKEND) in
+  let module T = Weblab_obs.Telemetry in
   let st = B.init ?jobs ~doc rb in
   let trace =
-    Orchestrator.execute ?policy
-      ~on_step:(fun call before after delta ->
-        B.observe st ~call ~before ~after ~delta)
-      doc services
+    T.span ~cat:"engine" ("execute:" ^ B.name) (fun () ->
+        Orchestrator.execute ?policy
+          ~on_step:(fun call before after delta ->
+            B.observe st ~call ~before ~after ~delta)
+          doc services)
   in
-  ({ doc; trace }, B.finalize st ~doc ~trace)
+  let g = T.span ~cat:"engine" ("finalize:" ^ B.name) (fun () ->
+      B.finalize st ~doc ~trace)
+  in
+  ({ doc; trace }, g)
 
 (* Run a workflow under any named strategy.  Execution-time backends
    (Online, Incremental) do their work in the hook; post-hoc backends

@@ -59,7 +59,26 @@ type t = {
   mutable epoch : int;
   mutable stopped : bool;
   mutable domains : unit Domain.t list;  (* size - 1 spawned workers *)
+  (* Lifetime stats: atomics because workers update them concurrently;
+     one fetch-and-add per item/steal/park is noise next to item cost. *)
+  s_steals : int Atomic.t;
+  s_parks : int Atomic.t;
+  s_batches : int Atomic.t;
+  s_items : int Atomic.t array;  (* per worker slot *)
 }
+
+type stats = {
+  steals : int;
+  parks : int;
+  batches : int;
+  items_per_worker : int array;
+}
+
+let stats t =
+  { steals = Atomic.get t.s_steals;
+    parks = Atomic.get t.s_parks;
+    batches = Atomic.get t.s_batches;
+    items_per_worker = Array.map Atomic.get t.s_items }
 
 let clamp_jobs j = if j < 1 then 1 else j
 
@@ -87,7 +106,9 @@ let jobs t = t.size
    queued work left (items never re-enter a deque), so the worker is
    done with it.  Whoever finishes the last item wakes the caller. *)
 let work t (b : batch) w =
+  Weblab_obs.Telemetry.set_worker w;
   let exec i =
+    ignore (Atomic.fetch_and_add t.s_items.(w) 1);
     b.run i;
     if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
       Mutex.lock t.lock;
@@ -105,6 +126,7 @@ let work t (b : batch) w =
     if k < t.size then
       match steal_top b.deques.((w + k) mod t.size) with
       | Some i ->
+        ignore (Atomic.fetch_and_add t.s_steals 1);
         exec i;
         own ()
       | None -> steal (k + 1)
@@ -123,6 +145,7 @@ let worker t w () =
         match t.current with
         | Some (e, b) when e <> last_epoch -> Some (e, b)
         | Some _ | None ->
+          ignore (Atomic.fetch_and_add t.s_parks 1);
           Condition.wait t.work_cond t.lock;
           await ()
     in
@@ -141,7 +164,10 @@ let create ?jobs () =
   let t =
     { size; lock = Mutex.create (); work_cond = Condition.create ();
       done_cond = Condition.create (); current = None; epoch = 0;
-      stopped = false; domains = [] }
+      stopped = false; domains = [];
+      s_steals = Atomic.make 0; s_parks = Atomic.make 0;
+      s_batches = Atomic.make 0;
+      s_items = Array.init size (fun _ -> Atomic.make 0) }
   in
   if size > 1 then
     t.domains <- List.init (size - 1) (fun i -> Domain.spawn (worker t (i + 1)));
@@ -154,7 +180,19 @@ let shutdown t =
     Condition.broadcast t.work_cond;
     Mutex.unlock t.lock;
     List.iter Domain.join t.domains;
-    t.domains <- []
+    t.domains <- [];
+    (* Fold this pool's lifetime stats into the telemetry snapshot, so
+       [--profile] shows them without the caller holding the pool. *)
+    let module T = Weblab_obs.Telemetry in
+    if T.enabled () then begin
+      let s = stats t in
+      T.add (T.counter "pool.steals") s.steals;
+      T.add (T.counter "pool.parks") s.parks;
+      T.add (T.counter "pool.batches") s.batches;
+      Array.iteri
+        (fun w n -> T.add (T.counter (Printf.sprintf "pool.items.w%d" w)) n)
+        s.items_per_worker
+    end
   end
 
 let with_pool ?jobs f =
@@ -173,6 +211,8 @@ let slices n size =
 let map t n f =
   if n = 0 then [||]
   else if t.size = 1 then begin
+    ignore (Atomic.fetch_and_add t.s_batches 1);
+    ignore (Atomic.fetch_and_add t.s_items.(0) n);
     (* The exact sequential path: no deques, no domains, index order. *)
     let results = Array.make n None in
     for i = 0 to n - 1 do
@@ -181,6 +221,7 @@ let map t n f =
     Array.map Option.get results
   end
   else begin
+    ignore (Atomic.fetch_and_add t.s_batches 1);
     let results = Array.make n None in
     let error = Atomic.make None in
     let run i =

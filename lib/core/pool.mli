@@ -34,6 +34,21 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** Total parallelism of the pool (including the calling domain). *)
 
+type stats = {
+  steals : int;  (** items taken from another worker's deque *)
+  parks : int;  (** times a spawned worker blocked waiting for a batch *)
+  batches : int;  (** {!map}/{!iter} calls with at least one item *)
+  items_per_worker : int array;  (** items executed, by worker slot *)
+}
+
+val stats : t -> stats
+(** Lifetime counters of the pool (cheap atomic reads; callable while a
+    batch runs, in which case the numbers are a momentary snapshot).
+    {!shutdown} also folds them into the telemetry recorder as
+    [pool.steals] / [pool.parks] / [pool.batches] / [pool.items.w<i>]
+    counters when it is enabled, which is how [--profile] reports pools
+    that live and die inside a strategy backend. *)
+
 val map : t -> int -> (int -> 'a) -> 'a array
 (** [map pool n f] computes [f i] for every [i] in [0, n): items are
     block-distributed over the per-worker deques, idle workers steal

@@ -13,22 +13,52 @@ val entity_term : string -> Term.t
 val call_term : Trace.call -> Term.t
 (** The IRI of a service-call activity. *)
 
-val to_store : ?trace:Trace.t -> Prov_graph.t -> Triple_store.t
+val to_store :
+  ?trace:Trace.t ->
+  ?meta:Weblab_obs.Telemetry.meta_activity list ->
+  Prov_graph.t ->
+  Triple_store.t
 (** The RDF graph, queryable with {!Weblab_rdf.Sparql}.  When [trace] is
     supplied, failed service calls are additionally exported as
     prov:Activity nodes marked with [prov:invalidatedAtTime] (the burned
     timestamp), [wl:failed], [wl:failureReason] and [wl:attempts]; calls
     committed after retries carry [wl:attempts].  Failed activities
-    generate no entities — their appends were rolled back. *)
+    generate no entities — their appends were rolled back.  When [meta]
+    is supplied, the meta-provenance of the inference run is added on top
+    (see {!add_meta}). *)
+
+val add_meta :
+  Triple_store.t -> Weblab_obs.Telemetry.meta_activity list -> unit
+(** Meta-provenance: export the inference run itself as PROV.  Each
+    recorded service call × rule evaluation becomes a [prov:Activity]
+    ([wl:eval/<service>-t<time>-<rule>]) carrying [prov:startedAtTime] and
+    [prov:endedAtTime] (microseconds from the run epoch, or ticks under
+    the logical clock), [prov:wasAssociatedWith] the service agent and
+    [prov:wasInformedBy] the observed call activity.  Every inferred link
+    is reified as a [wl:link/...] entity that [prov:wasGeneratedBy] the
+    evaluation activity which produced it, with [wl:linkFrom] and
+    [wl:linkTo] naming the object-level resources. *)
+
+val meta_to_store :
+  Weblab_obs.Telemetry.meta_activity list -> Triple_store.t
+(** {!add_meta} into a fresh store (meta-provenance alone). *)
 
 val of_store : Triple_store.t -> Prov_graph.t
 (** Inverse of {!to_store}: labels, links, rule names and Skolem members
     are recovered; the [inherited] flag is not part of the RDF encoding
     (round-trip loses it — inherited links come back as plain links). *)
 
-val to_turtle : ?trace:Trace.t -> Prov_graph.t -> string
+val to_turtle :
+  ?trace:Trace.t ->
+  ?meta:Weblab_obs.Telemetry.meta_activity list ->
+  Prov_graph.t ->
+  string
 
-val to_ntriples : ?trace:Trace.t -> Prov_graph.t -> string
+val to_ntriples :
+  ?trace:Trace.t ->
+  ?meta:Weblab_obs.Telemetry.meta_activity list ->
+  Prov_graph.t ->
+  string
 
 val to_prov_xml : Prov_graph.t -> string
 (** PROV-XML — the alternative serialization §8 mentions; built with the

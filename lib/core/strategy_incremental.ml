@@ -44,6 +44,13 @@ open Weblab_workflow
 
 let name = "incremental"
 
+module T = Weblab_obs.Telemetry
+
+let c_delta_nodes = T.counter "incr.delta.nodes"
+let c_memo_resets = T.counter "incr.memo.resets"
+let c_fallback_items = T.counter "incr.items.fallback"
+let c_join_items = T.counter "incr.items.join"
+
 (* ----- Memoizability of source patterns ----- *)
 
 (* Operands whose value at a node is fixed once the node's attributes
@@ -164,6 +171,7 @@ let current_index st ~promoted =
 (* ----- Source memo maintenance ----- *)
 
 let reset_memos st =
+  T.incr c_memo_resets;
   Hashtbl.iter (fun _ m -> Hashtbl.reset m.rows) st.memos;
   st.upto <- 0
 
@@ -302,30 +310,49 @@ let observe st ~call ~before ~after ~(delta : Orchestrator.delta) =
           spine_of st.doc delta.Orchestrator.new_nodes
         else fun _ -> false
       in
+      T.add c_delta_nodes (List.length delta.Orchestrator.new_nodes);
       let buffers =
         Pool.map st.pool (Array.length plans) (fun i ->
-            let rule, plan = plans.(i) in
-            match plan with
-            | Fallback ->
-              let generated u =
-                match Tree.find_resource st.doc u with
-                | Some n -> Tree.created st.doc n = call.Trace.time
-                | None -> false
-              in
-              let app = Mapping.apply_states ~index:idx rule before after in
-              let app = Mapping.restrict_to_generated app ~generated in
-              [ App (Rule.name rule, app) ]
-            | Join m ->
-              if delta.Orchestrator.new_nodes <> [] then begin
-                let out = ref [] in
-                emit_join st idx ~call ~after ~touched ~spine
-                  ~emit:(fun e -> out := e :: !out)
-                  rule m;
-                List.rev !out
-              end
-              else [])
+            T.timed (fun () ->
+                let rule, plan = plans.(i) in
+                match plan with
+                | Fallback ->
+                  T.incr c_fallback_items;
+                  let generated u =
+                    match Tree.find_resource st.doc u with
+                    | Some n -> Tree.created st.doc n = call.Trace.time
+                    | None -> false
+                  in
+                  let app = Mapping.apply_states ~index:idx rule before after in
+                  let app = Mapping.restrict_to_generated app ~generated in
+                  [ App (Rule.name rule, app) ]
+                | Join m ->
+                  T.incr c_join_items;
+                  if delta.Orchestrator.new_nodes <> [] then begin
+                    let out = ref [] in
+                    emit_join st idx ~call ~after ~touched ~spine
+                      ~emit:(fun e -> out := e :: !out)
+                      rule m;
+                    List.rev !out
+                  end
+                  else []))
       in
-      Array.iter (List.iter (replay_emission st.g)) buffers
+      Array.iteri
+        (fun i tr ->
+          let rule, _ = plans.(i) in
+          (if T.enabled () || T.meta_on () then
+             let links =
+               List.concat_map
+                 (function
+                   | App (_, app) -> app.Mapping.links
+                   | Link { from_uri; to_uri; _ } -> [ (from_uri, to_uri) ])
+                 tr.T.v
+             in
+             Strategy_sig.record_rule_eval ~service:call.Trace.service
+               ~time:call.Trace.time ~rule_name:(Rule.name rule) ~t0:tr.T.t0
+               ~t1:tr.T.t1 ~worker:tr.T.worker ~links);
+          List.iter (replay_emission st.g) tr.T.v)
+        buffers
     end
 
 let finalize st ~doc:_ ~trace =

@@ -38,16 +38,22 @@ let infer ?(happened_before = Strategy_sig.sequential_hb) ?jobs ~doc ~trace
       in
       Mapping.apply_call ~source_visible ~index rule ~doc ~trace ~call
     in
+    let module T = Weblab_obs.Telemetry in
     let apps =
       Pool.with_pool ?jobs (fun pool ->
-          Pool.map pool (Array.length items) (fun i -> apply items.(i)))
+          Pool.map pool (Array.length items) (fun i ->
+              T.timed (fun () -> apply items.(i))))
     in
     (* Merge in item order = trace order: the same insertion sequence the
        sequential loop performs. *)
     Array.iteri
-      (fun i app ->
-        let _, rule = items.(i) in
-        Strategy_sig.add_application g (Rule.name rule) app)
+      (fun i tr ->
+        let call, rule = items.(i) in
+        let rule_name = Rule.name rule in
+        Strategy_sig.record_rule_eval ~service:call.Trace.service
+          ~time:call.Trace.time ~rule_name ~t0:tr.T.t0 ~t1:tr.T.t1
+          ~worker:tr.T.worker ~links:tr.T.v.Mapping.links;
+        Strategy_sig.add_application g rule_name tr.T.v)
       apps
   end
 

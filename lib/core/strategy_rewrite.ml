@@ -57,10 +57,18 @@ let make_cache () =
   { sources = Hashtbl.create 32; targets = Hashtbl.create 32;
     lock = Mutex.create () }
 
+module T = Weblab_obs.Telemetry
+
+let c_memo_hit = T.counter "rewrite.memo.hit"
+let c_memo_miss = T.counter "rewrite.memo.miss"
+
 let cached cache tbl key compute =
   match Mutex.protect cache.lock (fun () -> Hashtbl.find_opt tbl key) with
-  | Some v -> v
+  | Some v ->
+    T.incr c_memo_hit;
+    v
   | None ->
+    T.incr c_memo_miss;
     let v = compute () in
     Mutex.protect cache.lock (fun () ->
         match Hashtbl.find_opt tbl key with
@@ -71,14 +79,17 @@ let cached cache tbl key compute =
 
 (* One work item's output: the graph operations it would have performed,
    in order.  Buffering them (instead of writing to the graph) is what
-   lets items run on any domain and still merge deterministically. *)
+   lets items run on any domain and still merge deterministically.  Each
+   emission carries the call time it belongs to, so the merge can
+   attribute links to per-call evaluation activities (meta-provenance)
+   even though the rewrite evaluates once per (service, rule). *)
 type emission =
-  | App of string * Mapping.application
-  | Link of { rule : string; from_uri : string; to_uri : string }
+  | App of int * string * Mapping.application
+  | Link of { time : int; rule : string; from_uri : string; to_uri : string }
 
 let replay_emission g = function
-  | App (rule_name, app) -> Strategy_sig.add_application g rule_name app
-  | Link { rule; from_uri; to_uri } ->
+  | App (_, rule_name, app) -> Strategy_sig.add_application g rule_name app
+  | Link { rule; from_uri; to_uri; _ } ->
     Prov_graph.add_link g ~rule ~from_uri ~to_uri
 
 let infer_rule ?(happened_before = Strategy_sig.sequential_hb) ~cache ~index
@@ -94,7 +105,8 @@ let infer_rule ?(happened_before = Strategy_sig.sequential_hb) ~cache ~index
          let source_visible n = happened_before (Tree.created doc n) time in
          emit
            (App
-              ( Rule.name rule,
+              ( time,
+                Rule.name rule,
                 Mapping.apply_call ~source_visible ~index rule ~doc ~trace
                   ~call )))
        (call_times trace service)
@@ -153,7 +165,9 @@ let infer_rule ?(happened_before = Strategy_sig.sequential_hb) ~cache ~index
            List.iter
              (fun (out, inp) ->
                emit
-                 (Link { rule = Rule.name rule; from_uri = out; to_uri = inp }))
+                 (Link
+                    { time; rule = Rule.name rule; from_uri = out;
+                      to_uri = inp }))
              (Mapping.links_of_table j)
          end)
        (List.sort compare times)
@@ -183,11 +197,44 @@ let infer ?happened_before ?jobs ~doc ~trace (rb : Strategy_sig.rulebook) g =
     let buffers =
       Pool.with_pool ?jobs (fun pool ->
           Pool.map pool (Array.length items) (fun i ->
-              let service, rule = items.(i) in
-              infer_rule ?happened_before ~cache ~index ~doc ~trace ~service
-                rule))
+              T.timed (fun () ->
+                  let service, rule = items.(i) in
+                  infer_rule ?happened_before ~cache ~index ~doc ~trace
+                    ~service rule)))
     in
-    Array.iter (List.iter (replay_emission g)) buffers
+    Array.iteri
+      (fun i tr ->
+        let service, rule = items.(i) in
+        let rule_name = Rule.name rule in
+        (if T.enabled () || T.meta_on () then begin
+           (* Re-group this item's emissions by call time (first-appearance
+              order) to report one evaluation activity per call × rule; the
+              per-call activities share the item's evaluation interval. *)
+           let order = ref [] in
+           let by_time = Hashtbl.create 8 in
+           List.iter
+             (fun e ->
+               let time, links =
+                 match e with
+                 | App (time, _, app) -> (time, app.Mapping.links)
+                 | Link { time; from_uri; to_uri; _ } ->
+                   (time, [ (from_uri, to_uri) ])
+               in
+               match Hashtbl.find_opt by_time time with
+               | Some l -> Hashtbl.replace by_time time (l @ links)
+               | None ->
+                 order := time :: !order;
+                 Hashtbl.add by_time time links)
+             tr.T.v;
+           List.iter
+             (fun time ->
+               Strategy_sig.record_rule_eval ~service ~time ~rule_name
+                 ~t0:tr.T.t0 ~t1:tr.T.t1 ~worker:tr.T.worker
+                 ~links:(Hashtbl.find by_time time))
+             (List.rev !order)
+         end);
+        List.iter (replay_emission g) tr.T.v)
+      buffers
   end
 
 type state = { rb : Strategy_sig.rulebook; jobs : int option }

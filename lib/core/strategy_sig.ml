@@ -35,6 +35,26 @@ let rules_for (rb : rulebook) service =
    happened-before relation instead. *)
 let sequential_hb t' t = t' < t
 
+(* One rule evaluation's telemetry, recorded at the merge point — the
+   caller's domain, in item order — so spans, per-rule counters and
+   meta-provenance activities are emitted deterministically whatever the
+   pool schedule was.  [t0]/[t1]/[worker] come from the {!Telemetry.timed}
+   wrapper the backends run around each item body. *)
+let record_rule_eval ~service ~time ~rule_name ~t0 ~t1 ~worker ~links =
+  let module T = Weblab_obs.Telemetry in
+  if T.enabled () then
+    T.add (T.counter ("rule." ^ rule_name ^ ".links")) (List.length links);
+  if T.spans_on () then
+    T.emit_span ~cat:"inference"
+      ~args:
+        [ ("service", service); ("t", string_of_int time);
+          ("links", string_of_int (List.length links)) ]
+      ~name:("rule:" ^ rule_name) ~worker ~t0 ~t1 ();
+  if T.meta_on () then
+    T.record_meta
+      { T.m_service = service; m_time = time; m_rule = rule_name;
+        m_t0 = t0; m_t1 = t1; m_links = links }
+
 let add_application g rule_name (app : Mapping.application) =
   List.iter
     (fun (out, inp) ->

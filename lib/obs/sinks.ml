@@ -1,0 +1,132 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_args args =
+  args
+  |> List.map (fun (k, v) ->
+         Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+  |> String.concat ","
+
+(* Timestamps print with three decimals: microsecond wall times keep
+   sub-µs precision, logical ticks render as "3.000" — stable either way. *)
+let ts f = Printf.sprintf "%.3f" f
+
+(* ---------- human summary ---------- *)
+
+let summary () =
+  let b = Buffer.create 1024 in
+  let events = Telemetry.events () in
+  if events <> [] then begin
+    let agg = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        let name = e.Telemetry.e_name in
+        match Hashtbl.find_opt agg name with
+        | Some (n, total) -> Hashtbl.replace agg name (n + 1, total +. e.e_dur)
+        | None ->
+            order := name :: !order;
+            Hashtbl.add agg name (1, e.e_dur))
+      events;
+    Buffer.add_string b "spans (aggregated by name):\n";
+    Buffer.add_string b
+      (Printf.sprintf "  %-36s %8s %12s %12s\n" "name" "count" "total_us"
+         "mean_us");
+    List.iter
+      (fun name ->
+        let n, total = Hashtbl.find agg name in
+        Buffer.add_string b
+          (Printf.sprintf "  %-36s %8d %12.1f %12.1f\n" name n total
+             (total /. float_of_int n)))
+      (List.rev !order)
+  end;
+  let counters = Telemetry.counters () in
+  if counters <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-44s %10d\n" name v))
+      counters
+  end;
+  if Buffer.length b = 0 then Buffer.add_string b "(telemetry: nothing recorded)\n";
+  Buffer.contents b
+
+(* ---------- JSONL ---------- *)
+
+let jsonl () =
+  let b = Buffer.create 4096 in
+  let clock =
+    match Telemetry.clock () with
+    | Telemetry.Wall -> "wall"
+    | Telemetry.Logical -> "logical"
+  in
+  Buffer.add_string b
+    (Printf.sprintf "{\"type\":\"meta\",\"version\":1,\"clock\":\"%s\"}\n" clock);
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"type\":\"span\",\"name\":\"%s\",\"cat\":\"%s\",\"worker\":%d,\"ts_us\":%s,\"dur_us\":%s,\"args\":{%s}}\n"
+           (json_escape e.Telemetry.e_name)
+           (json_escape e.e_cat) e.e_worker (ts e.e_ts) (ts e.e_dur)
+           (json_args e.e_args)))
+    (Telemetry.events ());
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
+           (json_escape name) v))
+    (Telemetry.counters ());
+  Buffer.contents b
+
+(* ---------- Chrome trace-event JSON ---------- *)
+
+let chrome_trace () =
+  let events = Telemetry.events () in
+  let workers =
+    List.fold_left
+      (fun acc e -> if List.mem e.Telemetry.e_worker acc then acc else e.e_worker :: acc)
+      [] events
+    |> List.sort compare
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n";
+    Buffer.add_string b s
+  in
+  List.iter
+    (fun w ->
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"worker-%d\"}}"
+           w w))
+    workers;
+  List.iter
+    (fun e ->
+      let ph, dur =
+        if e.Telemetry.e_dur > 0. then ("X", Printf.sprintf ",\"dur\":%s" (ts e.e_dur))
+        else ("i", ",\"s\":\"t\"")
+      in
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%s%s,\"name\":\"%s\",\"cat\":\"%s\",\"args\":{%s}}"
+           ph e.e_worker (ts e.e_ts) dur (json_escape e.e_name)
+           (json_escape e.e_cat) (json_args e.e_args)))
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

@@ -1,0 +1,16 @@
+(** Render the recorder's buffers: human summary, JSONL event log, and
+    Chrome trace-event JSON (Perfetto-loadable, one track per worker). *)
+
+val summary : unit -> string
+(** Human-readable snapshot: spans aggregated by name (count, total,
+    mean), then every non-zero counter. *)
+
+val jsonl : unit -> string
+(** One JSON object per line.  First a [meta] header line recording the
+    clock, then a [span] line per event in emission order, then a
+    [counter] line per non-zero counter sorted by name. *)
+
+val chrome_trace : unit -> string
+(** Chrome trace-event JSON ({!Telemetry.events} as ["ph":"X"] complete
+    events on pid 1, tid = worker slot, plus thread-name metadata so
+    Perfetto labels the per-domain tracks). *)

@@ -1,0 +1,158 @@
+(* The process-global recorder.  Everything here is either an atomic
+   (level, counters, logical clock) or guarded by a mutex (registry,
+   event and meta buffers).  Events and meta activities are only written
+   from the merge side of a batch — the caller's domain — so the mutex on
+   those buffers is uncontended in practice; it exists for the odd
+   caller-domain span emitted while workers run counters. *)
+
+type level = Off | Counters | Full
+
+(* 0 = Off, 1 = Counters, 2 = Full: one atomic load on the fast path. *)
+let state = Atomic.make 0
+let meta_flag = Atomic.make false
+
+let set_level = function
+  | Off -> Atomic.set state 0
+  | Counters -> Atomic.set state 1
+  | Full -> Atomic.set state 2
+
+let level () =
+  match Atomic.get state with 0 -> Off | 1 -> Counters | _ -> Full
+
+let enabled () = Atomic.get state > 0
+let spans_on () = Atomic.get state > 1
+let set_meta b = Atomic.set meta_flag b
+let meta_on () = Atomic.get meta_flag
+let timing_on () = spans_on () || meta_on ()
+
+(* ---------- clocks ---------- *)
+
+type clock = Wall | Logical
+
+let logical = Atomic.make false
+let epoch = ref (Unix.gettimeofday ())
+let ticks = Atomic.make 0
+
+let set_clock = function
+  | Wall -> Atomic.set logical false
+  | Logical -> Atomic.set logical true
+
+let clock () = if Atomic.get logical then Logical else Wall
+
+let now_us () =
+  if Atomic.get logical then float_of_int (Atomic.fetch_and_add ticks 1)
+  else (Unix.gettimeofday () -. !epoch) *. 1e6
+
+(* ---------- counters ---------- *)
+
+type counter = { c_name : string; cell : int Atomic.t }
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let counter name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; cell = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c)
+
+let incr c = if Atomic.get state > 0 then ignore (Atomic.fetch_and_add c.cell 1)
+let add c n = if Atomic.get state > 0 then ignore (Atomic.fetch_and_add c.cell n)
+
+let counters () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold
+        (fun name c acc ->
+          let v = Atomic.get c.cell in
+          if v <> 0 then (name, v) :: acc else acc)
+        registry [])
+  |> List.sort compare
+
+(* ---------- worker tracks ---------- *)
+
+let worker_key = Domain.DLS.new_key (fun () -> 0)
+let set_worker w = Domain.DLS.set worker_key w
+let current_worker () = Domain.DLS.get worker_key
+
+(* ---------- spans / events ---------- *)
+
+type 'a timed = { v : 'a; t0 : float; t1 : float; worker : int }
+
+let timed f =
+  if timing_on () then begin
+    let t0 = now_us () in
+    let v = f () in
+    let t1 = now_us () in
+    { v; t0; t1; worker = current_worker () }
+  end
+  else { v = f (); t0 = 0.; t1 = 0.; worker = 0 }
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_worker : int;
+  e_ts : float;
+  e_dur : float;
+  e_args : (string * string) list;
+}
+
+let events_buf : event list ref = ref []
+let events_lock = Mutex.create ()
+
+let push e = Mutex.protect events_lock (fun () -> events_buf := e :: !events_buf)
+
+let emit_span ?(cat = "run") ?(args = []) ~name ~worker ~t0 ~t1 () =
+  if spans_on () then
+    push
+      { e_name = name; e_cat = cat; e_worker = worker; e_ts = t0;
+        e_dur = (if t1 >= t0 then t1 -. t0 else 0.); e_args = args }
+
+let emit_instant ?(cat = "run") ?(args = []) name =
+  if spans_on () then
+    push
+      { e_name = name; e_cat = cat; e_worker = current_worker ();
+        e_ts = now_us (); e_dur = 0.; e_args = args }
+
+let span ?cat ?args name f =
+  if spans_on () then begin
+    let t0 = now_us () in
+    let v = f () in
+    let t1 = now_us () in
+    emit_span ?cat ?args ~name ~worker:(current_worker ()) ~t0 ~t1 ();
+    v
+  end
+  else f ()
+
+let events () = List.rev !events_buf
+
+(* ---------- meta-provenance activities ---------- *)
+
+type meta_activity = {
+  m_service : string;
+  m_time : int;
+  m_rule : string;
+  m_t0 : float;
+  m_t1 : float;
+  m_links : (string * string) list;
+}
+
+let meta_buf : meta_activity list ref = ref []
+let meta_lock = Mutex.create ()
+
+let record_meta a =
+  if meta_on () then Mutex.protect meta_lock (fun () -> meta_buf := a :: !meta_buf)
+
+let meta_activities () = List.rev !meta_buf
+
+(* ---------- reset ---------- *)
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry);
+  Mutex.protect events_lock (fun () -> events_buf := []);
+  Mutex.protect meta_lock (fun () -> meta_buf := []);
+  Atomic.set ticks 0;
+  epoch := Unix.gettimeofday ()

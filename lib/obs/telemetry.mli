@@ -1,0 +1,147 @@
+(** Domain-safe telemetry: counters, spans, and meta-provenance activities.
+
+    The recorder is a single process-global instance sitting below every
+    other library in the dependency graph, so the XML index, the relational
+    joins, the XPath evaluator, the strategy backends, the pool and the
+    orchestrator can all report into it without plumbing a handle through
+    their APIs.
+
+    Design contract (mirrors the emission-buffer discipline of the
+    strategies): nothing recorded here may influence inference.  Counters
+    are commutative atomic sums, so their totals are schedule-independent;
+    span and meta-activity *events* are only ever emitted from the
+    merge side of a pool batch — in item order, on the caller's domain —
+    so the event stream is deterministic under the logical clock for any
+    [--jobs] value.  Worker attribution inside an item is captured with
+    the timing (via {!timed}) and carried to the merge point.
+
+    A disabled recorder ([level = Off]) reduces every entry point to one
+    atomic load and a branch. *)
+
+(** {1 Recorder state} *)
+
+type level =
+  | Off  (** no-op fast path: a single atomic load per call site *)
+  | Counters  (** atomic counters only, no event buffering *)
+  | Full  (** counters + span events (Chrome trace / JSONL sinks) *)
+
+val set_level : level -> unit
+
+val level : unit -> level
+
+val enabled : unit -> bool
+(** [level () <> Off]. *)
+
+val spans_on : unit -> bool
+(** [level () = Full]. *)
+
+val set_meta : bool -> unit
+(** Toggle meta-provenance recording (independent of [level], so
+    [--meta-prov] works without full tracing). *)
+
+val meta_on : unit -> bool
+
+val timing_on : unit -> bool
+(** [spans_on () || meta_on ()] — whether item bodies should read the
+    clock. *)
+
+(** {1 Clocks} *)
+
+type clock =
+  | Wall  (** monotonic-enough wall clock, microseconds since {!reset} *)
+  | Logical  (** deterministic tick counter — golden tests *)
+
+val set_clock : clock -> unit
+
+val clock : unit -> clock
+
+val now_us : unit -> float
+(** Microseconds since the last {!reset} (Wall), or the next logical
+    tick (Logical). *)
+
+val reset : unit -> unit
+(** Zero every counter, drop buffered events and meta activities, and
+    restamp the clock epoch.  Call once before an instrumented run. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create by name; safe to call at module initialisation. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counters : unit -> (string * int) list
+(** Non-zero counters, sorted by name. *)
+
+(** {1 Worker tracks} *)
+
+val set_worker : int -> unit
+(** Called by the pool: binds the calling domain to a worker slot, the
+    [tid] of the Chrome-trace track its spans land on. *)
+
+val current_worker : unit -> int
+(** The calling domain's worker slot (0 outside a pool batch). *)
+
+(** {1 Spans} *)
+
+type 'a timed = { v : 'a; t0 : float; t1 : float; worker : int }
+
+val timed : (unit -> 'a) -> 'a timed
+(** Run a thunk, capturing start/end times and the executing worker when
+    {!timing_on}; otherwise the fields are zero.  Used inside pool items;
+    the result is carried to the merge side where {!emit_span} /
+    {!record_meta} run in item order. *)
+
+val emit_span :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  name:string ->
+  worker:int ->
+  t0:float ->
+  t1:float ->
+  unit ->
+  unit
+(** Append a completed span event.  Only meaningful on the merge side /
+    caller domain; no-op unless {!spans_on}. *)
+
+val emit_instant :
+  ?cat:string -> ?args:(string * string) list -> string -> unit
+
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f]: time [f] on the calling domain and emit the span. *)
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_worker : int;
+  e_ts : float;  (** µs since epoch, or logical tick *)
+  e_dur : float;  (** 0 for instants *)
+  e_args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Buffered events in emission order. *)
+
+(** {1 Meta-provenance activities}
+
+    One activity per service call × rule evaluation; consumed by
+    [Prov_export] to emit the inference run itself as PROV. *)
+
+type meta_activity = {
+  m_service : string;
+  m_time : int;  (** call timestamp (logical workflow time) *)
+  m_rule : string;
+  m_t0 : float;
+  m_t1 : float;
+  m_links : (string * string) list;  (** (from, to) pairs the evaluation produced *)
+}
+
+val record_meta : meta_activity -> unit
+(** No-op unless {!meta_on}.  Merge-side only, so activity order is
+    deterministic. *)
+
+val meta_activities : unit -> meta_activity list

@@ -124,9 +124,19 @@ let nested_loop_join a b =
     (rows a);
   out
 
+module T = Weblab_obs.Telemetry
+
+let c_joins = T.counter "join.hash.count"
+let c_build = T.counter "join.hash.build_rows"
+let c_probe = T.counter "join.hash.probe_rows"
+let c_out = T.counter "join.hash.out_rows"
+
 (* Equi-join on the shared columns: build a hash table over [b] once, then
    probe per row of [a] — O(|a| + |b| + output). *)
 let hash_join a b =
+  T.incr c_joins;
+  T.add c_build (cardinality b);
+  T.add c_probe (cardinality a);
   let out, ia, ib, b_only_idx = join_plan a b in
   let index = Hashtbl.create (max 16 (cardinality b)) in
   List.iter (fun row -> Hashtbl.add index (join_key ib row) row) (rows b);
@@ -140,6 +150,7 @@ let hash_join a b =
           (fun row_b -> emit_match out row_a row_b b_only_idx)
           (List.rev matches))
     (rows a);
+  T.add c_out (cardinality out);
   out
 
 let natural_join = hash_join

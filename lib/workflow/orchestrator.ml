@@ -1,4 +1,12 @@
 open Weblab_xml
+module T = Weblab_obs.Telemetry
+
+let c_committed = T.counter "orch.calls.committed"
+let c_failed = T.counter "orch.calls.failed"
+let c_retried = T.counter "orch.calls.retried"
+let c_attempts = T.counter "orch.attempts"
+let c_attempts_failed = T.counter "orch.attempts.failed"
+let c_backoff_ms = T.counter "orch.backoff_ms"
 
 exception Append_violation of string
 
@@ -387,6 +395,8 @@ let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
       in
       let rec supervise attempt =
         let bo = backoff_for policy attempt in
+        T.incr c_attempts;
+        T.add c_backoff_ms (int_of_float bo);
         match attempt_once () with
         | (new_nodes, promoted) ->
           Trace.record_attempt trace
@@ -398,14 +408,28 @@ let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
           Tree.restore doc ck;
           Log.debug (fun m ->
               m "call %d (%s) attempt %d failed: %s" time name attempt reason);
+          T.incr c_attempts_failed;
           Trace.record_attempt trace
             { Trace.a_service = name; a_time = time; a_attempt = attempt;
               a_ok = false; a_reason = reason; a_backoff_ms = bo };
           if attempt <= policy.retries then supervise (attempt + 1)
           else `Failed (reason, e)
       in
+      let span_t0 = if T.spans_on () then T.now_us () else 0. in
+      let emit_call_span outcome attempts =
+        if T.spans_on () then
+          T.emit_span ~cat:"orchestrator"
+            ~args:
+              [ ("time", string_of_int time); ("outcome", outcome);
+                ("attempts", string_of_int attempts) ]
+            ~name:("call:" ^ name) ~worker:(T.current_worker ())
+            ~t0:span_t0 ~t1:(T.now_us ()) ()
+      in
       match supervise 1 with
       | `Committed (new_nodes, promoted, attempts) ->
+        emit_call_span "committed" attempts;
+        T.incr c_committed;
+        if attempts > 1 then T.incr c_retried;
         (* Commit: from here on nothing can fail, so a later call's
            rollback never has trace bookkeeping to undo. *)
         List.iter
@@ -430,6 +454,8 @@ let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
         let after = Doc_state.at doc time in
         on_step call before after { new_nodes; promoted }
       | `Failed (reason, e) ->
+        emit_call_span "failed" (policy.retries + 1);
+        T.incr c_failed;
         (* The timestamp is burned: the document is bit-identical to the
            previous commit and the strategies will never see this call. *)
         Trace.record_outcome trace call (Trace.Failed reason);

@@ -3,6 +3,14 @@
    DFS and — new — extensible in place when the arena grows by appends;
    see index.mli for the contract. *)
 
+module T = Weblab_obs.Telemetry
+
+let c_builds = T.counter "index.builds"
+let c_cache_hit = T.counter "index.cache.hit"
+let c_cache_miss = T.counter "index.cache.miss"
+let c_extend_ok = T.counter "index.extend.ok"
+let c_extend_fail = T.counter "index.extend.fail"
+
 let indexed_attrs = [ "id"; "s"; "t" ]
 
 let attr_indexed a = List.mem a indexed_attrs
@@ -80,6 +88,7 @@ let add_element_postings t node =
     (Tree.attrs t.tree node)
 
 let build tree =
+  T.incr c_builds;
   let n = Tree.size tree in
   let pre = Array.make (max n 1) (-1) and post = Array.make (max n 1) (-1) in
   let sizes = Array.make (max n 1) 0 in
@@ -211,7 +220,10 @@ let refresh_promoted t nodes =
 let extend t doc ~promoted =
   if t.exhausted || not (t.tree == doc) || t.gen <> Tree.generation doc
      || Tree.size doc < t.stamp
-  then false
+  then begin
+    T.incr c_extend_fail;
+    false
+  end
   else begin
     let n = Tree.size doc in
     ensure_arrays t n;
@@ -229,11 +241,13 @@ let extend t doc ~promoted =
          stamp keeps [valid_for] false forever and the flag refuses any
          further extension.  The caller rebuilds. *)
       t.exhausted <- true;
+      T.incr c_extend_fail;
       false
     end
     else begin
       t.stamp <- n;
       refresh_promoted t promoted;
+      T.incr c_extend_ok;
       true
     end
   end
@@ -305,8 +319,11 @@ let cached_count () =
 
 let for_tree tree =
   match cache_find tree with
-  | Some idx when valid_for idx tree -> idx
+  | Some idx when valid_for idx tree ->
+    T.incr c_cache_hit;
+    idx
   | Some _ | None ->
+    T.incr c_cache_miss;
     let idx = build tree in
     cache_put tree idx;
     idx

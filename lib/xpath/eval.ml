@@ -1,5 +1,11 @@
 open Weblab_xml
 open Weblab_relalg
+module T = Weblab_obs.Telemetry
+
+let c_patterns = T.counter "eval.patterns"
+let c_delta = T.counter "eval.patterns.delta"
+let c_indexed = T.counter "eval.steps.indexed"
+let c_scan = T.counter "eval.steps.scan"
 
 type guards = {
   visible : Tree.node -> bool;
@@ -314,8 +320,11 @@ let apply_step ?keep doc index visible contexts (step : Ast.step) =
       in
       let candidates =
         match fast with
-        | Some candidates -> candidates
+        | Some candidates ->
+          T.incr c_indexed;
+          candidates
         | None ->
+          T.incr c_scan;
           axis_nodes doc visible ctx step.Ast.axis
           |> List.filter (test_matches doc step.Ast.test)
       in
@@ -333,6 +342,7 @@ let apply_step ?keep doc index visible contexts (step : Ast.step) =
    sound for patterns where the pruning commutes with the predicates (see
    [delta_localizable]); predicates themselves are never restricted. *)
 let eval_with ?restrict ~require_uri ~guards ~index doc (pattern : Ast.pattern) =
+  T.incr c_patterns;
   (* An explicit [$r := @id] is the implicit result binding of Definition 4
      condition (3) spelled out (the pattern φ2 of Example 3), so the "r"
      column is never duplicated; "node" is likewise reserved. *)
@@ -444,6 +454,7 @@ let eval_delta ?(require_uri = true) ?(guards = no_guards) ?index ~touched
     in
     let last = List.length pattern - 1 in
     let restrict i = if i = last then touched else spine in
+    T.incr c_delta;
     Some (eval_with ~restrict ~require_uri ~guards ~index doc pattern)
   end
 

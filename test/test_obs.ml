@@ -1,0 +1,299 @@
+(* The telemetry layer: the recorder's transparency contract (telemetry
+   on vs. off is bit-identical provenance for every strategy, jobs value
+   and fault plan), the deterministic event stream under the logical
+   clock (golden JSONL and Chrome-trace output), the counters mirroring
+   Analytics.failure_stats, and the meta-provenance acceptance criterion:
+   every inferred link is prov:wasGeneratedBy a rule-evaluation
+   activity. *)
+
+open Weblab_workflow
+open Weblab_services
+open Weblab_prov
+open QCheck
+module T = Weblab_obs.Telemetry
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* The recorder is process-global; every test restores the Off state so
+   the rest of the suite runs uninstrumented. *)
+let with_telemetry ~level ~meta ~clock f =
+  T.set_level level;
+  T.set_meta meta;
+  T.set_clock clock;
+  T.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_level T.Off;
+      T.set_meta false;
+      T.set_clock T.Wall;
+      T.reset ())
+    f
+
+let counter_value name =
+  match List.assoc_opt name (T.counters ()) with Some n -> n | None -> 0
+
+(* ---------- shared workload (same shape as test_parallel) ---------- *)
+
+let link_list g =
+  Prov_graph.links g
+  |> List.filter (fun l -> not l.Prov_graph.inherited)
+  |> List.map (fun l ->
+         (l.Prov_graph.from_uri, l.Prov_graph.to_uri, l.Prov_graph.rule))
+  |> List.sort compare
+
+let links_testable = Alcotest.(list (triple string string string))
+
+let rulebook_of services =
+  List.filter_map
+    (fun svc ->
+      let name = Service.name svc in
+      Catalog.find name
+      |> Option.map (fun e ->
+             (name, List.map Rule_parser.parse e.Catalog.rules)))
+    services
+
+let plan_faults =
+  [ Faulty.Crash; Faulty.Garbage_xml; Faulty.Mutate_committed;
+    Faulty.Duplicate_uri ]
+
+let skip_policy =
+  { Orchestrator.default_policy with
+    retries = 1; backoff_ms = 1.; on_failure = `Skip }
+
+let workload ~seed ~faulty =
+  let doc = Workload.make_document ~units:2 ~seed () in
+  let services = Workload.standard_pipeline ~extended:true () in
+  let rb = rulebook_of services in
+  let services =
+    if faulty then
+      Faulty.wrap_all (Faulty.plan ~faults:plan_faults ~rate:0.4 ~seed ()) services
+    else services
+  in
+  (doc, services, rb)
+
+let run_strategy kind ~jobs ~seed ~faulty =
+  let doc, services, rb = workload ~seed ~faulty in
+  let exec, g =
+    Engine.run_with_strategy ~policy:skip_policy ~jobs kind doc services rb
+  in
+  (exec, link_list g, Engine.to_turtle ~trace:exec.Engine.trace g)
+
+let all_kinds : Strategy.kind list = [ `Online; `Replay; `Rewrite; `Incremental ]
+
+(* ---------- the recorder itself ---------- *)
+
+let test_logical_clock () =
+  with_telemetry ~level:T.Full ~meta:false ~clock:T.Logical (fun () ->
+      let a = T.now_us () and b = T.now_us () and c = T.now_us () in
+      check_bool "ticks strictly increase" true (a < b && b < c);
+      T.reset ();
+      check (Alcotest.float 0.0) "reset restarts the tick counter" a
+        (T.now_us ()))
+
+let test_disabled_recorder_records_nothing () =
+  with_telemetry ~level:T.Off ~meta:false ~clock:T.Wall (fun () ->
+      let _ = run_strategy `Rewrite ~jobs:2 ~seed:3 ~faulty:true in
+      check_int "no counters" 0 (List.length (T.counters ()));
+      check_int "no events" 0 (List.length (T.events ()));
+      check_int "no meta activities" 0 (List.length (T.meta_activities ()));
+      let tr = T.timed (fun () -> 7) in
+      check_int "timed still returns the value" 7 tr.T.v;
+      check (Alcotest.float 0.0) "timed reads no clock when off" 0.0 tr.T.t1)
+
+let test_counters_level_buffers_no_events () =
+  with_telemetry ~level:T.Counters ~meta:false ~clock:T.Wall (fun () ->
+      let _ = run_strategy `Rewrite ~jobs:1 ~seed:3 ~faulty:false in
+      check_bool "counters accumulate" true (T.counters () <> []);
+      check_int "no span events at Counters level" 0
+        (List.length (T.events ())))
+
+(* ---------- counters mirror Analytics.failure_stats (satellite) ---------- *)
+
+let test_counters_match_failure_stats () =
+  with_telemetry ~level:T.Counters ~meta:false ~clock:T.Wall (fun () ->
+      let exec, _, _ = run_strategy `Rewrite ~jobs:1 ~seed:7 ~faulty:true in
+      let st = Analytics.failure_stats exec.Engine.trace in
+      check_int "orch.calls.committed" st.Analytics.calls_committed
+        (counter_value "orch.calls.committed");
+      check_int "orch.calls.failed" st.Analytics.calls_failed
+        (counter_value "orch.calls.failed");
+      check_int "orch.calls.retried" st.Analytics.calls_retried
+        (counter_value "orch.calls.retried");
+      check_int "orch.attempts" st.Analytics.attempts_total
+        (counter_value "orch.attempts");
+      check_bool "a faulty run saw failures" true (st.Analytics.calls_failed > 0))
+
+(* ---------- transparency: telemetry must not change inference ---------- *)
+
+let run_instrumented kind ~jobs ~seed ~faulty =
+  with_telemetry ~level:T.Full ~meta:true ~clock:T.Logical (fun () ->
+      let _, links, turtle = run_strategy kind ~jobs ~seed ~faulty in
+      (links, turtle))
+
+let run_plain kind ~jobs ~seed ~faulty =
+  let _, links, turtle = run_strategy kind ~jobs ~seed ~faulty in
+  (links, turtle)
+
+let test_transparency_smoke () =
+  List.iter
+    (fun faulty ->
+      List.iter
+        (fun kind ->
+          let l0, s0 = run_plain kind ~jobs:4 ~seed:11 ~faulty in
+          let l1, s1 = run_instrumented kind ~jobs:4 ~seed:11 ~faulty in
+          let tag =
+            Printf.sprintf "%s%s" (Strategy.kind_to_string kind)
+              (if faulty then " (faulty)" else "")
+          in
+          check links_testable (tag ^ ": links unchanged") l0 l1;
+          check Alcotest.string (tag ^ ": turtle unchanged") s0 s1;
+          check_bool (tag ^ ": non-trivial graph") true (l0 <> []))
+        all_kinds)
+    [ false; true ]
+
+let prop_telemetry_transparent =
+  Test.make
+    ~name:"full tracing + meta-prov yields bit-identical links and Turtle"
+    ~count:15
+    (make
+       ~print:(fun (seed, jobs, faulty) ->
+         Printf.sprintf "seed=%d jobs=%d faulty=%b" seed jobs faulty)
+       Gen.(triple (int_bound 1_000_000) (int_range 2 8) bool))
+    (fun (seed, jobs, faulty) ->
+      List.for_all
+        (fun kind ->
+          let l0, s0 = run_plain kind ~jobs ~seed ~faulty in
+          let l1, s1 = run_instrumented kind ~jobs ~seed ~faulty in
+          l0 = l1 && s0 = s1)
+        all_kinds)
+
+(* ---------- meta-provenance acceptance ---------- *)
+
+let test_meta_prov_covers_every_link () =
+  List.iter
+    (fun faulty ->
+      List.iter
+        (fun kind ->
+          with_telemetry ~level:T.Off ~meta:true ~clock:T.Logical (fun () ->
+              let _, links, _ = run_strategy kind ~jobs:3 ~seed:11 ~faulty in
+              let store =
+                Prov_export.meta_to_store (T.meta_activities ())
+              in
+              let open Weblab_rdf in
+              check_bool "meta store is non-trivial" true
+                (Triple_store.size store > 0);
+              List.iter
+                (fun (from_uri, to_uri, rule) ->
+                  let subj = Prov_vocab.link_iri ~from_uri ~to_uri ~rule in
+                  match
+                    Triple_store.find store
+                      (Some subj, Some Prov_vocab.was_generated_by, None)
+                  with
+                  | [ (_, _, act) ] ->
+                    (* ...and the generating activity is a typed
+                       rule-evaluation with an interval. *)
+                    check_bool
+                      (Printf.sprintf "%s->%s: generator is an activity"
+                         from_uri to_uri)
+                      true
+                      (Triple_store.mem store
+                         (act, Prov_vocab.rdf_type, Prov_vocab.activity));
+                    check_int
+                      (Printf.sprintf "%s->%s: activity has an interval"
+                         from_uri to_uri)
+                      1
+                      (List.length
+                         (Triple_store.find store
+                            (Some act, Some Prov_vocab.started_at_time, None)))
+                  | [] ->
+                    Alcotest.failf
+                      "%s: link %s -> %s (%s) has no wasGeneratedBy activity"
+                      (Strategy.kind_to_string kind) from_uri to_uri rule
+                  | _ ->
+                    Alcotest.failf
+                      "%s: link %s -> %s (%s) generated by several activities"
+                      (Strategy.kind_to_string kind) from_uri to_uri rule)
+                links))
+        all_kinds)
+    [ false; true ]
+
+(* ---------- golden sink output (logical clock, jobs=1) ----------
+
+   Regenerate after a legitimate change with:
+     dune exec bin/main.exe -- run --jobs 1 --logical-clock \
+       --events-out test/golden/telemetry_events.jsonl.txt \
+       --trace-out  test/golden/telemetry_trace.json.txt > /dev/null *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let golden_path name =
+  if Sys.file_exists (Filename.concat "golden" name) then
+    Filename.concat "golden" name
+  else Filename.concat "test/golden" name
+
+(* Exactly the CLI's default pipeline (units=3, seed=42, rewrite), so the
+   goldens can be regenerated with the command above. *)
+let default_cli_run () =
+  let doc = Workload.make_document ~units:3 ~seed:42 () in
+  let services = Workload.standard_pipeline ~extended:false () in
+  let rb = rulebook_of services in
+  ignore
+    (Engine.run_with_strategy ~policy:Orchestrator.default_policy ~jobs:1
+       `Rewrite doc services rb)
+
+let check_golden name actual =
+  let expected = read_file (golden_path name) in
+  if not (String.equal expected actual) then begin
+    let n = min (String.length expected) (String.length actual) in
+    let rec diff i =
+      if i < n && expected.[i] = actual.[i] then diff (i + 1) else i
+    in
+    let i = diff 0 in
+    Alcotest.failf
+      "%s diverged from the golden file at byte %d:\n\
+       expected … %S\n  actual … %S"
+      name i
+      (String.sub expected i (min 60 (String.length expected - i)))
+      (String.sub actual i (min 60 (String.length actual - i)))
+  end
+
+let test_golden_jsonl () =
+  with_telemetry ~level:T.Full ~meta:false ~clock:T.Logical (fun () ->
+      default_cli_run ();
+      check_golden "telemetry_events.jsonl.txt" (Weblab_obs.Sinks.jsonl ()))
+
+let test_golden_chrome_trace () =
+  with_telemetry ~level:T.Full ~meta:false ~clock:T.Logical (fun () ->
+      default_cli_run ();
+      check_golden "telemetry_trace.json.txt" (Weblab_obs.Sinks.chrome_trace ()))
+
+let () =
+  let to_alcotest = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [ ( "recorder",
+        [ Alcotest.test_case "logical clock" `Quick test_logical_clock;
+          Alcotest.test_case "disabled recorder records nothing" `Quick
+            test_disabled_recorder_records_nothing;
+          Alcotest.test_case "Counters level buffers no events" `Quick
+            test_counters_level_buffers_no_events ] );
+      ( "counters",
+        [ Alcotest.test_case "orchestrator counters = failure_stats" `Quick
+            test_counters_match_failure_stats ] );
+      ( "golden",
+        [ Alcotest.test_case "JSONL event log" `Quick test_golden_jsonl;
+          Alcotest.test_case "Chrome trace JSON" `Quick
+            test_golden_chrome_trace ] );
+      ( "meta-prov",
+        [ Alcotest.test_case "every link wasGeneratedBy an evaluation" `Quick
+            test_meta_prov_covers_every_link ] );
+      ( "transparency",
+        [ Alcotest.test_case "all strategies, telemetry on = off" `Quick
+            test_transparency_smoke ] );
+      ( "properties", to_alcotest [ prop_telemetry_transparent ] ) ]
