@@ -48,11 +48,19 @@ let parallel_report = ref None
    Off-level telemetry call sites exceeds 2% of the smoke workload. *)
 let obs_guard = ref false
 
+(* [--fused-counters] runs the multi-rule workload under the Counters
+   level once per execution-time backend and prints the pattern-eval
+   counter attribution (P16): how many pattern evaluations each backend
+   pays per committed call, and what the fused pass's prefix sharing
+   saves. *)
+let fused_counters = ref false
+
 let () =
   let usage unknown =
     Printf.eprintf
       "usage: %s [--quick] [--json PATH] [--only SUBSTR] [--jobs N] \
-       [--parallel-report PATH] [--obs-guard]  (unknown arg %s)\n"
+       [--parallel-report PATH] [--obs-guard] [--fused-counters]  \
+       (unknown arg %s)\n"
       Sys.argv.(0) unknown;
     exit 2
   in
@@ -77,6 +85,9 @@ let () =
       scan rest
     | "--obs-guard" :: rest ->
       obs_guard := true;
+      scan rest
+    | "--fused-counters" :: rest ->
+      fused_counters := true;
       scan rest
     | arg :: _ -> usage arg
     | [] -> ()
@@ -223,6 +234,69 @@ let run_obs_guard () =
     Printf.eprintf "obs guard FAILED: disabled-recorder overhead %.4f%% > 2%%\n"
       (overhead *. 100.);
     exit 1
+  end
+
+(* ---------- P16: pattern-eval counter attribution (--fused-counters) ----------
+
+   Times say the fused backend wins on multi-rule workloads; the
+   counters say WHY.  Run the k-copy workload once per execution-time
+   backend at the Counters level and report the per-rule amortized
+   pattern cost: the interpretive backends pay [eval.patterns]
+   rule-at-a-time evaluations (linear in k), the fused backend pays
+   [fused.pass.steps] trie-node evaluations per shared pass — constant
+   in k, because the k copies CSE onto one expression set. *)
+let run_fused_counters () =
+  let module T = Weblab_obs.Telemetry in
+  let services = Workload.chain_pipeline 7 in
+  let base_rb = rulebook services in
+  let scale k =
+    List.map
+      (fun (svc, rules) ->
+        ( svc,
+          List.concat_map
+            (fun r ->
+              List.init k (fun i ->
+                  Rule.make
+                    ~name:(Printf.sprintf "%s#%d" (Rule.name r) i)
+                    ~source:(Rule.source r) ~target:(Rule.target r) ()))
+            rules ))
+      base_rb
+  in
+  let get name = Option.value ~default:0 (List.assoc_opt name (T.counters ())) in
+  Printf.printf
+    "%-12s %4s %14s %12s %12s %12s %12s\n"
+    "backend" "k" "rules" "eval.patterns" "pass.steps" "steps.shared"
+    "steps.scan";
+  List.iter
+    (fun k ->
+      let rb = scale k in
+      let nrules =
+        List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 rb
+      in
+      List.iter
+        (fun kind ->
+          let doc = Workload.make_document ~units:3 ~seed:42 () in
+          T.set_level T.Counters;
+          T.reset ();
+          ignore (Engine.run_with_strategy kind doc services rb);
+          let row =
+            ( get "eval.patterns" + get "eval.patterns.fused",
+              get "fused.pass.steps",
+              get "fused.pass.steps.shared",
+              get "eval.steps.scan" )
+          in
+          T.set_level T.Off;
+          let p, ps, sh, sc = row in
+          Printf.printf "%-12s %4d %14d %12d %12d %12d %12d\n"
+            (Strategy.kind_to_string kind)
+            k nrules p ps sh sc)
+        [ `Online; `Incremental; `Fused ])
+    [ 1; 4; 16 ]
+
+let () =
+  if !fused_counters then begin
+    run_fused_counters ();
+    exit 0
   end
 
 let () =
@@ -640,6 +714,50 @@ let incr_fixed_delta_tests =
 
 let incr_tests = incr_pipeline_tests @ incr_fixed_delta_tests
 
+(* ---------- P16: the fused rule-set compiler ---------- *)
+
+(* Execution-time inference with k distinct copies of every rule
+   (the scale_rules idiom).  The interpretive backends evaluate each
+   rule's patterns rule-at-a-time, so their pattern cost grows linearly
+   in k; the Fused backend's shared pass evaluates every distinct
+   pattern step once per call — the k copies CSE onto one expression
+   set — so only the join/emission work scales.  Compare the three
+   execution-time backends point by point; the per-rule amortized cost
+   discussion is EXPERIMENTS P16. *)
+let fused_tests =
+  let services = Workload.chain_pipeline 7 in
+  let base_rb = rulebook services in
+  List.concat_map
+    (fun k ->
+      let rb =
+        List.map
+          (fun (svc, rules) ->
+            ( svc,
+              List.concat_map
+                (fun r ->
+                  List.init k (fun i ->
+                      Rule.make
+                        ~name:(Printf.sprintf "%s#%d" (Rule.name r) i)
+                        ~source:(Rule.source r) ~target:(Rule.target r) ()))
+                rules ))
+          base_rb
+      in
+      let run kind () =
+        let doc = Workload.make_document ~units:3 ~seed:42 () in
+        ignore (Engine.run_with_strategy kind doc services rb)
+      in
+      [ Test.make
+          ~name:(Printf.sprintf "fused/online/x%02d" k)
+          (Staged.stage (run `Online));
+        Test.make
+          ~name:(Printf.sprintf "fused/incremental/x%02d" k)
+          (Staged.stage (run `Incremental));
+        Test.make
+          ~name:(Printf.sprintf "fused/fused/x%02d" k)
+          (Staged.stage (run `Fused))
+      ])
+    (pick [ 1; 4; 16 ])
+
 (* ---------- P14: multicore post-hoc inference ---------- *)
 
 (* The Bechamel twin of the wall-clock report: the same workload, timed
@@ -694,7 +812,8 @@ let all_tests =
   [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
   @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
   @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
-  @ join_tests @ fault_tests @ incr_tests @ parallel_tests @ obs_tests
+  @ join_tests @ fault_tests @ incr_tests @ fused_tests @ parallel_tests
+  @ obs_tests
 
 let all_tests =
   match !only with
@@ -769,5 +888,6 @@ let () =
      xquery_opt/* (P4), rdf/* (P5), xml/* (P6), reach/* (P7),\n\
      ext/* (P8), index/* (P10), join/* (P11), fault/* (P12),\n\
      incr/* (P13), par/* (P14; see also --parallel-report),\n\
-     obs/* (P15; see also --obs-guard), paper/* (F1-E9).\n\
+     obs/* (P15; see also --obs-guard), fused/* (P16),\n\
+     paper/* (F1-E9).\n\
      See EXPERIMENTS.md for the discussion."

@@ -10,6 +10,9 @@ open Cmdliner
 open Weblab_prov
 open Weblab_scenario
 
+(* Parser, error message and usage string all derive from the backend
+   registry: a newly registered backend is accepted and documented here
+   with no edit to this file. *)
 let strategy_conv =
   let parse s =
     match Strategy.kind_of_string s with
@@ -17,19 +20,29 @@ let strategy_conv =
     | None ->
       Error
         (`Msg
-          (Printf.sprintf "unknown strategy %S (online|replay|rewrite|incremental)"
-             s))
+          (Printf.sprintf "unknown strategy %S (%s)" s
+             (String.concat "|" Strategy.names)))
   in
   let print ppf s = Fmt.string ppf (Strategy.kind_to_string s) in
   Arg.conv (parse, print)
 
 let strategy_arg =
+  let pretty_names =
+    match List.rev (List.map (Printf.sprintf "$(b,%s)") Strategy.names) with
+    | [] -> ""
+    | [ only ] -> only
+    | last :: rev_init ->
+      String.concat ", " (List.rev rev_init) ^ " or " ^ last
+  in
   Arg.(value & opt strategy_conv `Rewrite
        & info [ "strategy" ] ~docv:"STRATEGY"
-           ~doc:"Evaluation strategy: $(b,online), $(b,replay), $(b,rewrite) \
-                 or $(b,incremental).  All four produce the same links; \
-                 online and incremental infer during execution, replay and \
-                 rewrite post-hoc.")
+           ~doc:
+             (Printf.sprintf
+                "Evaluation strategy: %s.  All produce the same links; \
+                 online, incremental and fused infer during execution \
+                 (fused compiles the whole rule set into one shared plan), \
+                 replay and rewrite post-hoc."
+                pretty_names))
 
 let inherit_arg =
   Arg.(value & flag
@@ -153,10 +166,27 @@ let meta_prov_turtle () =
   Weblab_rdf.Turtle.to_turtle
     (Prov_export.meta_to_store (Weblab_obs.Telemetry.meta_activities ()))
 
+(* --- the compiled-plan dump (--explain-plan) --- *)
+
+let explain_plan_arg =
+  Arg.(value & flag
+       & info [ "explain-plan" ]
+           ~doc:"Print the fused rule-set compiler's plan for the \
+                 command's rulebook — pattern trie, shared \
+                 subexpressions, join order — in a stable textual form, \
+                 and exit without running the workflow.")
+
 (* --- figures --- *)
 
-let figures obs only =
+let figures obs only explain_plan =
   obs_setup obs;
+  if explain_plan then
+    (* The paper scenario's plan: deterministic (rulebook order, initial
+       document estimates) — CI diffs it against a golden dump. *)
+    print_string
+      (Strategy_fused.explain ~doc:(Paper.initial_document ())
+         (Paper.rulebook ()))
+  else begin
   let e = Paper.run () in
   List.iter
     (fun (title, body) ->
@@ -174,6 +204,7 @@ let figures obs only =
     print_string (meta_prov_turtle ())
   end;
   obs_report obs
+  end
 
 let figures_cmd =
   let only =
@@ -183,7 +214,7 @@ let figures_cmd =
                    $(b,--only 5).")
   in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures and examples")
-    Term.(const figures $ obs_term $ only)
+    Term.(const figures $ obs_term $ only $ explain_plan_arg)
 
 (* --- shared pipeline runner --- *)
 
@@ -247,7 +278,7 @@ let run_dsl ~units ~seed ~(strategy : Strategy.kind) ~inheritance ~fault_rate
   let strategy : Strategy.post_hoc =
     match strategy with
     | (`Replay | `Rewrite) as s -> s
-    | (`Online | `Incremental) as s ->
+    | (`Online | `Incremental | `Fused) as s ->
       Printf.eprintf
         "strategy %s is execution-time only; parallel workflow expressions \
          infer post-hoc (use replay or rewrite)\n"
@@ -296,8 +327,14 @@ let run_dsl ~units ~seed ~(strategy : Strategy.kind) ~inheritance ~fault_rate
     (exec, g)
 
 let run obs units seed extended strategy inheritance fault_rate retries jobs
-    show_doc workflow =
+    show_doc workflow explain_plan =
   obs_setup obs;
+  if explain_plan then begin
+    let doc = Weblab_services.Workload.make_document ~units ~seed () in
+    let services = Weblab_services.Workload.standard_pipeline ~extended () in
+    print_string (Strategy_fused.explain ~doc (build_rulebook services))
+  end
+  else begin
   let exec, g =
     match workflow with
     | Some spec ->
@@ -345,6 +382,7 @@ let run obs units seed extended strategy inheritance fault_rate retries jobs
     print_string (meta_prov_turtle ())
   end;
   obs_report obs
+  end
 
 let run_cmd =
   let show_doc =
@@ -360,7 +398,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a synthetic media-mining workflow")
     Term.(const run $ obs_term $ units_arg $ seed_arg $ extended_arg
           $ strategy_arg $ inherit_arg $ fault_rate_arg $ retries_arg
-          $ jobs_arg $ show_doc $ workflow)
+          $ jobs_arg $ show_doc $ workflow $ explain_plan_arg)
 
 (* --- export --- *)
 

@@ -1,0 +1,83 @@
+(* The explain facility: a stable textual rendering of a compiled plan.
+
+   Stability is part of the contract — CI diffs the dump of the paper
+   scenario against a checked-in golden file — so everything printed is
+   deterministic data from the plan (insertion-order ids, rulebook-order
+   rules) and nothing is time-, locale- or machine-dependent. *)
+
+open Weblab_xpath
+
+let step_to_string (s : Ast.step) =
+  Print.axis_to_string s.Ast.axis
+  ^ Print.nametest_to_string s.Ast.test
+  ^ String.concat ""
+      (List.map (fun p -> "[" ^ Print.pred_to_string p ^ "]") s.Ast.preds)
+
+let to_string (plan : Plan.t) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let st = Plan.stats plan in
+  pf "fused rule-set plan\n";
+  pf "===================\n";
+  pf "rules: %d (%d fused, %d exact)\n" st.Plan.s_rules st.Plan.s_fused
+    st.Plan.s_exact;
+  pf "patterns: %d distinct for %d references\n" st.Plan.s_distinct_patterns
+    st.Plan.s_pattern_refs;
+  pf "trie: %d nodes for %d step occurrences (%d shared)\n\n"
+    st.Plan.s_trie_nodes st.Plan.s_total_steps st.Plan.s_shared_steps;
+  (* ----- the trie, depth-first, children in insertion order ----- *)
+  pf "pattern trie\n";
+  pf "------------\n";
+  let trie = plan.Plan.p_trie in
+  let leaf_expr = Hashtbl.create 16 in
+  Array.iter
+    (fun e -> Hashtbl.replace leaf_expr e.Plan.e_leaf e.Plan.e_id)
+    plan.Plan.p_exprs;
+  let rec walk depth id =
+    let n = Trie.get trie id in
+    let expr_mark =
+      match Hashtbl.find_opt leaf_expr id with
+      | Some e -> Printf.sprintf "  => E%d" e
+      | None -> ""
+    in
+    pf "[%3d] %s%-*s  x%d%s\n" id
+      (String.make (2 * depth) ' ')
+      (max 0 (46 - (2 * depth)))
+      (step_to_string n.Trie.step) n.Trie.refs expr_mark;
+    List.iter (walk (depth + 1)) (Trie.children trie id)
+  in
+  List.iter (walk 0) (Trie.children trie Trie.root);
+  (* ----- the shared subexpressions (CSE table) ----- *)
+  pf "\nshared subexpressions\n";
+  pf "---------------------\n";
+  Array.iter
+    (fun e ->
+      pf "E%d: %s  refs=%d est=%d\n" e.Plan.e_id
+        (Print.pattern_to_string e.Plan.e_pattern)
+        e.Plan.e_refs e.Plan.e_estimate)
+    plan.Plan.p_exprs;
+  (* ----- per-service rule plans, in rulebook order ----- *)
+  Array.iter
+    (fun sp ->
+      pf "\nservice %s\n" sp.Plan.sp_service;
+      pf "--------%s\n" (String.make (String.length sp.Plan.sp_service) '-');
+      if Array.length sp.Plan.sp_rules = 0 then pf "  (no rules)\n"
+      else
+        Array.iter
+          (fun rp ->
+            match rp with
+            | Plan.Exact { x_name; x_reason } ->
+              pf "  %s: exact (%s)\n" x_name x_reason
+            | Plan.Fused { f_name; f_src; f_tgt; f_keys; f_build } ->
+              let src = Plan.expr plan f_src in
+              let tgt = Plan.expr plan f_tgt in
+              pf "  %s: join E%d * E%d on (%s) build=%s (est %d vs %d)\n"
+                f_name f_src f_tgt
+                (String.concat ", " f_keys)
+                (match f_build with
+                 | Plan.Build_source -> "source"
+                 | Plan.Build_target -> "target")
+                src.Plan.e_estimate tgt.Plan.e_estimate)
+          sp.Plan.sp_rules)
+    plan.Plan.p_services;
+  Buffer.contents b

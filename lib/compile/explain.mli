@@ -1,0 +1,15 @@
+(** Stable textual rendering of a compiled plan — the [--explain-plan]
+    facility.
+
+    The output shows the pattern trie (with per-node sharing degrees),
+    the shared-subexpression table, and each rule's lowered plan (join
+    keys, build side, cardinality estimates, or the exact-fallback
+    reason).  It is deterministic for a given rulebook and estimate
+    function and contains nothing time- or machine-dependent; CI pins
+    the paper scenario's dump as a golden file. *)
+
+val to_string : Plan.t -> string
+
+val step_to_string : Weblab_xpath.Ast.step -> string
+(** One step in the pattern syntax (axis separator, name test,
+    predicates) — the rendering used for trie nodes. *)

@@ -1,0 +1,71 @@
+(* One fused evaluation pass: materialize a set of expression tables
+   against one document state, evaluating every needed trie node exactly
+   once.
+
+   Nodes are evaluated in ascending id order; a parent's id is always
+   smaller (Trie invariant), so each node extends an already-computed
+   parent front.  Each front and each table goes through the evaluator's
+   own step/table code ({!Eval.prefix_step} / {!Eval.prefix_table}), so
+   a materialized table is bit-identical to [Eval.eval] of the same
+   pattern under the same guards and index — the property the five-way
+   strategy-agreement tests pin down. *)
+
+open Weblab_xml
+open Weblab_xpath
+open Weblab_relalg
+module T = Weblab_obs.Telemetry
+
+let c_steps = T.counter "fused.pass.steps"
+let c_steps_shared = T.counter "fused.pass.steps.shared"
+let c_tables = T.counter "fused.pass.tables"
+
+type t = { tables : (int, Table.t) Hashtbl.t (* expr id → table *) }
+
+let run (plan : Plan.t) ~(exprs : int array) ?index ~guards doc =
+  let index =
+    match index with
+    | Some idx when Index.valid_for idx doc -> Some idx
+    | Some _ | None -> Some (Index.for_tree doc)
+  in
+  (* The union of the expressions' trie chains, ascending = parents
+     before children. *)
+  let needed = Hashtbl.create 64 in
+  let demanded = ref 0 in
+  Array.iter
+    (fun e ->
+      let path = (Plan.expr plan e).Plan.e_path in
+      demanded := !demanded + List.length path;
+      List.iter (fun nid -> Hashtbl.replace needed nid ()) path)
+    exprs;
+  let order =
+    Hashtbl.fold (fun nid () acc -> nid :: acc) needed []
+    |> List.sort compare
+  in
+  T.add c_steps (List.length order);
+  T.add c_steps_shared (!demanded - List.length order);
+  let fronts = Hashtbl.create 64 in
+  List.iter
+    (fun nid ->
+      let n = Trie.get plan.Plan.p_trie nid in
+      let parent_front =
+        if n.Trie.parent = Trie.root then Eval.prefix_start guards
+        else Hashtbl.find fronts n.Trie.parent
+      in
+      Hashtbl.add fronts nid
+        (Eval.prefix_step ?index ~guards doc parent_front n.Trie.step))
+    order;
+  let tables = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let ex = Plan.expr plan e in
+      T.incr c_tables;
+      Hashtbl.replace tables e
+        (Eval.prefix_table doc ex.Plan.e_pattern
+           (Hashtbl.find fronts ex.Plan.e_leaf)))
+    exprs;
+  { tables }
+
+let table t ~expr =
+  match Hashtbl.find_opt t.tables expr with
+  | Some tbl -> tbl
+  | None -> invalid_arg "Pass.table: expression not materialized by this pass"

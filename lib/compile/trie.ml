@@ -1,0 +1,95 @@
+(* The shared pattern-prefix trie.
+
+   Every pattern of a rulebook — source and target sides alike — is a
+   list of XPath steps; patterns that agree on a prefix of steps
+   (structurally, including predicates) re-do exactly the same work when
+   evaluated rule at a time.  The trie interns each distinct (prefix,
+   step) pair once: a node stands for the step chain from the virtual
+   document root down to it, and two patterns share trie nodes exactly
+   as far as their step lists agree.
+
+   Node ids are dense and allocated in insertion order, so a parent's id
+   is always smaller than its children's — evaluating nodes in ascending
+   id order (as {!Pass} does) is a valid topological schedule. *)
+
+open Weblab_xpath
+
+type node = {
+  id : int;
+  parent : int;  (* [root] for the first step of a pattern *)
+  step : Ast.step;
+  mutable refs : int;  (* pattern occurrences whose chain passes through *)
+}
+
+type t = {
+  mutable nodes : node array;  (* id-indexed prefix [0, count) *)
+  mutable count : int;
+  children : (int * Ast.step, int) Hashtbl.t;  (* (parent, step) → id *)
+}
+
+let root = -1
+
+let create () = { nodes = [||]; count = 0; children = Hashtbl.create 64 }
+
+let size t = t.count
+
+let get t id =
+  if id < 0 || id >= t.count then invalid_arg "Trie.get: unknown node";
+  t.nodes.(id)
+
+let push t node =
+  if t.count = Array.length t.nodes then begin
+    let grown = Array.make (max 16 (2 * t.count)) node in
+    Array.blit t.nodes 0 grown 0 t.count;
+    t.nodes <- grown
+  end;
+  t.nodes.(t.count) <- node;
+  t.count <- t.count + 1
+
+(* Intern a pattern; returns its node chain, root to leaf.  Structural
+   equality on steps (axis, name test, predicate list) decides sharing —
+   the same notion under which evaluation of the step is the same
+   function of the incoming front. *)
+let insert t (pattern : Ast.pattern) =
+  if pattern = [] then invalid_arg "Trie.insert: empty pattern";
+  let rev_path =
+    List.fold_left
+      (fun acc step ->
+        let parent = match acc with [] -> root | id :: _ -> id in
+        let key = (parent, step) in
+        let id =
+          match Hashtbl.find_opt t.children key with
+          | Some id -> id
+          | None ->
+            let id = t.count in
+            push t { id; parent; step; refs = 0 };
+            Hashtbl.add t.children key id;
+            id
+        in
+        (get t id).refs <- (get t id).refs + 1;
+        id :: acc)
+      [] pattern
+  in
+  List.rev rev_path
+
+let path t id =
+  let rec up acc id = if id = root then acc else up (id :: acc) (get t id).parent in
+  up [] id
+
+let children t id =
+  let out = ref [] in
+  for i = t.count - 1 downto 0 do
+    if t.nodes.(i).parent = id then out := i :: !out
+  done;
+  !out
+
+let total_refs t =
+  let s = ref 0 in
+  for i = 0 to t.count - 1 do
+    s := !s + t.nodes.(i).refs
+  done;
+  !s
+
+(* Step evaluations a rule-at-a-time evaluator would perform minus the
+   trie's nodes: the work the sharing removes (per pass). *)
+let shared_steps t = total_refs t - size t

@@ -1,0 +1,57 @@
+(** The shared pattern-prefix trie.
+
+    Interns the step lists of a rulebook's XPath patterns: two patterns
+    share trie nodes exactly as far as their step lists agree
+    (structural equality on steps, predicates included).  A node stands
+    for the chain from the virtual document root down to its step; a
+    pattern is identified by its leaf node, so distinct patterns map to
+    distinct leaves and {e identical} patterns map to the same leaf —
+    the common-subexpression identity the compiler's CSE is built on.
+
+    Ids are dense insertion-order ints; a parent's id is always smaller
+    than its children's, so ascending id order is a valid evaluation
+    schedule. *)
+
+open Weblab_xpath
+
+type node = {
+  id : int;
+  parent : int;  (** [root] for the first step of a pattern *)
+  step : Ast.step;
+  mutable refs : int;
+      (** How many pattern occurrences traverse this node — the sharing
+          degree the explain dump reports. *)
+}
+
+type t
+
+val root : int
+(** The id of the virtual document node ([-1]); never a real node. *)
+
+val create : unit -> t
+
+val insert : t -> Ast.pattern -> int list
+(** Intern a pattern; returns its node chain, root to leaf (so the leaf
+    is the last element).  Idempotent on structure: re-inserting an
+    equal pattern returns the same chain (and bumps [refs]).
+    @raise Invalid_argument on the empty pattern. *)
+
+val get : t -> int -> node
+(** @raise Invalid_argument on an unknown id. *)
+
+val size : t -> int
+(** Number of interned nodes = distinct (prefix, step) pairs. *)
+
+val path : t -> int -> int list
+(** Node chain from the root down to the given node, inclusive. *)
+
+val children : t -> int -> int list
+(** Child ids in insertion (ascending id) order; pass {!root} for the
+    top-level steps. *)
+
+val total_refs : t -> int
+(** Total step occurrences across all inserted patterns. *)
+
+val shared_steps : t -> int
+(** [total_refs t - size t]: step evaluations per pass that prefix
+    sharing removes compared to rule-at-a-time evaluation. *)

@@ -34,8 +34,8 @@ val run_with_strategy :
   Strategy.kind ->
   Tree.t -> Service.t list -> Strategy.rulebook ->
   execution * Prov_graph.t
-(** [run_with_backend] on {!Strategy.backend_of}.  All four strategies
-    produce identical link sets. *)
+(** [run_with_backend] on {!Strategy.backend_of}.  All registered
+    strategies produce identical link sets. *)
 
 val run_online :
   ?policy:Orchestrator.policy ->

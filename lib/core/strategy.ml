@@ -14,7 +14,14 @@ let rules_for = Strategy_sig.rules_for
 
 type post_hoc = [ `Replay | `Rewrite ]
 
-type kind = [ `Online | `Replay | `Rewrite | `Incremental ]
+type kind = [ `Online | `Replay | `Rewrite | `Incremental | `Fused ]
+
+(* The backend registry, in registration order.  Everything that
+   enumerates backends — the CLI's [--strategy] parser and usage string,
+   the agreement test suites — derives from this list, so a new backend
+   cannot ship with a stale enumeration (CI pins [names] and fails on
+   drift). *)
+let all : kind list = [ `Online; `Replay; `Rewrite; `Incremental; `Fused ]
 
 let sequential_hb = Strategy_sig.sequential_hb
 
@@ -23,19 +30,19 @@ let backend_of : kind -> Strategy_sig.backend = function
   | `Replay -> (module Strategy_replay)
   | `Rewrite -> (module Strategy_rewrite)
   | `Incremental -> (module Strategy_incremental)
-
-let kind_of_string = function
-  | "online" -> Some `Online
-  | "replay" -> Some `Replay
-  | "rewrite" -> Some `Rewrite
-  | "incremental" -> Some `Incremental
-  | _ -> None
+  | `Fused -> (module Strategy_fused)
 
 let kind_to_string : kind -> string = function
   | `Online -> Strategy_online.name
   | `Replay -> Strategy_replay.name
   | `Rewrite -> Strategy_rewrite.name
   | `Incremental -> Strategy_incremental.name
+  | `Fused -> Strategy_fused.name
+
+let names = List.map kind_to_string all
+
+let kind_of_string s =
+  List.find_opt (fun k -> String.equal (kind_to_string k) s) all
 
 (* ----- Post-hoc entry point ----- *)
 

@@ -17,9 +17,14 @@
       per-call cost proportional to the appended fragment, not the
       document (see {!Strategy_incremental}).
 
+    - {b [`Fused]}: execution-time; the whole rulebook is compiled into
+      one shared plan ({!Weblab_compile}: pattern-prefix trie, CSE,
+      estimate-ordered hash joins) and each call is processed in a
+      single fused pass per side (see {!Strategy_fused}).
+
     Each strategy is a first-class {!Strategy_sig.STRATEGY_BACKEND}
     (init → observe committed calls → finalize); this module names them
-    for dispatch and keeps the historical entry points.  All four
+    for dispatch and keeps the historical entry points.  All backends
     produce identical link sets (property-tested, including under fault
     plans). *)
 
@@ -33,15 +38,24 @@ val rules_for : rulebook -> string -> Rule.t list
 
 type post_hoc = [ `Replay | `Rewrite ]
 
-type kind = [ `Online | `Replay | `Rewrite | `Incremental ]
+type kind = [ `Online | `Replay | `Rewrite | `Incremental | `Fused ]
 (** Every strategy, as selectable from the CLI ([--strategy]). *)
+
+val all : kind list
+(** The backend registry, in registration order.  The CLI's
+    [--strategy] parser/usage and the agreement test suites derive from
+    this list; CI pins {!names} and fails when an enumeration drifts. *)
+
+val names : string list
+(** [List.map kind_to_string all]. *)
 
 val backend_of : kind -> Strategy_sig.backend
 (** The backend implementing a strategy — feed it to
     {!Engine.run_with_backend}. *)
 
 val kind_of_string : string -> kind option
-(** ["online" | "replay" | "rewrite" | "incremental"]. *)
+(** Inverse of {!kind_to_string} over {!all} — every registered backend
+    name, nothing else. *)
 
 val kind_to_string : kind -> string
 

@@ -1,0 +1,230 @@
+(* The Fused strategy: execution-time like Online, but the whole rule
+   set is compiled ({!Weblab_compile}) into one shared plan before the
+   workflow starts, and each committed call is processed in a single
+   fused pass per side instead of a rule-at-a-time loop.
+
+   At [init] the rulebook's source and target patterns are interned in a
+   shared prefix trie with common-subexpression elimination — identical
+   patterns become one expression, shared step prefixes shared trie
+   nodes — and each rule is lowered to a hash join of its two expression
+   tables, the build side chosen by index-derived cardinality estimates
+   (see {!Weblab_compile.Plan}).
+
+   At [observe] the backend runs two passes over the (frozen, committed)
+   arena: the service's source expressions against d_{t-1} and its
+   target expressions against d_t, evaluating every distinct pattern
+   step once however many rules reference it.  Per rule, the target
+   table is restricted to the rows this call generated (created = t —
+   Definition 9's ⋉ out(c); promotions keep their original timestamp and
+   are never generated), the two tables are hash-joined on their shared
+   variables, and the resulting links are emitted sorted and
+   deduplicated — the same order {!Mapping.links_of_table} produces, so
+   the graph's insertion sequence (and hence the serialized Turtle) is
+   bit-identical to the Online reference.
+
+   Rules the fused form cannot reproduce exactly — Skolem rules (the
+   synthetic identifier is computed per joined row) and rules with free
+   target variables — were lowered to [Exact] plans at compile time; for
+   those the per-rule item runs the reference {!Mapping.apply_states}
+   computation, exactly as Online does.
+
+   The per-rule loop fans out over the backend's {!Pool}; items write
+   into emission buffers that the caller replays in rulebook order
+   (deterministic in-order merge), with {!Strategy_sig.record_rule_eval}
+   as the telemetry choke point — the same discipline as the other
+   execution-time backends. *)
+
+open Weblab_xml
+open Weblab_xpath
+open Weblab_relalg
+open Weblab_workflow
+module C_plan = Weblab_compile.Plan
+module C_pass = Weblab_compile.Pass
+module C_explain = Weblab_compile.Explain
+
+let name = "fused"
+
+module T = Weblab_obs.Telemetry
+
+let c_exact_items = T.counter "fused.items.exact"
+let c_join_items = T.counter "fused.items.join"
+
+(* ----- Compilation ----- *)
+
+(* The classification lives here, not in lib/compile: it needs the rule
+   representation and the Skolem detection of the mapping layer. *)
+let crule_of rule =
+  let target = Rule.target rule in
+  let exact =
+    if Mapping.is_skolem_rule rule then Some "skolem identifier"
+    else if Ast.free_variables target <> [] then Some "free target variable"
+    else None
+  in
+  { C_plan.cr_name = Rule.name rule; cr_source = Rule.source rule;
+    cr_target = target; cr_exact = exact }
+
+let compile ~doc (rb : Strategy_sig.rulebook) =
+  (* A throwaway index of the initial document: compile-time estimates
+     only read element-label counts, which the orchestrator's prologue
+     (attribute labeling) does not change. *)
+  let idx = Index.build doc in
+  C_plan.compile
+    ~estimate:(C_plan.index_estimate idx)
+    (List.map (fun (s, rules) -> (s, List.map crule_of rules)) rb)
+
+let explain ~doc (rb : Strategy_sig.rulebook) =
+  C_explain.to_string (compile ~doc rb)
+
+(* ----- State ----- *)
+
+type state = {
+  doc : Tree.t;
+  g : Prov_graph.t;
+  plan : C_plan.t;
+  rules : Rule.t array array;  (* per service slot, rulebook order *)
+  services : (string, int) Hashtbl.t;  (* service name → slot *)
+  pool : Pool.t;
+  mutable index : Index.t option;  (* owned: extended in place *)
+}
+
+let init ?jobs ~doc (rb : Strategy_sig.rulebook) =
+  let services = Hashtbl.create 8 in
+  List.iteri
+    (fun i (service, _) ->
+      if not (Hashtbl.mem services service) then
+        Hashtbl.replace services service i)
+    rb;
+  let rules =
+    Array.of_list (List.map (fun (_, rs) -> Array.of_list rs) rb)
+  in
+  let jobs = match jobs with Some j -> j | None -> Pool.configured_jobs () in
+  { doc; g = Prov_graph.create (); plan = compile ~doc rb; rules; services;
+    pool = Pool.create ~jobs (); index = None }
+
+let current_index st ~promoted =
+  let doc = st.doc in
+  match st.index with
+  | Some idx when Index.extend idx doc ~promoted -> idx
+  | Some _ | None ->
+    (* First observation, a rollback (generation mismatch), or a key
+       band exhausted: rebuild.  Privately owned, the {!Index.for_tree}
+       cache is left alone. *)
+    let idx = Index.build doc in
+    st.index <- Some idx;
+    idx
+
+(* ----- Per-call execution ----- *)
+
+type emission =
+  | App of string * Mapping.application
+  | Link of { rule : string; from_uri : string; to_uri : string }
+
+let replay_emission g = function
+  | App (rule_name, app) -> Strategy_sig.add_application g rule_name app
+  | Link { rule; from_uri; to_uri } ->
+    Prov_graph.add_link g ~rule ~from_uri ~to_uri
+
+(* ρ_{r→in} then π over the source pattern's variables — exactly
+   {!Mapping.source_table}'s projection, applied to a pass table. *)
+let project_source tbl (source : Ast.pattern) =
+  Table.project (Table.rename tbl [ ("r", "in") ])
+    ("in" :: Ast.variables source)
+
+(* ρ_{r→out} then π — exactly {!Mapping.target_table}'s projection. *)
+let project_target tbl (target : Ast.pattern) =
+  let vars =
+    List.sort_uniq String.compare
+      (Ast.variables target @ Ast.free_variables target)
+    |> List.filter (fun v -> v <> "r" && v <> "node")
+  in
+  Table.project (Table.rename tbl [ ("r", "out") ]) ("out" :: vars)
+
+let observe st ~call ~before ~after ~(delta : Orchestrator.delta) =
+  let idx = current_index st ~promoted:delta.Orchestrator.promoted in
+  match Hashtbl.find_opt st.services call.Trace.service with
+  | None -> ()
+  | Some slot ->
+    let rules = st.rules.(slot) in
+    let sp = st.plan.C_plan.p_services.(slot) in
+    if Array.length rules > 0 then begin
+      let doc = st.doc in
+      let t = call.Trace.time in
+      (* The two fused passes — the only pattern evaluation of the call.
+         Computed before the fan-out: the fronts are shared state, and
+         the workers must only read. *)
+      let src_pass =
+        C_pass.run st.plan ~exprs:sp.C_plan.sp_src_exprs ~index:idx
+          ~guards:(Eval.state_guards before) doc
+      in
+      let tgt_pass =
+        C_pass.run st.plan ~exprs:sp.C_plan.sp_tgt_exprs ~index:idx
+          ~guards:(Eval.state_guards after) doc
+      in
+      let generated u =
+        match Tree.find_resource doc u with
+        | Some n -> Tree.created doc n = t
+        | None -> false
+      in
+      let buffers =
+        Pool.map st.pool (Array.length rules) (fun i ->
+            T.timed (fun () ->
+                let rule = rules.(i) in
+                match sp.C_plan.sp_rules.(i) with
+                | C_plan.Exact _ ->
+                  T.incr c_exact_items;
+                  let app = Mapping.apply_states ~index:idx rule before after in
+                  [ App (Rule.name rule,
+                         Mapping.restrict_to_generated app ~generated) ]
+                | C_plan.Fused { f_src; f_tgt; f_build; _ } ->
+                  T.incr c_join_items;
+                  (* Definition 9's generated restriction, applied to
+                     target rows before the join: a URI names one node,
+                     so filtering on created(node) = t keeps exactly the
+                     rows whose [out] the call generated. *)
+                  let tgt_rows =
+                    let tbl = C_pass.table tgt_pass ~expr:f_tgt in
+                    Table.select tbl (fun tb row ->
+                        match Table.get tb row "node" with
+                        | Value.Node n -> Tree.created doc n = t
+                        | Value.Str _ | Value.Int _ -> false)
+                  in
+                  let rs =
+                    project_source
+                      (C_pass.table src_pass ~expr:f_src)
+                      (Rule.source rule)
+                  in
+                  let rt = project_target tgt_rows (Rule.target rule) in
+                  let j =
+                    match f_build with
+                    | C_plan.Build_target -> Table.hash_join rs rt
+                    | C_plan.Build_source -> Table.hash_join rt rs
+                  in
+                  Mapping.links_of_table j
+                  |> List.map (fun (out, inp) ->
+                         Link
+                           { rule = Rule.name rule; from_uri = out;
+                             to_uri = inp })))
+      in
+      Array.iteri
+        (fun i tr ->
+          (if T.enabled () || T.meta_on () then
+             let links =
+               List.concat_map
+                 (function
+                   | App (_, app) -> app.Mapping.links
+                   | Link { from_uri; to_uri; _ } -> [ (from_uri, to_uri) ])
+                 tr.T.v
+             in
+             Strategy_sig.record_rule_eval ~service:call.Trace.service
+               ~time:call.Trace.time ~rule_name:(Rule.name rules.(i))
+               ~t0:tr.T.t0 ~t1:tr.T.t1 ~worker:tr.T.worker ~links);
+          List.iter (replay_emission st.g) tr.T.v)
+        buffers
+    end
+
+let finalize st ~doc:_ ~trace =
+  Pool.shutdown st.pool;
+  List.iter
+    (fun e -> Prov_graph.set_label st.g e.Trace.uri e.Trace.call)
+    (Trace.entries trace);
+  st.g

@@ -1,0 +1,22 @@
+(** The Fused strategy backend: the rulebook is compiled into one shared
+    plan ({!Weblab_compile}) — pattern-prefix trie, common-subexpression
+    elimination, estimate-ordered hash joins — and each committed call
+    is processed in a single fused pass per side, evaluating every
+    distinct pattern step once however many rules reference it.
+
+    Produces graphs bit-identical (links and serialized Turtle) to the
+    Online reference, for any [jobs], including under fault injection —
+    property-tested five-ways in CI.  Skolem rules and rules with free
+    target variables run through the exact rule-at-a-time fallback. *)
+
+open Weblab_xml
+
+include Strategy_sig.STRATEGY_BACKEND
+
+val compile : doc:Tree.t -> Strategy_sig.rulebook -> Weblab_compile.Plan.t
+(** The static half: classify rules (Skolem / free target variables go
+    exact), intern patterns, pick join sides from an index of [doc]. *)
+
+val explain : doc:Tree.t -> Strategy_sig.rulebook -> string
+(** [Weblab_compile.Explain.to_string] of {!compile} — what the CLI's
+    [--explain-plan] prints. *)

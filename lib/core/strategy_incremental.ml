@@ -333,7 +333,20 @@ let observe st ~call ~before ~after ~(delta : Orchestrator.delta) =
                     emit_join st idx ~call ~after ~touched ~spine
                       ~emit:(fun e -> out := e :: !out)
                       rule m;
-                    List.rev !out
+                    (* Canonical per-item order: the sorted, deduplicated
+                       sequence {!Mapping.links_of_table} yields, so the
+                       graph's insertion order — and hence the serialized
+                       Turtle, which groups subjects first-seen — is
+                       bit-identical to the Online reference. *)
+                    List.filter_map
+                      (function
+                        | Link { rule; from_uri; to_uri } ->
+                          Some (rule, from_uri, to_uri)
+                        | App _ -> None)
+                      !out
+                    |> List.sort_uniq compare
+                    |> List.map (fun (rule, from_uri, to_uri) ->
+                           Link { rule; from_uri; to_uri })
                   end
                   else []))
       in

@@ -14,6 +14,10 @@ type guards = {
 
 let no_guards = { visible = (fun _ -> true); env = [] }
 
+(* An evaluation front: the surviving (node, environment) pairs after a
+   prefix of a pattern's steps, in document-traversal order. *)
+type contexts = (Tree.node * (string * Value.t) list) list
+
 let state_guards st = { visible = Doc_state.visible st; env = [] }
 
 let test_matches doc test n =
@@ -337,29 +341,16 @@ let apply_step ?keep doc index visible contexts (step : Ast.step) =
       List.fold_left (apply_pred doc visible) candidates step.Ast.preds)
     contexts
 
-(* [restrict], when provided, prunes the candidates of step [i] (0-based)
-   to a node predicate — the delta-restricted evaluation hook.  It is only
-   sound for patterns where the pruning commutes with the predicates (see
-   [delta_localizable]); predicates themselves are never restricted. *)
-let eval_with ?restrict ~require_uri ~guards ~index doc (pattern : Ast.pattern) =
-  T.incr c_patterns;
+(* Build the result table from the surviving (final node, environment)
+   front.  Shared between [eval_with] and the prefix API below so the
+   fused compiler's tables are bit-identical — rows and order — to
+   rule-at-a-time evaluation of the same pattern. *)
+let table_of_front ~require_uri doc (pattern : Ast.pattern) finals =
   (* An explicit [$r := @id] is the implicit result binding of Definition 4
      condition (3) spelled out (the pattern φ2 of Example 3), so the "r"
      column is never duplicated; "node" is likewise reserved. *)
   let vars =
     List.filter (fun v -> v <> "r" && v <> "node") (Ast.variables pattern)
-  in
-  let finals =
-    let step_keep i =
-      match restrict with None -> None | Some f -> Some (f i)
-    in
-    List.fold_left
-      (fun (ctxs, i) step ->
-        (apply_step ?keep:(step_keep i) doc index guards.visible ctxs step,
-         i + 1))
-      ([ (Tree.no_node, guards.env) ], 0)
-      pattern
-    |> fst
   in
   let table = Table.create (("node" :: "r" :: vars)) in
   List.iter
@@ -389,6 +380,56 @@ let eval_with ?restrict ~require_uri ~guards ~index doc (pattern : Ast.pattern) 
         Table.add_row table row)
     finals;
   Table.distinct table
+
+(* [restrict], when provided, prunes the candidates of step [i] (0-based)
+   to a node predicate — the delta-restricted evaluation hook.  It is only
+   sound for patterns where the pruning commutes with the predicates (see
+   [delta_localizable]); predicates themselves are never restricted. *)
+let eval_with ?restrict ~require_uri ~guards ~index doc (pattern : Ast.pattern) =
+  T.incr c_patterns;
+  let finals =
+    let step_keep i =
+      match restrict with None -> None | Some f -> Some (f i)
+    in
+    List.fold_left
+      (fun (ctxs, i) step ->
+        (apply_step ?keep:(step_keep i) doc index guards.visible ctxs step,
+         i + 1))
+      ([ (Tree.no_node, guards.env) ], 0)
+      pattern
+    |> fst
+  in
+  table_of_front ~require_uri doc pattern finals
+
+(* ----- Shared-prefix evaluation -----
+
+   The fused rule-set compiler (lib/compile) evaluates the patterns of a
+   whole rulebook against one document state and shares the work of
+   common step prefixes.  These hooks expose the evaluator's
+   intermediate state — the (node, environment) front after a prefix of
+   steps — so a front can be extended by one step at a time and branched
+   into several continuations without re-running the shared steps.
+   Folding [prefix_step] over a pattern's steps from [prefix_start] and
+   finishing with [prefix_table] goes through exactly the same
+   [apply_step] / [table_of_front] code as [eval]. *)
+
+let c_shared_tables = T.counter "eval.patterns.fused"
+
+let prefix_start (guards : guards) : contexts = [ (Tree.no_node, guards.env) ]
+
+let prefix_step ?index ~guards doc (ctxs : contexts) (step : Ast.step) :
+    contexts =
+  let index =
+    match index with
+    | Some idx when Index.valid_for idx doc -> Some idx
+    | Some _ | None -> Some (Index.for_tree doc)
+  in
+  apply_step doc index guards.visible ctxs step
+
+let prefix_table ?(require_uri = true) doc (pattern : Ast.pattern)
+    (finals : contexts) =
+  T.incr c_shared_tables;
+  table_of_front ~require_uri doc pattern finals
 
 (* The default mode: serve candidates from the cached per-document index
    (see {!Index.for_tree}); a caller that already holds a valid index

@@ -88,3 +88,36 @@ val matching_nodes :
   ?guards:guards -> Tree.t -> Ast.pattern -> Tree.node list
 (** Nodes matched by the final step, regardless of URIs; distinct, in
     first-match order. *)
+
+(** {1 Shared-prefix evaluation}
+
+    Hooks for the fused rule-set compiler ({!Weblab_compile}): a whole
+    rulebook's patterns are evaluated against one document state with
+    the work of common step prefixes shared.  A {!contexts} value is the
+    evaluator's intermediate state after a prefix of steps; it can be
+    extended one step at a time ({!prefix_step}) and branched into
+    several continuations without re-running the shared steps.
+
+    For every pattern, folding {!prefix_step} over its steps starting
+    from {!prefix_start} and finishing with {!prefix_table} produces a
+    table bit-identical — rows {e and} order — to {!eval} with the same
+    guards and index (it runs the very same step/table code). *)
+
+type contexts = (Tree.node * (string * Value.t) list) list
+(** An evaluation front: the surviving (node, environment) pairs after a
+    prefix of a pattern's steps, in document-traversal order.  The
+    initial front is the virtual document node with the guards'
+    environment. *)
+
+val prefix_start : guards -> contexts
+
+val prefix_step :
+  ?index:Index.t -> guards:guards -> Tree.t -> contexts -> Ast.step -> contexts
+(** Extend a front by one step, serving candidates from the index where
+    sound (same fast-path rules as {!eval}; a stale index is ignored). *)
+
+val prefix_table :
+  ?require_uri:bool -> Tree.t -> Ast.pattern -> contexts -> Table.t
+(** Build the pattern's result table from its final front.  [pattern]
+    supplies the column set; the front must be the fold of the pattern's
+    steps.  [require_uri] defaults to [true], as in {!eval}. *)

@@ -80,7 +80,7 @@ let run_strategy kind ~jobs ~seed ~faulty =
   in
   (exec, link_list g, Engine.to_turtle ~trace:exec.Engine.trace g)
 
-let all_kinds : Strategy.kind list = [ `Online; `Replay; `Rewrite; `Incremental ]
+let all_kinds : Strategy.kind list = Strategy.all
 
 (* ---------- the recorder itself ---------- *)
 

@@ -179,7 +179,8 @@ let run_strategy kind ~jobs ~seed ~faulty =
   in
   (link_list g, Engine.to_turtle ~trace:exec.Engine.trace g)
 
-let all_kinds : Strategy.kind list = [ `Online; `Replay; `Rewrite; `Incremental ]
+(* Every registered backend — a new one is covered automatically. *)
+let all_kinds : Strategy.kind list = Strategy.all
 
 let test_parallel_identical_deterministic () =
   (* Pinned smoke version of the property: every strategy, jobs=4 vs

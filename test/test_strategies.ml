@@ -1,6 +1,7 @@
-(* Tests for the evaluation strategies: Online, Replay and Rewrite must
-   produce identical provenance graphs; inherited closure; graph
-   invariants (acyclicity, temporal soundness). *)
+(* Tests for the evaluation strategies: every backend in the registry
+   (Online, Replay, Rewrite, Incremental, Fused) must produce identical
+   provenance graphs; inherited closure; graph invariants (acyclicity,
+   temporal soundness). *)
 
 open Weblab_xml
 open Weblab_workflow
@@ -51,13 +52,35 @@ let test_online_equals_posthoc () =
   let g_replay = Engine.provenance ~strategy:`Replay exec rb in
   check links_testable "online = replay" (link_list g_replay) (link_list g_online)
 
-(* --- four-way backend agreement --- *)
+(* --- backend agreement across the whole registry --- *)
 
-let all_kinds : Strategy.kind list = [ `Online; `Replay; `Rewrite; `Incremental ]
+(* The tested list IS the registry: a backend registered in
+   {!Strategy.all} is automatically covered by every agreement test
+   below, and [test_registry_pinned] fails when the registry and this
+   suite's expectations drift apart. *)
+let all_kinds : Strategy.kind list = Strategy.all
 
-let test_four_way_agreement () =
+let test_registry_pinned () =
+  check
+    Alcotest.(list string)
+    "registered backends = tested backends"
+    [ "online"; "replay"; "rewrite"; "incremental"; "fused" ]
+    Strategy.names;
+  (* kind_of_string is the exact inverse over the registry *)
+  List.iter
+    (fun k ->
+      match Strategy.kind_of_string (Strategy.kind_to_string k) with
+      | Some k' ->
+        check Alcotest.string "round-trip" (Strategy.kind_to_string k)
+          (Strategy.kind_to_string k')
+      | None -> Alcotest.fail "registered name not parsed")
+    Strategy.all;
+  check_bool "unknown name rejected" true
+    (Strategy.kind_of_string "compiled" = None)
+
+let test_five_way_agreement () =
   (* Same deterministic workload re-run once per backend (execution
-     mutates the document): all four strategies, one link set. *)
+     mutates the document): every registered strategy, one link set. *)
   List.iter
     (fun seed ->
       let run kind =
@@ -75,10 +98,10 @@ let test_four_way_agreement () =
         all_kinds)
     [ 3; 11; 42 ]
 
-let test_four_way_paper_scenario () =
+let test_five_way_paper_scenario () =
   (* The paper's running example exercises URI promotion (the Normaliser
      promotes node 3 to r3), which forces the Incremental backend to
-     reset its memo tables — all four backends must still agree. *)
+     reset its memo tables — every backend must still agree. *)
   let run kind =
     let doc = Weblab_scenario.Paper.initial_document () in
     let _, g =
@@ -107,7 +130,8 @@ let test_incremental_long_chain () =
     link_list g
   in
   check links_testable "chain: incremental = online" (run `Online)
-    (run `Incremental)
+    (run `Incremental);
+  check links_testable "chain: fused = online" (run `Online) (run `Fused)
 
 let test_nonempty () =
   let doc, services, rb = pipeline ~seed:3 () in
@@ -298,8 +322,9 @@ let () =
     [ ( "agreement",
         [ Alcotest.test_case "replay = rewrite" `Quick test_replay_equals_rewrite;
           Alcotest.test_case "online = post-hoc" `Quick test_online_equals_posthoc;
-          Alcotest.test_case "four-way agreement" `Quick test_four_way_agreement;
-          Alcotest.test_case "four-way paper scenario" `Quick test_four_way_paper_scenario;
+          Alcotest.test_case "registry = tested list" `Quick test_registry_pinned;
+          Alcotest.test_case "five-way agreement" `Quick test_five_way_agreement;
+          Alcotest.test_case "five-way paper scenario" `Quick test_five_way_paper_scenario;
           Alcotest.test_case "incremental long chain" `Quick test_incremental_long_chain;
           Alcotest.test_case "non-empty" `Quick test_nonempty;
           Alcotest.test_case "invariants" `Quick test_graph_invariants;
