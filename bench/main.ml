@@ -43,6 +43,14 @@ let par_jobs = ref [ 1; 2; 4; 8 ]
    BENCH_parallel.json artifact. *)
 let parallel_report = ref None
 
+(* [--serve-report PATH] boots the serving daemon in-process on an
+   ephemeral port, drives many concurrent client sessions to completion
+   (each checked byte-for-byte against an equivalent offline run) and
+   writes the BENCH_serve.json artifact: sessions/sec and query latency
+   percentiles.  Runs instead of the Bechamel suite; exits nonzero on any
+   protocol error or turtle mismatch. *)
+let serve_report = ref None
+
 (* [--obs-guard] runs the disabled-recorder overhead check (P15) instead
    of the Bechamel suite: fails the process if the estimated cost of the
    Off-level telemetry call sites exceeds 2% of the smoke workload. *)
@@ -59,8 +67,8 @@ let () =
   let usage unknown =
     Printf.eprintf
       "usage: %s [--quick] [--json PATH] [--only SUBSTR] [--jobs N] \
-       [--parallel-report PATH] [--obs-guard] [--fused-counters]  \
-       (unknown arg %s)\n"
+       [--parallel-report PATH] [--serve-report PATH] [--obs-guard] \
+       [--fused-counters]  (unknown arg %s)\n"
       Sys.argv.(0) unknown;
     exit 2
   in
@@ -82,6 +90,9 @@ let () =
       scan rest
     | "--parallel-report" :: path :: rest ->
       parallel_report := Some path;
+      scan rest
+    | "--serve-report" :: path :: rest ->
+      serve_report := Some path;
       scan rest
     | "--obs-guard" :: rest ->
       obs_guard := true;
@@ -187,6 +198,163 @@ let run_parallel_report path =
         s)
     rows;
   Printf.printf "Wrote %d datapoints to %s\n" (List.length rows) path
+
+(* ---------- P17: serving daemon driver (--serve-report) ----------
+
+   Wall-clock, end to end: the daemon is booted in-process on an
+   ephemeral loopback port and [sessions] concurrent clients each open a
+   session, commit a pipeline call by call (interleaving why/impact
+   queries after every commit), and close with a Turtle export.  The
+   export must be byte-identical to an equivalent offline
+   [Engine.run_with_strategy] run of the same workload — the serving path
+   is an alternative driver of the same machinery, not an approximation
+   of it.  Clients cycle through every registered backend. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let run_serve_report path =
+  let module Srv = Weblab_server.Server in
+  let module P = Weblab_server.Protocol in
+  let module J = Weblab_server.Json in
+  let sessions = 32 in
+  let units, calls = if !quick then (2, 4) else (3, 7) in
+  let seed = 42 in
+  let services = Workload.chain_pipeline calls in
+  let service_names = List.map Service.name services in
+  let rb = rulebook services in
+  let backends = Strategy.all in
+  (* Offline references, one per backend: same document, same pipeline,
+     straight through the engine. *)
+  let reference =
+    List.map
+      (fun kind ->
+        let doc = Workload.make_document ~units ~seed () in
+        let exec, g = Engine.run_with_strategy ~jobs:1 kind doc services rb in
+        (kind, Engine.to_turtle ~trace:exec.Engine.trace g))
+      backends
+  in
+  let ctx = P.make_ctx ~max_sessions:(sessions * 2) () in
+  let srv = Srv.start ~port:0 ctx in
+  let port = Srv.port srv in
+  let errors = Atomic.make 0 in
+  let mismatches = Atomic.make 0 in
+  let query_lats = Array.make sessions [] in
+  let commit_lats = Array.make sessions [] in
+  let client i () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let rpc obj =
+      output_string oc (J.to_string obj);
+      output_char oc '\n';
+      flush oc;
+      match J.parse_opt (input_line ic) with
+      | Ok v -> v
+      | Error e -> failwith ("unparsable response: " ^ e)
+    in
+    let expect_ok obj =
+      let v = rpc obj in
+      (if J.bool_member "ok" v <> Some true then begin
+         Atomic.incr errors;
+         Printf.eprintf "serve bench: request failed: %s\n%!" (J.to_string v)
+       end);
+      v
+    in
+    let kind = List.nth backends (i mod List.length backends) in
+    let sid = Printf.sprintf "bench-%d" i in
+    ignore
+      (expect_ok
+         (J.Obj
+            [ ("verb", J.Str "open"); ("session", J.Str sid);
+              ("backend", J.Str (Strategy.kind_to_string kind));
+              ("units", J.Int units); ("seed", J.Int seed) ]));
+    List.iter
+      (fun svc ->
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (expect_ok
+             (J.Obj
+                [ ("verb", J.Str "commit"); ("session", J.Str sid);
+                  ("service", J.Str svc) ]));
+        commit_lats.(i) <- (Unix.gettimeofday () -. t0) :: commit_lats.(i);
+        List.iter
+          (fun qkind ->
+            let t0 = Unix.gettimeofday () in
+            ignore
+              (expect_ok
+                 (J.Obj
+                    [ ("verb", J.Str "query"); ("session", J.Str sid);
+                      ("kind", J.Str qkind); ("uri", J.Str "mu1") ]));
+            query_lats.(i) <- (Unix.gettimeofday () -. t0) :: query_lats.(i))
+          [ "why"; "impact" ])
+      service_names;
+    let resp =
+      expect_ok
+        (J.Obj
+           [ ("verb", J.Str "close"); ("session", J.Str sid);
+             ("turtle", J.Bool true) ])
+    in
+    (match J.str_member "turtle" resp with
+    | Some turtle ->
+      if not (String.equal turtle (List.assoc kind reference)) then begin
+        Atomic.incr mismatches;
+        Printf.eprintf "serve bench: turtle mismatch for %s (backend %s)\n%!"
+          sid (Strategy.kind_to_string kind)
+      end
+    | None -> Atomic.incr errors);
+    flush oc;
+    Unix.close fd
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init sessions (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Srv.stop srv;
+  let sort_ms lats =
+    let a =
+      Array.of_list (List.concat_map (fun l -> List.map (fun s -> s *. 1000.) l)
+                       (Array.to_list lats))
+    in
+    Array.sort compare a;
+    a
+  in
+  let q = sort_ms query_lats in
+  let c = sort_ms commit_lats in
+  let sessions_per_sec = float_of_int sessions /. wall in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"series\": \"serve/sessions\", \"sessions\": %d, \
+     \"calls_per_session\": %d, \"units\": %d, \"backends\": [%s],\n\
+    \ \"wall_s\": %.6f, \"sessions_per_sec\": %.3f,\n\
+    \ \"commits\": %d, \"commit_p50_ms\": %.3f, \"commit_p99_ms\": %.3f,\n\
+    \ \"queries\": %d, \"query_p50_ms\": %.3f, \"query_p99_ms\": %.3f,\n\
+    \ \"errors\": %d, \"turtle_mismatches\": %d}\n"
+    sessions calls units
+    (String.concat ", "
+       (List.map (fun k -> Printf.sprintf "%S" (Strategy.kind_to_string k))
+          backends))
+    wall sessions_per_sec (Array.length c) (percentile c 0.50)
+    (percentile c 0.99) (Array.length q) (percentile q 0.50) (percentile q 0.99)
+    (Atomic.get errors) (Atomic.get mismatches);
+  close_out oc;
+  Printf.printf
+    "serve: %d sessions (%d commits, %d queries) in %.2f s = %.1f sessions/s\n\
+    \  commit p50 %.2f ms  p99 %.2f ms;  query p50 %.2f ms  p99 %.2f ms\n\
+     Wrote %s\n"
+    sessions (Array.length c) (Array.length q) wall sessions_per_sec
+    (percentile c 0.50) (percentile c 0.99) (percentile q 0.50)
+    (percentile q 0.99) path;
+  if Atomic.get errors > 0 || Atomic.get mismatches > 0 then begin
+    Printf.eprintf "serve bench FAILED: %d errors, %d turtle mismatches\n"
+      (Atomic.get errors) (Atomic.get mismatches);
+    exit 1
+  end
 
 (* ---------- P15: recorder overhead guard (--obs-guard) ----------
 
@@ -309,6 +477,13 @@ let () =
   match !parallel_report with
   | Some path ->
     run_parallel_report path;
+    exit 0
+  | None -> ()
+
+let () =
+  match !serve_report with
+  | Some path ->
+    run_serve_report path;
     exit 0
   | None -> ()
 
@@ -806,6 +981,42 @@ let obs_tests =
               infer ())))
   ]
 
+(* ---------- P17: serving protocol (in-process, no TCP) ---------- *)
+
+(* The Bechamel twin of --serve-report: one whole session lifecycle
+   (open, a three-call pipeline with a query after each commit, close)
+   through [Protocol.handle_line] — verb dispatch, JSON codec and
+   session machinery without socket noise.  Session ids are fresh per
+   run and closed at the end, so the registry stays flat. *)
+let serve_tests =
+  let module P = Weblab_server.Protocol in
+  let module J = Weblab_server.Json in
+  let ctx = P.make_ctx ~max_sessions:64 () in
+  let n = ref 0 in
+  let line obj = ignore (P.handle_line ctx (J.to_string obj)) in
+  [ Test.make ~name:"serve/session(open+3commit+3query+close)"
+      (Staged.stage (fun () ->
+           incr n;
+           let sid = Printf.sprintf "bm-%d" !n in
+           line
+             (J.Obj
+                [ ("verb", J.Str "open"); ("session", J.Str sid);
+                  ("backend", J.Str "incremental"); ("units", J.Int 2);
+                  ("seed", J.Int 7) ]);
+           List.iter
+             (fun svc ->
+               line
+                 (J.Obj
+                    [ ("verb", J.Str "commit"); ("session", J.Str sid);
+                      ("service", J.Str svc) ]);
+               line
+                 (J.Obj
+                    [ ("verb", J.Str "query"); ("session", J.Str sid);
+                      ("kind", J.Str "why"); ("uri", J.Str "mu1") ]))
+             [ "Normaliser"; "LanguageExtractor"; "Translator" ];
+           line (J.Obj [ ("verb", J.Str "close"); ("session", J.Str sid) ])))
+  ]
+
 (* ---------- harness ---------- *)
 
 let all_tests =
@@ -813,7 +1024,7 @@ let all_tests =
   @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
   @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
   @ join_tests @ fault_tests @ incr_tests @ fused_tests @ parallel_tests
-  @ obs_tests
+  @ obs_tests @ serve_tests
 
 let all_tests =
   match !only with
@@ -889,5 +1100,5 @@ let () =
      ext/* (P8), index/* (P10), join/* (P11), fault/* (P12),\n\
      incr/* (P13), par/* (P14; see also --parallel-report),\n\
      obs/* (P15; see also --obs-guard), fused/* (P16),\n\
-     paper/* (F1-E9).\n\
+     serve/* (P17; see also --serve-report), paper/* (F1-E9).\n\
      See EXPERIMENTS.md for the discussion."

@@ -1,0 +1,92 @@
+(* weblab-serve: the provenance serving daemon.
+
+   A long-lived process hosting many concurrent workflow sessions, each
+   an orchestrator + strategy backend over a live document; clients speak
+   newline-delimited JSON over TCP (see Protocol).  Try it with nc:
+
+     $ weblab-serve --port 8321 &
+     $ printf '%s\n' '{"id":1,"verb":"open","backend":"incremental"}' | nc 127.0.0.1 8321 *)
+
+open Cmdliner
+open Weblab_server
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+
+let port_arg =
+  Arg.(value & opt int 8321
+       & info [ "port"; "p" ] ~docv:"PORT"
+           ~doc:"TCP port ($(b,0) binds an ephemeral port and prints it).")
+
+let max_sessions_arg =
+  Arg.(value & opt int 1024
+       & info [ "max-sessions" ] ~docv:"N"
+           ~doc:"Admission control: reject $(b,open) beyond $(docv) live \
+                 sessions.")
+
+let shards_arg =
+  Arg.(value & opt int 16
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Session-registry shards (per-shard locking).")
+
+let backend_arg =
+  let parse s =
+    match Weblab_prov.Strategy.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown backend %S (%s)" s
+             (String.concat "|" Weblab_prov.Strategy.names)))
+  in
+  let print ppf k = Fmt.string ppf (Weblab_prov.Strategy.kind_to_string k) in
+  Arg.(value & opt (conv (parse, print)) `Incremental
+       & info [ "backend" ] ~docv:"STRATEGY"
+           ~doc:"Default strategy backend for sessions that do not pick \
+                 one at $(b,open).")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Record telemetry (session and per-verb counters) and \
+                 print a summary on SIGINT/SIGTERM shutdown.")
+
+let report_counters () =
+  let cs = Weblab_obs.Telemetry.counters () in
+  if cs <> [] then begin
+    prerr_endline "--- counters ---";
+    List.iter (fun (n, v) -> Printf.eprintf "%-40s %d\n" n v) cs;
+    flush stderr
+  end
+
+let main host port max_sessions shards backend profile =
+  if profile then Weblab_obs.Telemetry.set_level Weblab_obs.Telemetry.Counters;
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Info);
+  let ctx =
+    Protocol.make_ctx ~shards ~max_sessions ~default_backend:backend ()
+  in
+  let srv = Server.start ~host ~port ctx in
+  (* The readiness line CI and scripts wait for — stdout, flushed. *)
+  Printf.printf "weblab-serve listening on %s:%d\n%!" host (Server.port srv);
+  let shutdown _ =
+    Server.stop srv;
+    if profile then report_counters ();
+    exit 0
+  in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown)
+   with Invalid_argument _ -> ());
+  Server.wait srv
+
+let cmd =
+  Cmd.v
+    (Cmd.info "weblab-serve"
+       ~doc:"Provenance serving daemon: concurrent workflow sessions with \
+             live why/impact/SPARQL queries over NDJSON/TCP")
+    Term.(const main $ host_arg $ port_arg $ max_sessions_arg $ shards_arg
+          $ backend_arg $ profile_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -222,6 +222,14 @@ let observe st ~call ~before ~after ~(delta : Orchestrator.delta) =
         buffers
     end
 
+(* The live graph, labeled from the trace so far; the compiled plan and
+   pool stay hot for the next [observe]. *)
+let snapshot st ~doc:_ ~trace =
+  List.iter
+    (fun e -> Prov_graph.set_label st.g e.Trace.uri e.Trace.call)
+    (Trace.entries trace);
+  st.g
+
 let finalize st ~doc:_ ~trace =
   Pool.shutdown st.pool;
   List.iter

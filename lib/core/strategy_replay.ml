@@ -67,3 +67,8 @@ let finalize st ~doc ~trace =
   let g = Prov_graph.of_trace trace in
   infer ?jobs:st.jobs ~doc ~trace st.rb g;
   g
+
+(* Post-hoc: a snapshot is a full inference over the current document and
+   trace — [finalize] holds no terminal resources, so it doubles as the
+   snapshot. *)
+let snapshot st ~doc ~trace = finalize st ~doc ~trace

@@ -84,6 +84,17 @@ module type STRATEGY_BACKEND = sig
     delta:Orchestrator.delta ->
     unit
 
+  val snapshot : state -> doc:Tree.t -> trace:Trace.t -> Prov_graph.t
+  (* The provenance graph of the execution {e so far}, without ending the
+     backend: [observe] keeps working afterwards and [finalize] remains
+     the terminal call.  This is what lets a serving daemon answer
+     [why]/[impact]/BGP queries between appends on a live session.
+     Execution-time backends label their live graph from the trace and
+     return it (cheap — the labels are idempotent and re-applied at
+     [finalize]); post-hoc backends run their inference over the current
+     document and trace.  The returned graph is only valid to read until
+     the next [observe] on the same state. *)
+
   val finalize : state -> doc:Tree.t -> trace:Trace.t -> Prov_graph.t
 end
 

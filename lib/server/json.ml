@@ -1,0 +1,333 @@
+(* Minimal JSON for the NDJSON serving protocol.  No dependency ships a
+   JSON codec in this container, and the protocol needs only the data
+   model, so the parser is a small recursive descent over a string with
+   an explicit cursor.  Everything is total: malformed input raises
+   [Parse_error], never [Invalid_argument] or an assertion. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ----- Printing ----- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec print_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else if Float.is_nan f || Float.abs f = Float.infinity then
+      (* JSON has no NaN/Inf; null is the least-surprising encoding. *)
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        print_into buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\":";
+        print_into buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print_into buf v;
+  Buffer.contents buf
+
+(* ----- Parsing ----- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let n = String.length cur.s in
+  while
+    cur.pos < n
+    && (match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | Some c' -> fail cur (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail cur (Printf.sprintf "expected %C, found end of input" c)
+
+let expect_lit cur lit v =
+  let n = String.length lit in
+  if cur.pos + n <= String.length cur.s && String.sub cur.s cur.pos n = lit then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur (Printf.sprintf "expected %s" lit)
+
+let hex_digit cur c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail cur "invalid hex digit in \\u escape"
+
+(* Decode a \uXXXX code point (with surrogate pairs) to UTF-8 bytes. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_u16 cur =
+  if cur.pos + 4 > String.length cur.s then fail cur "truncated \\u escape";
+  let v =
+    (hex_digit cur cur.s.[cur.pos] lsl 12)
+    lor (hex_digit cur cur.s.[cur.pos + 1] lsl 8)
+    lor (hex_digit cur cur.s.[cur.pos + 2] lsl 4)
+    lor hex_digit cur cur.s.[cur.pos + 3]
+  in
+  cur.pos <- cur.pos + 4;
+  v
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | None -> fail cur "unterminated escape"
+      | Some c ->
+        advance cur;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let hi = parse_u16 cur in
+          if hi >= 0xD800 && hi <= 0xDBFF then
+            if
+              cur.pos + 1 < String.length cur.s
+              && cur.s.[cur.pos] = '\\'
+              && cur.s.[cur.pos + 1] = 'u'
+            then begin
+              cur.pos <- cur.pos + 2;
+              let lo = parse_u16 cur in
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                add_utf8 buf
+                  (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+              else fail cur "invalid low surrogate"
+            end
+            else fail cur "unpaired high surrogate"
+          else add_utf8 buf hi
+        | c -> fail cur (Printf.sprintf "invalid escape \\%c" c)));
+      go ()
+    | Some c when Char.code c < 0x20 -> fail cur "control character in string"
+    | Some c ->
+      advance cur;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let n = String.length cur.s in
+  if cur.pos < n && cur.s.[cur.pos] = '-' then advance cur;
+  let digits () =
+    let d0 = cur.pos in
+    while cur.pos < n && (match cur.s.[cur.pos] with '0' .. '9' -> true | _ -> false) do
+      advance cur
+    done;
+    if cur.pos = d0 then fail cur "expected digit"
+  in
+  digits ();
+  let is_float = ref false in
+  if cur.pos < n && cur.s.[cur.pos] = '.' then begin
+    is_float := true;
+    advance cur;
+    digits ()
+  end;
+  if cur.pos < n && (cur.s.[cur.pos] = 'e' || cur.s.[cur.pos] = 'E') then begin
+    is_float := true;
+    advance cur;
+    if cur.pos < n && (cur.s.[cur.pos] = '+' || cur.s.[cur.pos] = '-') then
+      advance cur;
+    digits ()
+  end;
+  let text = String.sub cur.s start (cur.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> expect_lit cur "null" Null
+  | Some 't' -> expect_lit cur "true" (Bool true)
+  | Some 'f' -> expect_lit cur "false" (Bool false)
+  | Some '"' -> Str (parse_string cur)
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          items (v :: acc)
+        | Some ']' ->
+          advance cur;
+          List.rev (v :: acc)
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let member () =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        (k, v)
+      in
+      let rec members acc =
+        let kv = member () in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          members (kv :: acc)
+        | Some '}' ->
+          advance cur;
+          List.rev (kv :: acc)
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let cur = { s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  (match peek cur with
+  | None -> ()
+  | Some c -> fail cur (Printf.sprintf "trailing input starting with %C" c));
+  v
+
+let parse_opt s =
+  match parse s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg  (* float_of_string overflow etc. *)
+
+(* ----- Accessors ----- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 2. ** 52. ->
+    Some (int_of_float f)
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+
+let bind o f = match o with Some v -> f v | None -> None
+
+let str_member k v = bind (member k v) to_str
+let int_member k v = bind (member k v) to_int
+let float_member k v = bind (member k v) to_float_opt
+let bool_member k v = bind (member k v) to_bool

@@ -1,0 +1,287 @@
+open Weblab_workflow
+open Weblab_prov
+module J = Json
+module T = Weblab_obs.Telemetry
+
+type ctx = {
+  registry : Registry.t;
+  rulebook : Strategy.rulebook;
+  default_backend : Strategy.kind;
+}
+
+let make_ctx ?shards ?max_sessions ?(default_backend = `Incremental) () =
+  let rulebook =
+    List.map
+      (fun (e : Weblab_services.Catalog.entry) ->
+        ( Service.name e.Weblab_services.Catalog.service,
+          List.map Rule_parser.parse e.Weblab_services.Catalog.rules ))
+      Weblab_services.Catalog.entries
+  in
+  { registry = Registry.create ?shards ?max_sessions (); rulebook;
+    default_backend }
+
+(* ----- responses ----- *)
+
+(* The echoed request id, if any — first member of every response. *)
+let id_fields req =
+  match J.member "id" req with Some v -> [ ("id", v) ] | None -> []
+
+let ok req fields = J.Obj (id_fields req @ (("ok", J.Bool true) :: fields))
+
+let err ?(extra = []) req code msg =
+  J.Obj
+    (id_fields req
+    @ ("ok", J.Bool false) :: ("error", J.Str code) :: ("message", J.Str msg)
+      :: extra)
+
+(* A handler either produces response fields or a protocol error. *)
+exception Reject of string * string * (string * J.t) list
+(* code, message, extra fields *)
+
+let reject ?(extra = []) code msg = raise (Reject (code, msg, extra))
+
+let opt_default d = function Some v -> v | None -> d
+
+(* ----- field parsing ----- *)
+
+let required_str req field =
+  match J.str_member field req with
+  | Some s -> s
+  | None -> reject "bad_request" (Printf.sprintf "missing string field %S" field)
+
+let session_of ctx req =
+  let sid = required_str req "session" in
+  match Registry.find ctx.registry sid with
+  | Some s -> s
+  | None -> reject "unknown_session" (Printf.sprintf "no session %S" sid)
+
+let budgets_of req =
+  match J.member "budgets" req with
+  | None -> Session.default_budgets
+  | Some b ->
+    let d = Session.default_budgets in
+    { Session.policy =
+        { d.Session.policy with
+          retries = opt_default 0 (J.int_member "retries" b);
+          backoff_ms = opt_default 0. (J.float_member "backoff_ms" b);
+          max_new_nodes = J.int_member "max_new_nodes" b;
+          max_call_s = J.float_member "max_call_s" b };
+      max_commits = J.int_member "max_commits" b }
+
+(* ----- open ----- *)
+
+let v_open ctx req =
+  let backend =
+    match J.str_member "backend" req with
+    | None -> ctx.default_backend
+    | Some s ->
+      (match Strategy.kind_of_string s with
+      | Some k -> k
+      | None ->
+        reject "unknown_backend"
+          (Printf.sprintf "unknown backend %S (%s)" s
+             (String.concat "|" Strategy.names)))
+  in
+  let doc =
+    match opt_default "standard" (J.str_member "scenario" req) with
+    | "empty" -> Orchestrator.initial_document ()
+    | "standard" ->
+      let units = opt_default 3 (J.int_member "units" req) in
+      let seed = opt_default 42 (J.int_member "seed" req) in
+      Weblab_services.Workload.make_document ~units ~seed ()
+    | s -> reject "bad_request" (Printf.sprintf "unknown scenario %S" s)
+  in
+  let jobs = opt_default 1 (J.int_member "jobs" req) in
+  let budgets = budgets_of req in
+  let id =
+    match J.str_member "session" req with
+    | Some s -> s
+    | None -> Registry.fresh_id ctx.registry
+  in
+  match
+    Registry.add ctx.registry ~id (fun ~id ->
+        Session.create ~id ~backend ~jobs ~budgets ~doc ctx.rulebook)
+  with
+  | Ok sess ->
+    ok req
+      [ ("session", J.Str (Session.id sess));
+        ("backend", J.Str (Session.backend_name sess));
+        ("next_time", J.Int 1) ]
+  | Error (Registry.Admission_rejected msg) -> reject "admission_rejected" msg
+  | Error (Registry.Already_open id) ->
+    reject "already_open" (Printf.sprintf "session %S already exists" id)
+
+(* ----- commit ----- *)
+
+let fault_of req =
+  match J.str_member "fault" req with
+  | None -> None
+  | Some s ->
+    (match
+       List.find_opt
+         (fun f -> String.equal (Weblab_services.Faulty.fault_name f) s)
+         Weblab_services.Faulty.all_faults
+     with
+    | Some f -> Some f
+    | None -> reject "bad_request" (Printf.sprintf "unknown fault %S" s))
+
+let service_of req =
+  match (J.str_member "service" req, J.str_member "xml" req) with
+  | Some name, None ->
+    (match Weblab_services.Catalog.find name with
+    | Some e -> e.Weblab_services.Catalog.service
+    | None ->
+      reject "unknown_service"
+        (Printf.sprintf "unknown service %S (%s)" name
+           (String.concat "|" Weblab_services.Catalog.service_names)))
+  | None, Some xml ->
+    (* A client-supplied next document state: the faithful web-service
+       picture — the daemon diffs it against the current state and grafts
+       the appended fragments.  Malformed XML fails the call (total
+       parse-error rendering), never the session. *)
+    let name = opt_default "ClientXml" (J.str_member "name" req) in
+    Service.blackbox ~name ~description:"client-supplied document state"
+      (fun _input -> xml)
+  | Some _, Some _ | None, None ->
+    reject "bad_request" "commit takes exactly one of \"service\" or \"xml\""
+
+let v_commit ctx req =
+  let sess = session_of ctx req in
+  let svc = service_of req in
+  let svc =
+    match fault_of req with
+    | Some f -> Weblab_services.Faulty.with_fault ~stall_s:0.01 f svc
+    | None -> svc
+  in
+  match Session.with_lock sess (fun () -> Session.commit sess svc) with
+  | Ok { Session.time; attempts; new_nodes; promoted } ->
+    ok req
+      [ ("time", J.Int time); ("attempts", J.Int attempts);
+        ("new_nodes", J.Int new_nodes); ("promoted", J.Int promoted) ]
+  | Error (Session.Budget_exhausted msg) -> reject "budget_exceeded" msg
+  | Error (Session.Call_failed { reason; attempts; time }) ->
+    reject "commit_failed" reason
+      ~extra:[ ("attempts", J.Int attempts); ("time", J.Int time) ]
+  | Error Session.Session_closed ->
+    reject "session_closed" "session is closed"
+
+(* ----- query ----- *)
+
+let v_query ctx req =
+  let sess = session_of ctx req in
+  let kind = required_str req "kind" in
+  Session.with_lock sess (fun () ->
+      match kind with
+      | "why" | "impact" ->
+        let uri = required_str req "uri" in
+        let uris =
+          if String.equal kind "why" then Session.why sess uri
+          else Session.impact sess uri
+        in
+        ok req [ ("uris", J.List (List.map (fun u -> J.Str u) uris)) ]
+      | "sparql" ->
+        let q = required_str req "query" in
+        (match Session.sparql sess q with
+        | tbl ->
+          let cols = Weblab_relalg.Table.columns tbl in
+          let rows =
+            List.map
+              (fun row ->
+                J.List
+                  (List.map
+                     (fun c ->
+                       J.Str
+                         (Weblab_relalg.Value.to_string
+                            (Weblab_relalg.Table.get tbl row c)))
+                     cols))
+              (Weblab_relalg.Table.rows tbl)
+          in
+          ok req
+            [ ("columns", J.List (List.map (fun c -> J.Str c) cols));
+              ("rows", J.List rows) ]
+        | exception Weblab_rdf.Sparql.Error msg -> reject "query_error" msg)
+      | "turtle" -> ok req [ ("turtle", J.Str (Session.turtle sess)) ]
+      | k -> reject "bad_request" (Printf.sprintf "unknown query kind %S" k))
+
+(* ----- stats ----- *)
+
+let session_stats_fields (s : Session.stats) =
+  [ ("session", J.Str s.Session.st_id);
+    ("backend", J.Str s.Session.st_backend);
+    ("next_time", J.Int s.Session.st_next_time);
+    ("commits", J.Int s.Session.st_commits);
+    ("failed", J.Int s.Session.st_failed);
+    ("doc_nodes", J.Int s.Session.st_doc_nodes);
+    ("resources", J.Int s.Session.st_graph_size);
+    ("links", J.Int s.Session.st_links);
+    ("closed", J.Bool s.Session.st_closed) ]
+
+let v_stats ctx req =
+  match J.str_member "session" req with
+  | Some _ ->
+    let sess = session_of ctx req in
+    let s = Session.with_lock sess (fun () -> Session.stats sess) in
+    ok req (session_stats_fields s)
+  | None ->
+    ok req
+      [ ("live", J.Int (Registry.live ctx.registry));
+        ("max_sessions", J.Int (Registry.max_sessions ctx.registry));
+        ("sessions",
+         J.List (List.map (fun s -> J.Str s) (Registry.ids ctx.registry))) ]
+
+(* ----- close ----- *)
+
+let v_close ctx req =
+  let sid = required_str req "session" in
+  match Registry.remove ctx.registry sid with
+  | None -> reject "unknown_session" (Printf.sprintf "no session %S" sid)
+  | Some sess ->
+    Session.with_lock sess (fun () ->
+        ignore (Session.close sess);
+        let s = Session.stats sess in
+        let base =
+          [ ("commits", J.Int s.Session.st_commits);
+            ("failed", J.Int s.Session.st_failed);
+            ("links", J.Int s.Session.st_links) ]
+        in
+        let extra =
+          if opt_default false (J.bool_member "turtle" req) then
+            [ ("turtle", J.Str (Session.turtle sess)) ]
+          else []
+        in
+        ok req (base @ extra))
+
+(* ----- dispatch ----- *)
+
+let verb_counter verb = T.counter ("serve.verb." ^ verb)
+
+let handle ctx req =
+  match J.str_member "verb" req with
+  | None -> err req "bad_request" "missing string field \"verb\""
+  | Some verb ->
+    let run f =
+      T.incr (verb_counter verb);
+      T.span ~cat:"serve" ("serve." ^ verb) (fun () ->
+          match f ctx req with
+          | resp -> resp
+          | exception Reject (code, msg, extra) -> err ~extra req code msg
+          | exception e ->
+            (* The backstop: an unexpected exception is confined to this
+               request; the session registry stays intact. *)
+            err req "internal_error" (Printexc.to_string e))
+    in
+    (match verb with
+    | "open" -> run v_open
+    | "commit" -> run v_commit
+    | "query" -> run v_query
+    | "stats" -> run v_stats
+    | "close" -> run v_close
+    | v -> err req "bad_request" (Printf.sprintf "unknown verb %S" v))
+
+let handle_line ctx line =
+  let resp =
+    match J.parse_opt line with
+    | Ok req -> handle ctx req
+    | Error msg -> err (J.Obj []) "parse_error" msg
+  in
+  J.to_string resp

@@ -1,0 +1,56 @@
+(** The serving protocol: newline-delimited JSON request/response over a
+    {!Registry.t}.
+
+    One request per line, one response per line.  Every request is an
+    object with a ["verb"] and an optional ["id"] the response echoes.
+    Responses carry ["ok": true] plus verb-specific fields, or
+    ["ok": false] with an ["error"] code and a human ["message"].
+
+    {v
+    verb   fields                                  reply
+    open   backend?, scenario?|empty, units?,      session, backend,
+           seed?, jobs?, budgets?{retries,           next_time
+           backoff_ms, max_new_nodes, max_call_s,
+           max_commits}
+    commit session, service | xml (+name?)        time, attempts,
+                                                    new_nodes, promoted
+    query  session, kind=why|impact (uri),        uris | columns+rows |
+           kind=sparql (query), kind=turtle         turtle
+    stats  [session]                              live, max_sessions,
+                                                    sessions | per-session
+    close  session, turtle?                       commits, failed, links
+                                                    [, turtle]
+    v}
+
+    Error codes: [parse_error], [bad_request], [unknown_session],
+    [unknown_service], [unknown_backend], [admission_rejected],
+    [already_open], [budget_exceeded], [commit_failed], [query_error],
+    [session_closed], [internal_error].
+
+    Failure containment: [commit_failed] and [budget_exceeded] fail the
+    {e call} — the session they addressed stays open and queryable.
+    [internal_error] is the backstop for unexpected exceptions; it too is
+    confined to the request that raised it. *)
+
+type ctx = {
+  registry : Registry.t;
+  rulebook : Weblab_prov.Strategy.rulebook;
+      (** shared, read-only: every session's backend init gets it *)
+  default_backend : Weblab_prov.Strategy.kind;
+}
+
+val make_ctx :
+  ?shards:int ->
+  ?max_sessions:int ->
+  ?default_backend:Weblab_prov.Strategy.kind ->
+  unit ->
+  ctx
+(** Builds the catalog rulebook once.  Default backend: [`Incremental]. *)
+
+val handle : ctx -> Json.t -> Json.t
+(** Dispatch one parsed request.  Total: protocol and session errors come
+    back as [ok:false] responses, never as exceptions. *)
+
+val handle_line : ctx -> string -> string
+(** Parse, dispatch, print — the connection loop's whole body (and the
+    unit tests' entry point).  The result never contains a newline. *)

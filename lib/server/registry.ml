@@ -1,0 +1,135 @@
+module T = Weblab_obs.Telemetry
+
+let c_accepted = T.counter "serve.sessions.accepted"
+let c_rejected = T.counter "serve.sessions.rejected"
+let c_active = T.counter "serve.sessions.active"
+
+(* A slot is claimed before the session is built (the orchestration
+   prologue runs outside the shard lock), so the table distinguishes the
+   two states: a [Building] slot blocks duplicate opens but is invisible
+   to [find]. *)
+type entry = Building | Live of Session.t
+
+type shard = {
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+}
+
+type t = {
+  shards : shard array;
+  cap : int;
+  count : int Atomic.t;  (* live + building sessions, across all shards *)
+  next_id : int Atomic.t;
+}
+
+let create ?(shards = 16) ?(max_sessions = 1024) () =
+  { shards =
+      Array.init (max 1 shards) (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 16 });
+    cap = max 1 max_sessions; count = Atomic.make 0; next_id = Atomic.make 1 }
+
+let max_sessions t = t.cap
+
+let shard_of t id =
+  t.shards.(Hashtbl.hash id mod Array.length t.shards)
+
+let fresh_id t = Printf.sprintf "s%d" (Atomic.fetch_and_add t.next_id 1)
+
+type open_error =
+  | Admission_rejected of string
+  | Already_open of string
+
+(* Reserve an admission slot with a CAS loop, then claim the id under the
+   shard lock; building the session happens after both, so a rejected
+   open does no orchestration work and a racing duplicate id cannot
+   double-insert. *)
+let add_fresh t ~id build =
+  let rec reserve () =
+    let n = Atomic.get t.count in
+    if n >= t.cap then false
+    else if Atomic.compare_and_set t.count n (n + 1) then true
+    else reserve ()
+  in
+  if not (reserve ()) then begin
+    T.incr c_rejected;
+    Error
+      (Admission_rejected
+         (Printf.sprintf "session limit reached (%d live)" t.cap))
+  end
+  else begin
+    let release () = Atomic.decr t.count in
+    let sh = shard_of t id in
+    let claimed =
+      Mutex.protect sh.lock (fun () ->
+          if Hashtbl.mem sh.tbl id then false
+          else begin
+            Hashtbl.replace sh.tbl id Building;
+            true
+          end)
+    in
+    if not claimed then begin
+      release ();
+      T.incr c_rejected;
+      Error (Already_open id)
+    end
+    else
+      match build ~id with
+      | sess ->
+        Mutex.protect sh.lock (fun () -> Hashtbl.replace sh.tbl id (Live sess));
+        T.incr c_accepted;
+        T.incr c_active;
+        Ok sess
+      | exception e ->
+        Mutex.protect sh.lock (fun () -> Hashtbl.remove sh.tbl id);
+        release ();
+        raise e
+  end
+
+let add t ~id build =
+  (* Precise error at capacity: a duplicate id is [Already_open] whether
+     or not a slot is free.  The claim under the shard lock in
+     [add_fresh] stays authoritative for races — this pre-check only
+     picks the error. *)
+  let duplicate =
+    let sh = shard_of t id in
+    Mutex.protect sh.lock (fun () -> Hashtbl.mem sh.tbl id)
+  in
+  if duplicate then begin
+    T.incr c_rejected;
+    Error (Already_open id)
+  end
+  else add_fresh t ~id build
+
+let find t id =
+  let sh = shard_of t id in
+  Mutex.protect sh.lock (fun () ->
+      match Hashtbl.find_opt sh.tbl id with
+      | Some (Live s) -> Some s
+      | Some Building | None -> None)
+
+let remove t id =
+  let sh = shard_of t id in
+  match
+    Mutex.protect sh.lock (fun () ->
+        match Hashtbl.find_opt sh.tbl id with
+        | Some (Live s) ->
+          Hashtbl.remove sh.tbl id;
+          Some s
+        | Some Building | None -> None)
+  with
+  | Some s ->
+    Atomic.decr t.count;
+    T.add c_active (-1);
+    Some s
+  | None -> None
+
+let live t = Atomic.get t.count
+
+let ids t =
+  Array.to_list t.shards
+  |> List.concat_map (fun sh ->
+         Mutex.protect sh.lock (fun () ->
+             Hashtbl.fold
+               (fun k e acc -> match e with Live _ -> k :: acc | Building -> acc)
+               sh.tbl []))
+  |> List.sort String.compare

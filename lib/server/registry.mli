@@ -1,0 +1,45 @@
+(** The session registry: a sharded map from session id to {!Session.t}
+    with admission control (DESIGN §4h).
+
+    Ids are hashed onto a fixed array of shards, each guarded by its own
+    mutex, so concurrent connections opening/closing/looking up distinct
+    sessions contend only when they land on the same shard.  The shard
+    lock covers table membership and the live-session count; it is never
+    held across a verb — per-session mutual exclusion is
+    {!Session.with_lock}, taken after the lookup.
+
+    Admission control is a hard cap on live sessions: an [open] beyond
+    [max_sessions] is rejected up front (counted in
+    [serve.sessions.rejected]) instead of degrading every resident
+    session. *)
+
+type t
+
+val create : ?shards:int -> ?max_sessions:int -> unit -> t
+(** Defaults: 16 shards, 1024 sessions. *)
+
+val max_sessions : t -> int
+
+type open_error =
+  | Admission_rejected of string  (** live-session cap reached *)
+  | Already_open of string  (** id collision *)
+
+val add : t -> id:string -> (id:string -> Session.t) -> (Session.t, open_error) result
+(** Admission check + insert, atomically per shard; the session is built
+    by the callback only once admission is granted (so a rejected open
+    never runs the orchestration prologue).  If the callback raises, the
+    slot is released and the exception propagates. *)
+
+val fresh_id : t -> string
+(** ["s<n>"] from a process-wide counter — never reused within a run. *)
+
+val find : t -> string -> Session.t option
+
+val remove : t -> string -> Session.t option
+(** Drop the id and free its admission slot; the caller finalizes the
+    session ({!Session.close}) outside the shard lock. *)
+
+val live : t -> int
+
+val ids : t -> string list
+(** All live session ids, sorted. *)

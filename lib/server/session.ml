@@ -1,0 +1,193 @@
+open Weblab_xml
+open Weblab_workflow
+open Weblab_prov
+
+type budgets = {
+  policy : Orchestrator.policy;
+  max_commits : int option;
+}
+
+let default_budgets =
+  { policy = { Orchestrator.default_policy with on_failure = `Skip };
+    max_commits = None }
+
+(* A backend instance, existentially packed: the state type is hidden
+   behind the three closures the session drives. *)
+type backend_inst = {
+  bi_observe :
+    call:Trace.call ->
+    before:Doc_state.t ->
+    after:Doc_state.t ->
+    delta:Orchestrator.delta ->
+    unit;
+  bi_snapshot : doc:Tree.t -> trace:Trace.t -> Prov_graph.t;
+  bi_finalize : doc:Tree.t -> trace:Trace.t -> Prov_graph.t;
+}
+
+let instantiate (module B : Strategy_sig.STRATEGY_BACKEND) ~jobs ~doc rb =
+  let st = B.init ~jobs ~doc rb in
+  { bi_observe =
+      (fun ~call ~before ~after ~delta ->
+        B.observe st ~call ~before ~after ~delta);
+    bi_snapshot = (fun ~doc ~trace -> B.snapshot st ~doc ~trace);
+    bi_finalize = (fun ~doc ~trace -> B.finalize st ~doc ~trace) }
+
+(* Query-side state derived from one snapshot; dropped on every commit.
+   Reachability and the RDF store are built lazily — a session that only
+   runs [why] never pays for the triple store and vice versa. *)
+type snap = {
+  s_graph : Prov_graph.t;
+  mutable s_reach : Reachability.t option;
+  mutable s_store : Weblab_rdf.Triple_store.t option;
+}
+
+type t = {
+  sid : string;
+  bname : string;
+  orch : Orchestrator.session;
+  inst : backend_inst;
+  budgets : budgets;
+  lock : Mutex.t;
+  mutable commits : int;  (* committed calls *)
+  mutable failed : int;  (* burned timestamps *)
+  mutable snap : snap option;
+  mutable closed : bool;
+}
+
+let id t = t.sid
+let backend_name t = t.bname
+let is_closed t = t.closed
+
+let create ~id ~backend ?(jobs = 1) ?(budgets = default_budgets) ~doc rb =
+  let orch = Orchestrator.start ~policy:budgets.policy doc in
+  let inst = instantiate (Strategy.backend_of backend) ~jobs ~doc rb in
+  { sid = id; bname = Strategy.kind_to_string backend; orch; inst; budgets;
+    lock = Mutex.create (); commits = 0; failed = 0; snap = None;
+    closed = false }
+
+let with_lock t f = Mutex.protect t.lock f
+
+(* ----- commit ----- *)
+
+type commit_ok = {
+  time : int;
+  attempts : int;
+  new_nodes : int;
+  promoted : int;
+}
+
+type commit_error =
+  | Budget_exhausted of string
+  | Call_failed of { reason : string; attempts : int; time : int }
+  | Session_closed
+
+let commit t svc =
+  if t.closed then Error Session_closed
+  else
+    let attempted = t.commits + t.failed in
+    match t.budgets.max_commits with
+    | Some m when attempted >= m ->
+      Error
+        (Budget_exhausted
+           (Printf.sprintf "session commit budget exhausted (%d of %d used)"
+              attempted m))
+    | _ ->
+      let time = Orchestrator.next_time t.orch in
+      let on_step call before after delta =
+        t.inst.bi_observe ~call ~before ~after ~delta
+      in
+      (match Orchestrator.step ~on_step t.orch svc with
+      | Orchestrator.Committed { delta; attempts } ->
+        t.commits <- t.commits + 1;
+        t.snap <- None;
+        Ok
+          { time; attempts;
+            new_nodes = List.length delta.Orchestrator.new_nodes;
+            promoted = List.length delta.Orchestrator.promoted }
+      | Orchestrator.Step_failed { reason; attempts; _ } ->
+        (* The orchestrator already rolled the arena back and burned the
+           timestamp; nothing the backend observed, nothing to drop. *)
+        t.failed <- t.failed + 1;
+        Error (Call_failed { reason; attempts; time }))
+
+(* ----- queries ----- *)
+
+let current_snap t =
+  match t.snap with
+  | Some s -> s
+  | None ->
+    let g =
+      t.inst.bi_snapshot ~doc:(Orchestrator.session_doc t.orch)
+        ~trace:(Orchestrator.session_trace t.orch)
+    in
+    let s = { s_graph = g; s_reach = None; s_store = None } in
+    t.snap <- Some s;
+    s
+
+let graph t = (current_snap t).s_graph
+
+let reach t =
+  let s = current_snap t in
+  match s.s_reach with
+  | Some r -> r
+  | None ->
+    let r = Reachability.build s.s_graph in
+    s.s_reach <- Some r;
+    r
+
+let store t =
+  let s = current_snap t in
+  match s.s_store with
+  | Some st -> st
+  | None ->
+    let st =
+      Prov_export.to_store ~trace:(Orchestrator.session_trace t.orch) s.s_graph
+    in
+    s.s_store <- Some st;
+    st
+
+let why t uri = Reachability.ancestors (reach t) uri
+let impact t uri = Reachability.descendants (reach t) uri
+let sparql t q = Weblab_rdf.Sparql.run (store t) q
+
+let turtle t =
+  Prov_export.to_turtle ~trace:(Orchestrator.session_trace t.orch) (graph t)
+
+(* ----- stats ----- *)
+
+type stats = {
+  st_id : string;
+  st_backend : string;
+  st_next_time : int;
+  st_commits : int;
+  st_failed : int;
+  st_doc_nodes : int;
+  st_graph_size : int;
+  st_links : int;
+  st_closed : bool;
+}
+
+let stats t =
+  let g = graph t in
+  { st_id = t.sid; st_backend = t.bname;
+    st_next_time = Orchestrator.next_time t.orch; st_commits = t.commits;
+    st_failed = t.failed;
+    st_doc_nodes = Tree.size (Orchestrator.session_doc t.orch);
+    st_graph_size = List.length (Prov_graph.labeled_resources g);
+    st_links = List.length (Prov_graph.links g); st_closed = t.closed }
+
+(* ----- close ----- *)
+
+let close t =
+  if t.closed then graph t
+  else begin
+    let g =
+      t.inst.bi_finalize ~doc:(Orchestrator.session_doc t.orch)
+        ~trace:(Orchestrator.session_trace t.orch)
+    in
+    (* Pin the final graph: [commit] is refused from here on, so this
+       snapshot never goes stale and queries keep answering over it. *)
+    t.snap <- Some { s_graph = g; s_reach = None; s_store = None };
+    t.closed <- true;
+    g
+  end

@@ -1,0 +1,112 @@
+(** One live serving session: an orchestrator execution over a private
+    document plus a strategy backend observing it, queryable between
+    appends.
+
+    A session is the daemon-side reification of one workflow run.  Verbs
+    are serialized per session with {!with_lock} (connections may share a
+    session id); the document, trace and backend state are private to the
+    session, so sessions never contend beyond the process-wide caches
+    (which carry their own locks).
+
+    Failure containment: a commit whose every supervised attempt fails is
+    rolled back by the orchestrator (arena bit-identical to the previous
+    commit) and reported as [Error] — the session stays open and
+    queryable.  Only {!close} or an explicit budget exhaustion ends it. *)
+
+open Weblab_xml
+open Weblab_workflow
+open Weblab_prov
+
+type budgets = {
+  policy : Orchestrator.policy;
+      (** per-call supervision: retries, backoff, output-size and time
+          budgets.  [on_failure] is forced to [`Skip] semantics — the
+          daemon decides per call; a poisoned commit must not tear the
+          session down. *)
+  max_commits : int option;
+      (** per-session ceiling on attempted commits (committed + burned);
+          reaching it rejects further [commit]s but leaves queries up *)
+}
+
+val default_budgets : budgets
+
+type t
+
+val id : t -> string
+
+val backend_name : t -> string
+
+val create :
+  id:string ->
+  backend:Strategy.kind ->
+  ?jobs:int ->
+  ?budgets:budgets ->
+  doc:Tree.t ->
+  Strategy.rulebook ->
+  t
+(** Runs the orchestration prologue ({!Orchestrator.start}) and the
+    backend's [init] on [doc].  [jobs] defaults to 1 — a daemon hosts
+    many sessions, so inference parallelism is opt-in per session.
+    @raise Orchestrator.Duplicate_uri if [doc] repeats a URI. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Per-session mutual exclusion — every protocol verb runs under it. *)
+
+(** {1 Verbs} *)
+
+type commit_ok = {
+  time : int;  (** the timestamp the call committed at *)
+  attempts : int;
+  new_nodes : int;
+  promoted : int;
+}
+
+type commit_error =
+  | Budget_exhausted of string  (** session [max_commits] reached *)
+  | Call_failed of { reason : string; attempts : int; time : int }
+      (** every supervised attempt failed; the arena was rolled back and
+          timestamp [time] burned.  The session remains usable. *)
+  | Session_closed
+
+val commit : t -> Service.t -> (commit_ok, commit_error) result
+(** Run one supervised service call at the session's next timestamp; on
+    commit the backend observes the delta and cached query state is
+    invalidated. *)
+
+val graph : t -> Prov_graph.t
+(** The provenance graph of the execution so far (backend [snapshot]),
+    cached until the next committed call. *)
+
+val why : t -> string -> string list
+(** Transitive ancestors of a URI in the live graph (sorted). *)
+
+val impact : t -> string -> string list
+(** Transitive descendants (sorted). *)
+
+val sparql : t -> string -> Weblab_relalg.Table.t
+(** A SELECT query against the PROV export of the live graph.
+    @raise Weblab_rdf.Sparql.Error on malformed queries. *)
+
+val turtle : t -> string
+(** Turtle export of the live graph (with the trace's failed calls). *)
+
+type stats = {
+  st_id : string;
+  st_backend : string;
+  st_next_time : int;
+  st_commits : int;  (** committed calls *)
+  st_failed : int;  (** burned timestamps *)
+  st_doc_nodes : int;
+  st_graph_size : int;  (** labeled resources in the current graph *)
+  st_links : int;
+  st_closed : bool;
+}
+
+val stats : t -> stats
+
+val close : t -> Prov_graph.t
+(** Finalize the backend (its pool shuts down) and return the final
+    graph.  Idempotent; further [commit]s return [Session_closed], further
+    queries keep answering over the final graph. *)
+
+val is_closed : t -> bool

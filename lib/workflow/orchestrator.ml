@@ -23,6 +23,12 @@ exception Duplicate_uri of string
 
 exception Budget_exceeded of string
 
+exception Orchestrator_error of string
+(* An internal bookkeeping inconsistency (e.g. a resource losing its URI
+   between enumeration and labeling).  Typed, not [assert false]: a
+   long-lived daemon must fail the session that hit it, never abort the
+   process. *)
+
 let log = Logs.Src.create "weblab.orchestrator" ~doc:"WebLab workflow orchestrator"
 
 module Log = (val Logs.src_log log)
@@ -276,74 +282,115 @@ let failure_reason = function
   | Append_violation m -> "append violation: " ^ m
   | Duplicate_uri u -> "duplicate URI " ^ u
   | Budget_exceeded m -> "budget exceeded: " ^ m
+  | Orchestrator_error m -> "orchestrator error: " ^ m
   | Failure m -> "failure: " ^ m
   | e -> Printexc.to_string e
 
-let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
-    services =
+(* ----- Stepwise sessions -----
+
+   The orchestration state that [execute] used to keep in closure-local
+   mutables, reified so a long-lived daemon can drive calls one at a time
+   over a live document: [start] performs the prologue (root promotion,
+   URI scan, Source labeling), each [step] runs exactly one supervised
+   call at the next timestamp, and [execute] is now a fold over [step].
+   A failed step burns its timestamp and reports the failure to the
+   caller instead of consulting [policy.on_failure] itself — the daemon
+   fails the call, not the session. *)
+
+type session = {
+  s_doc : Tree.t;
+  s_trace : Trace.t;
+  s_policy : policy;
+  s_service_of_time : (int, string) Hashtbl.t;
+  s_seen_uris : (string, unit) Hashtbl.t;
+      (* every URI committed so far; per-call additions are checked
+         against it incrementally, replacing the old full rescan *)
+  s_labeled : (Tree.node, unit) Hashtbl.t;
+  mutable s_next_time : int;
+}
+
+let session_doc s = s.s_doc
+let session_trace s = s.s_trace
+let session_policy s = s.s_policy
+let next_time s = s.s_next_time
+
+(* Label all resources that still lack a service-call label, attributing
+   them to the call active at their creation timestamp (this covers both
+   fresh resources and nodes promoted to resources by a later call, as
+   node 3 of Figure 4 is). *)
+let label_resources s ~now =
+  let doc = s.s_doc in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem s.s_labeled n) then begin
+        Hashtbl.add s.s_labeled n ();
+        (* A node older than the current call was just promoted. *)
+        Tree.set_uri_time doc n
+          (if Tree.created doc n < now then now else Tree.created doc n);
+        let time = Tree.created doc n in
+        let service =
+          match Hashtbl.find_opt s.s_service_of_time time with
+          | Some s -> s
+          | None -> "Source"
+        in
+        if Tree.service_label doc n = None then
+          Tree.set_service_label doc n service time;
+        let call = { Trace.service; time } in
+        match Tree.uri doc n with
+        | Some uri -> Trace.add_entry s.s_trace { Trace.uri; node = n; call }
+        | None ->
+          raise
+            (Orchestrator_error
+               (Printf.sprintf
+                  "resource node %d lost its URI during labeling at t%d" n now))
+      end)
+    (Tree.resources doc)
+
+let start ?(policy = default_policy) doc =
   if not (Tree.has_root doc) then
-    invalid_arg "Orchestrator.execute: the document needs a root";
-  let trace = Trace.create () in
-  let service_of_time = Hashtbl.create 16 in
-  Hashtbl.replace service_of_time 0 "Source";
+    invalid_arg "Orchestrator.start: the document needs a root";
+  let s =
+    { s_doc = doc; s_trace = Trace.create (); s_policy = policy;
+      s_service_of_time = Hashtbl.create 16; s_seen_uris = Hashtbl.create 64;
+      s_labeled = Hashtbl.create 64; s_next_time = 1 }
+  in
+  Hashtbl.replace s.s_service_of_time 0 "Source";
   (* The root is always a resource (Definition 1). *)
   if Tree.uri doc (Tree.root doc) = None then
     Tree.set_uri doc (Tree.root doc) (fresh_uri doc);
   check_unique_uris doc;
-  (* Every URI committed so far; per-call additions are checked against it
-     incrementally, replacing the old full rescan after every call. *)
-  let seen_uris = Hashtbl.create 64 in
   List.iter
     (fun n ->
       match Tree.uri doc n with
-      | Some u -> Hashtbl.replace seen_uris u ()
+      | Some u -> Hashtbl.replace s.s_seen_uris u ()
       | None -> ())
     (Tree.resources doc);
-  let labeled = Hashtbl.create 64 in
-  (* Label all resources that still lack a service-call label, attributing
-     them to the call active at their creation timestamp (this covers both
-     fresh resources and nodes promoted to resources by a later call, as
-     node 3 of Figure 4 is). *)
-  let label_resources ~now =
-    List.iter
-      (fun n ->
-        if not (Hashtbl.mem labeled n) then begin
-          Hashtbl.add labeled n ();
-          (* A node older than the current call was just promoted. *)
-          Tree.set_uri_time doc n
-            (if Tree.created doc n < now then now else Tree.created doc n);
-          let time = Tree.created doc n in
-          let service =
-            match Hashtbl.find_opt service_of_time time with
-            | Some s -> s
-            | None -> "Source"
-          in
-          if Tree.service_label doc n = None then
-            Tree.set_service_label doc n service time;
-          let call = { Trace.service; time } in
-          match Tree.uri doc n with
-          | Some uri -> Trace.add_entry trace { Trace.uri; node = n; call }
-          | None -> assert false
-        end)
-      (Tree.resources doc)
-  in
-  Trace.add_call trace { Trace.service = "Source"; time = 0 };
-  label_resources ~now:0;
-  List.iteri
-    (fun i service ->
-      let time = i + 1 in
-      let name = Service.name service in
-      Log.debug (fun m -> m "call %d: %s" time name);
-      Hashtbl.replace service_of_time time name;
-      let call = { Trace.service = name; time } in
-      let before = Doc_state.at doc (time - 1) in
-      let ck = Tree.checkpoint doc in
-      (* One supervised attempt: run the service, verify budgets, assign
-         identities, and check this call's URIs against everything already
-         committed.  Raises on any violation; nothing here mutates the
-         trace, so a raise rolls back to [ck] with no bookkeeping to
-         undo. *)
-      let attempt_once () =
+  Trace.add_call s.s_trace { Trace.service = "Source"; time = 0 };
+  label_resources s ~now:0;
+  s
+
+type step_result =
+  | Committed of { delta : delta; attempts : int }
+  | Step_failed of { reason : string; exn : exn; attempts : int }
+      (* the timestamp is burned: the document is bit-identical to the
+         previous commit and the strategies will never see this call *)
+
+let step ?(on_step = fun _ _ _ _ -> ()) s service =
+  let doc = s.s_doc and trace = s.s_trace and policy = s.s_policy in
+  let time = s.s_next_time in
+  s.s_next_time <- time + 1;
+  let name = Service.name service in
+  Log.debug (fun m -> m "call %d: %s" time name);
+  Hashtbl.replace s.s_service_of_time time name;
+  let call = { Trace.service = name; time } in
+  let before = Doc_state.at doc (time - 1) in
+  let ck = Tree.checkpoint doc in
+  (* One supervised attempt: run the service, verify budgets, assign
+     identities, and check this call's URIs against everything already
+     committed.  Raises on any violation; nothing here mutates the
+     trace, so a raise rolls back to [ck] with no bookkeeping to
+     undo. *)
+  let attempt_once () =
         let t0 = Sys.time () in
         let new_nodes, promoted =
           match service.Service.impl with
@@ -379,7 +426,7 @@ let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
            pairwise distinct. *)
         let this_call = Hashtbl.create 16 in
         let check_new u =
-          if Hashtbl.mem seen_uris u || Hashtbl.mem this_call u then
+          if Hashtbl.mem s.s_seen_uris u || Hashtbl.mem this_call u then
             raise (Duplicate_uri u);
           Hashtbl.add this_call u ()
         in
@@ -393,77 +440,89 @@ let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
           promoted;
         (new_nodes, promoted)
       in
-      let rec supervise attempt =
-        let bo = backoff_for policy attempt in
-        T.incr c_attempts;
-        T.add c_backoff_ms (int_of_float bo);
-        match attempt_once () with
-        | (new_nodes, promoted) ->
-          Trace.record_attempt trace
-            { Trace.a_service = name; a_time = time; a_attempt = attempt;
-              a_ok = true; a_reason = ""; a_backoff_ms = bo };
-          `Committed (new_nodes, promoted, attempt)
-        | exception e ->
-          let reason = failure_reason e in
-          Tree.restore doc ck;
-          Log.debug (fun m ->
-              m "call %d (%s) attempt %d failed: %s" time name attempt reason);
-          T.incr c_attempts_failed;
-          Trace.record_attempt trace
-            { Trace.a_service = name; a_time = time; a_attempt = attempt;
-              a_ok = false; a_reason = reason; a_backoff_ms = bo };
-          if attempt <= policy.retries then supervise (attempt + 1)
-          else `Failed (reason, e)
-      in
-      let span_t0 = if T.spans_on () then T.now_us () else 0. in
-      let emit_call_span outcome attempts =
-        if T.spans_on () then
-          T.emit_span ~cat:"orchestrator"
-            ~args:
-              [ ("time", string_of_int time); ("outcome", outcome);
-                ("attempts", string_of_int attempts) ]
-            ~name:("call:" ^ name) ~worker:(T.current_worker ())
-            ~t0:span_t0 ~t1:(T.now_us ()) ()
-      in
-      match supervise 1 with
-      | `Committed (new_nodes, promoted, attempts) ->
-        emit_call_span "committed" attempts;
-        T.incr c_committed;
-        if attempts > 1 then T.incr c_retried;
-        (* Commit: from here on nothing can fail, so a later call's
-           rollback never has trace bookkeeping to undo. *)
-        List.iter
-          (fun n ->
-            match Tree.uri doc n with
-            | Some u ->
-              Hashtbl.replace seen_uris u ();
-              (* the allocator's tail scan cannot see promotions *)
-              Uri_alloc.register doc u
-            | None -> ())
-          promoted;
-        List.iter
-          (fun n ->
-            match Tree.uri doc n with
-            | Some u -> Hashtbl.replace seen_uris u ()
-            | None -> ())
-          new_nodes;
-        Trace.add_call trace call;
-        Trace.record_outcome trace call
-          (if attempts > 1 then Trace.Retried (attempts - 1) else Trace.Ok);
-        label_resources ~now:time;
-        let after = Doc_state.at doc time in
-        on_step call before after { new_nodes; promoted }
-      | `Failed (reason, e) ->
-        emit_call_span "failed" (policy.retries + 1);
-        T.incr c_failed;
-        (* The timestamp is burned: the document is bit-identical to the
-           previous commit and the strategies will never see this call. *)
-        Trace.record_outcome trace call (Trace.Failed reason);
-        (match policy.on_failure with
-         | `Propagate -> raise e
-         | `Skip ->
-           Log.info (fun m ->
-               m "call %d (%s) failed after %d attempt(s): %s — skipped" time
-                 name (policy.retries + 1) reason)))
+  let rec supervise attempt =
+    let bo = backoff_for policy attempt in
+    T.incr c_attempts;
+    T.add c_backoff_ms (int_of_float bo);
+    match attempt_once () with
+    | (new_nodes, promoted) ->
+      Trace.record_attempt trace
+        { Trace.a_service = name; a_time = time; a_attempt = attempt;
+          a_ok = true; a_reason = ""; a_backoff_ms = bo };
+      `Committed (new_nodes, promoted, attempt)
+    | exception e ->
+      let reason = failure_reason e in
+      Tree.restore doc ck;
+      Log.debug (fun m ->
+          m "call %d (%s) attempt %d failed: %s" time name attempt reason);
+      T.incr c_attempts_failed;
+      Trace.record_attempt trace
+        { Trace.a_service = name; a_time = time; a_attempt = attempt;
+          a_ok = false; a_reason = reason; a_backoff_ms = bo };
+      if attempt <= policy.retries then supervise (attempt + 1)
+      else `Failed (reason, e)
+  in
+  let span_t0 = if T.spans_on () then T.now_us () else 0. in
+  let emit_call_span outcome attempts =
+    if T.spans_on () then
+      T.emit_span ~cat:"orchestrator"
+        ~args:
+          [ ("time", string_of_int time); ("outcome", outcome);
+            ("attempts", string_of_int attempts) ]
+        ~name:("call:" ^ name) ~worker:(T.current_worker ())
+        ~t0:span_t0 ~t1:(T.now_us ()) ()
+  in
+  match supervise 1 with
+  | `Committed (new_nodes, promoted, attempts) ->
+    emit_call_span "committed" attempts;
+    T.incr c_committed;
+    if attempts > 1 then T.incr c_retried;
+    (* Commit: from here on nothing can fail, so a later call's
+       rollback never has trace bookkeeping to undo. *)
+    List.iter
+      (fun n ->
+        match Tree.uri doc n with
+        | Some u ->
+          Hashtbl.replace s.s_seen_uris u ();
+          (* the allocator's tail scan cannot see promotions *)
+          Uri_alloc.register doc u
+        | None -> ())
+      promoted;
+    List.iter
+      (fun n ->
+        match Tree.uri doc n with
+        | Some u -> Hashtbl.replace s.s_seen_uris u ()
+        | None -> ())
+      new_nodes;
+    Trace.add_call trace call;
+    Trace.record_outcome trace call
+      (if attempts > 1 then Trace.Retried (attempts - 1) else Trace.Ok);
+    let delta = { new_nodes; promoted } in
+    label_resources s ~now:time;
+    let after = Doc_state.at doc time in
+    on_step call before after delta;
+    Committed { delta; attempts }
+  | `Failed (reason, e) ->
+    emit_call_span "failed" (policy.retries + 1);
+    T.incr c_failed;
+    (* The timestamp is burned: the document is bit-identical to the
+       previous commit and the strategies will never see this call. *)
+    Trace.record_outcome trace call (Trace.Failed reason);
+    Step_failed { reason; exn = e; attempts = policy.retries + 1 }
+
+let execute ?(policy = default_policy) ?(on_step = fun _ _ _ _ -> ()) doc
+    services =
+  let s = start ~policy doc in
+  List.iter
+    (fun service ->
+      match step ~on_step s service with
+      | Committed _ -> ()
+      | Step_failed { reason; exn; attempts } -> (
+        match policy.on_failure with
+        | `Propagate -> raise exn
+        | `Skip ->
+          Log.info (fun m ->
+              m "call %d (%s) failed after %d attempt(s): %s — skipped"
+                (next_time s - 1) (Service.name service) attempts reason)))
     services;
-  trace
+  s.s_trace

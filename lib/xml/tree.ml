@@ -52,7 +52,9 @@ let size t = Vec.length t.cells
 let generation t = t.generation
 
 let cell t n =
-  if n < 0 || n >= size t then invalid_arg "Tree: invalid node id";
+  if n < 0 || n >= size t then
+    invalid_arg
+      (Printf.sprintf "Tree: invalid node id %d (arena size %d)" n (size t));
   Vec.get t.cells n
 
 let has_root t = t.root <> no_node
@@ -210,8 +212,14 @@ let invalidate_caches t =
   t.cached_index <- None;
   t.generation <- t.generation + 1
 
+(* [n = size] (nothing to drop, including the empty arena) is a legal
+   no-op that must not bump the generation: size-stamped caches stay
+   valid because nothing changed.  Pinned by regression tests. *)
 let truncate_to t n =
-  if n < 0 || n > size t then invalid_arg "Tree.truncate_to";
+  if n < 0 || n > size t then
+    invalid_arg
+      (Printf.sprintf "Tree.truncate_to: boundary %d out of range (size %d)" n
+         (size t));
   if n < size t then begin
     for i = 0 to n - 1 do
       let ch = (Vec.get t.cells i).children in
@@ -243,7 +251,10 @@ let checkpoint t =
 
 let restore t ck =
   if size t < ck.ck_size then
-    invalid_arg "Tree.restore: arena shrank below the checkpoint";
+    invalid_arg
+      (Printf.sprintf
+         "Tree.restore: arena shrank below the checkpoint (size %d < %d)"
+         (size t) ck.ck_size);
   if ck.ck_size < size t then truncate_to t ck.ck_size;
   t.root <- ck.ck_root;
   Array.iteri

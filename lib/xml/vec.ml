@@ -12,12 +12,18 @@ let create ~dummy = { data = Array.make 16 dummy; size = 0; dummy }
 
 let length v = v.size
 
+(* Boundary failures carry the offending index and the live size: a
+   long-lived server turns these into session-level error replies, and a
+   bare constructor name is undiagnosable by then. *)
+let out_of_bounds op i size =
+  invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds (size %d)" op i size)
+
 let get v i =
-  if i < 0 || i >= v.size then invalid_arg "Vec.get";
+  if i < 0 || i >= v.size then out_of_bounds "get" i v.size;
   v.data.(i)
 
 let set v i x =
-  if i < 0 || i >= v.size then invalid_arg "Vec.set";
+  if i < 0 || i >= v.size then out_of_bounds "set" i v.size;
   v.data.(i) <- x
 
 let ensure_capacity v n =
@@ -35,9 +41,10 @@ let push v x =
 
 (* Insert [x] at position [i], shifting the suffix right.  O(size - i):
    constant at the tail, where the index extension inserts almost always
-   (appends land at the end of document order). *)
+   (appends land at the end of document order).  [i = size] is a legal
+   append; the audit below pins that edge with regression tests. *)
 let insert v i x =
-  if i < 0 || i > v.size then invalid_arg "Vec.insert";
+  if i < 0 || i > v.size then out_of_bounds "insert" i v.size;
   ensure_capacity v (v.size + 1);
   Array.blit v.data i v.data (i + 1) (v.size - i);
   v.data.(i) <- x;
@@ -46,7 +53,7 @@ let insert v i x =
 (* Drop the suffix [n..size).  Dropped slots are reset to [dummy] so the
    array holds no reference to the removed elements. *)
 let truncate v n =
-  if n < 0 || n > v.size then invalid_arg "Vec.truncate";
+  if n < 0 || n > v.size then out_of_bounds "truncate" n v.size;
   for i = n to v.size - 1 do
     v.data.(i) <- v.dummy
   done;

@@ -7,10 +7,16 @@
 
 exception Error of { line : int; col : int; message : string }
 
+(* Total: callers hand it whatever escaped from [parse] — typically an
+   {!Error}, but a daemon reporting a malformed client document must never
+   crash inside error *reporting* itself, so every other exception (and
+   every future [Error] payload shape) also renders descriptively. *)
 let error_to_string = function
   | Error { line; col; message } ->
     Printf.sprintf "XML parse error at %d:%d: %s" line col message
-  | _ -> invalid_arg "error_to_string"
+  | Invalid_argument msg -> "XML parse error: invalid argument: " ^ msg
+  | Failure msg -> "XML parse error: " ^ msg
+  | e -> "XML parse error: " ^ Printexc.to_string e
 
 type lexer = {
   input : string;

@@ -7,7 +7,9 @@
 exception Error of { line : int; col : int; message : string }
 
 val error_to_string : exn -> string
-(** Render an {!Error}; @raise Invalid_argument on any other exception. *)
+(** Render an {!Error} with its line/column position.  Total: any other
+    exception renders through {!Printexc.to_string} — error reporting
+    never raises, even when handed an exception it does not know. *)
 
 val parse : ?preserve_whitespace:bool -> string -> Tree.t
 (** Parse a document.  Whitespace-only text nodes are dropped unless
