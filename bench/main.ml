@@ -51,6 +51,14 @@ let parallel_report = ref None
    protocol error or turtle mismatch. *)
 let serve_report = ref None
 
+(* [--ingest-report PATH] runs the wall-clock streaming-ingest study
+   instead of the Bechamel suite and writes the BENCH_ingest.json
+   artifact: parse and parse+index throughput (MB/s) over a synthetic
+   repository document, and bytes-per-node of the structure-of-arrays
+   arena against a field-for-field replica of the previous boxed-record
+   arena built from the same document. *)
+let ingest_report = ref None
+
 (* [--obs-guard] runs the disabled-recorder overhead check (P15) instead
    of the Bechamel suite: fails the process if the estimated cost of the
    Off-level telemetry call sites exceeds 2% of the smoke workload. *)
@@ -67,8 +75,8 @@ let () =
   let usage unknown =
     Printf.eprintf
       "usage: %s [--quick] [--json PATH] [--only SUBSTR] [--jobs N] \
-       [--parallel-report PATH] [--serve-report PATH] [--obs-guard] \
-       [--fused-counters]  (unknown arg %s)\n"
+       [--parallel-report PATH] [--serve-report PATH] [--ingest-report PATH] \
+       [--obs-guard] [--fused-counters]  (unknown arg %s)\n"
       Sys.argv.(0) unknown;
     exit 2
   in
@@ -93,6 +101,9 @@ let () =
       scan rest
     | "--serve-report" :: path :: rest ->
       serve_report := Some path;
+      scan rest
+    | "--ingest-report" :: path :: rest ->
+      ingest_report := Some path;
       scan rest
     | "--obs-guard" :: rest ->
       obs_guard := true;
@@ -356,6 +367,166 @@ let run_serve_report path =
     exit 1
   end
 
+(* ---------- P18: streaming ingest study (--ingest-report) ----------
+
+   Wall-clock throughput of the one-pass pipeline (bytes -> events ->
+   arena [-> index]) over a synthetic repository document, plus a memory
+   comparison: bytes-per-node of the live structure-of-arrays arena
+   against a field-for-field replica of the boxed-record arena this
+   refactor replaced (one cell record, a 16-slot children Vec and its
+   own copies of every string per node — what the old parser
+   materialized).  Both sides are measured with [Obj.reachable_words]
+   over the same document, so the ratio is an apples-to-apples heap
+   census, not an estimate. *)
+
+module Record_arena = struct
+  type kind =
+    | Element of string
+    | Text of string
+
+  type cell = {
+    mutable kind : kind;
+    mutable attrs : (string * string) list;
+    mutable parent : int;
+    children : int Vec.t;
+    mutable created : int;
+    mutable uri_time : int;
+  }
+  [@@warning "-69"]
+
+  type t = {
+    cells : cell Vec.t;
+    mutable root : int;
+  }
+  [@@warning "-69"]
+
+  (* Fresh copies, as the old parser produced: each start tag and each
+     attribute allocated its own string, shared with nothing. *)
+  let copy_string s = String.init (String.length s) (String.get s)
+
+  let of_tree doc =
+    let dummy =
+      { kind = Text ""; attrs = []; parent = -1;
+        children = Vec.create ~dummy:(-1); created = 0; uri_time = 0 }
+    in
+    let t = { cells = Vec.create ~dummy; root = -1 } in
+    for n = 0 to Tree.size doc - 1 do
+      let kind =
+        if Tree.is_element doc n then Element (copy_string (Tree.name doc n))
+        else Text (copy_string (Tree.text doc n))
+      in
+      let attrs =
+        List.map
+          (fun (k, v) -> (copy_string k, copy_string v))
+          (Tree.attrs doc n)
+      in
+      let children = Vec.create ~dummy:(-1) in
+      Tree.iter_children doc n (fun c -> Vec.push children c);
+      Vec.push t.cells
+        { kind; attrs; parent = Tree.parent doc n; children;
+          created = Tree.created doc n; uri_time = Tree.uri_time doc n }
+    done;
+    if Tree.has_root doc then t.root <- Tree.root doc;
+    t
+end
+
+(* A WebLab-shaped repository: repetitive element/attribute vocabulary
+   (what interning exploits), unique identifiers and per-unit text (what
+   it cannot). *)
+let synth_repository_xml items =
+  let buf = Buffer.create (items * 160) in
+  Buffer.add_string buf "<Repository>";
+  for i = 1 to items do
+    Printf.bprintf buf
+      "<TextMediaUnit id=\"mu%d\" s=\"Crawler\" t=\"%d\">\
+       <Content lang=\"fr\">unit %d body &amp; annotations</Content>\
+       <Annotation src=\"Normaliser\" t=\"%d\"><Language>french</Language>\
+       </Annotation></TextMediaUnit>"
+      i (1 + (i mod 9)) i (2 + (i mod 9))
+  done;
+  Buffer.add_string buf "</Repository>";
+  Buffer.contents buf
+
+let best_of_runs k f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to k do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+let reachable_bytes v = Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+let run_ingest_report path =
+  let items = if !quick then 5_000 else 50_000 in
+  let xml = synth_repository_xml items in
+  let mb = float_of_int (String.length xml) /. (1024. *. 1024.) in
+  let runs = if !quick then 3 else 5 in
+  let t_parse, doc = best_of_runs runs (fun () -> fst (Ingest.of_string xml)) in
+  let t_both, (doc_i, idx) =
+    best_of_runs runs (fun () ->
+        match Ingest.of_string ~index:true xml with
+        | d, Some i -> (d, i)
+        | _, None -> assert false)
+  in
+  (* The classic two-pass shape, for reference: parse, then a separate
+     full index build over the finished tree. *)
+  let t_two_pass, _ =
+    best_of_runs runs (fun () -> Index.build (Xml_parser.parse xml))
+  in
+  let errors = ref 0 in
+  if not (Index.valid_for idx doc_i) then incr errors;
+  (* Chunked feed must agree with the whole-string parse byte for byte. *)
+  let chunked =
+    let t = Ingest.create () in
+    let len = String.length xml in
+    let chunk = 64 * 1024 in
+    let pos = ref 0 in
+    while !pos < len do
+      let k = min chunk (len - !pos) in
+      Ingest.feed_string t (String.sub xml !pos k);
+      pos := !pos + k
+    done;
+    fst (Ingest.finish t)
+  in
+  if not (String.equal (Printer.to_string chunked) (Printer.to_string doc))
+  then incr errors;
+  let nodes = Tree.size doc in
+  Gc.compact ();
+  let soa_per_node = float_of_int (reachable_bytes doc) /. float_of_int nodes in
+  let record = Record_arena.of_tree doc in
+  Gc.compact ();
+  let record_per_node =
+    float_of_int (reachable_bytes record) /. float_of_int nodes
+  in
+  let ratio = record_per_node /. soa_per_node in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"series\": \"ingest/streaming\", \"bytes\": %d, \"nodes\": %d,\n\
+    \ \"parse_mb_s\": %.2f, \"parse_index_mb_s\": %.2f, \
+     \"two_pass_mb_s\": %.2f,\n\
+    \ \"bytes_per_node_soa\": %.1f, \"bytes_per_node_record\": %.1f, \
+     \"bytes_per_node_ratio\": %.3f,\n\
+    \ \"errors\": %d}\n"
+    (String.length xml) nodes (mb /. t_parse) (mb /. t_both)
+    (mb /. t_two_pass) soa_per_node record_per_node ratio !errors;
+  close_out oc;
+  Printf.printf
+    "ingest: %.1f MB, %d nodes\n\
+    \  parse %.1f MB/s; parse+index %.1f MB/s; two-pass parse+build %.1f \
+     MB/s\n\
+    \  bytes/node: SoA %.1f, record arena %.1f  (ratio %.2fx)\n\
+     Wrote %s\n"
+    mb nodes (mb /. t_parse) (mb /. t_both) (mb /. t_two_pass) soa_per_node
+    record_per_node ratio path;
+  if !errors > 0 then begin
+    Printf.eprintf "ingest bench FAILED: %d errors\n" !errors;
+    exit 1
+  end
+
 (* ---------- P15: recorder overhead guard (--obs-guard) ----------
 
    A direct disabled-vs-removed A/B is impossible (the call sites are
@@ -484,6 +655,13 @@ let () =
   match !serve_report with
   | Some path ->
     run_serve_report path;
+    exit 0
+  | None -> ()
+
+let () =
+  match !ingest_report with
+  | Some path ->
+    run_ingest_report path;
     exit 0
   | None -> ()
 
@@ -632,6 +810,29 @@ let xml_tests =
              (Weblab_xpath.Eval.eval doc
                 (Weblab_xpath.Parser.pattern
                    "//TextMediaUnit[$x := @id]/Annotation[Language]"))))
+  ]
+
+(* ---------- P18: streaming ingest micro-benchmarks ---------- *)
+
+let ingest_tests =
+  let xml = synth_repository_xml (if !quick then 500 else 5_000) in
+  [ Test.make ~name:"ingest/parse"
+      (Staged.stage (fun () -> ignore (Ingest.of_string xml)));
+    Test.make ~name:"ingest/parse+index"
+      (Staged.stage (fun () -> ignore (Ingest.of_string ~index:true xml)));
+    Test.make ~name:"ingest/two-pass"
+      (Staged.stage (fun () -> ignore (Index.build (Xml_parser.parse xml))));
+    Test.make ~name:"ingest/chunked-4k"
+      (Staged.stage (fun () ->
+           let t = Ingest.create () in
+           let len = String.length xml in
+           let pos = ref 0 in
+           while !pos < len do
+             let k = min 4096 (len - !pos) in
+             Ingest.feed_string t (String.sub xml !pos k);
+             pos := !pos + k
+           done;
+           ignore (Ingest.finish t)))
   ]
 
 (* ---------- P7: reachability queries — BFS vs materialized closure ---------- *)
@@ -1021,7 +1222,7 @@ let serve_tests =
 
 let all_tests =
   [ test_paper_figures ] @ strategy_tests @ doc_scaling_tests
-  @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests
+  @ rule_scaling_tests @ xquery_tests @ rdf_tests @ xml_tests @ ingest_tests
   @ reachability_tests @ extension_tests @ analytics_tests @ index_tests
   @ join_tests @ fault_tests @ incr_tests @ fused_tests @ parallel_tests
   @ obs_tests @ serve_tests

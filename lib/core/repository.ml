@@ -49,18 +49,40 @@ let check_id id =
     id = "" || String.exists (fun c -> c = '/' || c = '\\' || c = '.') id
   then raise (Error (Printf.sprintf "invalid execution id %S" id))
 
+(* The document streams straight to the file through [Printer.to_channel]
+   — no whole-document string in memory on the store path. *)
+let write_doc path doc =
+  let oc = open_out_bin path in
+  (try Printer.to_channel ~indent:true oc doc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
 let store t ~id (exec : Engine.execution) =
   check_id id;
   if not (Sys.file_exists (dir t id)) then Sys.mkdir (dir t id) 0o755;
-  write_file (path t id "document.xml")
-    (Printer.to_string ~indent:true exec.Engine.doc);
+  write_doc (path t id "document.xml") exec.Engine.doc;
   write_file (path t id "trace.xml") (Trace_io.to_xml exec.Engine.trace)
 
 let load t ~id : Engine.execution =
   check_id id;
+  let doc_path = path t id "document.xml" in
+  if not (Sys.file_exists doc_path) then raise (Error ("missing " ^ doc_path));
+  (* Chunked streaming ingest: the file is parsed straight into the
+     arena, never materialized as a string. *)
+  let ic = open_in_bin doc_path in
   let doc =
-    try Xml_parser.parse (read_file (path t id "document.xml"))
-    with Xml_parser.Error _ as e -> raise (Error (Xml_parser.error_to_string e))
+    match Ingest.of_channel ic with
+    | doc, _ ->
+      close_in ic;
+      doc
+    | exception (Xml_parser.Error _ as e) ->
+      close_in_noerr ic;
+      raise (Error (Xml_parser.error_to_string e))
+    | exception e ->
+      close_in_noerr ic;
+      raise e
   in
   Doc_state.restore_timestamps doc;
   let trace =

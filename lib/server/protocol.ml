@@ -135,13 +135,12 @@ let service_of req =
         (Printf.sprintf "unknown service %S (%s)" name
            (String.concat "|" Weblab_services.Catalog.service_names)))
   | None, Some xml ->
-    (* A client-supplied next document state: the faithful web-service
-       picture — the daemon diffs it against the current state and grafts
-       the appended fragments.  Malformed XML fails the call (total
-       parse-error rendering), never the session. *)
+    (* A client-supplied next document state: the streaming route — the
+       body is parsed once, straight into an arena, and diffed against
+       the current state without serializing it.  Malformed XML fails the
+       call (total parse-error rendering), never the session. *)
     let name = opt_default "ClientXml" (J.str_member "name" req) in
-    Service.blackbox ~name ~description:"client-supplied document state"
-      (fun _input -> xml)
+    Session.client_xml_service ~name xml
   | Some _, Some _ | None, None ->
     reject "bad_request" "commit takes exactly one of \"service\" or \"xml\""
 

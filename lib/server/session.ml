@@ -67,6 +67,16 @@ let create ~id ~backend ?(jobs = 1) ?(budgets = default_budgets) ~doc rb =
 
 let with_lock t f = Mutex.protect t.lock f
 
+(* A client-supplied next document state, committed through the
+   streaming blackbox route: the body is parsed straight into a private
+   arena by [Ingest] inside the service thunk — the daemon never
+   serializes the live document as a pseudo-input, and the request body
+   is materialized exactly once.  Malformed XML raises inside the thunk
+   and fails the call (never the session). *)
+let client_xml_service ?(name = "ClientXml") xml =
+  Service.blackbox_doc ~name ~description:"client-supplied document state"
+    (fun () -> fst (Ingest.of_string xml))
+
 (* ----- commit ----- *)
 
 type commit_ok = {

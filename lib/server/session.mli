@@ -52,6 +52,14 @@ val create :
 val with_lock : t -> (unit -> 'a) -> 'a
 (** Per-session mutual exclusion — every protocol verb runs under it. *)
 
+val client_xml_service : ?name:string -> string -> Service.t
+(** A commit payload carrying the full next document state as XML text,
+    wrapped as a streaming {!Service.blackbox_doc}: the text is parsed
+    straight into a private arena through {!Weblab_xml.Ingest}, so the
+    daemon neither serializes the live document as a pseudo-input nor
+    materializes the body twice.  [name] defaults to ["ClientXml"].
+    Malformed XML fails the commit, not the session. *)
+
 (** {1 Verbs} *)
 
 type commit_ok = {

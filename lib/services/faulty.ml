@@ -113,6 +113,29 @@ let apply_blackbox fault ~stall_s name f input =
     inject_duplicate d;
     Printer.to_string d
 
+(* Streaming black-box faults corrupt the parsed next state — or the
+   parse itself: garbage XML raises inside the thunk, exactly where a
+   malformed streamed body would. *)
+let apply_blackbox_doc fault ~stall_s name f () =
+  match fault with
+  | None -> f ()
+  | Some Crash ->
+    let (_ : Tree.t) = f () in
+    failwith (Printf.sprintf "injected crash in %s" name)
+  | Some Stall ->
+    busy_wait stall_s;
+    f ()
+  | Some Garbage_xml -> Xml_parser.parse "<injected-garbage"
+  | Some Mutate_committed ->
+    let d = f () in
+    if Tree.has_root d then
+      Tree.set_attr d (Tree.root d) "injected-corruption" "1";
+    d
+  | Some Duplicate_uri ->
+    let d = f () in
+    inject_duplicate d;
+    d
+
 (* The wrapped service keeps its name: rulebooks key on service names, so
    provenance rules keep applying to the surviving calls. *)
 let wrap_with decide_fn ~stall_s (svc : Service.t) =
@@ -130,6 +153,11 @@ let wrap_with decide_fn ~stall_s (svc : Service.t) =
         (fun input ->
           incr counter;
           apply_blackbox (decide_fn name !counter) ~stall_s name f input)
+    | Service.Blackbox_doc f ->
+      Service.Blackbox_doc
+        (fun () ->
+          incr counter;
+          apply_blackbox_doc (decide_fn name !counter) ~stall_s name f ())
   in
   Service.make ~name
     ~description:(Service.description svc ^ " [fault-injected]")

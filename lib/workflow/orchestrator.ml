@@ -209,15 +209,10 @@ let run_inproc doc f =
   (List.init (Tree.size doc - old_size) (fun i -> old_size + i),
    List.rev !promoted)
 
-let run_blackbox doc f =
-  let input = Printer.to_string doc in
-  let output = f input in
-  let new_doc =
-    try Xml_parser.parse output
-    with Xml_parser.Error _ as e ->
-      raise (Append_violation ("service returned unparsable XML: "
-                               ^ Xml_parser.error_to_string e))
-  in
+(* Shared graft tail of the two blackbox runners: diff the parsed next
+   state against the arena, adopt URI promotions on matched nodes and
+   deep-copy the added fragments in. *)
+let graft_new_doc doc new_doc =
   let result =
     try Diff.diff ~old_doc:doc ~new_doc
     with Diff.Not_contained msg -> raise (Append_violation msg)
@@ -255,6 +250,30 @@ let run_blackbox doc f =
     result.added;
   (List.init (Tree.size doc - old_size) (fun i -> old_size + i),
    List.rev !promoted)
+
+let run_blackbox doc f =
+  let input = Printer.to_string doc in
+  let output = f input in
+  let new_doc =
+    try Xml_parser.parse output
+    with Xml_parser.Error _ as e ->
+      raise (Append_violation ("service returned unparsable XML: "
+                               ^ Xml_parser.error_to_string e))
+  in
+  graft_new_doc doc new_doc
+
+(* The streaming variant parses inside the thunk (typically through
+   [Ingest] straight off a request body), so the live document is never
+   serialized as a pseudo-input; parse failures surface as the same
+   violation the string path reports. *)
+let run_blackbox_doc doc f =
+  let new_doc =
+    try f ()
+    with Xml_parser.Error _ as e ->
+      raise (Append_violation ("service returned unparsable XML: "
+                               ^ Xml_parser.error_to_string e))
+  in
+  graft_new_doc doc new_doc
 
 (* ----- Supervision policy ----- *)
 
@@ -396,6 +415,7 @@ let step ?(on_step = fun _ _ _ _ -> ()) s service =
           match service.Service.impl with
           | Service.Inproc f -> run_inproc doc f
           | Service.Blackbox f -> run_blackbox doc f
+          | Service.Blackbox_doc f -> run_blackbox_doc doc f
         in
         (match policy.max_call_s with
          | Some limit when Sys.time () -. t0 > limit ->

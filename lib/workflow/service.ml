@@ -8,13 +8,18 @@
      serialized XML — the faithful web-service picture.  The Recorder
      parses the result, diffs it against the input (the paper's
      "standard XML-diff service") and grafts the added fragments onto the
-     arena. *)
+     arena.
+   - [Blackbox_doc]: the streaming variant — the service yields the next
+     document state as an already-parsed tree (typically built by
+     {!Weblab_xml.Ingest} straight from a request body), so the Recorder
+     diffs without ever serializing the live document as a pseudo-input. *)
 
 open Weblab_xml
 
 type impl =
   | Inproc of (Tree.t -> unit)
   | Blackbox of (string -> string)
+  | Blackbox_doc of (unit -> Tree.t)
 
 type t = {
   name : string;
@@ -27,6 +32,8 @@ let make ~name ~description impl = { name; description; impl }
 let inproc ~name ~description f = make ~name ~description (Inproc f)
 
 let blackbox ~name ~description f = make ~name ~description (Blackbox f)
+
+let blackbox_doc ~name ~description f = make ~name ~description (Blackbox_doc f)
 
 let name t = t.name
 

@@ -8,13 +8,18 @@
       (and at most promoted nodes to resources).
     - [Blackbox]: the service maps serialized XML to serialized XML — the
       faithful web-service picture; the Recorder diffs the result against
-      the input and grafts the added fragments onto the arena. *)
+      the input and grafts the added fragments onto the arena.
+    - [Blackbox_doc]: the streaming variant — the service yields the next
+      document state as an already-parsed tree (typically streamed through
+      {!Weblab_xml.Ingest} from a request body), so the Recorder diffs
+      without serializing the live document as a pseudo-input. *)
 
 open Weblab_xml
 
 type impl =
   | Inproc of (Tree.t -> unit)
   | Blackbox of (string -> string)
+  | Blackbox_doc of (unit -> Tree.t)
 
 type t = {
   name : string;
@@ -27,6 +32,11 @@ val make : name:string -> description:string -> impl -> t
 val inproc : name:string -> description:string -> (Tree.t -> unit) -> t
 
 val blackbox : name:string -> description:string -> (string -> string) -> t
+
+val blackbox_doc : name:string -> description:string -> (unit -> Tree.t) -> t
+(** The thunk may raise {!Weblab_xml.Xml_parser.Error} (a streamed body
+    that fails to parse); the orchestrator reports it exactly like
+    unparsable [Blackbox] output. *)
 
 val name : t -> string
 

@@ -70,15 +70,23 @@ let timestamps_monotonic doc =
    labeled resources). *)
 let restore_timestamps doc =
   if Tree.has_root doc then begin
-    let rec go n inherited =
-      let t =
-        match Tree.attr doc n "t" with
-        | Some s -> (match int_of_string_opt s with Some t -> t | None -> inherited)
-        | None -> inherited
-      in
-      Tree.set_created doc n t;
-      Tree.set_uri_time doc n t;
-      List.iter (fun k -> go k t) (Tree.children doc n)
-    in
-    go (Tree.root doc) 0
+    (* Explicit (node, inherited-timestamp) stack: reloaded documents can
+       be arbitrarily deep, and each node depends only on its ancestor
+       chain, so processing order across siblings is free. *)
+    let stack = ref [ (Tree.root doc, 0) ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (n, inherited) :: rest ->
+        stack := rest;
+        let t =
+          match Tree.attr doc n "t" with
+          | Some s ->
+            (match int_of_string_opt s with Some t -> t | None -> inherited)
+          | None -> inherited
+        in
+        Tree.set_created doc n t;
+        Tree.set_uri_time doc n t;
+        Tree.iter_children doc n (fun k -> stack := (k, t) :: !stack)
+    done
   end

@@ -1,0 +1,68 @@
+(* One-pass streaming ingest: parser events are appended straight into a
+   fresh arena and, optionally, straight into an evaluation index —
+   ingest *is* index maintenance.  No intermediate DOM, no second
+   traversal, and the caller's read buffer can be reused between feeds
+   (the parser copies pending bytes out). *)
+
+type t = {
+  doc : Tree.t;
+  st : Xml_parser.state;
+  ing : Index.ingest option;
+}
+
+let create ?preserve_whitespace ?(index = false) () =
+  let doc = Tree.create () in
+  let ing = if index then Some (Index.ingest_start doc) else None in
+  let stack = ref [] in
+  let on_event = function
+    | Xml_parser.Start_element (name, attrs) ->
+      let parent = match !stack with n :: _ -> n | [] -> Tree.no_node in
+      let n = Tree.new_element ~attrs doc ~parent name in
+      (match ing with Some i -> Index.ingest_open_element i n | None -> ());
+      stack := n :: !stack
+    | Xml_parser.Text s ->
+      (match !stack with
+      | parent :: _ ->
+        let n = Tree.new_text doc ~parent s in
+        (match ing with Some i -> Index.ingest_text i n | None -> ())
+      | [] -> ())
+    | Xml_parser.End_element _ ->
+      (match !stack with
+      | n :: rest ->
+        (match ing with Some i -> Index.ingest_close_element i n | None -> ());
+        stack := rest
+      | [] -> ())
+  in
+  let st = Xml_parser.create ?preserve_whitespace ~on_event () in
+  { doc; st; ing }
+
+let doc t = t.doc
+
+let feed t buf pos len = Xml_parser.feed t.st buf pos len
+
+let feed_string t s = Xml_parser.feed_string t.st s
+
+let finish t =
+  Xml_parser.finish t.st;
+  (* Bulk growth is over: drop the doubling slack before the document
+     settles into its long inference-serving life. *)
+  Tree.compact t.doc;
+  (t.doc, Option.map Index.ingest_finish t.ing)
+
+let of_string ?preserve_whitespace ?index s =
+  let t = create ?preserve_whitespace ?index () in
+  feed_string t s;
+  finish t
+
+let of_channel ?preserve_whitespace ?index ?(chunk_size = 65536) ic =
+  let t = create ?preserve_whitespace ?index () in
+  let buf = Bytes.create chunk_size in
+  let rec loop () =
+    let k = input ic buf 0 chunk_size in
+    if k > 0 then begin
+      feed t buf 0 k;
+      loop ()
+    end
+  in
+  loop ();
+  finish t

@@ -1,0 +1,44 @@
+(** One-pass streaming ingest: chunked bytes in, arena + index out.
+
+    Couples the {!Xml_parser} event stream to {!Tree} appends and
+    (optionally) the {!Index} event hooks, so parsing a document, building
+    its arena and indexing it are a single pass over the input — no
+    intermediate DOM and no post-parse traversal.  This is the path the
+    serving daemon uses for client-supplied document states: the request
+    body is materialized exactly once, as the arena itself. *)
+
+type t
+(** An in-progress ingest over a private fresh document. *)
+
+val create : ?preserve_whitespace:bool -> ?index:bool -> unit -> t
+(** A fresh pipeline.  With [index] (default [false]) the evaluation
+    index is maintained event-by-event and returned by {!finish} —
+    already seeded into the {!Index.for_tree} cache. *)
+
+val doc : t -> Tree.t
+(** The arena under construction (also available before {!finish}, e.g.
+    for progress reporting; it holds the fully-parsed prefix). *)
+
+val feed : t -> bytes -> int -> int -> unit
+(** Consume one chunk; see {!Xml_parser.feed}.  The buffer may be reused
+    after return.
+    @raise Xml_parser.Error on malformed input. *)
+
+val feed_string : t -> string -> unit
+
+val finish : t -> Tree.t * Index.t option
+(** Signal end of input and seal the result.  The index is [Some] iff
+    [create] was passed [~index:true].
+    @raise Xml_parser.Error when the input ended mid-document. *)
+
+val of_string :
+  ?preserve_whitespace:bool -> ?index:bool -> string -> Tree.t * Index.t option
+(** Whole-string convenience: [create], one [feed], [finish]. *)
+
+val of_channel :
+  ?preserve_whitespace:bool ->
+  ?index:bool ->
+  ?chunk_size:int ->
+  in_channel ->
+  Tree.t * Index.t option
+(** Read the channel to EOF in [chunk_size] (default 64 KiB) chunks. *)

@@ -1,0 +1,28 @@
+(** Append-only string interning: the dictionary side of the
+    structure-of-arrays arena.
+
+    Each document owns one table; element names, attribute names,
+    attribute values and text content are stored once and referenced by
+    dense integer id from the node arrays.  Ids are never reused, so they
+    remain valid across {!Tree.truncate_to}/{!Tree.restore} rollbacks —
+    stale dictionary entries cost space, not correctness. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** The id of [s], allocating one on first sight.  Writer-side only: must
+    be called from the domain that owns the document. *)
+
+val get : t -> int -> string
+(** The string behind an id.  Read-only and safe to call concurrently
+    with {!intern} from other domains.
+    @raise Invalid_argument on an id never returned by {!intern}. *)
+
+val count : t -> int
+(** Number of distinct strings interned so far. *)
+
+val compact : t -> unit
+(** Trim the id array's growth slack.  Writer-side only; ids are
+    unchanged and later interning grows again. *)

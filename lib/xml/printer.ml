@@ -1,10 +1,13 @@
 (* Serialization of WebLab documents back to XML text.
 
-   Everything is written straight into the caller's buffer: escaping
-   takes a fast path that memcpy-appends the whole string when it
-   contains nothing to escape (the overwhelmingly common case for
-   element content), and attributes are emitted without the old
-   per-attribute [Printf.sprintf] + [String.concat] round-trip. *)
+   Output goes through a sink (buffer or channel), so Turtle-sized
+   documents stream to their destination without an intermediate
+   whole-document string.  Escaping takes a fast path that
+   memcpy-appends the whole string when it contains nothing to escape
+   (the overwhelmingly common case for element content), attributes are
+   emitted without any per-attribute sprintf round-trip, and the
+   traversal drives an explicit work stack — document depth never
+   touches the OCaml call stack. *)
 
 let text_needs_escape s =
   let n = String.length s in
@@ -13,16 +16,16 @@ let text_needs_escape s =
   in
   probe 0
 
-let add_escaped_text buf s =
-  if not (text_needs_escape s) then Buffer.add_string buf s
+let escaped_text_to out_string out_char s =
+  if not (text_needs_escape s) then out_string s
   else
     String.iter
       (fun c ->
         match c with
-        | '&' -> Buffer.add_string buf "&amp;"
-        | '<' -> Buffer.add_string buf "&lt;"
-        | '>' -> Buffer.add_string buf "&gt;"
-        | c -> Buffer.add_char buf c)
+        | '&' -> out_string "&amp;"
+        | '<' -> out_string "&lt;"
+        | '>' -> out_string "&gt;"
+        | c -> out_char c)
       s
 
 let attr_needs_escape s =
@@ -32,23 +35,23 @@ let attr_needs_escape s =
   in
   probe 0
 
-let add_escaped_attr buf s =
-  if not (attr_needs_escape s) then Buffer.add_string buf s
+let escaped_attr_to out_string out_char s =
+  if not (attr_needs_escape s) then out_string s
   else
     String.iter
       (fun c ->
         match c with
-        | '&' -> Buffer.add_string buf "&amp;"
-        | '<' -> Buffer.add_string buf "&lt;"
-        | '"' -> Buffer.add_string buf "&quot;"
-        | c -> Buffer.add_char buf c)
+        | '&' -> out_string "&amp;"
+        | '<' -> out_string "&lt;"
+        | '"' -> out_string "&quot;"
+        | c -> out_char c)
       s
 
 let escape_text s =
   if not (text_needs_escape s) then s
   else begin
     let buf = Buffer.create (String.length s + 8) in
-    add_escaped_text buf s;
+    escaped_text_to (Buffer.add_string buf) (Buffer.add_char buf) s;
     Buffer.contents buf
   end
 
@@ -56,72 +59,123 @@ let escape_attr s =
   if not (attr_needs_escape s) then s
   else begin
     let buf = Buffer.create (String.length s + 8) in
-    add_escaped_attr buf s;
+    escaped_attr_to (Buffer.add_string buf) (Buffer.add_char buf) s;
     Buffer.contents buf
   end
 
-(* Attributes are printed sorted so that output is canonical: two documents
-   that are [Tree.equal_subtree] print identically. *)
-let add_attrs buf attrs =
-  List.iter
-    (fun (k, v) ->
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf k;
-      Buffer.add_string buf "=\"";
-      add_escaped_attr buf v;
-      Buffer.add_char buf '"')
-    (List.sort compare attrs)
+(* The traversal's pending work: a node to serialize at a depth, or a
+   closing tag to emit once the children above it are done.  The [bool]
+   records whether any visible child was an element — the close tag of a
+   mixed-content element goes on its own indented line. *)
+type job =
+  | Node of Tree.node * int
+  | Close of string * int * bool
 
-(* [visible] restricts printing to a document state (see {!Doc_state}). *)
-let subtree_to_buf ?(indent = false) ?(visible = fun _ -> true) buf doc node =
-  let rec go depth n =
-    if visible n then begin
-      let pad () =
-        if indent then begin
-          if Buffer.length buf > 0 then Buffer.add_char buf '\n';
-          Buffer.add_string buf (String.make (2 * depth) ' ')
-        end
-      in
-      if Tree.is_text doc n then begin
-        pad ();
-        add_escaped_text buf (Tree.text doc n)
-      end
-      else begin
-        pad ();
-        let name = Tree.name doc n in
-        let kids = List.filter visible (Tree.children doc n) in
-        Buffer.add_char buf '<';
-        Buffer.add_string buf name;
-        add_attrs buf (Tree.attrs doc n);
-        if kids = [] then Buffer.add_string buf "/>"
-        else if indent && List.for_all (fun k -> Tree.is_text doc k) kids then begin
-          (* Text-only content stays inline, so indentation never leaks
-             into string values. *)
-          Buffer.add_char buf '>';
-          List.iter (fun k -> add_escaped_text buf (Tree.text doc k)) kids;
-          Buffer.add_string buf "</";
-          Buffer.add_string buf name;
-          Buffer.add_char buf '>'
-        end
-        else begin
-          Buffer.add_char buf '>';
-          List.iter (go (depth + 1)) kids;
-          if indent && List.exists (fun k -> Tree.is_element doc k) kids then begin
-            Buffer.add_char buf '\n';
-            Buffer.add_string buf (String.make (2 * depth) ' ')
-          end;
-          Buffer.add_string buf "</";
-          Buffer.add_string buf name;
-          Buffer.add_char buf '>'
-        end
-      end
+(* [visible] restricts printing to a document state (see {!Doc_state}).
+   [started] seeds the "anything written yet" flag: indentation inserts a
+   newline before every node except the very first thing written. *)
+let emit ?(indent = false) ?(visible = fun _ -> true) ~started out_string
+    out_char doc node =
+  let started = ref started in
+  let out_s s =
+    if String.length s > 0 then begin
+      started := true;
+      out_string s
     end
   in
-  go 0 node
+  let out_c c =
+    started := true;
+    out_char c
+  in
+  let out_text s = escaped_text_to out_s out_c s in
+  (* Attributes are printed sorted so that output is canonical: two
+     documents that are [Tree.equal_subtree] print identically. *)
+  let out_attrs attrs =
+    List.iter
+      (fun (k, v) ->
+        out_c ' ';
+        out_s k;
+        out_s "=\"";
+        escaped_attr_to out_s out_c v;
+        out_c '"')
+      (List.sort compare attrs)
+  in
+  let pad depth =
+    if indent then begin
+      if !started then out_c '\n';
+      out_s (String.make (2 * depth) ' ')
+    end
+  in
+  let stack = ref [ Node (node, 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | Close (name, depth, elem_kid) :: rest ->
+      stack := rest;
+      if indent && elem_kid then begin
+        out_c '\n';
+        out_s (String.make (2 * depth) ' ')
+      end;
+      out_s "</";
+      out_s name;
+      out_c '>'
+    | Node (n, depth) :: rest ->
+      stack := rest;
+      if visible n then begin
+        pad depth;
+        if Tree.is_text doc n then out_text (Tree.text doc n)
+        else begin
+          let name = Tree.name doc n in
+          let kids = List.filter visible (Tree.children doc n) in
+          out_c '<';
+          out_s name;
+          out_attrs (Tree.attrs doc n);
+          if kids = [] then out_s "/>"
+          else if indent && List.for_all (fun k -> Tree.is_text doc k) kids
+          then begin
+            (* Text-only content stays inline, so indentation never leaks
+               into string values. *)
+            out_c '>';
+            List.iter (fun k -> out_text (Tree.text doc k)) kids;
+            out_s "</";
+            out_s name;
+            out_c '>'
+          end
+          else begin
+            out_c '>';
+            let elem_kid =
+              indent && List.exists (fun k -> Tree.is_element doc k) kids
+            in
+            stack :=
+              List.fold_right
+                (fun k acc -> Node (k, depth + 1) :: acc)
+                kids
+                (Close (name, depth, elem_kid) :: !stack)
+          end
+        end
+      end
+  done
+
+let subtree_to_buffer ?indent ?visible buf doc node =
+  emit ?indent ?visible
+    ~started:(Buffer.length buf > 0)
+    (Buffer.add_string buf) (Buffer.add_char buf) doc node
+
+let to_buffer ?indent ?visible buf doc =
+  if Tree.has_root doc then
+    subtree_to_buffer ?indent ?visible buf doc (Tree.root doc)
+
+let subtree_to_channel ?indent ?visible oc doc node =
+  emit ?indent ?visible ~started:false (output_string oc) (output_char oc) doc
+    node
+
+let to_channel ?indent ?visible oc doc =
+  if Tree.has_root doc then
+    subtree_to_channel ?indent ?visible oc doc (Tree.root doc)
 
 let subtree_to_string ?indent ?visible doc node =
   let buf = Buffer.create 256 in
-  subtree_to_buf ?indent ?visible buf doc node;
+  subtree_to_buffer ?indent ?visible buf doc node;
   Buffer.contents buf
 
 let to_string ?indent ?visible doc =

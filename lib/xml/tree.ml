@@ -1,27 +1,46 @@
+(* Structure-of-arrays node arena.
+
+   A node is an index into a set of parallel int arrays: parent /
+   first-child / last-child / next-sibling links, a packed meta word
+   (bit 0: element-vs-text, the remaining bits: creation timestamp), a
+   dictionary id for the label (element name, or text content for text
+   nodes), the uri-time, and the head of an attribute chain.  Attributes
+   live in their own parallel arrays (name id, value id, next) whose
+   entries are immutable once written — [set_attr] appends fresh entries
+   and repoints the node's head, which is what makes checkpoints a flat
+   word-per-node snapshot instead of a per-cell list copy.
+
+   All strings go through the per-document {!Intern} dictionary, so a
+   node costs a handful of machine words instead of a boxed record, a
+   children vector and an assoc list.  Child ids are strictly increasing
+   along every sibling chain (appends only ever add a last child), which
+   keeps the rollback story of the old representation: the nodes with
+   id >= n form a suffix of the arena and a suffix of every surviving
+   node's child chain. *)
+
 type node = int
 
 type timestamp = int
 
 let no_node = -1
 
-type kind =
-  | Element of string
-  | Text of string
-
-type cell = {
-  mutable kind : kind;
-  mutable attrs : (string * string) list;
-  mutable parent : node;
-  children : node Vec.t;
-  mutable created : timestamp;
-  mutable uri_time : timestamp;
-      (* when the node was promoted to a resource (= created unless a later
-         call added the identifier, like node 3 of Figure 4) *)
-}
-
 type t = {
   uid : int;  (* process-unique: lets caches key on document identity *)
-  cells : cell Vec.t;
+  dict : Intern.t;
+  mutable n : int;  (* live node count; arrays are valid on [0, n) *)
+  mutable parent : int array;
+  mutable first_child : int array;
+  mutable last_child : int array;
+  mutable next_sibling : int array;
+  mutable meta : int array;  (* bit 0: is_element; bits 1..: created *)
+  mutable label : int array;  (* dict id: element name / text content *)
+  mutable uri_time_a : int array;
+  mutable attr_head : int array;  (* first attr entry, [no_node] if none *)
+  (* Attribute entries: append-only and immutable once written. *)
+  mutable attr_name : int array;  (* dict id *)
+  mutable attr_value : int array;  (* dict id *)
+  mutable attr_next : int array;
+  mutable attrs_n : int;
   mutable root : node;
   mutable cached_index : (int * (string, node list) Hashtbl.t) option;
       (* name index stamped with the arena size it was built at; any
@@ -31,31 +50,43 @@ type t = {
          caches detect a truncate-then-regrow to the same size *)
 }
 
-let dummy_cell () =
-  { kind = Text ""; attrs = []; parent = no_node;
-    children = Vec.create ~dummy:no_node; created = 0; uri_time = 0 }
-
 (* An atomic counter, not a plain ref: documents are created from several
    domains (parallel inference spawns workers while another execution
    allocates documents). *)
 let next_uid = Atomic.make 0
 
+let initial_cap = 16
+
 let create () =
   { uid = Atomic.fetch_and_add next_uid 1;
-    cells = Vec.create ~dummy:(dummy_cell ()); root = no_node;
-    cached_index = None; generation = 0 }
+    dict = Intern.create ();
+    n = 0;
+    parent = Array.make initial_cap no_node;
+    first_child = Array.make initial_cap no_node;
+    last_child = Array.make initial_cap no_node;
+    next_sibling = Array.make initial_cap no_node;
+    meta = Array.make initial_cap 0;
+    label = Array.make initial_cap 0;
+    uri_time_a = Array.make initial_cap 0;
+    attr_head = Array.make initial_cap no_node;
+    attr_name = Array.make initial_cap 0;
+    attr_value = Array.make initial_cap 0;
+    attr_next = Array.make initial_cap no_node;
+    attrs_n = 0;
+    root = no_node;
+    cached_index = None;
+    generation = 0 }
 
 let id t = t.uid
 
-let size t = Vec.length t.cells
+let size t = t.n
 
 let generation t = t.generation
 
-let cell t n =
-  if n < 0 || n >= size t then
+let check t n =
+  if n < 0 || n >= t.n then
     invalid_arg
-      (Printf.sprintf "Tree: invalid node id %d (arena size %d)" n (size t));
-  Vec.get t.cells n
+      (Printf.sprintf "Tree: invalid node id %d (arena size %d)" n t.n)
 
 let has_root t = t.root <> no_node
 
@@ -63,63 +94,242 @@ let root t =
   if t.root = no_node then invalid_arg "Tree.root: empty document";
   t.root
 
-let alloc t kind parent =
-  let c = { kind; attrs = []; parent;
-            children = Vec.create ~dummy:no_node; created = 0; uri_time = 0 } in
-  let id = size t in
-  Vec.push t.cells c;
-  if parent <> no_node then Vec.push (cell t parent).children id;
+(* ----- Growth ----- *)
+
+let grow_int_array a cap used =
+  let a' = Array.make cap 0 in
+  Array.blit a 0 a' 0 used;
+  a'
+
+let ensure_node_capacity t =
+  if t.n >= Array.length t.parent then begin
+    let cap = 2 * Array.length t.parent in
+    t.parent <- grow_int_array t.parent cap t.n;
+    t.first_child <- grow_int_array t.first_child cap t.n;
+    t.last_child <- grow_int_array t.last_child cap t.n;
+    t.next_sibling <- grow_int_array t.next_sibling cap t.n;
+    t.meta <- grow_int_array t.meta cap t.n;
+    t.label <- grow_int_array t.label cap t.n;
+    t.uri_time_a <- grow_int_array t.uri_time_a cap t.n;
+    t.attr_head <- grow_int_array t.attr_head cap t.n
+  end
+
+let ensure_attr_capacity t =
+  if t.attrs_n >= Array.length t.attr_name then begin
+    let cap = 2 * Array.length t.attr_name in
+    t.attr_name <- grow_int_array t.attr_name cap t.attrs_n;
+    t.attr_value <- grow_int_array t.attr_value cap t.attrs_n;
+    t.attr_next <- grow_int_array t.attr_next cap t.attrs_n
+  end
+
+(* Trim the doubling slack: every array shrinks to its live prefix.
+   Purely a capacity operation — node ids, links and the rollback
+   contract are untouched, and later appends simply grow again.  Worth
+   calling once on a document that just finished bulk ingest and will
+   now live for a long time (frozen documents keep ~2x their footprint
+   otherwise). *)
+let compact t =
+  let cap = max t.n 1 and acap = max t.attrs_n 1 in
+  let shrink a cap used = if Array.length a > cap then grow_int_array a cap used else a in
+  t.parent <- shrink t.parent cap t.n;
+  t.first_child <- shrink t.first_child cap t.n;
+  t.last_child <- shrink t.last_child cap t.n;
+  t.next_sibling <- shrink t.next_sibling cap t.n;
+  t.meta <- shrink t.meta cap t.n;
+  t.label <- shrink t.label cap t.n;
+  t.uri_time_a <- shrink t.uri_time_a cap t.n;
+  t.attr_head <- shrink t.attr_head cap t.n;
+  t.attr_name <- shrink t.attr_name acap t.attrs_n;
+  t.attr_value <- shrink t.attr_value acap t.attrs_n;
+  t.attr_next <- shrink t.attr_next acap t.attrs_n;
+  Intern.compact t.dict
+
+(* ----- Construction ----- *)
+
+let alloc t ~is_elem ~label parent =
+  let id = t.n in
+  ensure_node_capacity t;
+  t.n <- id + 1;
+  t.parent.(id) <- parent;
+  t.first_child.(id) <- no_node;
+  t.last_child.(id) <- no_node;
+  t.next_sibling.(id) <- no_node;
+  t.meta.(id) <- (if is_elem then 1 else 0);
+  t.label.(id) <- label;
+  t.uri_time_a.(id) <- 0;
+  t.attr_head.(id) <- no_node;
+  if parent <> no_node then begin
+    let l = t.last_child.(parent) in
+    if l = no_node then t.first_child.(parent) <- id
+    else t.next_sibling.(l) <- id;
+    t.last_child.(parent) <- id
+  end;
   id
+
+(* Append one immutable attribute entry; returns its index. *)
+let alloc_attr t ~name_id ~value_id ~next =
+  let e = t.attrs_n in
+  ensure_attr_capacity t;
+  t.attrs_n <- e + 1;
+  t.attr_name.(e) <- name_id;
+  t.attr_value.(e) <- value_id;
+  t.attr_next.(e) <- next;
+  e
+
+(* Install an attribute list (document order) as a fresh chain. *)
+let set_attr_list t n l =
+  let head =
+    List.fold_left
+      (fun next (k, v) ->
+        alloc_attr t ~name_id:(Intern.intern t.dict k)
+          ~value_id:(Intern.intern t.dict v) ~next)
+      no_node (List.rev l)
+  in
+  t.attr_head.(n) <- head
 
 let new_element ?(attrs = []) t ~parent name =
   if parent = no_node && t.root <> no_node then
     invalid_arg "Tree.new_element: document already has a root";
-  let id = alloc t (Element name) parent in
-  (cell t id).attrs <- attrs;
+  let id = alloc t ~is_elem:true ~label:(Intern.intern t.dict name) parent in
+  if attrs <> [] then set_attr_list t id attrs;
   if parent = no_node then t.root <- id;
   id
 
 let new_text t ~parent s =
   if parent = no_node then invalid_arg "Tree.new_text: text node cannot be root";
-  alloc t (Text s) parent
+  alloc t ~is_elem:false ~label:(Intern.intern t.dict s) parent
 
-let is_element t n = match (cell t n).kind with Element _ -> true | Text _ -> false
-let is_text t n = match (cell t n).kind with Text _ -> true | Element _ -> false
+(* ----- Accessors ----- *)
 
-let name t n = match (cell t n).kind with Element s -> s | Text _ -> ""
-let text t n = match (cell t n).kind with Text s -> s | Element _ -> ""
+let is_element t n =
+  check t n;
+  t.meta.(n) land 1 = 1
 
-let parent t n = (cell t n).parent
-let children t n = Vec.to_list (cell t n).children
+let is_text t n =
+  check t n;
+  t.meta.(n) land 1 = 0
+
+let name t n =
+  check t n;
+  if t.meta.(n) land 1 = 1 then Intern.get t.dict t.label.(n) else ""
+
+let text t n =
+  check t n;
+  if t.meta.(n) land 1 = 0 then Intern.get t.dict t.label.(n) else ""
+
+let parent t n =
+  check t n;
+  t.parent.(n)
+
+let first_child t n =
+  check t n;
+  t.first_child.(n)
+
+let last_child t n =
+  check t n;
+  t.last_child.(n)
+
+let next_sibling t n =
+  check t n;
+  t.next_sibling.(n)
+
+let iter_children t n f =
+  check t n;
+  let c = ref t.first_child.(n) in
+  while !c <> no_node do
+    let next = t.next_sibling.(!c) in
+    f !c;
+    c := next
+  done
+
+let children t n =
+  check t n;
+  let rec collect c acc =
+    if c = no_node then List.rev acc
+    else collect t.next_sibling.(c) (c :: acc)
+  in
+  collect t.first_child.(n) []
 
 let nth_child t n i =
-  let c = (cell t n).children in
-  if i < 0 || i >= Vec.length c then None else Some (Vec.get c i)
+  check t n;
+  if i < 0 then None
+  else begin
+    let c = ref t.first_child.(n) and k = ref i in
+    while !c <> no_node && !k > 0 do
+      c := t.next_sibling.(!c);
+      decr k
+    done;
+    if !c = no_node then None else Some !c
+  end
 
-let attrs t n = (cell t n).attrs
-let attr t n k = List.assoc_opt k (cell t n).attrs
+let attrs t n =
+  check t n;
+  let rec collect e acc =
+    if e = no_node then List.rev acc
+    else
+      collect t.attr_next.(e)
+        ((Intern.get t.dict t.attr_name.(e), Intern.get t.dict t.attr_value.(e))
+        :: acc)
+  in
+  collect t.attr_head.(n) []
 
+let attr t n k =
+  check t n;
+  let rec find e =
+    if e = no_node then None
+    else if String.equal (Intern.get t.dict t.attr_name.(e)) k then
+      Some (Intern.get t.dict t.attr_value.(e))
+    else find t.attr_next.(e)
+  in
+  find t.attr_head.(n)
+
+(* [(k, v) :: List.remove_assoc k attrs], chain-style: a fresh key is a
+   prepended entry; an existing key rebuilds the whole chain so no live
+   entry is ever mutated (the checkpoint immutability invariant). *)
 let set_attr t n k v =
-  let c = cell t n in
-  c.attrs <- (k, v) :: List.remove_assoc k c.attrs
+  check t n;
+  let exists =
+    let rec probe e =
+      e <> no_node
+      && (String.equal (Intern.get t.dict t.attr_name.(e)) k
+         || probe t.attr_next.(e))
+    in
+    probe t.attr_head.(n)
+  in
+  if not exists then
+    t.attr_head.(n) <-
+      alloc_attr t ~name_id:(Intern.intern t.dict k)
+        ~value_id:(Intern.intern t.dict v) ~next:t.attr_head.(n)
+  else
+    set_attr_list t n
+      ((k, v) :: List.remove_assoc k (attrs t n))
 
 let set_text t n s =
-  let c = cell t n in
-  match c.kind with
-  | Text _ -> c.kind <- Text s
-  | Element _ -> invalid_arg "Tree.set_text: not a text node"
+  check t n;
+  if t.meta.(n) land 1 = 1 then invalid_arg "Tree.set_text: not a text node";
+  t.label.(n) <- Intern.intern t.dict s
 
 let uri t n = attr t n "id"
 
 let set_uri t n u = set_attr t n "id" u
 
-let uri_time t n = (cell t n).uri_time
+let uri_time t n =
+  check t n;
+  t.uri_time_a.(n)
 
-let set_uri_time t n ts = (cell t n).uri_time <- ts
+let set_uri_time t n ts =
+  check t n;
+  t.uri_time_a.(n) <- ts
+
 let is_resource t n = is_element t n && uri t n <> None
 
-let created t n = (cell t n).created
-let set_created t n ts = (cell t n).created <- ts
+let created t n =
+  check t n;
+  t.meta.(n) asr 1
+
+let set_created t n ts =
+  check t n;
+  t.meta.(n) <- (ts lsl 1) lor (t.meta.(n) land 1)
 
 let service_label t n =
   match attr t n "s", attr t n "t" with
@@ -130,9 +340,28 @@ let set_service_label t n s ts =
   set_attr t n "s" s;
   set_attr t n "t" (string_of_int ts)
 
-let rec iter_subtree t n f =
-  f n;
-  Vec.iter (fun c -> iter_subtree t c f) (cell t n).children
+(* ----- Traversal -----
+
+   Preorder without a stack: follow first-child links down, next-sibling
+   links across, and climb parents until a sibling appears or the subtree
+   root is reached again.  Depth-proof by construction — million-node
+   chains walk in constant space. *)
+
+let iter_subtree t n f =
+  check t n;
+  let cur = ref n and running = ref true in
+  while !running do
+    f !cur;
+    if t.first_child.(!cur) <> no_node then cur := t.first_child.(!cur)
+    else begin
+      let m = ref !cur and next = ref no_node in
+      while !next = no_node && !m <> n do
+        if t.next_sibling.(!m) <> no_node then next := t.next_sibling.(!m)
+        else m := t.parent.(!m)
+      done;
+      if !next = no_node then running := false else cur := !next
+    end
+  done
 
 let fold_subtree t n ~init ~f =
   let acc = ref init in
@@ -166,9 +395,8 @@ let is_ancestor t ~ancestor n =
 let string_value t n =
   let buf = Buffer.create 64 in
   iter_subtree t n (fun m ->
-      match (cell t m).kind with
-      | Text s -> Buffer.add_string buf s
-      | Element _ -> ());
+      if t.meta.(m) land 1 = 0 then
+        Buffer.add_string buf (Intern.get t.dict t.label.(m)));
   Buffer.contents buf
 
 let document_order t =
@@ -186,27 +414,42 @@ let find_resource t u =
          if !found = None && uri t n = Some u then found := Some n));
   !found
 
-let rec copy_subtree dst ~src n ~parent =
-  let id =
-    match (Vec.get src.cells n).kind with
-    | Element name ->
-      let e = new_element dst ~parent name in
-      (Vec.get dst.cells e).attrs <- (Vec.get src.cells n).attrs;
-      e
-    | Text s -> new_text dst ~parent s
-  in
-  set_created dst id (created src n);
-  List.iter (fun c -> ignore (copy_subtree dst ~src c ~parent:id)) (children src n);
-  id
+(* Explicit work stack (heap-allocated, not the OCaml call stack), popped
+   in the same order the old recursion allocated: node, then its children
+   left to right — so the copy's ids are bit-compatible with the
+   recursive original. *)
+let copy_subtree dst ~src n ~parent =
+  check src n;
+  let result = ref no_node in
+  let stack = ref [ (n, parent) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (sn, dparent) :: rest ->
+      let id =
+        if is_element src sn then
+          new_element dst ~attrs:(attrs src sn) ~parent:dparent (name src sn)
+        else new_text dst ~parent:dparent (text src sn)
+      in
+      set_created dst id (created src sn);
+      if !result = no_node then result := id;
+      stack :=
+        List.fold_left
+          (fun acc c -> (c, id) :: acc)
+          rest
+          (List.rev (children src sn))
+  done;
+  !result
 
 (* ----- Rollback primitives -----
 
    The arena is append-only from the services' point of view; rollback
    exists solely so the orchestrator can undo a *failed* call's partial
-   appends.  Node ids are allocated in increasing order and appended to
-   their parent's children vector in that same order, so the nodes with
-   id >= n form (a) a suffix of the cells vector and (b) a suffix of every
-   surviving node's children vector — dropping them is two truncations. *)
+   appends.  Node ids are allocated in increasing order and linked as
+   last children in that same order, so the nodes with id >= n form (a) a
+   suffix of the arena and (b) a suffix of every surviving node's sibling
+   chain — dropping them is a count reset plus one chain cut per parent
+   that gained children. *)
 
 let invalidate_caches t =
   t.cached_index <- None;
@@ -216,18 +459,29 @@ let invalidate_caches t =
    no-op that must not bump the generation: size-stamped caches stay
    valid because nothing changed.  Pinned by regression tests. *)
 let truncate_to t n =
-  if n < 0 || n > size t then
+  if n < 0 || n > t.n then
     invalid_arg
       (Printf.sprintf "Tree.truncate_to: boundary %d out of range (size %d)" n
-         (size t));
-  if n < size t then begin
+         t.n);
+  if n < t.n then begin
     for i = 0 to n - 1 do
-      let ch = (Vec.get t.cells i).children in
-      let keep = ref (Vec.length ch) in
-      while !keep > 0 && Vec.get ch (!keep - 1) >= n do decr keep done;
-      if !keep < Vec.length ch then Vec.truncate ch !keep
+      if t.last_child.(i) >= n then
+        if t.first_child.(i) >= n then begin
+          t.first_child.(i) <- no_node;
+          t.last_child.(i) <- no_node
+        end
+        else begin
+          (* Child ids increase along the chain: walk to the last
+             survivor and cut the dropped suffix off. *)
+          let c = ref t.first_child.(i) in
+          while t.next_sibling.(!c) <> no_node && t.next_sibling.(!c) < n do
+            c := t.next_sibling.(!c)
+          done;
+          t.next_sibling.(!c) <- no_node;
+          t.last_child.(i) <- !c
+        end
     done;
-    Vec.truncate t.cells n;
+    t.n <- n;
     if t.root >= n then t.root <- no_node;
     invalidate_caches t
   end
@@ -235,57 +489,69 @@ let truncate_to t n =
 type checkpoint = {
   ck_size : int;
   ck_root : node;
-  ck_cells : (kind * (string * string) list * timestamp * timestamp) array;
-      (* per surviving cell: kind, attrs, created, uri_time.  Parents and
-         child order are never mutated after allocation, so this plus the
-         two truncations restores the exact pre-checkpoint state. *)
+  ck_attrs_n : int;
+  ck_meta : int array;
+  ck_label : int array;
+  ck_uri_time : int array;
+  ck_attr_head : int array;
+      (* per surviving node: packed kind+created, label id, uri_time and
+         attribute chain head.  Attribute entries below [ck_attrs_n] are
+         immutable, so restoring the heads restores the exact chains;
+         links (parent/children) of surviving nodes are repaired by the
+         truncation, which undoes the only mutation appends perform. *)
 }
 
 let checkpoint t =
-  { ck_size = size t;
+  { ck_size = t.n;
     ck_root = t.root;
-    ck_cells =
-      Array.init (size t) (fun i ->
-          let c = Vec.get t.cells i in
-          (c.kind, c.attrs, c.created, c.uri_time)) }
+    ck_attrs_n = t.attrs_n;
+    ck_meta = Array.sub t.meta 0 t.n;
+    ck_label = Array.sub t.label 0 t.n;
+    ck_uri_time = Array.sub t.uri_time_a 0 t.n;
+    ck_attr_head = Array.sub t.attr_head 0 t.n }
 
 let restore t ck =
-  if size t < ck.ck_size then
+  if t.n < ck.ck_size then
     invalid_arg
       (Printf.sprintf
-         "Tree.restore: arena shrank below the checkpoint (size %d < %d)"
-         (size t) ck.ck_size);
-  if ck.ck_size < size t then truncate_to t ck.ck_size;
+         "Tree.restore: arena shrank below the checkpoint (size %d < %d)" t.n
+         ck.ck_size);
+  if ck.ck_size < t.n then truncate_to t ck.ck_size;
   t.root <- ck.ck_root;
-  Array.iteri
-    (fun i (kind, attrs, created, uri_time) ->
-      let c = Vec.get t.cells i in
-      c.kind <- kind;
-      c.attrs <- attrs;
-      c.created <- created;
-      c.uri_time <- uri_time)
-    ck.ck_cells;
-  (* Even at unchanged size the cells may have been mutated in place. *)
+  Array.blit ck.ck_meta 0 t.meta 0 ck.ck_size;
+  Array.blit ck.ck_label 0 t.label 0 ck.ck_size;
+  Array.blit ck.ck_uri_time 0 t.uri_time_a 0 ck.ck_size;
+  Array.blit ck.ck_attr_head 0 t.attr_head 0 ck.ck_size;
+  t.attrs_n <- ck.ck_attrs_n;
+  (* Even at unchanged size the nodes may have been mutated in place. *)
   invalidate_caches t
 
 let sorted_attrs l = List.sort compare l
 
-let rec equal_subtree t1 n1 t2 n2 =
-  let c1 = cell t1 n1 and c2 = cell t2 n2 in
-  match c1.kind, c2.kind with
-  | Text s1, Text s2 -> String.equal s1 s2
-  | Element a, Element b ->
-    String.equal a b
-    && sorted_attrs c1.attrs = sorted_attrs c2.attrs
-    && Vec.length c1.children = Vec.length c2.children
-    && begin
-      let ok = ref true in
-      Vec.iteri
-        (fun i k1 -> if !ok then ok := equal_subtree t1 k1 t2 (Vec.get c2.children i))
-        c1.children;
-      !ok
-    end
-  | Text _, Element _ | Element _, Text _ -> false
+let equal_subtree t1 n1 t2 n2 =
+  (* Explicit pair stack: structural equality over arbitrarily deep
+     chains without touching the call stack. *)
+  let stack = ref [ (n1, n2) ] and ok = ref true in
+  while !ok && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (a, b) :: rest ->
+      stack := rest;
+      (match is_element t1 a, is_element t2 b with
+      | false, false -> ok := String.equal (text t1 a) (text t2 b)
+      | true, true ->
+        if
+          String.equal (name t1 a) (name t2 b)
+          && sorted_attrs (attrs t1 a) = sorted_attrs (attrs t2 b)
+        then begin
+          let ka = children t1 a and kb = children t2 b in
+          if List.compare_lengths ka kb <> 0 then ok := false
+          else stack := List.rev_append (List.combine ka kb) !stack
+        end
+        else ok := false
+      | false, true | true, false -> ok := false)
+  done;
+  !ok
 
 (* An element-name index: name -> nodes in document order.  Built once
    over a frozen document (post-execution inference never mutates), it
@@ -297,11 +563,11 @@ let build_name_index t : name_index =
   let tbl : (string, node list) Hashtbl.t = Hashtbl.create 64 in
   (if t.root <> no_node then
      iter_subtree t t.root (fun n ->
-         match (cell t n).kind with
-         | Element name ->
+         if t.meta.(n) land 1 = 1 then begin
+           let name = Intern.get t.dict t.label.(n) in
            Hashtbl.replace tbl name
              (n :: Option.value ~default:[] (Hashtbl.find_opt tbl name))
-         | Text _ -> ()));
+         end));
   (* reverse to document order *)
   Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl;
   tbl

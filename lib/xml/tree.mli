@@ -55,6 +55,13 @@ val has_root : t -> bool
 val size : t -> int
 (** Number of nodes ever allocated (= upper bound for node ids + 1). *)
 
+val compact : t -> unit
+(** Trim the arena's growth slack: every internal array shrinks to its
+    live prefix (ids, links and the rollback contract are untouched;
+    later appends grow again).  Call once after bulk ingest on a
+    document that will now live for a long time — frozen documents
+    otherwise keep up to 2x their footprint in doubling headroom. *)
+
 val id : t -> int
 (** A process-unique document id, assigned at {!create}.  Caches key on
     it instead of on the document's physical identity (hashing a cyclic
@@ -74,6 +81,18 @@ val parent : t -> node -> node
 
 val children : t -> node -> node list
 (** In document order. *)
+
+val first_child : t -> node -> node
+(** [no_node] for childless nodes.  Direct structure-of-arrays link:
+    sibling walks via {!next_sibling} allocate nothing. *)
+
+val last_child : t -> node -> node
+
+val next_sibling : t -> node -> node
+(** [no_node] for a last child (and the root). *)
+
+val iter_children : t -> node -> (node -> unit) -> unit
+(** Left-to-right, without materializing the child list. *)
 
 val nth_child : t -> node -> int -> node option
 (** 0-based. *)

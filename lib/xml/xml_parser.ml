@@ -1,9 +1,19 @@
-(* A hand-written XML parser covering the fragment WebLab documents use:
+(* A streaming XML parser covering the fragment WebLab documents use:
    one root element, attributes with single- or double-quoted values,
    character data with the five predefined entities plus numeric character
    references, comments, CDATA sections, and an optional XML declaration.
    DTDs and processing instructions are skipped.  Namespace prefixes are
-   kept as part of the element/attribute name. *)
+   kept as part of the element/attribute name.
+
+   The parser is a character-level state machine fed incremental byte
+   chunks ([feed]); SAX-style events are emitted as soon as a token
+   completes, so a network daemon parses request bodies as they arrive —
+   no whole-document string, no intermediate DOM.  Chunk boundaries may
+   fall anywhere (mid-tag, mid-entity, mid-CDATA): every partial token is
+   explicit parser state, so the event stream is invariant under
+   re-chunking.  Unmarked character data takes a bulk fast path that
+   memchr-scans the chunk and appends whole slices.  [parse] remains the
+   one-chunk convenience wrapper building a {!Tree.t}. *)
 
 exception Error of { line : int; col : int; message : string }
 
@@ -18,49 +28,85 @@ let error_to_string = function
   | Failure msg -> "XML parse error: " ^ msg
   | e -> "XML parse error: " ^ Printexc.to_string e
 
-type lexer = {
-  input : string;
-  mutable pos : int;
+type event =
+  | Start_element of string * (string * string) list
+  | Text of string
+  | End_element of string
+
+(* One constructor per partial token: a chunk may end anywhere, and the
+   machine resumes from exactly that character. *)
+type mode =
+  | M_misc  (* prolog/epilog: whitespace and misc markup between tags *)
+  | M_content  (* inside an element: character data accumulates *)
+  | M_lt  (* '<' consumed *)
+  | M_bang  (* "<!" *)
+  | M_comment_open  (* "<!-" *)
+  | M_comment
+  | M_comment_dash  (* '-' seen inside a comment *)
+  | M_comment_dash2  (* "--" seen inside a comment *)
+  | M_pi  (* inside "<?...": skipped *)
+  | M_pi_q  (* '?' seen inside a PI *)
+  | M_doctype of int  (* prefix of "DOCTYPE" matched so far *)
+  | M_doctype_body  (* skipping to '>' *)
+  | M_cdata_open of int  (* after "<![": prefix of "CDATA[" matched *)
+  | M_cdata
+  | M_cdata_rb  (* ']' seen inside CDATA *)
+  | M_cdata_rb2  (* "]]" seen inside CDATA *)
+  | M_stag_name  (* start-tag name characters *)
+  | M_stag_space  (* inside a start tag, between attributes *)
+  | M_attr_name
+  | M_attr_eq  (* expecting '=' *)
+  | M_attr_value_start  (* expecting the opening quote *)
+  | M_attr_value  (* inside a quoted value *)
+  | M_entity  (* after '&', accumulating up to ';' *)
+  | M_stag_slash  (* '/' seen inside a start tag: expecting '>' *)
+  | M_etag_name  (* after "</" *)
+  | M_etag_end  (* after the closing-tag name: expecting '>' *)
+
+type state = {
+  on_event : event -> unit;
+  preserve_whitespace : bool;
   mutable line : int;
-  mutable col : int;
+  mutable col : int;  (* position of the next unconsumed character *)
+  mutable mode : mode;
+  name_buf : Buffer.t;  (* element / attribute name being read *)
+  text_buf : Buffer.t;  (* pending character data: one future Text event *)
+  val_buf : Buffer.t;  (* attribute value being read *)
+  ent_buf : Buffer.t;  (* entity name being read *)
+  mutable attrs_rev : (string * string) list;
+  mutable tag_name : string;
+  mutable attr_name : string;
+  mutable quote : char;
+  mutable stack : string list;  (* open element names, innermost first *)
+  mutable depth : int;
+  mutable ent_in_attr : bool;  (* the open entity belongs to a value *)
+  mutable seen_root : bool;
+  mutable lt_line : int;  (* position of the last '<': error anchoring *)
+  mutable lt_col : int;
+  mutable finished : bool;
 }
 
-let fail lx message = raise (Error { line = lx.line; col = lx.col; message })
+let create ?(preserve_whitespace = false) ~on_event () =
+  { on_event; preserve_whitespace; line = 1; col = 1; mode = M_misc;
+    name_buf = Buffer.create 16; text_buf = Buffer.create 64;
+    val_buf = Buffer.create 16; ent_buf = Buffer.create 8; attrs_rev = [];
+    tag_name = ""; attr_name = ""; quote = '"'; stack = []; depth = 0;
+    ent_in_attr = false; seen_root = false; lt_line = 1; lt_col = 1;
+    finished = false }
 
-let eof lx = lx.pos >= String.length lx.input
+let fail st message = raise (Error { line = st.line; col = st.col; message })
 
-let peek lx = if eof lx then '\000' else lx.input.[lx.pos]
+let fail_at line col message = raise (Error { line; col; message })
 
-let peek2 lx =
-  if lx.pos + 1 >= String.length lx.input then '\000' else lx.input.[lx.pos + 1]
-
-let advance lx =
-  if not (eof lx) then begin
-    (if lx.input.[lx.pos] = '\n' then begin
-       lx.line <- lx.line + 1;
-       lx.col <- 1
-     end
-     else lx.col <- lx.col + 1);
-    lx.pos <- lx.pos + 1
+(* Consume [c]: the position now points past it. *)
+let adv st c =
+  if c = '\n' then begin
+    st.line <- st.line + 1;
+    st.col <- 1
   end
-
-let next lx =
-  let c = peek lx in
-  advance lx;
-  c
-
-let looking_at lx s =
-  let n = String.length s in
-  lx.pos + n <= String.length lx.input && String.sub lx.input lx.pos n = s
-
-let skip_string lx s = String.iter (fun _ -> advance lx) s
+  else st.col <- st.col + 1
 
 let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
-
-let skip_spaces lx =
-  while (not (eof lx)) && is_space (peek lx) do
-    advance lx
-  done
 
 let is_name_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
@@ -68,23 +114,56 @@ let is_name_start c =
 let is_name_char c =
   is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
 
-let read_name lx =
-  if not (is_name_start (peek lx)) then fail lx "expected a name";
-  let buf = Buffer.create 8 in
-  while (not (eof lx)) && is_name_char (peek lx) do
-    Buffer.add_char buf (next lx)
-  done;
-  Buffer.contents buf
+let is_blank s = String.for_all is_space s
 
-(* Decode one entity reference; the leading '&' has been consumed. *)
-let read_entity lx =
-  let buf = Buffer.create 8 in
-  while (not (eof lx)) && peek lx <> ';' do
-    Buffer.add_char buf (next lx)
-  done;
-  if eof lx then fail lx "unterminated entity reference";
-  advance lx;
-  match Buffer.contents buf with
+let in_epilog st = st.depth = 0 && st.seen_root
+
+(* "<!" followed by something that is neither a comment nor (where legal)
+   CDATA/DOCTYPE: report the same error, at the same position, as the
+   whole-string parser did. *)
+let bang_fail st =
+  if in_epilog st then
+    fail_at st.lt_line st.lt_col "trailing content after the root element"
+  else fail_at st.lt_line (st.lt_col + 1) "expected a name"
+
+let end_markup_mode st = if st.depth > 0 then M_content else M_misc
+
+(* Emit the pending character data as one Text event — called only when a
+   child element starts or the enclosing tag closes, so text interleaved
+   with comments, PIs, CDATA and entities merges into a single node,
+   exactly as the recursive parser's per-content buffer did. *)
+let flush_text st =
+  if Buffer.length st.text_buf > 0 then begin
+    let s = Buffer.contents st.text_buf in
+    Buffer.clear st.text_buf;
+    if st.preserve_whitespace || not (is_blank s) then st.on_event (Text s)
+  end
+
+let emit_start st ~self_closing =
+  let attrs = List.rev st.attrs_rev in
+  st.attrs_rev <- [];
+  st.seen_root <- true;
+  st.on_event (Start_element (st.tag_name, attrs));
+  if self_closing then begin
+    st.on_event (End_element st.tag_name);
+    st.mode <- end_markup_mode st
+  end
+  else begin
+    st.stack <- st.tag_name :: st.stack;
+    st.depth <- st.depth + 1;
+    st.mode <- M_content
+  end
+
+(* XML 1.0 §2.2: the characters a numeric reference may denote. *)
+let is_valid_xml_char c =
+  c = 0x9 || c = 0xA || c = 0xD
+  || (c >= 0x20 && c <= 0xD7FF)
+  || (c >= 0xE000 && c <= 0xFFFD)
+  || (c >= 0x10000 && c <= 0x10FFFF)
+
+(* Decode one entity reference ('&' and ';' both consumed). *)
+let decode_entity st ent =
+  match ent with
   | "amp" -> "&"
   | "lt" -> "<"
   | "gt" -> ">"
@@ -99,9 +178,13 @@ let read_entity lx =
       else None
     in
     (match code with
-     | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+     | Some c when not (is_valid_xml_char c) ->
+       fail st
+         (Printf.sprintf
+            "invalid character reference &%s;: not an XML character" ent)
+     | Some c when c < 128 -> String.make 1 (Char.chr c)
      | Some c ->
-       (* Encode as UTF-8. *)
+       (* Encode as UTF-8 (c <= 0x10FFFF after validation). *)
        let b = Buffer.create 4 in
        if c < 0x800 then begin
          Buffer.add_char b (Char.chr (0xC0 lor (c lsr 6)));
@@ -119,182 +202,396 @@ let read_entity lx =
          Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
        end;
        Buffer.contents b
-     | None -> fail lx (Printf.sprintf "unknown entity &%s;" ent))
+     | None -> fail st (Printf.sprintf "unknown entity &%s;" ent))
 
-let read_attr_value lx =
-  let quote = next lx in
-  if quote <> '"' && quote <> '\'' then fail lx "expected a quoted attribute value";
-  let buf = Buffer.create 16 in
-  let rec loop () =
-    if eof lx then fail lx "unterminated attribute value";
-    let c = next lx in
-    if c = quote then ()
+(* Process one character.  Invariant: on entry [st.line]/[st.col] is the
+   position OF [c]; a branch either consumes it ([adv], position moves
+   past), fails without consuming (error at [c]), or re-dispatches it
+   under a new mode. *)
+let rec handle st c =
+  match st.mode with
+  | M_misc ->
+    if is_space c then adv st c
+    else if c = '<' then begin
+      st.lt_line <- st.line;
+      st.lt_col <- st.col;
+      adv st c;
+      st.mode <- M_lt
+    end
+    else if st.seen_root then fail st "trailing content after the root element"
+    else fail st "expected a root element"
+  | M_content ->
+    if c = '<' then begin
+      st.lt_line <- st.line;
+      st.lt_col <- st.col;
+      adv st c;
+      st.mode <- M_lt
+    end
+    else if c = '&' then begin
+      adv st c;
+      st.ent_in_attr <- false;
+      Buffer.clear st.ent_buf;
+      st.mode <- M_entity
+    end
     else begin
-      (if c = '&' then Buffer.add_string buf (read_entity lx)
-       else Buffer.add_char buf c);
-      loop ()
+      adv st c;
+      Buffer.add_char st.text_buf c
     end
-  in
-  loop ();
-  Buffer.contents buf
-
-let read_attrs lx =
-  let rec loop acc =
-    skip_spaces lx;
-    if is_name_start (peek lx) then begin
-      let k = read_name lx in
-      skip_spaces lx;
-      if peek lx <> '=' then fail lx "expected '=' after attribute name";
-      advance lx;
-      skip_spaces lx;
-      let v = read_attr_value lx in
-      loop ((k, v) :: acc)
+  | M_lt ->
+    if in_epilog st then begin
+      if c = '!' then begin
+        adv st c;
+        st.mode <- M_bang
+      end
+      else if c = '?' then begin
+        adv st c;
+        st.mode <- M_pi
+      end
+      else
+        fail_at st.lt_line st.lt_col "trailing content after the root element"
     end
-    else List.rev acc
-  in
-  loop []
-
-let skip_comment lx =
-  (* "<!--" already consumed *)
-  let rec loop () =
-    if eof lx then fail lx "unterminated comment"
-    else if looking_at lx "-->" then skip_string lx "-->"
+    else if c = '!' then begin
+      adv st c;
+      st.mode <- M_bang
+    end
+    else if c = '?' then begin
+      adv st c;
+      st.mode <- M_pi
+    end
+    else if c = '/' && st.depth > 0 then begin
+      adv st c;
+      flush_text st;
+      Buffer.clear st.name_buf;
+      st.mode <- M_etag_name
+    end
+    else if is_name_start c then begin
+      flush_text st;
+      Buffer.clear st.name_buf;
+      st.mode <- M_stag_name;
+      handle st c
+    end
+    else fail st "expected a name"
+  | M_stag_name ->
+    if is_name_char c then begin
+      adv st c;
+      Buffer.add_char st.name_buf c
+    end
     else begin
-      advance lx;
-      loop ()
+      st.tag_name <- Buffer.contents st.name_buf;
+      st.attrs_rev <- [];
+      st.mode <- M_stag_space;
+      handle st c
     end
-  in
-  loop ()
-
-let read_cdata lx =
-  (* "<![CDATA[" already consumed *)
-  let buf = Buffer.create 32 in
-  let rec loop () =
-    if eof lx then fail lx "unterminated CDATA section"
-    else if looking_at lx "]]>" then skip_string lx "]]>"
+  | M_stag_space ->
+    if is_space c then adv st c
+    else if is_name_start c then begin
+      Buffer.clear st.name_buf;
+      st.mode <- M_attr_name;
+      handle st c
+    end
+    else if c = '/' then begin
+      adv st c;
+      st.mode <- M_stag_slash
+    end
+    else if c = '>' then begin
+      adv st c;
+      emit_start st ~self_closing:false
+    end
+    else fail st "expected '>' or '/>'"
+  | M_attr_name ->
+    if is_name_char c then begin
+      adv st c;
+      Buffer.add_char st.name_buf c
+    end
     else begin
-      Buffer.add_char buf (next lx);
-      loop ()
+      st.attr_name <- Buffer.contents st.name_buf;
+      st.mode <- M_attr_eq;
+      handle st c
     end
-  in
-  loop ();
-  Buffer.contents buf
-
-let skip_misc lx =
-  let rec loop () =
-    skip_spaces lx;
-    if looking_at lx "<!--" then begin
-      skip_string lx "<!--";
-      skip_comment lx;
-      loop ()
+  | M_attr_eq ->
+    if is_space c then adv st c
+    else if c = '=' then begin
+      adv st c;
+      st.mode <- M_attr_value_start
     end
-    else if looking_at lx "<?" then begin
-      skip_string lx "<?";
-      while (not (eof lx)) && not (looking_at lx "?>") do
-        advance lx
-      done;
-      if eof lx then fail lx "unterminated processing instruction";
-      skip_string lx "?>";
-      loop ()
+    else fail st "expected '=' after attribute name"
+  | M_attr_value_start ->
+    if is_space c then adv st c
+    else if c = '"' || c = '\'' then begin
+      adv st c;
+      st.quote <- c;
+      Buffer.clear st.val_buf;
+      st.mode <- M_attr_value
     end
-    else if looking_at lx "<!DOCTYPE" then begin
-      (* Skip up to the matching '>' (internal subsets are not supported). *)
-      while (not (eof lx)) && peek lx <> '>' do
-        advance lx
-      done;
-      if eof lx then fail lx "unterminated DOCTYPE";
-      advance lx;
-      loop ()
+    else begin
+      (* The recursive parser consumed the offending character before
+         noticing; keep its error position. *)
+      adv st c;
+      fail st "expected a quoted attribute value"
     end
-  in
-  loop ()
-
-let is_blank s = String.for_all is_space s
-
-let parse ?(preserve_whitespace = false) input =
-  let lx = { input; pos = 0; line = 1; col = 1 } in
-  let doc = Tree.create () in
-  let add_text parent buf =
-    let s = Buffer.contents buf in
-    Buffer.clear buf;
-    if s <> "" && (preserve_whitespace || not (is_blank s)) then
-      ignore (Tree.new_text doc ~parent s)
-  in
-  (* Parse one element; '<' and the name are about to be read. *)
-  let rec element parent =
-    advance lx;
-    (* '<' *)
-    let name = read_name lx in
-    let attrs = read_attrs lx in
-    let node = Tree.new_element ~attrs doc ~parent name in
-    skip_spaces lx;
-    if looking_at lx "/>" then begin
-      skip_string lx "/>";
-      node
+  | M_attr_value ->
+    if c = st.quote then begin
+      adv st c;
+      st.attrs_rev <-
+        (st.attr_name, Buffer.contents st.val_buf) :: st.attrs_rev;
+      st.mode <- M_stag_space
     end
-    else if peek lx = '>' then begin
-      advance lx;
-      content node;
-      node
+    else if c = '&' then begin
+      adv st c;
+      st.ent_in_attr <- true;
+      Buffer.clear st.ent_buf;
+      st.mode <- M_entity
     end
-    else fail lx "expected '>' or '/>'"
-  and content parent =
-    let buf = Buffer.create 32 in
-    let rec loop () =
-      if eof lx then fail lx "unexpected end of input inside an element"
-      else if looking_at lx "</" then begin
-        add_text parent buf;
-        skip_string lx "</";
-        let close = read_name lx in
-        skip_spaces lx;
-        if peek lx <> '>' then fail lx "expected '>' in closing tag";
-        advance lx;
-        if close <> Tree.name doc parent then
-          fail lx
-            (Printf.sprintf "closing tag </%s> does not match <%s>" close
-               (Tree.name doc parent))
-      end
-      else if looking_at lx "<!--" then begin
-        skip_string lx "<!--";
-        skip_comment lx;
-        loop ()
-      end
-      else if looking_at lx "<![CDATA[" then begin
-        skip_string lx "<![CDATA[";
-        Buffer.add_string buf (read_cdata lx);
-        loop ()
-      end
-      else if peek lx = '<' && peek2 lx = '?' then begin
-        skip_string lx "<?";
-        while (not (eof lx)) && not (looking_at lx "?>") do
-          advance lx
-        done;
-        if eof lx then fail lx "unterminated processing instruction";
-        skip_string lx "?>";
-        loop ()
-      end
-      else if peek lx = '<' then begin
-        add_text parent buf;
-        ignore (element parent);
-        loop ()
-      end
-      else if peek lx = '&' then begin
-        advance lx;
-        Buffer.add_string buf (read_entity lx);
-        loop ()
+    else begin
+      adv st c;
+      Buffer.add_char st.val_buf c
+    end
+  | M_entity ->
+    if c = ';' then begin
+      adv st c;
+      let s = decode_entity st (Buffer.contents st.ent_buf) in
+      if st.ent_in_attr then begin
+        Buffer.add_string st.val_buf s;
+        st.mode <- M_attr_value
       end
       else begin
-        Buffer.add_char buf (next lx);
-        loop ()
+        Buffer.add_string st.text_buf s;
+        st.mode <- M_content
       end
-    in
-    loop ()
+    end
+    else begin
+      adv st c;
+      Buffer.add_char st.ent_buf c
+    end
+  | M_stag_slash ->
+    if c = '>' then begin
+      adv st c;
+      emit_start st ~self_closing:true
+    end
+    else fail st "expected '>' or '/>'"
+  | M_etag_name ->
+    if Buffer.length st.name_buf = 0 then begin
+      if is_name_start c then begin
+        adv st c;
+        Buffer.add_char st.name_buf c
+      end
+      else fail st "expected a name"
+    end
+    else if is_name_char c then begin
+      adv st c;
+      Buffer.add_char st.name_buf c
+    end
+    else begin
+      st.mode <- M_etag_end;
+      handle st c
+    end
+  | M_etag_end ->
+    if is_space c then adv st c
+    else if c = '>' then begin
+      adv st c;
+      let close = Buffer.contents st.name_buf in
+      (match st.stack with
+       | parent :: rest ->
+         if not (String.equal close parent) then
+           fail st
+             (Printf.sprintf "closing tag </%s> does not match <%s>" close
+                parent);
+         st.on_event (End_element close);
+         st.stack <- rest;
+         st.depth <- st.depth - 1;
+         st.mode <- end_markup_mode st
+       | [] ->
+         (* Unreachable: M_etag_* is only entered with depth > 0. *)
+         fail st "unmatched closing tag")
+    end
+    else fail st "expected '>' in closing tag"
+  | M_bang ->
+    if c = '-' then begin
+      adv st c;
+      st.mode <- M_comment_open
+    end
+    else if st.depth > 0 && c = '[' then begin
+      adv st c;
+      st.mode <- M_cdata_open 0
+    end
+    else if st.depth = 0 && c = 'D' then begin
+      adv st c;
+      st.mode <- M_doctype 1
+    end
+    else bang_fail st
+  | M_comment_open ->
+    if c = '-' then begin
+      adv st c;
+      st.mode <- M_comment
+    end
+    else bang_fail st
+  | M_comment ->
+    adv st c;
+    if c = '-' then st.mode <- M_comment_dash
+  | M_comment_dash ->
+    adv st c;
+    st.mode <- (if c = '-' then M_comment_dash2 else M_comment)
+  | M_comment_dash2 ->
+    adv st c;
+    if c = '>' then st.mode <- end_markup_mode st
+    else if c <> '-' then st.mode <- M_comment
+  | M_pi ->
+    adv st c;
+    if c = '?' then st.mode <- M_pi_q
+  | M_pi_q ->
+    adv st c;
+    if c = '>' then st.mode <- end_markup_mode st
+    else if c <> '?' then st.mode <- M_pi
+  | M_doctype k ->
+    if c = "DOCTYPE".[k] then begin
+      adv st c;
+      st.mode <- (if k = 6 then M_doctype_body else M_doctype (k + 1))
+    end
+    else bang_fail st
+  | M_doctype_body ->
+    adv st c;
+    if c = '>' then st.mode <- end_markup_mode st
+  | M_cdata_open k ->
+    if c = "CDATA[".[k] then begin
+      adv st c;
+      st.mode <- (if k = 5 then M_cdata else M_cdata_open (k + 1))
+    end
+    else bang_fail st
+  | M_cdata ->
+    adv st c;
+    if c = ']' then st.mode <- M_cdata_rb else Buffer.add_char st.text_buf c
+  | M_cdata_rb ->
+    adv st c;
+    if c = ']' then st.mode <- M_cdata_rb2
+    else begin
+      Buffer.add_char st.text_buf ']';
+      Buffer.add_char st.text_buf c;
+      st.mode <- M_cdata
+    end
+  | M_cdata_rb2 ->
+    adv st c;
+    if c = '>' then st.mode <- M_content
+    else if c = ']' then Buffer.add_char st.text_buf ']'
+    else begin
+      Buffer.add_string st.text_buf "]]";
+      Buffer.add_char st.text_buf c;
+      st.mode <- M_cdata
+    end
+
+(* Advance line/col over the consumed slice [i, j). *)
+let advance_run st buf i j =
+  let line = ref st.line and col = ref st.col in
+  for k = i to j - 1 do
+    if Bytes.unsafe_get buf k = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  st.line <- !line;
+  st.col <- !col
+
+let feed st buf pos len =
+  if st.finished then invalid_arg "Xml_parser.feed: parser already finished";
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg
+      (Printf.sprintf "Xml_parser.feed: slice (%d, %d) out of bounds (%d)" pos
+         len (Bytes.length buf));
+  let limit = pos + len in
+  let i = ref pos in
+  while !i < limit do
+    let c = Bytes.unsafe_get buf !i in
+    match st.mode with
+    | M_content when c <> '<' && c <> '&' ->
+      (* Bulk run: append the whole unmarked slice at once. *)
+      let j = ref (!i + 1) in
+      while
+        !j < limit
+        &&
+        let c = Bytes.unsafe_get buf !j in
+        c <> '<' && c <> '&'
+      do
+        incr j
+      done;
+      Buffer.add_subbytes st.text_buf buf !i (!j - !i);
+      advance_run st buf !i !j;
+      i := !j
+    | M_cdata when c <> ']' ->
+      let j = ref (!i + 1) in
+      while !j < limit && Bytes.unsafe_get buf !j <> ']' do
+        incr j
+      done;
+      Buffer.add_subbytes st.text_buf buf !i (!j - !i);
+      advance_run st buf !i !j;
+      i := !j
+    | M_attr_value when c <> st.quote && c <> '&' ->
+      let j = ref (!i + 1) in
+      while
+        !j < limit
+        &&
+        let c = Bytes.unsafe_get buf !j in
+        c <> st.quote && c <> '&'
+      do
+        incr j
+      done;
+      Buffer.add_subbytes st.val_buf buf !i (!j - !i);
+      advance_run st buf !i !j;
+      i := !j
+    | _ ->
+      handle st c;
+      incr i
+  done
+
+let feed_string st s = feed st (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let finish st =
+  if st.finished then invalid_arg "Xml_parser.finish: parser already finished";
+  st.finished <- true;
+  match st.mode with
+  | M_misc -> if not st.seen_root then fail st "expected a root element"
+  | M_content -> fail st "unexpected end of input inside an element"
+  | M_lt ->
+    if in_epilog st then
+      fail_at st.lt_line st.lt_col "trailing content after the root element"
+    else fail st "expected a name"
+  | M_bang | M_comment_open | M_doctype _ | M_cdata_open _ -> bang_fail st
+  | M_comment | M_comment_dash | M_comment_dash2 -> fail st "unterminated comment"
+  | M_pi | M_pi_q -> fail st "unterminated processing instruction"
+  | M_doctype_body -> fail st "unterminated DOCTYPE"
+  | M_cdata | M_cdata_rb | M_cdata_rb2 -> fail st "unterminated CDATA section"
+  | M_stag_name | M_stag_space | M_stag_slash -> fail st "expected '>' or '/>'"
+  | M_attr_name | M_attr_eq -> fail st "expected '=' after attribute name"
+  | M_attr_value_start -> fail st "expected a quoted attribute value"
+  | M_attr_value -> fail st "unterminated attribute value"
+  | M_entity -> fail st "unterminated entity reference"
+  | M_etag_name ->
+    if Buffer.length st.name_buf = 0 then fail st "expected a name"
+    else fail st "expected '>' in closing tag"
+  | M_etag_end -> fail st "expected '>' in closing tag"
+
+(* ----- Tree building (the one-chunk wrapper) ----- *)
+
+let tree_builder () =
+  let doc = Tree.create () in
+  let stack = ref [] in
+  let on_event = function
+    | Start_element (name, attrs) ->
+      let parent = match !stack with n :: _ -> n | [] -> Tree.no_node in
+      stack := Tree.new_element ~attrs doc ~parent name :: !stack
+    | Text s ->
+      (match !stack with
+       | parent :: _ -> ignore (Tree.new_text doc ~parent s)
+       | [] -> ())
+    | End_element _ ->
+      (match !stack with _ :: rest -> stack := rest | [] -> ())
   in
-  skip_misc lx;
-  if eof lx || peek lx <> '<' then fail lx "expected a root element";
-  ignore (element Tree.no_node);
-  skip_misc lx;
-  if not (eof lx) then fail lx "trailing content after the root element";
+  (doc, on_event)
+
+let parse ?preserve_whitespace input =
+  let doc, on_event = tree_builder () in
+  let st = create ?preserve_whitespace ~on_event () in
+  feed_string st input;
+  finish st;
   doc
 
 let parse_opt ?preserve_whitespace input =

@@ -1,8 +1,14 @@
-(** A hand-written XML parser covering the fragment WebLab documents use:
+(** A streaming XML parser covering the fragment WebLab documents use:
     one root element, attributes with single- or double-quoted values,
     character data with the five predefined entities and numeric character
     references, comments, CDATA sections and an optional XML declaration /
-    DOCTYPE (skipped).  Namespace prefixes are kept as part of the name. *)
+    DOCTYPE (skipped).  Namespace prefixes are kept as part of the name.
+
+    The core is a pull/feed state machine: bytes arrive in chunks through
+    {!feed} and SAX-style {!event}s are emitted as tokens complete.  Chunk
+    boundaries may fall anywhere — mid-tag, mid-entity, mid-CDATA — and
+    the event stream (and any error position) is invariant under
+    re-chunking.  {!parse} is the one-chunk wrapper building a {!Tree.t}. *)
 
 exception Error of { line : int; col : int; message : string }
 
@@ -11,9 +17,47 @@ val error_to_string : exn -> string
     exception renders through {!Printexc.to_string} — error reporting
     never raises, even when handed an exception it does not know. *)
 
+(** {1 Streaming interface} *)
+
+type event =
+  | Start_element of string * (string * string) list
+      (** Attributes in document order.  Self-closing elements emit
+          [Start_element] immediately followed by [End_element]. *)
+  | Text of string
+      (** One merged character-data run: entities decoded, CDATA inlined,
+          comments/PIs elided — emitted only when a child element starts
+          or the enclosing tag closes.  Whitespace-only runs are dropped
+          unless the parser preserves whitespace. *)
+  | End_element of string
+
+type state
+(** An in-progress parse: position, partial token, open-element stack. *)
+
+val create : ?preserve_whitespace:bool -> on_event:(event -> unit) -> unit -> state
+(** A fresh parser.  [on_event] is called synchronously from {!feed} /
+    {!finish} as events complete.  Whitespace-only text is dropped unless
+    [preserve_whitespace] is [true] (default [false]). *)
+
+val feed : state -> bytes -> int -> int -> unit
+(** [feed st buf pos len] consumes the slice [buf[pos .. pos+len)].  The
+    bytes are copied out before return where needed (pending character
+    data), so the caller may reuse [buf] for the next read.
+    @raise Error with a line/column position on malformed input.
+    @raise Invalid_argument on an out-of-range slice or a finished parser. *)
+
+val feed_string : state -> string -> unit
+(** [feed] over a whole string. *)
+
+val finish : state -> unit
+(** Signal end of input; fails unless the parser sits exactly after a
+    complete document (root closed, nothing but misc markup after).
+    @raise Error when the input ended mid-document. *)
+
+(** {1 Whole-string convenience} *)
+
 val parse : ?preserve_whitespace:bool -> string -> Tree.t
-(** Parse a document.  Whitespace-only text nodes are dropped unless
-    [preserve_whitespace] is [true] (default [false]).
+(** Parse a document in one chunk.  Whitespace-only text nodes are
+    dropped unless [preserve_whitespace] is [true] (default [false]).
     @raise Error with a line/column position on malformed input. *)
 
 val parse_opt : ?preserve_whitespace:bool -> string -> (Tree.t, string) result

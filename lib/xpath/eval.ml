@@ -32,19 +32,24 @@ let test_matches doc test n =
    absolute pattern). *)
 let axis_nodes doc visible ctx axis =
   let from_document = ctx = Tree.no_node in
+  (* Direct sibling-chain walks on the structure-of-arrays links: no
+     child-list materialization, document order preserved. *)
   let siblings ~after =
     let p = Tree.parent doc ctx in
     if p = Tree.no_node then []
+    else if after then begin
+      let rec collect acc k =
+        if k = Tree.no_node then List.rev acc
+        else collect (k :: acc) (Tree.next_sibling doc k)
+      in
+      collect [] (Tree.next_sibling doc ctx)
+    end
     else begin
-      let seen = ref false in
-      Tree.children doc p
-      |> List.filter (fun k ->
-             if k = ctx then begin
-               seen := true;
-               false
-             end
-             else if after then !seen
-             else not !seen)
+      let rec collect acc k =
+        if k = ctx then List.rev acc
+        else collect (k :: acc) (Tree.next_sibling doc k)
+      in
+      collect [] (Tree.first_child doc p)
     end
   in
   let raw =

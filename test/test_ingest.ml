@@ -1,0 +1,354 @@
+(* Streaming ingest tests: chunk-split invariance of the feed parser
+   (events, trees and error positions must not depend on where chunk
+   boundaries fall), equivalence of the event-driven index with the
+   post-hoc [Index.build], numeric character reference validation, and
+   deep-chain regressions for every iterative traversal. *)
+
+open Weblab_xml
+
+let check = Alcotest.check
+let check_str = check Alcotest.string
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ---------- helpers ---------- *)
+
+(* Cut [s] at the given positions (any ints; normalized and deduped). *)
+let split s cuts =
+  let n = String.length s in
+  let cuts =
+    List.filter (fun c -> c > 0 && c < n) cuts |> List.sort_uniq compare
+  in
+  let rec go start = function
+    | [] -> [ String.sub s start (n - start) ]
+    | c :: rest -> String.sub s start (c - start) :: go c rest
+  in
+  go 0 cuts
+
+(* Outcome of a parse, comparable across chunkings: the canonical print
+   of the tree on success, the exact error position and message on
+   failure. *)
+let outcome_whole s =
+  match Xml_parser.parse s with
+  | doc -> Ok (Printer.to_string doc)
+  | exception Xml_parser.Error { line; col; message } ->
+    Error (line, col, message)
+
+let outcome_chunked s cuts =
+  match
+    let t = Ingest.create () in
+    List.iter (Ingest.feed_string t) (split s cuts);
+    let doc, _ = Ingest.finish t in
+    doc
+  with
+  | doc -> Ok (Printer.to_string doc)
+  | exception Xml_parser.Error { line; col; message } ->
+    Error (line, col, message)
+
+let outcome_to_string = function
+  | Ok s -> "ok: " ^ s
+  | Error (l, c, m) -> Printf.sprintf "error %d:%d %s" l c m
+
+let check_outcome what exp got =
+  check_str what (outcome_to_string exp) (outcome_to_string got)
+
+(* ---------- unit tests ---------- *)
+
+(* A document exercising every multi-byte token a chunk boundary can
+   split: tags, attributes in both quote styles, entities, numeric
+   references, comments, PIs, CDATA and an XML declaration. *)
+let tricky =
+  "<?xml version=\"1.0\"?><!-- lead --><r a=\"x &amp; y\" b='2'>\n\
+   text &lt;one&gt; &#65;&#x1F600;<!-- in --><![CDATA[<raw>&amp;]]>\n\
+   <child/>tail<?pi data?></r><!-- trail -->"
+
+let test_one_byte_feed () =
+  let whole = outcome_whole tricky in
+  (match whole with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "tricky document should parse");
+  let t = Ingest.create () in
+  String.iter (fun c -> Ingest.feed_string t (String.make 1 c)) tricky;
+  let doc, _ = Ingest.finish t in
+  check_outcome "1-byte chunks" whole (Ok (Printer.to_string doc))
+
+let test_every_split_of_tricky () =
+  let whole = outcome_whole tricky in
+  for cut = 0 to String.length tricky do
+    check_outcome
+      (Printf.sprintf "split at %d" cut)
+      whole
+      (outcome_chunked tricky [ cut ])
+  done
+
+let test_error_positions_chunk_invariant () =
+  (* Malformed inputs: whatever the error is, it must not move when the
+     input arrives in pieces. *)
+  let inputs =
+    [ "<a>\n<b>\n</c>\n</a>"; "<r"; "<r><x</r>"; "<r>&unknown;</r>";
+      "<r>&#0;</r>"; "<r>&#xD800;</r>"; "<r/>x"; "junk"; "";
+      "<r a=1/>"; "<r>&#x110000;</r>"; "<r><![CDATA[never closed" ]
+  in
+  List.iter
+    (fun s ->
+      let whole = outcome_whole s in
+      for cut = 0 to String.length s do
+        check_outcome
+          (Printf.sprintf "%S split at %d" s cut)
+          whole
+          (outcome_chunked s [ cut ])
+      done)
+    inputs
+
+let test_charref_validation () =
+  let decoded s =
+    let doc = Xml_parser.parse s in
+    Tree.string_value doc (Tree.root doc)
+  in
+  check_str "decimal and hex" "AB" (decoded "<r>&#65;&#x42;</r>");
+  check_str "astral plane" "\xF0\x9F\x98\x80" (decoded "<r>&#x1F600;</r>");
+  check_str "tab survives" "\tx" (decoded "<r>&#9;x</r>");
+  let rejected s ref_text =
+    match Xml_parser.parse s with
+    | _ -> Alcotest.fail (Printf.sprintf "%s should be rejected" ref_text)
+    | exception Xml_parser.Error { message; _ } ->
+      check_str
+        (ref_text ^ " message")
+        (Printf.sprintf
+           "invalid character reference &%s;: not an XML character" ref_text)
+        message
+  in
+  rejected "<r>&#0;</r>" "#0";
+  rejected "<r>&#8;</r>" "#8";
+  rejected "<r>&#xD800;</r>" "#xD800";
+  rejected "<r>&#xDFFF;</r>" "#xDFFF";
+  rejected "<r>&#x110000;</r>" "#x110000";
+  rejected "<r a=\"&#xFFFE;\"/>" "#xFFFE"
+
+let test_streamed_index_smoke () =
+  let doc, idx = Ingest.of_string ~index:true tricky in
+  let idx = Option.get idx in
+  check_bool "valid_for" true (Index.valid_for idx doc);
+  let built = Index.build doc in
+  check
+    (Alcotest.list Alcotest.int)
+    "elements" (Index.elements built) (Index.elements idx);
+  check
+    (Alcotest.list Alcotest.int)
+    "by label" (Index.nodes_with_label built "child")
+    (Index.nodes_with_label idx "child");
+  for n = 0 to Tree.size doc - 1 do
+    check_int
+      (Printf.sprintf "size of %d" n)
+      (Index.subtree_size built n) (Index.subtree_size idx n)
+  done;
+  (* The ingested index seeds the shared cache: for_tree is a hit. *)
+  check_bool "cache seeded" true (Index.for_tree doc == idx)
+
+let test_deep_chain () =
+  let n = 200_000 in
+  let buf = Buffer.create ((3 + 4) * n + 8) in
+  for _ = 1 to n do
+    Buffer.add_string buf "<A>"
+  done;
+  Buffer.add_string buf "deep";
+  for _ = 1 to n do
+    Buffer.add_string buf "</A>"
+  done;
+  let s = Buffer.contents buf in
+  (* Parse streams through the feed machine; no recursion on depth. *)
+  let doc = Xml_parser.parse s in
+  check_int "size" (n + 1) (Tree.size doc);
+  (* Printing drives an explicit work stack. *)
+  let printed = Printer.to_string doc in
+  check_int "printed length" (String.length s) (String.length printed);
+  check_str "roundtrip" s printed;
+  (* Channel output takes the same iterative path. *)
+  let tmp = Filename.temp_file "weblab" ".xml" in
+  let oc = open_out_bin tmp in
+  Printer.to_channel oc doc;
+  close_out oc;
+  let ic = open_in_bin tmp in
+  let from_file = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  check_bool "to_channel = to_string" true (String.equal printed from_file);
+  (* Copy, structural equality and string-value: explicit stacks too. *)
+  let doc2 = Tree.create () in
+  let r = Tree.copy_subtree doc2 ~src:doc (Tree.root doc) ~parent:Tree.no_node in
+  check_bool "copy equal" true
+    (Tree.equal_subtree doc (Tree.root doc) doc2 r);
+  check_str "string_value" "deep" (Tree.string_value doc2 r);
+  (* Timestamp restoration walks iteratively as well. *)
+  Doc_state.restore_timestamps doc;
+  check_int "restored created" 0 (Tree.created doc (Tree.root doc))
+
+let test_to_buffer () =
+  let doc = Xml_parser.parse "<r><a k=\"v\">hi</a><b/></r>" in
+  let buf = Buffer.create 64 in
+  Printer.to_buffer buf doc;
+  check_str "to_buffer" (Printer.to_string doc) (Buffer.contents buf);
+  let buf2 = Buffer.create 64 in
+  Printer.to_buffer ~indent:true buf2 doc;
+  check_str "to_buffer indent"
+    (Printer.to_string ~indent:true doc)
+    (Buffer.contents buf2)
+
+(* ---------- properties ---------- *)
+
+open QCheck
+
+let gen_name = Gen.oneofl [ "A"; "B"; "C"; "D"; "E" ]
+let gen_attr_name = Gen.oneofl [ "k"; "v"; "g"; "src" ]
+let gen_attr_value = Gen.oneofl [ "1"; "2"; "x &amp; y"; "d\xc3\xa9j\xc3\xa0" ]
+
+let gen_text =
+  Gen.oneofl
+    [ "hello"; "a &lt; b"; "x &amp; y"; "&#65;&#x1F600;"; "42"; "w w" ]
+
+(* Random XML text built directly (entities stay entities, so chunk
+   boundaries can fall inside them). *)
+let rec gen_fragment buf depth st =
+  let name = gen_name st in
+  Buffer.add_char buf '<';
+  Buffer.add_string buf name;
+  let nattrs = Gen.int_bound 2 st in
+  for i = 0 to nattrs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf " %s%d=\"%s\"" (gen_attr_name st) i (gen_attr_value st))
+  done;
+  if depth = 0 || Gen.bool st then Buffer.add_string buf "/>"
+  else begin
+    Buffer.add_char buf '>';
+    let kids = Gen.int_bound 2 st in
+    for _ = 1 to kids do
+      if Gen.bool st then Buffer.add_string buf (gen_text st);
+      gen_fragment buf (depth - 1) st
+    done;
+    if Gen.bool st then Buffer.add_string buf (gen_text st);
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  end
+
+let gen_xml : string Gen.t =
+ fun st ->
+  let buf = Buffer.create 256 in
+  if Gen.bool st then Buffer.add_string buf "<!-- p -->";
+  Buffer.add_string buf "<R>";
+  let kids = 1 + Gen.int_bound 2 st in
+  for _ = 1 to kids do
+    gen_fragment buf 2 st
+  done;
+  Buffer.add_string buf "</R>";
+  Buffer.contents buf
+
+let gen_cuts = Gen.list_size (Gen.int_bound 12) Gen.nat
+
+let arb_xml_cuts =
+  make
+    ~print:(fun (s, cuts) ->
+      Printf.sprintf "%S cuts=[%s]" s
+        (String.concat ";" (List.map string_of_int cuts)))
+    (Gen.pair gen_xml gen_cuts)
+
+let prop_chunked_roundtrip =
+  Test.make ~name:"chunked feed = whole-string parse" ~count:500 arb_xml_cuts
+    (fun (s, cuts) ->
+      let cuts = List.map (fun i -> i mod (String.length s + 1)) cuts in
+      outcome_chunked s cuts = outcome_whole s)
+
+(* Random corruption of well-formed input: errors (or survival) must be
+   identical under re-chunking, position included. *)
+let arb_mutated_cuts =
+  make
+    ~print:(fun (s, cuts) ->
+      Printf.sprintf "%S cuts=[%s]" s
+        (String.concat ";" (List.map string_of_int cuts)))
+    Gen.(
+      pair
+        (map2
+           (fun s (kind, pos, c) ->
+             let n = String.length s in
+             let pos = pos mod (n + 1) in
+             match kind mod 3 with
+             | 0 -> String.sub s 0 pos (* truncate *)
+             | 1 ->
+               (* insert a hostile character *)
+               String.sub s 0 pos ^ String.make 1 c
+               ^ String.sub s pos (n - pos)
+             | _ ->
+               (* delete one character *)
+               if n = 0 then s
+               else
+                 let pos = pos mod n in
+                 String.sub s 0 pos ^ String.sub s (pos + 1) (n - pos - 1))
+           gen_xml
+           (triple nat nat
+              (oneofl [ '<'; '&'; '>'; '"'; '\''; '/'; ';'; '#'; 'x'; ' ' ])))
+        gen_cuts)
+
+let prop_error_chunk_invariant =
+  Test.make ~name:"error positions survive re-chunking" ~count:500
+    arb_mutated_cuts (fun (s, cuts) ->
+      let cuts = List.map (fun i -> i mod (String.length s + 1)) cuts in
+      outcome_chunked s cuts = outcome_whole s)
+
+let prop_streamed_index_equals_build =
+  Test.make ~name:"streamed index = Index.build" ~count:300
+    (make ~print:(fun s -> s) gen_xml)
+    (fun s ->
+      let doc, idx = Ingest.of_string ~index:true s in
+      let idx = Option.get idx in
+      let built = Index.build doc in
+      Index.valid_for idx doc
+      && Index.elements built = Index.elements idx
+      && List.for_all
+           (fun l ->
+             Index.nodes_with_label built l = Index.nodes_with_label idx l)
+           [ "R"; "A"; "B"; "C"; "D"; "E" ]
+      && List.for_all
+           (fun a ->
+             Index.nodes_with_some_attr built a
+             = Index.nodes_with_some_attr idx a)
+           Index.indexed_attrs
+      &&
+      let n = Tree.size doc in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Index.subtree_size built i <> Index.subtree_size idx i then
+          ok := false;
+        for j = 0 to n - 1 do
+          if
+            Index.strictly_below built ~ancestor:i j
+            <> Index.strictly_below idx ~ancestor:i j
+            || Index.below_or_self built ~ancestor:i j
+               <> Index.below_or_self idx ~ancestor:i j
+          then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  let to_alcotest = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "ingest"
+    [ ( "chunking",
+        [ Alcotest.test_case "one-byte feed" `Quick test_one_byte_feed;
+          Alcotest.test_case "every split of a tricky doc" `Quick
+            test_every_split_of_tricky;
+          Alcotest.test_case "error positions are chunk-invariant" `Quick
+            test_error_positions_chunk_invariant ] );
+      ( "charrefs",
+        [ Alcotest.test_case "numeric reference validation" `Quick
+            test_charref_validation ] );
+      ( "index",
+        [ Alcotest.test_case "streamed index smoke" `Quick
+            test_streamed_index_smoke ] );
+      ( "depth",
+        [ Alcotest.test_case "200k-deep chain" `Quick test_deep_chain ] );
+      ( "printer",
+        [ Alcotest.test_case "to_buffer" `Quick test_to_buffer ] );
+      ( "properties",
+        to_alcotest
+          [ prop_chunked_roundtrip; prop_error_chunk_invariant;
+            prop_streamed_index_equals_build ] ) ]
