@@ -59,6 +59,14 @@ let serve_report = ref None
    arena built from the same document. *)
 let ingest_report = ref None
 
+(* [--rdf-report PATH] runs the columnar-vs-oracle triple store study
+   instead of the Bechamel suite and writes the BENCH_rdf.json artifact:
+   bytes/triple of both representations over an identical triple load,
+   bound-pattern probe and count throughput, and cross-checks (find
+   agreement on every sampled pattern, byte-identical Turtle).  Exits
+   nonzero on any disagreement. *)
+let rdf_report = ref None
+
 (* [--obs-guard] runs the disabled-recorder overhead check (P15) instead
    of the Bechamel suite: fails the process if the estimated cost of the
    Off-level telemetry call sites exceeds 2% of the smoke workload. *)
@@ -76,7 +84,7 @@ let () =
     Printf.eprintf
       "usage: %s [--quick] [--json PATH] [--only SUBSTR] [--jobs N] \
        [--parallel-report PATH] [--serve-report PATH] [--ingest-report PATH] \
-       [--obs-guard] [--fused-counters]  (unknown arg %s)\n"
+       [--rdf-report PATH] [--obs-guard] [--fused-counters]  (unknown arg %s)\n"
       Sys.argv.(0) unknown;
     exit 2
   in
@@ -104,6 +112,9 @@ let () =
       scan rest
     | "--ingest-report" :: path :: rest ->
       ingest_report := Some path;
+      scan rest
+    | "--rdf-report" :: path :: rest ->
+      rdf_report := Some path;
       scan rest
     | "--obs-guard" :: rest ->
       obs_guard := true;
@@ -527,6 +538,157 @@ let run_ingest_report path =
     exit 1
   end
 
+(* ---------- P19: columnar triple store report (BENCH_rdf.json) ----------
+
+   The same synthetic triple load (PROV-shaped term reuse: few
+   predicates, zipf-ish subject sharing, mixed IRI/literal objects) goes
+   into the columnar store and the boxed oracle; the artifact reports
+   bytes/triple of each and the throughput of a fixed bound-pattern
+   probe set — (s,p,?), (?,p,o), (s,?,?) and fully-bound (s,p,o), each
+   as [count] then [find], which is exactly what the BGP planner issues
+   (selectivity estimate, then scan) and what ingest dedup probes.
+   Predicate-only (?,p,?) scans are timed separately and reported
+   ungated: they enumerate an eighth of the store per probe, and the
+   oracle's per-term posting lists of shared tuples are the optimal
+   layout for that — the columnar store pays one decode per result and
+   lands within ~2x, in exchange for the bytes/triple ratio and every
+   bound-probe win.  Every sampled pattern's [find]/[count] and the full
+   Turtle/N-Triples exports are cross-checked between the stores; any
+   disagreement fails the run. *)
+
+let run_rdf_report path =
+  let module R = Weblab_rdf in
+  let n = if !quick then 10_000 else 60_000 in
+  let runs = if !quick then 3 else 5 in
+  let rng = Random.State.make [| 0x5eed; 97 |] in
+  let n_subj = max 1 (n / 8) in
+  let preds =
+    Array.init 8 (fun i ->
+        R.Term.iri (Printf.sprintf "http://weblab.example/prov#p%d" i))
+  in
+  let subj i = R.Term.iri (Printf.sprintf "http://weblab.example/resource/%d" i) in
+  let triples =
+    Array.init n (fun _ ->
+        let s = subj (Random.State.int rng n_subj) in
+        let p = preds.(Random.State.int rng (Array.length preds)) in
+        let o =
+          if Random.State.bool rng then subj (Random.State.int rng n_subj)
+          else R.Term.lit (Printf.sprintf "value-%d" (Random.State.int rng (max 1 (n / 4))))
+        in
+        (s, p, o))
+  in
+  let fill_columnar () =
+    let st = R.Triple_store.create () in
+    Array.iter (fun tr -> R.Triple_store.add st tr) triples;
+    st
+  in
+  let fill_oracle () =
+    let st = R.Oracle_store.create () in
+    Array.iter (fun tr -> R.Oracle_store.add st tr) triples;
+    st
+  in
+  let t_add_c, cst = best_of_runs runs fill_columnar in
+  let t_add_o, ost = best_of_runs runs fill_oracle in
+  let live = R.Triple_store.size cst in
+  R.Triple_store.compact cst;
+  Gc.compact ();
+  let bpt_c = float_of_int (reachable_bytes cst) /. float_of_int live in
+  let bpt_o = float_of_int (reachable_bytes ost) /. float_of_int live in
+  (* A fixed probe set sampled from the loaded triples: each pattern
+     runs [count] then [find] (summing counts and result sizes so
+     nothing is optimized away), repeated [reps] times per round. *)
+  let n_pats = if !quick then 512 else 2048 in
+  let reps = 4 in
+  let pats =
+    Array.init n_pats (fun i ->
+        let s, p, o = triples.(Random.State.int rng n) in
+        match i mod 4 with
+        | 0 -> (Some s, Some p, None)
+        | 1 -> (None, Some p, Some o)
+        | 2 -> (Some s, None, None)
+        | _ -> (Some s, Some p, Some o))
+    |> Array.to_list
+  in
+  let scans =
+    List.init (Array.length preds) (fun i -> (None, Some preds.(i), None))
+  in
+  let probe count find pats () =
+    let acc = ref 0 in
+    for _ = 1 to reps do
+      List.iter
+        (fun pat -> acc := !acc + count pat + List.length (find pat))
+        pats
+    done;
+    !acc
+  in
+  let probe_c = probe (R.Triple_store.count cst) (R.Triple_store.find cst) in
+  let probe_o = probe (R.Oracle_store.count ost) (R.Oracle_store.find ost) in
+  let t_probe_c, hits_c = best_of_runs runs (probe_c pats) in
+  let t_probe_o, hits_o = best_of_runs runs (probe_o pats) in
+  let t_scan_c, scan_c = best_of_runs runs (probe_c scans) in
+  let t_scan_o, scan_o = best_of_runs runs (probe_o scans) in
+  let errors = ref 0 in
+  if hits_c <> hits_o || scan_c <> scan_o then incr errors;
+  (* Cross-checks: every sampled pattern agrees triple-for-triple, and
+     the serialized exports are byte-identical. *)
+  List.iter
+    (fun pat ->
+      if R.Triple_store.find cst pat <> R.Oracle_store.find ost pat then
+        incr errors;
+      if R.Triple_store.count cst pat <> R.Oracle_store.count ost pat then
+        incr errors)
+    (pats @ scans);
+  if
+    not
+      (String.equal
+         (R.Turtle.to_turtle cst)
+         (R.Turtle.Oracle.to_turtle ost))
+  then incr errors;
+  if
+    not
+      (String.equal (R.Turtle.to_ntriples cst) (R.Turtle.Oracle.to_ntriples ost))
+  then incr errors;
+  let stats = R.Triple_store.stats cst in
+  let bpt_ratio = bpt_o /. bpt_c in
+  let probe_speedup = t_probe_o /. t_probe_c in
+  let scan_speedup = t_scan_o /. t_scan_c in
+  let add_speedup = t_add_o /. t_add_c in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"series\": \"rdf/columnar\", \"triples\": %d, \"terms\": %d, \
+     \"merges\": %d,\n\
+    \ \"bytes_per_triple_columnar\": %.1f, \"bytes_per_triple_oracle\": \
+     %.1f, \"bytes_per_triple_ratio\": %.3f,\n\
+    \ \"probes\": %d, \"probe_s_columnar\": %.6f, \"probe_s_oracle\": %.6f, \
+     \"probe_speedup\": %.3f,\n\
+    \ \"scan_s_columnar\": %.6f, \"scan_s_oracle\": %.6f, \"scan_speedup\": \
+     %.3f,\n\
+    \ \"add_s_columnar\": %.6f, \"add_s_oracle\": %.6f, \"add_speedup\": \
+     %.3f,\n\
+    \ \"errors\": %d}\n"
+    live stats.R.Triple_store.st_terms stats.R.Triple_store.st_merges bpt_c
+    bpt_o bpt_ratio (n_pats * reps) t_probe_c t_probe_o probe_speedup t_scan_c
+    t_scan_o scan_speedup t_add_c t_add_o add_speedup !errors;
+  close_out oc;
+  Printf.printf
+    "rdf: %d triples (%d distinct terms, %d run merges)\n\
+    \  bytes/triple: columnar %.1f, oracle %.1f  (ratio %.2fx)\n\
+    \  %d bound probes: columnar %.2f ms, oracle %.2f ms  (speedup %.2fx)\n\
+    \  %d predicate scans: columnar %.2f ms, oracle %.2f ms  (speedup \
+     %.2fx, ungated)\n\
+    \  load: columnar %.2f ms, oracle %.2f ms  (speedup %.2fx)\n\
+     Wrote %s\n"
+    live stats.R.Triple_store.st_terms stats.R.Triple_store.st_merges bpt_c
+    bpt_o bpt_ratio (n_pats * reps) (t_probe_c *. 1000.) (t_probe_o *. 1000.)
+    probe_speedup
+    (List.length scans * reps)
+    (t_scan_c *. 1000.) (t_scan_o *. 1000.) scan_speedup (t_add_c *. 1000.)
+    (t_add_o *. 1000.) add_speedup path;
+  if !errors > 0 then begin
+    Printf.eprintf "rdf bench FAILED: %d cross-check errors\n" !errors;
+    exit 1
+  end
+
 (* ---------- P15: recorder overhead guard (--obs-guard) ----------
 
    A direct disabled-vs-removed A/B is impossible (the call sites are
@@ -665,6 +827,13 @@ let () =
     exit 0
   | None -> ()
 
+let () =
+  match !rdf_report with
+  | Some path ->
+    run_rdf_report path;
+    exit 0
+  | None -> ()
+
 (* ---------- F/E: paper artifact regeneration ---------- *)
 
 let test_paper_figures =
@@ -775,10 +944,35 @@ let rdf_tests =
   let p = prepare ~units:8 ~calls:7 () in
   let g = Engine.provenance ~strategy:`Rewrite p.exec p.rb in
   let store = Prov_export.to_store g in
+  let all = Weblab_rdf.Triple_store.triples store in
+  let oracle = Weblab_rdf.Oracle_store.create () in
+  List.iter (fun tr -> Weblab_rdf.Oracle_store.add oracle tr) all;
+  (* Bound-pattern probe set: one (s,p,?) per distinct subject. *)
+  let probes =
+    List.sort_uniq compare (List.map (fun (s, p, _) -> (Some s, Some p, None)) all)
+  in
   [ Test.make ~name:"rdf/export_store"
       (Staged.stage (fun () -> ignore (Prov_export.to_store g)));
     Test.make ~name:"rdf/turtle"
       (Staged.stage (fun () -> ignore (Weblab_rdf.Turtle.to_turtle store)));
+    Test.make ~name:"rdf/load_columnar"
+      (Staged.stage (fun () ->
+           let st = Weblab_rdf.Triple_store.create () in
+           List.iter (fun tr -> Weblab_rdf.Triple_store.add st tr) all));
+    Test.make ~name:"rdf/load_oracle"
+      (Staged.stage (fun () ->
+           let st = Weblab_rdf.Oracle_store.create () in
+           List.iter (fun tr -> Weblab_rdf.Oracle_store.add st tr) all));
+    Test.make ~name:"rdf/probe_columnar"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun pat -> ignore (Weblab_rdf.Triple_store.find store pat))
+             probes));
+    Test.make ~name:"rdf/probe_oracle"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun pat -> ignore (Weblab_rdf.Oracle_store.find oracle pat))
+             probes));
     Test.make ~name:"rdf/sparql_bgp"
       (Staged.stage (fun () ->
            ignore

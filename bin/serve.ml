@@ -52,6 +52,13 @@ let profile_arg =
            ~doc:"Record telemetry (session and per-verb counters) and \
                  print a summary on SIGINT/SIGTERM shutdown.")
 
+let data_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Persist sessions: append a per-commit write-ahead log \
+                 under $(docv) (created if missing) and restore every \
+                 logged session read-only at boot.")
+
 let report_counters () =
   let cs = Weblab_obs.Telemetry.counters () in
   if cs <> [] then begin
@@ -60,15 +67,35 @@ let report_counters () =
     flush stderr
   end
 
-let main host port max_sessions shards backend profile =
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let main host port max_sessions shards backend profile data_dir =
   if profile then Weblab_obs.Telemetry.set_level Weblab_obs.Telemetry.Counters;
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Info);
+  Option.iter mkdir_p data_dir;
   let ctx =
-    Protocol.make_ctx ~shards ~max_sessions ~default_backend:backend ()
+    Protocol.make_ctx ~shards ~max_sessions ~default_backend:backend ?data_dir
+      ()
   in
+  (* Warm restart: replay every WAL before the listener accepts, so no
+     request can race a half-restored registry. *)
+  let restored = Protocol.restore_sessions ctx in
+  List.iter
+    (fun (sid, rp) ->
+      Logs.info (fun m ->
+          m "restored session %S: %d commits, %d triples%s" sid
+            rp.Weblab_rdf.Wal.rp_commits rp.Weblab_rdf.Wal.rp_triples
+            (if rp.Weblab_rdf.Wal.rp_torn then " (torn tail dropped)" else "")))
+    restored;
   let srv = Server.start ~host ~port ctx in
   (* The readiness line CI and scripts wait for — stdout, flushed. *)
+  if restored <> [] then
+    Printf.printf "weblab-serve restored %d session(s)\n" (List.length restored);
   Printf.printf "weblab-serve listening on %s:%d\n%!" host (Server.port srv);
   let shutdown _ =
     Server.stop srv;
@@ -87,6 +114,6 @@ let cmd =
        ~doc:"Provenance serving daemon: concurrent workflow sessions with \
              live why/impact/SPARQL queries over NDJSON/TCP")
     Term.(const main $ host_arg $ port_arg $ max_sessions_arg $ shards_arg
-          $ backend_arg $ profile_arg)
+          $ backend_arg $ profile_arg $ data_dir_arg)
 
 let () = exit (Cmd.eval cmd)

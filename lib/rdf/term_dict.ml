@@ -1,0 +1,63 @@
+(* Append-only term dictionary: the RDF twin of the arena's string
+   Intern table (lib/xml/intern.ml).
+
+   Every distinct term is boxed exactly once and referenced by a dense
+   integer id from the columnar triple arrays.  Ids are allocated in
+   first-seen order and never reused, so a store's id space only grows —
+   which is what lets the write-ahead log replay into the same ids
+   without a remapping pass.
+
+   The read path ([term]) touches only the id -> term array, so
+   concurrent readers (a daemon connection decoding query results while
+   another session's writer interns) race at most with an array-double,
+   which OCaml array semantics make safe: either backing store carries
+   every id a reader can legally hold. *)
+
+module Term_table = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type t = {
+  mutable terms : Term.t array;  (* id -> term, first [n] slots live *)
+  mutable n : int;
+  table : int Term_table.t;  (* term -> id, writer-side only *)
+}
+
+let dummy = Term.Iri ""
+
+let create () =
+  { terms = Array.make 64 dummy; n = 0; table = Term_table.create 64 }
+
+let count t = t.n
+
+let intern t term =
+  match Term_table.find_opt t.table term with
+  | Some id -> id
+  | None ->
+    let id = t.n in
+    if id >= Array.length t.terms then begin
+      let bigger = Array.make (2 * Array.length t.terms) dummy in
+      Array.blit t.terms 0 bigger 0 t.n;
+      t.terms <- bigger
+    end;
+    t.terms.(id) <- term;
+    t.n <- id + 1;
+    Term_table.add t.table term id;
+    id
+
+let id_opt t term = Term_table.find_opt t.table term
+
+let term t id =
+  if id < 0 || id >= t.n then
+    invalid_arg (Printf.sprintf "Term_dict.term: invalid id %d (count %d)" id t.n);
+  t.terms.(id)
+
+let unsafe_term t id = Array.unsafe_get t.terms id
+
+(* Writer-side, like [intern]: trim the doubling slack. *)
+let compact t =
+  if Array.length t.terms > max t.n 1 then
+    t.terms <- Array.sub t.terms 0 (max t.n 1)

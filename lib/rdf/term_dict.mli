@@ -1,0 +1,32 @@
+(** Append-only term dictionary: maps {!Term.t} values to dense integer
+    ids, first-seen order, never reused.  The dictionary side of the
+    columnar {!Triple_store}: triples are stored as three parallel int
+    arrays of ids into one of these tables, so each distinct term is
+    boxed once per store no matter how many triples mention it. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> Term.t -> int
+(** The id of a term, allocating one on first sight.  Writer-side only:
+    must be called from the domain that owns the store. *)
+
+val id_opt : t -> Term.t -> int option
+(** The id of a term if it was ever interned; [None] otherwise.  Used by
+    pattern probes — a bound term with no id matches nothing. *)
+
+val term : t -> int -> Term.t
+(** The term behind an id.  Read-only and safe to call concurrently with
+    {!intern} from other domains.
+    @raise Invalid_argument on an id never returned by {!intern}. *)
+
+val unsafe_term : t -> int -> Term.t
+(** {!term} without the bounds check, for decode loops whose ids are
+    valid by construction (they came out of {!intern}). *)
+
+val count : t -> int
+(** Number of distinct terms interned so far. *)
+
+val compact : t -> unit
+(** Trim the id array's growth slack.  Writer-side only. *)

@@ -1,81 +1,500 @@
+(* Dictionary-encoded columnar triple store (DESIGN §4j).
+
+   Triples are three parallel int arrays of {!Term_dict} ids in insertion
+   order — the column layout of the structure-of-arrays arena applied to
+   the RDF substrate.  Every public observation (iteration order, find
+   result order, BGP solutions, Turtle bytes) is identical to the boxed
+   assoc-list store this replaces, which lives on as {!Oracle_store} and
+   property-tests exactly that.
+
+   Pattern lookup is LSM-flavoured: a merged sorted base (three
+   permutation arrays over the columns, in SPO, POS and OSP key order)
+   answers any bound prefix with two binary searches, and a small
+   unsorted tail of recent inserts is scanned linearly.  When the tail
+   fills up it is sorted and merged into the base — O(n) per merge,
+   amortized O(log n) merges over the life of the store.  Every bound
+   combination is a prefix of one of the three orders:
+
+     s | s,p | s,p,o -> SPO      p | p,o -> POS      o | o,s -> OSP
+
+   so [find] never post-filters and [count] is pure arithmetic on range
+   bounds (plus the bounded tail scan) — no list is materialized.
+
+   Deduplication is an integer probe: exact binary search in the SPO base
+   plus a packed-key hash probe over the tail, instead of building an
+   N-Triples string per insert as the old store did. *)
+
+module T = Weblab_obs.Telemetry
+
+let c_adds = T.counter "rdf.store.adds"
+let c_merges = T.counter "rdf.store.merges"
+let c_probes = T.counter "rdf.store.probes"
+let c_tail_scanned = T.counter "rdf.store.tail_scanned"
+
 type triple = Term.t * Term.t * Term.t
 
-module Term_table = Hashtbl.Make (struct
-  type t = Term.t
-
-  let equal = Term.equal
-  let hash = Term.hash
-end)
-
 type t = {
-  mutable all : triple list;  (* reversed insertion order *)
-  mutable size : int;
-  by_subject : triple list ref Term_table.t;
-  by_predicate : triple list ref Term_table.t;
-  by_object : triple list ref Term_table.t;
-  dedup : (string, unit) Hashtbl.t;
+  dict : Term_dict.t;
+  mutable s_col : int array;  (* triple index -> subject id *)
+  mutable p_col : int array;
+  mutable o_col : int array;
+  mutable n : int;  (* live triples; insertion order = index order *)
+  (* Sorted runs over triple indices [0, base_n): the merged base. *)
+  mutable base_spo : int array;
+  mutable base_pos : int array;
+  mutable base_osp : int array;
+  mutable base_n : int;
+  (* CSR posting offsets into each run, rebuilt at merge: run indices
+     with first key [id] live at [off.(id), off.(id+1)).  Sized to the
+     dictionary at merge time — ids interned later exist only in the
+     tail, so an out-of-range id simply has an empty base range. *)
+  mutable spo_off : int array;
+  mutable pos_off : int array;
+  mutable osp_off : int array;
+  (* Tail dedup set for indices [base_n, n): (s,p,o) -> (). *)
+  tail_set : (int * int * int, unit) Hashtbl.t;
+  mutable merges : int;
 }
 
+(* The tail is scanned linearly by every probe, so it stays small; the
+   bound also caps the per-insert amortized merge cost at O(log n). *)
+let tail_limit = 1024
+
 let create () =
-  {
-    all = [];
-    size = 0;
-    by_subject = Term_table.create 64;
-    by_predicate = Term_table.create 64;
-    by_object = Term_table.create 64;
-    dedup = Hashtbl.create 64;
-  }
+  { dict = Term_dict.create ();
+    s_col = Array.make 64 0;
+    p_col = Array.make 64 0;
+    o_col = Array.make 64 0;
+    n = 0;
+    base_spo = [||];
+    base_pos = [||];
+    base_osp = [||];
+    base_n = 0;
+    spo_off = [| 0 |];
+    pos_off = [| 0 |];
+    osp_off = [| 0 |];
+    tail_set = Hashtbl.create 64;
+    merges = 0 }
 
-let key (s, p, o) =
-  String.concat " " [ Term.to_ntriples s; Term.to_ntriples p; Term.to_ntriples o ]
+let size t = t.n
 
-let index_add table term triple =
-  match Term_table.find_opt table term with
-  | Some cell -> cell := triple :: !cell
-  | None -> Term_table.add table term (ref [ triple ])
+(* ----- key orders ----- *)
 
-let add t ((s, p, o) as triple) =
-  let k = key triple in
-  if not (Hashtbl.mem t.dedup k) then begin
-    Hashtbl.add t.dedup k ();
-    t.all <- triple :: t.all;
-    t.size <- t.size + 1;
-    index_add t.by_subject s triple;
-    index_add t.by_predicate p triple;
-    index_add t.by_object o triple
+let cmp3 a1 a2 a3 b1 b2 b3 =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a2 b2 in
+    if c <> 0 then c else Int.compare a3 b3
+
+let cmp_spo t i j =
+  cmp3 t.s_col.(i) t.p_col.(i) t.o_col.(i) t.s_col.(j) t.p_col.(j) t.o_col.(j)
+
+let cmp_pos t i j =
+  cmp3 t.p_col.(i) t.o_col.(i) t.s_col.(i) t.p_col.(j) t.o_col.(j) t.s_col.(j)
+
+let cmp_osp t i j =
+  cmp3 t.o_col.(i) t.s_col.(i) t.p_col.(i) t.o_col.(j) t.s_col.(j) t.p_col.(j)
+
+(* ----- base maintenance ----- *)
+
+(* Sort the tail and merge it into each sorted run.  Stable on ties is
+   irrelevant: triples are unique by construction. *)
+let merge_one t cmp base tail =
+  let nb = Array.length base and nt = Array.length tail in
+  let out = Array.make (nb + nt) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < nb && !j < nt do
+    if cmp t base.(!i) tail.(!j) <= 0 then begin
+      out.(!k) <- base.(!i);
+      incr i
+    end
+    else begin
+      out.(!k) <- tail.(!j);
+      incr j
+    end;
+    incr k
+  done;
+  Array.blit base !i out !k (nb - !i);
+  k := !k + (nb - !i);
+  Array.blit tail !j out !k (nt - !j);
+  out
+
+(* CSR offsets over a freshly merged run: [off.(id), off.(id+1)) is the
+   slice whose first key is [id].  One pass — the run is sorted. *)
+let build_off dict run firstcol =
+  let terms = Term_dict.count dict in
+  let nb = Array.length run in
+  let off = Array.make (terms + 1) 0 in
+  let pos = ref 0 in
+  for id = 0 to terms - 1 do
+    off.(id) <- !pos;
+    while !pos < nb && firstcol.(run.(!pos)) = id do
+      incr pos
+    done
+  done;
+  off.(terms) <- nb;
+  off
+
+let merge_tail t =
+  if t.n > t.base_n then begin
+    let tail = Array.init (t.n - t.base_n) (fun i -> t.base_n + i) in
+    let sorted cmp =
+      let a = Array.copy tail in
+      Array.sort (cmp t) a;
+      a
+    in
+    t.base_spo <- merge_one t cmp_spo t.base_spo (sorted cmp_spo);
+    t.base_pos <- merge_one t cmp_pos t.base_pos (sorted cmp_pos);
+    t.base_osp <- merge_one t cmp_osp t.base_osp (sorted cmp_osp);
+    t.base_n <- t.n;
+    t.spo_off <- build_off t.dict t.base_spo t.s_col;
+    t.pos_off <- build_off t.dict t.base_pos t.p_col;
+    t.osp_off <- build_off t.dict t.base_osp t.o_col;
+    Hashtbl.reset t.tail_set;
+    t.merges <- t.merges + 1;
+    T.incr c_merges
   end
 
-let mem t triple = Hashtbl.mem t.dedup (key triple)
+let compact t =
+  merge_tail t;
+  let trim col = if Array.length col > max t.n 1 then Array.sub col 0 (max t.n 1) else col in
+  t.s_col <- trim t.s_col;
+  t.p_col <- trim t.p_col;
+  t.o_col <- trim t.o_col;
+  Term_dict.compact t.dict
 
-let size t = t.size
+(* ----- range search -----
 
-let triples t = List.rev t.all
+   The first bound key never needs a binary search: the CSR offsets give
+   its run slice in O(1).  At most one two-key refinement search runs
+   inside that slice, using sentinels for the trailing wildcard: ids are
+   always >= 0 and < max_int, so (-1) is below every id and max_int
+   above. *)
 
-let iter t f = List.iter f (triples t)
+(* Slice of [off]'s run with first key [id]; ids interned after the last
+   merge are not covered and live only in the tail. *)
+let posting off id =
+  if id + 1 < Array.length off then (Array.unsafe_get off id, Array.unsafe_get off (id + 1))
+  else (0, 0)
+
+let cmp2 a1 a2 b1 b2 =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+
+(* [refine t base cols (lo0,hi0) k2 k3]: the subrange of [lo0,hi0) whose
+   second/third key columns equal/bracket (k2,k3).  [cols = (c2, c3)],
+   the columns in this run's key order after the first. *)
+let refine base (c2, c3) (lo0, hi0) k2_lo k3_lo k2_hi k3_hi =
+  let bound k2 k3 strict =
+    let lo = ref lo0 and hi = ref hi0 in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let i = Array.unsafe_get base mid in
+      let c = cmp2 (Array.unsafe_get c2 i) (Array.unsafe_get c3 i) k2 k3 in
+      if c < 0 || (c = 0 && strict) then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (bound k2_lo k3_lo false, bound k2_hi k3_hi true)
+
+(* The probe plan for a (possibly wildcard) id pattern: which base run
+   answers it, its [lo, hi) slice, and whether every index in the slice
+   matches.  Every bound combination is a prefix of one run, so the
+   prefix slice never needs a residual filter — but for (?, p, o) the
+   object posting is usually orders of magnitude smaller than the
+   predicate's, and scanning it with a one-column check beats two binary
+   searches inside the predicate slice.  When that wins, the plan is
+   inexact (third component [false]) and the caller filters per index. *)
+let plan t s p o =
+  if s >= 0 then
+    if p >= 0 then
+      if o >= 0 then
+        ( t.base_spo,
+          refine t.base_spo (t.p_col, t.o_col) (posting t.spo_off s) p o p o,
+          true )
+      else
+        ( t.base_spo,
+          refine t.base_spo (t.p_col, t.o_col) (posting t.spo_off s) p (-1) p
+            max_int,
+          true )
+    else if o >= 0 then
+      ( t.base_osp,
+        refine t.base_osp (t.s_col, t.p_col) (posting t.osp_off o) s (-1) s
+          max_int,
+        true )
+    else (t.base_spo, posting t.spo_off s, true)
+  else if p >= 0 then
+    if o >= 0 then begin
+      let olo, ohi = posting t.osp_off o in
+      let plo, phi = posting t.pos_off p in
+      if ohi - olo <= 64 && ohi - olo <= phi - plo then
+        (t.base_osp, (olo, ohi), false)
+      else
+        ( t.base_pos,
+          refine t.base_pos (t.o_col, t.s_col) (plo, phi) o (-1) o max_int,
+          true )
+    end
+    else (t.base_pos, posting t.pos_off p, true)
+  else if o >= 0 then (t.base_osp, posting t.osp_off o, true)
+  else (t.base_spo, (0, Array.length t.base_spo), true)
+
+let tail_matches t s p o f =
+  for i = t.base_n to t.n - 1 do
+    if
+      (s < 0 || t.s_col.(i) = s)
+      && (p < 0 || t.p_col.(i) = p)
+      && (o < 0 || t.o_col.(i) = o)
+    then f i
+  done;
+  T.add c_tail_scanned (t.n - t.base_n)
+
+(* ----- membership / insert ----- *)
+
+let mem_ids t s p o =
+  Hashtbl.mem t.tail_set (s, p, o)
+  ||
+  let lo, hi =
+    refine t.base_spo (t.p_col, t.o_col) (posting t.spo_off s) p o p o
+  in
+  hi > lo
+
+let add t ((st, pt, ot) : triple) =
+  let s = Term_dict.intern t.dict st in
+  let p = Term_dict.intern t.dict pt in
+  let o = Term_dict.intern t.dict ot in
+  if not (mem_ids t s p o) then begin
+    if t.n >= Array.length t.s_col then begin
+      let grow col =
+        let bigger = Array.make (2 * Array.length col) 0 in
+        Array.blit col 0 bigger 0 t.n;
+        bigger
+      in
+      t.s_col <- grow t.s_col;
+      t.p_col <- grow t.p_col;
+      t.o_col <- grow t.o_col
+    end;
+    t.s_col.(t.n) <- s;
+    t.p_col.(t.n) <- p;
+    t.o_col.(t.n) <- o;
+    t.n <- t.n + 1;
+    Hashtbl.replace t.tail_set (s, p, o) ();
+    T.incr c_adds;
+    if t.n - t.base_n >= tail_limit then merge_tail t
+  end
+
+let mem t ((st, pt, ot) : triple) =
+  match
+    ( Term_dict.id_opt t.dict st,
+      Term_dict.id_opt t.dict pt,
+      Term_dict.id_opt t.dict ot )
+  with
+  | Some s, Some p, Some o -> mem_ids t s p o
+  | _ -> false
+
+(* ----- decode ----- *)
+
+(* Hot decode: every index fed here is < t.n and every column id came
+   out of [intern], so the checks would never fire. *)
+let triple_at t i =
+  ( Term_dict.unsafe_term t.dict (Array.unsafe_get t.s_col i),
+    Term_dict.unsafe_term t.dict (Array.unsafe_get t.p_col i),
+    Term_dict.unsafe_term t.dict (Array.unsafe_get t.o_col i) )
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f (triple_at t i)
+  done
+
+let triples t = List.init t.n (triple_at t)
+
+let triples_from t k = List.init (max 0 (t.n - k)) (fun i -> triple_at t (k + i))
+
+let prefix_of a b =
+  size a <= size b
+  &&
+  let rec go i =
+    i >= size a
+    ||
+    let sa, pa, oa = triple_at a i and sb, pb, ob = triple_at b i in
+    Term.equal sa sb && Term.equal pa pb && Term.equal oa ob && go (i + 1)
+  in
+  go 0
+
+(* ----- pattern lookup ----- *)
 
 type pattern = Term.t option * Term.t option * Term.t option
 
-let index_find table term =
-  match Term_table.find_opt table term with Some cell -> !cell | None -> []
+(* Resolve a bound term to its id; a term the dictionary has never seen
+   matches nothing, which short-circuits the whole probe. *)
+let resolve t = function
+  | None -> Some (-1)
+  | Some term -> Term_dict.id_opt t.dict term
 
-let matches (s, p, o) (ps, pp, po) =
-  (match ps with Some x -> Term.equal x s | None -> true)
-  && (match pp with Some x -> Term.equal x p | None -> true)
-  && match po with Some x -> Term.equal x o | None -> true
+(* Index of an isolated bit (a power of two below 2^32): de Bruijn
+   multiplication, branch-free. *)
+let debruijn_table =
+  let t = Array.make 32 0 in
+  Array.iteri
+    (fun i b -> t.(b) <- i)
+    (Array.init 32 (fun i -> ((1 lsl i) * 0x077CB531) lsr 27 land 31));
+  t
 
-let find t ((ps, pp, po) as pat) =
-  (* Choose the most selective bound position; subjects and objects are
-     usually more selective than predicates. *)
-  let candidates =
-    match ps, po, pp with
-    | Some s, _, _ -> index_find t.by_subject s
-    | None, Some o, _ -> index_find t.by_object o
-    | None, None, Some p -> index_find t.by_predicate p
-    | None, None, None -> t.all
-  in
-  List.filter (fun tr -> matches tr pat) (List.rev candidates)
+let bit_index low = debruijn_table.((low * 0x077CB531) lsr 27 land 31)
 
-let count t pat = List.length (find t pat)
+(* Ascending in-place sort of [a.(0 .. k-1)] specialized to ints:
+   insertion sort for the small slices selective probes produce, stdlib
+   sort above that. *)
+let sort_ints a k =
+  if k <= 32 then
+    for i = 1 to k - 1 do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  else begin
+    let sub = Array.sub a 0 k in
+    Array.sort Int.compare sub;
+    Array.blit sub 0 a 0 k
+  end
+
+let find t ((ps, pp, po) : pattern) =
+  T.incr c_probes;
+  match resolve t ps, resolve t pp, resolve t po with
+  | Some s, Some p, Some o ->
+    if s < 0 && p < 0 && o < 0 then triples t
+    else begin
+      let base, (lo, hi), exact = plan t s p o in
+      let k = hi - lo in
+      if exact && k > 64 && k * 8 >= t.base_n then begin
+        (* Very dense range (e.g. one predicate out of a handful): a
+           backward scan of the columns yields insertion order for free
+           — no sort, no rev, and the tail is just the top indices. *)
+        let acc = ref [] in
+        for i = t.n - 1 downto 0 do
+          if
+            (s < 0 || Array.unsafe_get t.s_col i = s)
+            && (p < 0 || Array.unsafe_get t.p_col i = p)
+            && (o < 0 || Array.unsafe_get t.o_col i = o)
+          then acc := triple_at t i :: !acc
+        done;
+        !acc
+      end
+      else if exact && k > 64 then begin
+        (* Dense range: restoring insertion order by comparison sort is
+           O(k log k) with a fat constant; instead mark the hit indices
+           in a bitmap and walk only the marked word span descending —
+           O(k + span/32), no comparisons at all. *)
+        let words = (t.n + 31) lsr 5 in
+        let bm = Array.make words 0 in
+        let lo_w = ref (words - 1) and hi_w = ref 0 in
+        let mark i =
+          let w = i lsr 5 in
+          Array.unsafe_set bm w
+            (Array.unsafe_get bm w lor (1 lsl (i land 31)));
+          if w < !lo_w then lo_w := w;
+          if w > !hi_w then hi_w := w
+        in
+        for j = lo to hi - 1 do
+          mark (Array.unsafe_get base j)
+        done;
+        tail_matches t s p o mark;
+        (* Build front-to-back without a final rev: walk words high to
+           low, extract each word's bits ascending (lowest-set-bit, work
+           proportional to hits) into a scratch, cons in reverse. *)
+        let acc = ref [] and tmp = Array.make 32 0 in
+        for w = !hi_w downto !lo_w do
+          let bits = ref (Array.unsafe_get bm w) in
+          let c = ref 0 in
+          while !bits <> 0 do
+            let low = !bits land - !bits in
+            bits := !bits lxor low;
+            tmp.(!c) <- (w lsl 5) lor bit_index low;
+            incr c
+          done;
+          for j = !c - 1 downto 0 do
+            acc := triple_at t tmp.(j) :: !acc
+          done
+        done;
+        !acc
+      end
+      else begin
+        (* Selective probe: base hits come back in key order; insertion
+           order is index order, so sort the slice ascending.  Tail
+           indices are all larger than any base index and scanned in
+           order, so appending keeps the global insertion order.  An
+           inexact plan (always a small slice) filters here. *)
+        let hits = Array.make (max k 1) 0 in
+        let m = ref 0 in
+        for j = lo to hi - 1 do
+          let i = Array.unsafe_get base j in
+          if
+            exact
+            || (s < 0 || Array.unsafe_get t.s_col i = s)
+               && (p < 0 || Array.unsafe_get t.p_col i = p)
+               && (o < 0 || Array.unsafe_get t.o_col i = o)
+          then begin
+            hits.(!m) <- i;
+            incr m
+          end
+        done;
+        sort_ints hits !m;
+        let tl = ref [] in
+        tail_matches t s p o (fun i -> tl := i :: !tl);
+        let acc = ref (List.rev_map (triple_at t) !tl) in
+        for j = !m - 1 downto 0 do
+          acc := triple_at t hits.(j) :: !acc
+        done;
+        !acc
+      end
+    end
+  | _ -> []
+
+let count t ((ps, pp, po) : pattern) =
+  T.incr c_probes;
+  match resolve t ps, resolve t pp, resolve t po with
+  | Some s, Some p, Some o ->
+    if s < 0 && p < 0 && o < 0 then t.n
+    else begin
+      let base, (lo, hi), exact = plan t s p o in
+      let k = ref 0 in
+      if exact then k := hi - lo
+      else
+        for j = lo to hi - 1 do
+          let i = Array.unsafe_get base j in
+          if
+            (s < 0 || Array.unsafe_get t.s_col i = s)
+            && (p < 0 || Array.unsafe_get t.p_col i = p)
+            && (o < 0 || Array.unsafe_get t.o_col i = o)
+          then incr k
+        done;
+      tail_matches t s p o (fun _ -> incr k);
+      !k
+    end
+  | _ -> 0
+
+(* ----- stats ----- *)
+
+type store_stats = {
+  st_triples : int;
+  st_terms : int;  (** distinct terms in the dictionary *)
+  st_base : int;  (** triples covered by the merged sorted runs *)
+  st_tail : int;  (** recent inserts pending a run merge *)
+  st_merges : int;  (** run merges performed over the store's life *)
+}
+
+let stats t =
+  { st_triples = t.n;
+    st_terms = Term_dict.count t.dict;
+    st_base = t.base_n;
+    st_tail = t.n - t.base_n;
+    st_merges = t.merges }
+
+(* ----- basic graph patterns ----- *)
 
 type bgp_term =
   | Const of Term.t
@@ -85,50 +504,7 @@ open Weblab_relalg
 
 let term_value term = Value.Str (Term.to_ntriples term)
 
-(* Evaluate a conjunctive pattern left to right, returning raw variable
-   environments.  Each step instantiates the pattern with the bindings of
-   the current row and probes the store through [find]. *)
-let solutions t bgp : (string * Term.t) list list =
-  let vars_of (a, b, c) =
-    List.filter_map (function Var v -> Some v | Const _ -> None) [ a; b; c ]
-  in
-  let all_vars =
-    List.fold_left
-      (fun acc tp ->
-        List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ])
-          acc (vars_of tp))
-      [] bgp
-  in
-  let solutions =
-    List.fold_left
-      (fun rows (a, b, c) ->
-        List.concat_map
-          (fun (env : (string * Term.t) list) ->
-            let resolve = function
-              | Const term -> Some term
-              | Var v -> List.assoc_opt v env
-            in
-            let pat = (resolve a, resolve b, resolve c) in
-            find t pat
-            |> List.filter_map (fun (s, p, o) ->
-                   (* Bind still-free variables; a variable used twice in one
-                      pattern must match the same term. *)
-                   let bind env (bt, term) =
-                     match env, bt with
-                     | None, _ -> None
-                     | Some env, Const _ -> Some env
-                     | Some env, Var v -> (
-                       match List.assoc_opt v env with
-                       | Some existing ->
-                         if Term.equal existing term then Some env else None
-                       | None -> Some ((v, term) :: env))
-                   in
-                   List.fold_left bind (Some env) [ (a, s); (b, p); (c, o) ]))
-          rows)
-      [ [] ] bgp
-  in
-  ignore all_vars;
-  solutions
+let unbound = Value.Str ""
 
 (* All variables of a BGP, first-occurrence order. *)
 let bgp_variables bgp =
@@ -142,6 +518,37 @@ let bgp_variables bgp =
         acc (vars_of tp))
     [] bgp
 
+(* Evaluate a conjunctive pattern left to right, returning raw variable
+   environments.  Each step instantiates the pattern with the bindings of
+   the current row and probes the store through [find]. *)
+let solutions t bgp : (string * Term.t) list list =
+  List.fold_left
+    (fun rows (a, b, c) ->
+      List.concat_map
+        (fun (env : (string * Term.t) list) ->
+          let resolve = function
+            | Const term -> Some term
+            | Var v -> List.assoc_opt v env
+          in
+          let pat = (resolve a, resolve b, resolve c) in
+          find t pat
+          |> List.filter_map (fun (s, p, o) ->
+                 (* Bind still-free variables; a variable used twice in one
+                    pattern must match the same term. *)
+                 let bind env (bt, term) =
+                   match env, bt with
+                   | None, _ -> None
+                   | Some env, Const _ -> Some env
+                   | Some env, Var v -> (
+                     match List.assoc_opt v env with
+                     | Some existing ->
+                       if Term.equal existing term then Some env else None
+                     | None -> Some ((v, term) :: env))
+                 in
+                 List.fold_left bind (Some env) [ (a, s); (b, p); (c, o) ]))
+        rows)
+    [ [] ] bgp
+
 let table_of_solutions vars sols =
   let table = Table.create vars in
   List.iter
@@ -152,7 +559,7 @@ let table_of_solutions vars sols =
               (fun v ->
                 match List.assoc_opt v env with
                 | Some term -> term_value term
-                | None -> Value.Str "")
+                | None -> unbound)
               vars)))
     sols;
   Table.distinct table

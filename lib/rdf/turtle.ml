@@ -53,58 +53,80 @@ let dedup_in_order size f =
       end);
   List.rev !acc
 
-(* Group triples by subject, then by predicate, for compact Turtle.
-   Everything is written straight into one buffer — no intermediate
-   per-predicate strings, no [String.concat] over them. *)
-let to_turtle ?(prefixes = Prov_vocab.prefixes) store =
-  let buf = Buffer.create 1024 in
-  List.iter
-    (fun (p, ns) ->
-      Buffer.add_string buf "@prefix ";
-      Buffer.add_string buf p;
-      Buffer.add_string buf ": <";
-      Buffer.add_string buf ns;
-      Buffer.add_string buf "> .\n")
-    prefixes;
-  Buffer.add_char buf '\n';
-  let subjects =
-    dedup_in_order 64 (fun note ->
-        Triple_store.iter store (fun (s, _, _) -> note s))
-  in
-  List.iter
-    (fun s ->
-      let triples = Triple_store.find store (Some s, None, None) in
-      let preds =
-        dedup_in_order 8 (fun note -> List.iter (fun (_, p, _) -> note p) triples)
-      in
-      Buffer.add_string buf (term_to_turtle prefixes s);
-      Buffer.add_char buf '\n';
-      List.iteri
-        (fun i p ->
-          if i > 0 then Buffer.add_string buf " ;\n";
-          Buffer.add_string buf "  ";
-          Buffer.add_string buf (term_to_turtle prefixes p);
-          Buffer.add_char buf ' ';
-          List.iteri
-            (fun j (_, _, o) ->
-              if j > 0 then Buffer.add_string buf ", ";
-              Buffer.add_string buf (term_to_turtle prefixes o))
-            (Triple_store.find store (Some s, Some p, None)))
-        preds;
-      Buffer.add_string buf " .\n\n")
-    subjects;
-  Buffer.contents buf
+(* Rendering is functorized over the minimal store surface it needs —
+   iteration in insertion order plus pattern lookup — so the columnar
+   {!Triple_store} and the boxed {!Oracle_store} render through the same
+   code path and byte-identity between the two is a property of the
+   stores, not of duplicated serializers. *)
 
-let to_ntriples store =
-  let buf = Buffer.create 1024 in
-  Triple_store.iter store (fun (s, p, o) ->
-      Buffer.add_string buf (Term.to_ntriples s);
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (Term.to_ntriples p);
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (Term.to_ntriples o);
-      Buffer.add_string buf " .\n");
-  Buffer.contents buf
+module type SOURCE = sig
+  type t
+
+  val iter : t -> (Term.t * Term.t * Term.t -> unit) -> unit
+
+  val find :
+    t ->
+    Term.t option * Term.t option * Term.t option ->
+    (Term.t * Term.t * Term.t) list
+end
+
+module Render (S : SOURCE) = struct
+  (* Group triples by subject, then by predicate, for compact Turtle.
+     Everything is written straight into one buffer — no intermediate
+     per-predicate strings, no [String.concat] over them. *)
+  let to_turtle ?(prefixes = Prov_vocab.prefixes) store =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (p, ns) ->
+        Buffer.add_string buf "@prefix ";
+        Buffer.add_string buf p;
+        Buffer.add_string buf ": <";
+        Buffer.add_string buf ns;
+        Buffer.add_string buf "> .\n")
+      prefixes;
+    Buffer.add_char buf '\n';
+    let subjects =
+      dedup_in_order 64 (fun note -> S.iter store (fun (s, _, _) -> note s))
+    in
+    List.iter
+      (fun s ->
+        let triples = S.find store (Some s, None, None) in
+        let preds =
+          dedup_in_order 8 (fun note ->
+              List.iter (fun (_, p, _) -> note p) triples)
+        in
+        Buffer.add_string buf (term_to_turtle prefixes s);
+        Buffer.add_char buf '\n';
+        List.iteri
+          (fun i p ->
+            if i > 0 then Buffer.add_string buf " ;\n";
+            Buffer.add_string buf "  ";
+            Buffer.add_string buf (term_to_turtle prefixes p);
+            Buffer.add_char buf ' ';
+            List.iteri
+              (fun j (_, _, o) ->
+                if j > 0 then Buffer.add_string buf ", ";
+                Buffer.add_string buf (term_to_turtle prefixes o))
+              (S.find store (Some s, Some p, None)))
+          preds;
+        Buffer.add_string buf " .\n\n")
+      subjects;
+    Buffer.contents buf
+
+  let to_ntriples store =
+    let buf = Buffer.create 1024 in
+    S.iter store (fun (s, p, o) ->
+        Buffer.add_string buf (Term.to_ntriples s);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Term.to_ntriples p);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Term.to_ntriples o);
+        Buffer.add_string buf " .\n");
+    Buffer.contents buf
+end
+
+include Render (Triple_store)
+module Oracle = Render (Oracle_store)
 
 exception Parse_error of string
 

@@ -7,9 +7,12 @@ type ctx = {
   registry : Registry.t;
   rulebook : Strategy.rulebook;
   default_backend : Strategy.kind;
+  data_dir : string option;
+      (* when set, sessions persist a WAL under it and boot restores *)
 }
 
-let make_ctx ?shards ?max_sessions ?(default_backend = `Incremental) () =
+let make_ctx ?shards ?max_sessions ?(default_backend = `Incremental) ?data_dir
+    () =
   let rulebook =
     List.map
       (fun (e : Weblab_services.Catalog.entry) ->
@@ -18,7 +21,71 @@ let make_ctx ?shards ?max_sessions ?(default_backend = `Incremental) () =
       Weblab_services.Catalog.entries
   in
   { registry = Registry.create ?shards ?max_sessions (); rulebook;
-    default_backend }
+    default_backend; data_dir }
+
+(* ----- WAL file naming -----
+
+   Session ids are client-chosen strings; percent-encode anything that
+   is not filename-safe so ids map 1:1 onto flat "<enc>.wal" files and
+   the directory scan can decode them back. *)
+
+let enc_sid sid =
+  let buf = Buffer.create (String.length sid) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' ->
+        Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    sid;
+  Buffer.contents buf
+
+let dec_sid enc =
+  let buf = Buffer.create (String.length enc) in
+  let n = String.length enc in
+  let rec go i =
+    if i < n then
+      if enc.[i] = '%' && i + 2 < n then (
+        match int_of_string_opt ("0x" ^ String.sub enc (i + 1) 2) with
+        | Some code ->
+          Buffer.add_char buf (Char.chr (code land 0xff));
+          go (i + 3)
+        | None ->
+          Buffer.add_char buf enc.[i];
+          go (i + 1))
+      else begin
+        Buffer.add_char buf enc.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let wal_file data_dir sid = Filename.concat data_dir (enc_sid sid ^ ".wal")
+
+(* Restore every "*.wal" in the data directory into a read-only session;
+   called once at daemon boot, before the listener accepts.  Returns the
+   restored (id, replay stats) pairs. *)
+let restore_sessions ctx =
+  match ctx.data_dir with
+  | None -> []
+  | Some dir when Sys.file_exists dir && Sys.is_directory dir ->
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".wal" then
+             let sid = dec_sid (Filename.chop_suffix f ".wal") in
+             let wal_path = Filename.concat dir f in
+             let result = ref None in
+             (match
+                Registry.add ctx.registry ~id:sid (fun ~id ->
+                    let sess, rp = Session.restore ~id ~wal_path in
+                    result := Some rp;
+                    sess)
+              with
+             | Ok _ -> Option.map (fun rp -> (sid, rp)) !result
+             | Error _ -> None)
+           else None)
+  | Some _ -> []
 
 (* ----- responses ----- *)
 
@@ -98,15 +165,29 @@ let v_open ctx req =
     | Some s -> s
     | None -> Registry.fresh_id ctx.registry
   in
+  (* Persistence defaults on when the daemon has a data dir; the request
+     can opt out per session with {"persist": false}. *)
+  let persist =
+    opt_default (Option.is_some ctx.data_dir) (J.bool_member "persist" req)
+  in
+  let wal_path =
+    match ctx.data_dir with
+    | Some dir when persist -> Some (wal_file dir id)
+    | _ ->
+      if persist && Option.is_some (J.bool_member "persist" req) then
+        reject "bad_request" "persist requested but the daemon has no --data-dir"
+      else None
+  in
   match
     Registry.add ctx.registry ~id (fun ~id ->
-        Session.create ~id ~backend ~jobs ~budgets ~doc ctx.rulebook)
+        Session.create ~id ~backend ~jobs ~budgets ?wal_path ~doc ctx.rulebook)
   with
   | Ok sess ->
     ok req
       [ ("session", J.Str (Session.id sess));
         ("backend", J.Str (Session.backend_name sess));
-        ("next_time", J.Int 1) ]
+        ("next_time", J.Int 1);
+        ("persisted", J.Bool (Option.is_some (Session.wal_path sess))) ]
   | Error (Registry.Admission_rejected msg) -> reject "admission_rejected" msg
   | Error (Registry.Already_open id) ->
     reject "already_open" (Printf.sprintf "session %S already exists" id)
@@ -163,6 +244,10 @@ let v_commit ctx req =
       ~extra:[ ("attempts", J.Int attempts); ("time", J.Int time) ]
   | Error Session.Session_closed ->
     reject "session_closed" "session is closed"
+  | Error Session.Restored_read_only ->
+    reject "read_only"
+      "session was restored from a WAL and is query-only; open a new \
+       session to commit"
 
 (* ----- query ----- *)
 
@@ -213,7 +298,16 @@ let session_stats_fields (s : Session.stats) =
     ("doc_nodes", J.Int s.Session.st_doc_nodes);
     ("resources", J.Int s.Session.st_graph_size);
     ("links", J.Int s.Session.st_links);
-    ("closed", J.Bool s.Session.st_closed) ]
+    ("closed", J.Bool s.Session.st_closed);
+    ("restored", J.Bool s.Session.st_restored);
+    ("store",
+     J.Obj
+       [ ("triples", J.Int s.Session.st_store.Weblab_rdf.Triple_store.st_triples);
+         ("terms", J.Int s.Session.st_store.Weblab_rdf.Triple_store.st_terms);
+         ("base", J.Int s.Session.st_store.Weblab_rdf.Triple_store.st_base);
+         ("tail", J.Int s.Session.st_store.Weblab_rdf.Triple_store.st_tail);
+         ("merges", J.Int s.Session.st_store.Weblab_rdf.Triple_store.st_merges)
+       ]) ]
 
 let v_stats ctx req =
   match J.str_member "session" req with

@@ -9,9 +9,9 @@
     {v
     verb   fields                                  reply
     open   backend?, scenario?|empty, units?,      session, backend,
-           seed?, jobs?, budgets?{retries,           next_time
-           backoff_ms, max_new_nodes, max_call_s,
-           max_commits}
+           seed?, jobs?, persist?, budgets?{         next_time, persisted
+           retries, backoff_ms, max_new_nodes,
+           max_call_s, max_commits}
     commit session, service | xml (+name?)        time, attempts,
                                                     new_nodes, promoted
     query  session, kind=why|impact (uri),        uris | columns+rows |
@@ -25,27 +25,46 @@
     Error codes: [parse_error], [bad_request], [unknown_session],
     [unknown_service], [unknown_backend], [admission_rejected],
     [already_open], [budget_exceeded], [commit_failed], [query_error],
-    [session_closed], [internal_error].
+    [session_closed], [read_only], [internal_error].
 
     Failure containment: [commit_failed] and [budget_exceeded] fail the
     {e call} — the session they addressed stays open and queryable.
     [internal_error] is the backstop for unexpected exceptions; it too is
-    confined to the request that raised it. *)
+    confined to the request that raised it.
+
+    Persistence: with a [data_dir], sessions write a per-commit WAL
+    (["<percent-encoded-id>.wal"]) and {!restore_sessions} replays every
+    log at boot into read-only sessions whose Turtle export is
+    byte-identical to what the live sessions last served; committing to
+    one yields [read_only]. *)
 
 type ctx = {
   registry : Registry.t;
   rulebook : Weblab_prov.Strategy.rulebook;
       (** shared, read-only: every session's backend init gets it *)
   default_backend : Weblab_prov.Strategy.kind;
+  data_dir : string option;
+      (** when set, sessions persist a WAL under it (request field
+          ["persist": false] opts a session out) *)
 }
 
 val make_ctx :
   ?shards:int ->
   ?max_sessions:int ->
   ?default_backend:Weblab_prov.Strategy.kind ->
+  ?data_dir:string ->
   unit ->
   ctx
 (** Builds the catalog rulebook once.  Default backend: [`Incremental]. *)
+
+val wal_file : string -> string -> string
+(** [wal_file data_dir sid] — the WAL path for a session id (filename is
+    the percent-encoded id + [".wal"]). *)
+
+val restore_sessions : ctx -> (string * Weblab_rdf.Wal.replay_stats) list
+(** Replay every ["*.wal"] under the data dir into a read-only session
+    registered under its decoded id; call once at boot, before the
+    listener accepts.  No data dir, or none configured: [[]]. *)
 
 val handle : ctx -> Json.t -> Json.t
 (** Dispatch one parsed request.  Total: protocol and session errors come

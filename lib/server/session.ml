@@ -1,6 +1,7 @@
 open Weblab_xml
 open Weblab_workflow
 open Weblab_prov
+module Rdf = Weblab_rdf
 
 type budgets = {
   policy : Orchestrator.policy;
@@ -38,15 +39,44 @@ let instantiate (module B : Strategy_sig.STRATEGY_BACKEND) ~jobs ~doc rb =
 type snap = {
   s_graph : Prov_graph.t;
   mutable s_reach : Reachability.t option;
-  mutable s_store : Weblab_rdf.Triple_store.t option;
+  mutable s_store : Rdf.Triple_store.t option;
 }
+
+(* WAL state of a persisted live session.  [logged] is the store whose
+   triple sequence the log currently reconstructs; each sync diffs the
+   fresh snapshot store against it and appends the suffix when it is a
+   pure extension, or logs a reset + full dump when history was rewritten
+   (URI promotion reorders triples, so monotonicity is checked, not
+   assumed). *)
+type persist = {
+  pw : Rdf.Wal.writer;
+  p_path : string;
+  mutable logged : Rdf.Triple_store.t;
+}
+
+type live = {
+  orch : Orchestrator.session;
+  inst : backend_inst;
+  budgets : budgets;
+  persist : persist option;
+}
+
+(* A restored session serves queries straight off the replayed triple
+   store; there is no orchestrator or backend state to resume, so
+   commits are refused ([Restored_read_only]). *)
+type restored = {
+  r_store : Rdf.Triple_store.t;
+  r_next_time : int;
+}
+
+type mode =
+  | Live of live
+  | Restored of restored
 
 type t = {
   sid : string;
   bname : string;
-  orch : Orchestrator.session;
-  inst : backend_inst;
-  budgets : budgets;
+  mode : mode;
   lock : Mutex.t;
   mutable commits : int;  (* committed calls *)
   mutable failed : int;  (* burned timestamps *)
@@ -57,15 +87,150 @@ type t = {
 let id t = t.sid
 let backend_name t = t.bname
 let is_closed t = t.closed
+let is_restored t = match t.mode with Restored _ -> true | Live _ -> false
 
-let create ~id ~backend ?(jobs = 1) ?(budgets = default_budgets) ~doc rb =
-  let orch = Orchestrator.start ~policy:budgets.policy doc in
-  let inst = instantiate (Strategy.backend_of backend) ~jobs ~doc rb in
-  { sid = id; bname = Strategy.kind_to_string backend; orch; inst; budgets;
-    lock = Mutex.create (); commits = 0; failed = 0; snap = None;
-    closed = false }
+let wal_path t =
+  match t.mode with
+  | Live { persist = Some p; _ } -> Some p.p_path
+  | _ -> None
 
 let with_lock t f = Mutex.protect t.lock f
+
+(* ----- queries (declared early: the WAL sync reuses [store]) ----- *)
+
+let current_snap t =
+  match t.snap with
+  | Some s -> s
+  | None ->
+    let g =
+      match t.mode with
+      | Live l ->
+        l.inst.bi_snapshot ~doc:(Orchestrator.session_doc l.orch)
+          ~trace:(Orchestrator.session_trace l.orch)
+      | Restored r -> Prov_export.of_store r.r_store
+    in
+    let s_store =
+      match t.mode with Restored r -> Some r.r_store | Live _ -> None
+    in
+    let s = { s_graph = g; s_reach = None; s_store } in
+    t.snap <- Some s;
+    s
+
+let graph t = (current_snap t).s_graph
+
+let reach t =
+  let s = current_snap t in
+  match s.s_reach with
+  | Some r -> r
+  | None ->
+    let r = Reachability.build s.s_graph in
+    s.s_reach <- Some r;
+    r
+
+let store t =
+  let s = current_snap t in
+  match s.s_store with
+  | Some st -> st
+  | None ->
+    let st =
+      match t.mode with
+      | Live l ->
+        Prov_export.to_store ~trace:(Orchestrator.session_trace l.orch)
+          s.s_graph
+      | Restored r -> r.r_store
+    in
+    s.s_store <- Some st;
+    st
+
+let why t uri = Reachability.ancestors (reach t) uri
+let impact t uri = Reachability.descendants (reach t) uri
+let sparql t q = Rdf.Sparql.run (store t) q
+
+let next_time t =
+  match t.mode with
+  | Live l -> Orchestrator.next_time l.orch
+  | Restored r -> r.r_next_time
+
+let turtle t =
+  match t.mode with
+  | Live l ->
+    Prov_export.to_turtle ~trace:(Orchestrator.session_trace l.orch) (graph t)
+  | Restored r ->
+    (* [Prov_export.to_turtle] is exactly [Turtle.to_turtle] of the
+       export store, and the WAL logged that store's triple sequence
+       verbatim — so a restored session's Turtle is byte-identical to
+       what the live session served (persist-smoke pins this). *)
+    Rdf.Turtle.to_turtle r.r_store
+
+(* ----- WAL sync ----- *)
+
+(* Persist the current export store.  The snapshot store is rebuilt from
+   scratch on every commit, so the delta is recovered by comparing
+   against the [logged] replica: a prefix extension appends only the
+   suffix; anything else (promotion rewrote history) resets and dumps.
+   Metadata rides along so a restore can report backend/commit counts. *)
+let sync_wal t l =
+  match l.persist with
+  | None -> ()
+  | Some p ->
+    let cur = store t in
+    if Rdf.Triple_store.prefix_of p.logged cur then
+      List.iter
+        (fun tr -> Rdf.Wal.log_triple p.pw tr)
+        (Rdf.Triple_store.triples_from cur (Rdf.Triple_store.size p.logged))
+    else begin
+      Rdf.Wal.log_reset p.pw;
+      Rdf.Triple_store.iter cur (fun tr -> Rdf.Wal.log_triple p.pw tr)
+    end;
+    Rdf.Wal.log_meta p.pw ~key:"backend" ~value:t.bname;
+    Rdf.Wal.log_meta p.pw ~key:"commits" ~value:(string_of_int t.commits);
+    Rdf.Wal.log_meta p.pw ~key:"failed" ~value:(string_of_int t.failed);
+    Rdf.Wal.log_meta p.pw ~key:"next_time"
+      ~value:(string_of_int (Orchestrator.next_time l.orch));
+    Rdf.Wal.commit p.pw ~store_size:(Rdf.Triple_store.size cur);
+    p.logged <- cur
+
+(* ----- constructors ----- *)
+
+let create ~id ~backend ?(jobs = 1) ?(budgets = default_budgets) ?wal_path ~doc
+    rb =
+  let orch = Orchestrator.start ~policy:budgets.policy doc in
+  let inst = instantiate (Strategy.backend_of backend) ~jobs ~doc rb in
+  let persist =
+    Option.map
+      (fun path ->
+        { pw = Rdf.Wal.open_writer path;
+          p_path = path;
+          logged = Rdf.Triple_store.create () })
+      wal_path
+  in
+  let l = { orch; inst; budgets; persist } in
+  let t =
+    { sid = id; bname = Strategy.kind_to_string backend; mode = Live l;
+      lock = Mutex.create (); commits = 0; failed = 0; snap = None;
+      closed = false }
+  in
+  (* Make the empty session durable immediately: a crash right after
+     [open] restores an open (if empty) session, not a missing one. *)
+  sync_wal t l;
+  t
+
+let restore ~id ~wal_path =
+  let st, rp = Rdf.Wal.replay wal_path in
+  let meta k = List.assoc_opt k rp.Rdf.Wal.rp_meta in
+  let int_meta k =
+    match meta k with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 0)
+    | None -> 0
+  in
+  let bname =
+    match meta "backend" with Some b -> b | None -> "restored"
+  in
+  ( { sid = id; bname;
+      mode = Restored { r_store = st; r_next_time = int_meta "next_time" };
+      lock = Mutex.create (); commits = int_meta "commits";
+      failed = int_meta "failed"; snap = None; closed = false },
+    rp )
 
 (* A client-supplied next document state, committed through the
    streaming blackbox route: the body is parsed straight into a private
@@ -90,78 +255,44 @@ type commit_error =
   | Budget_exhausted of string
   | Call_failed of { reason : string; attempts : int; time : int }
   | Session_closed
+  | Restored_read_only
 
 let commit t svc =
   if t.closed then Error Session_closed
   else
-    let attempted = t.commits + t.failed in
-    match t.budgets.max_commits with
-    | Some m when attempted >= m ->
-      Error
-        (Budget_exhausted
-           (Printf.sprintf "session commit budget exhausted (%d of %d used)"
-              attempted m))
-    | _ ->
-      let time = Orchestrator.next_time t.orch in
-      let on_step call before after delta =
-        t.inst.bi_observe ~call ~before ~after ~delta
-      in
-      (match Orchestrator.step ~on_step t.orch svc with
-      | Orchestrator.Committed { delta; attempts } ->
-        t.commits <- t.commits + 1;
-        t.snap <- None;
-        Ok
-          { time; attempts;
-            new_nodes = List.length delta.Orchestrator.new_nodes;
-            promoted = List.length delta.Orchestrator.promoted }
-      | Orchestrator.Step_failed { reason; attempts; _ } ->
-        (* The orchestrator already rolled the arena back and burned the
-           timestamp; nothing the backend observed, nothing to drop. *)
-        t.failed <- t.failed + 1;
-        Error (Call_failed { reason; attempts; time }))
-
-(* ----- queries ----- *)
-
-let current_snap t =
-  match t.snap with
-  | Some s -> s
-  | None ->
-    let g =
-      t.inst.bi_snapshot ~doc:(Orchestrator.session_doc t.orch)
-        ~trace:(Orchestrator.session_trace t.orch)
-    in
-    let s = { s_graph = g; s_reach = None; s_store = None } in
-    t.snap <- Some s;
-    s
-
-let graph t = (current_snap t).s_graph
-
-let reach t =
-  let s = current_snap t in
-  match s.s_reach with
-  | Some r -> r
-  | None ->
-    let r = Reachability.build s.s_graph in
-    s.s_reach <- Some r;
-    r
-
-let store t =
-  let s = current_snap t in
-  match s.s_store with
-  | Some st -> st
-  | None ->
-    let st =
-      Prov_export.to_store ~trace:(Orchestrator.session_trace t.orch) s.s_graph
-    in
-    s.s_store <- Some st;
-    st
-
-let why t uri = Reachability.ancestors (reach t) uri
-let impact t uri = Reachability.descendants (reach t) uri
-let sparql t q = Weblab_rdf.Sparql.run (store t) q
-
-let turtle t =
-  Prov_export.to_turtle ~trace:(Orchestrator.session_trace t.orch) (graph t)
+    match t.mode with
+    | Restored _ -> Error Restored_read_only
+    | Live l -> (
+      let attempted = t.commits + t.failed in
+      match l.budgets.max_commits with
+      | Some m when attempted >= m ->
+        Error
+          (Budget_exhausted
+             (Printf.sprintf "session commit budget exhausted (%d of %d used)"
+                attempted m))
+      | _ ->
+        let time = Orchestrator.next_time l.orch in
+        let on_step call before after delta =
+          l.inst.bi_observe ~call ~before ~after ~delta
+        in
+        (match Orchestrator.step ~on_step l.orch svc with
+        | Orchestrator.Committed { delta; attempts } ->
+          t.commits <- t.commits + 1;
+          t.snap <- None;
+          sync_wal t l;
+          Ok
+            { time; attempts;
+              new_nodes = List.length delta.Orchestrator.new_nodes;
+              promoted = List.length delta.Orchestrator.promoted }
+        | Orchestrator.Step_failed { reason; attempts; _ } ->
+          (* The orchestrator already rolled the arena back and burned the
+             timestamp; nothing the backend observed, nothing to drop.
+             The failed call still shows up in the exported graph (as an
+             invalidated activity), so the WAL syncs here too. *)
+          t.failed <- t.failed + 1;
+          t.snap <- None;
+          sync_wal t l;
+          Error (Call_failed { reason; attempts; time })))
 
 (* ----- stats ----- *)
 
@@ -175,29 +306,55 @@ type stats = {
   st_graph_size : int;
   st_links : int;
   st_closed : bool;
+  st_restored : bool;
+  st_store : Rdf.Triple_store.store_stats;
 }
 
 let stats t =
   let g = graph t in
-  { st_id = t.sid; st_backend = t.bname;
-    st_next_time = Orchestrator.next_time t.orch; st_commits = t.commits;
-    st_failed = t.failed;
-    st_doc_nodes = Tree.size (Orchestrator.session_doc t.orch);
+  { st_id = t.sid; st_backend = t.bname; st_next_time = next_time t;
+    st_commits = t.commits; st_failed = t.failed;
+    st_doc_nodes =
+      (match t.mode with
+      | Live l -> Tree.size (Orchestrator.session_doc l.orch)
+      | Restored _ -> 0);
     st_graph_size = List.length (Prov_graph.labeled_resources g);
-    st_links = List.length (Prov_graph.links g); st_closed = t.closed }
+    st_links = List.length (Prov_graph.links g); st_closed = t.closed;
+    st_restored = is_restored t; st_store = Rdf.Triple_store.stats (store t) }
 
 (* ----- close ----- *)
 
 let close t =
   if t.closed then graph t
-  else begin
-    let g =
-      t.inst.bi_finalize ~doc:(Orchestrator.session_doc t.orch)
-        ~trace:(Orchestrator.session_trace t.orch)
-    in
-    (* Pin the final graph: [commit] is refused from here on, so this
-       snapshot never goes stale and queries keep answering over it. *)
-    t.snap <- Some { s_graph = g; s_reach = None; s_store = None };
-    t.closed <- true;
-    g
-  end
+  else
+    match t.mode with
+    | Restored r ->
+      t.closed <- true;
+      (* Keep the WAL file: the session can be restored again. *)
+      ignore r;
+      graph t
+    | Live l ->
+      let g =
+        l.inst.bi_finalize ~doc:(Orchestrator.session_doc l.orch)
+          ~trace:(Orchestrator.session_trace l.orch)
+      in
+      (* Pin the final graph: [commit] is refused from here on, so this
+         snapshot never goes stale and queries keep answering over it. *)
+      t.snap <- Some { s_graph = g; s_reach = None; s_store = None };
+      t.closed <- true;
+      (match l.persist with
+      | None -> ()
+      | Some p ->
+        (* The finalize graph may differ from the last snapshot; sync it,
+           then compact the log to one reset + dump so replay cost is
+           proportional to live size. *)
+        sync_wal t l;
+        Rdf.Wal.compact_to p.p_path
+          ~meta:
+            [ ("backend", t.bname);
+              ("commits", string_of_int t.commits);
+              ("failed", string_of_int t.failed);
+              ("next_time", string_of_int (Orchestrator.next_time l.orch)) ]
+          p.logged;
+        Rdf.Wal.close_writer p.pw);
+      g

@@ -11,7 +11,15 @@
     Failure containment: a commit whose every supervised attempt fails is
     rolled back by the orchestrator (arena bit-identical to the previous
     commit) and reported as [Error] — the session stays open and
-    queryable.  Only {!close} or an explicit budget exhaustion ends it. *)
+    queryable.  Only {!close} or an explicit budget exhaustion ends it.
+
+    Persistence: with a [wal_path], every commit appends the session's
+    exported triple delta to a write-ahead log ({!Weblab_rdf.Wal}),
+    fsynced per commit.  After a daemon restart, {!restore} replays the
+    log into a {e read-only} session that serves [turtle]/[sparql]/
+    [why]/[impact] over the recovered store — the Turtle export is
+    byte-identical to what the live session last served — while
+    [commit] returns [Restored_read_only]. *)
 
 open Weblab_xml
 open Weblab_workflow
@@ -41,13 +49,28 @@ val create :
   backend:Strategy.kind ->
   ?jobs:int ->
   ?budgets:budgets ->
+  ?wal_path:string ->
   doc:Tree.t ->
   Strategy.rulebook ->
   t
 (** Runs the orchestration prologue ({!Orchestrator.start}) and the
     backend's [init] on [doc].  [jobs] defaults to 1 — a daemon hosts
     many sessions, so inference parallelism is opt-in per session.
+    [wal_path] turns on persistence: the empty session is made durable
+    immediately and every commit appends its triple delta.
     @raise Orchestrator.Duplicate_uri if [doc] repeats a URI. *)
+
+val restore : id:string -> wal_path:string -> t * Weblab_rdf.Wal.replay_stats
+(** Rebuild a session from its write-ahead log.  The result is
+    read-only: queries answer over the replayed store ([turtle] is
+    byte-identical to the live session's last synced export), [commit]
+    returns [Restored_read_only].  Backend name and commit counters are
+    recovered from WAL metadata. *)
+
+val is_restored : t -> bool
+
+val wal_path : t -> string option
+(** The live session's WAL path, if persisted. *)
 
 val with_lock : t -> (unit -> 'a) -> 'a
 (** Per-session mutual exclusion — every protocol verb runs under it. *)
@@ -75,15 +98,22 @@ type commit_error =
       (** every supervised attempt failed; the arena was rolled back and
           timestamp [time] burned.  The session remains usable. *)
   | Session_closed
+  | Restored_read_only
+      (** the session was recovered from a WAL; it has no orchestrator
+          state to append to *)
 
 val commit : t -> Service.t -> (commit_ok, commit_error) result
 (** Run one supervised service call at the session's next timestamp; on
-    commit the backend observes the delta and cached query state is
-    invalidated. *)
+    commit the backend observes the delta, cached query state is
+    invalidated and, for persisted sessions, the WAL is synced (fsync
+    per commit).  Failed calls sync too — they appear in the exported
+    graph as invalidated activities. *)
 
 val graph : t -> Prov_graph.t
 (** The provenance graph of the execution so far (backend [snapshot]),
-    cached until the next committed call. *)
+    cached until the next committed call.  For a restored session, the
+    graph recovered from the replayed store
+    ({!Weblab_prov.Prov_export.of_store}). *)
 
 val why : t -> string -> string list
 (** Transitive ancestors of a URI in the live graph (sorted). *)
@@ -96,7 +126,9 @@ val sparql : t -> string -> Weblab_relalg.Table.t
     @raise Weblab_rdf.Sparql.Error on malformed queries. *)
 
 val turtle : t -> string
-(** Turtle export of the live graph (with the trace's failed calls). *)
+(** Turtle export of the live graph (with the trace's failed calls).
+    For a restored session, rendered straight off the replayed store —
+    byte-identical to the live session's last synced export. *)
 
 type stats = {
   st_id : string;
@@ -104,10 +136,13 @@ type stats = {
   st_next_time : int;
   st_commits : int;  (** committed calls *)
   st_failed : int;  (** burned timestamps *)
-  st_doc_nodes : int;
+  st_doc_nodes : int;  (** 0 for restored sessions (no document) *)
   st_graph_size : int;  (** labeled resources in the current graph *)
   st_links : int;
   st_closed : bool;
+  st_restored : bool;
+  st_store : Weblab_rdf.Triple_store.store_stats;
+      (** columnar-store census of the current export store *)
 }
 
 val stats : t -> stats
@@ -115,6 +150,8 @@ val stats : t -> stats
 val close : t -> Prov_graph.t
 (** Finalize the backend (its pool shuts down) and return the final
     graph.  Idempotent; further [commit]s return [Session_closed], further
-    queries keep answering over the final graph. *)
+    queries keep answering over the final graph.  A persisted session
+    syncs its final state and compacts the WAL to one snapshot commit;
+    the file is kept for later {!restore}. *)
 
 val is_closed : t -> bool

@@ -1,0 +1,452 @@
+(* Persistence and the columnar/oracle equivalence laws.
+
+   Three layers:
+   - Wal framing: roundtrip, staged-but-uncommitted records dropped,
+     reset, metadata, compaction, and the crash-consistency law — a log
+     truncated at ANY byte length replays to exactly one of the
+     commit-boundary snapshots (prefix consistency at commit
+     granularity), never a partial batch.
+   - Store equivalence: qcheck agreement between {!Triple_store} and the
+     boxed {!Oracle_store} it replaced — same [find]/[count] on every
+     pattern shape, same [query] tables under random BGPs, and
+     byte-identical Turtle/N-Triples.
+   - Warm restart through the protocol: a daemon context with a
+     [data_dir] persists sessions per commit; a second context restores
+     them read-only with byte-identical Turtle, and committing to a
+     restored session reports [read_only]. *)
+
+open Weblab_rdf
+open Weblab_server
+open QCheck
+module J = Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let iri = Term.iri
+let lit = Term.lit
+
+let fresh_dir =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "weblab_persist_%d_%d" (Unix.getpid ()) !k)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let fresh_wal () = Filename.concat (fresh_dir ()) "t.wal"
+
+(* A small deterministic triple batch: b distinguishes batches. *)
+let batch b n =
+  List.init n (fun i ->
+      ( iri (Printf.sprintf "e:%d-%d" b i),
+        iri "p:link",
+        if i mod 2 = 0 then iri (Printf.sprintf "e:%d-%d" b (i + 1))
+        else lit (Printf.sprintf "v%d-%d" b i) ))
+
+(* ===== Wal framing ===== *)
+
+let test_wal_roundtrip () =
+  let path = fresh_wal () in
+  let st = Triple_store.create () in
+  let w = Wal.open_writer path in
+  Wal.log_meta w ~key:"backend" ~value:"incremental";
+  List.iter
+    (fun tr ->
+      Triple_store.add st tr;
+      Wal.log_triple w tr)
+    (batch 0 7);
+  Wal.commit w ~store_size:(Triple_store.size st);
+  Wal.log_meta w ~key:"commits" ~value:"1";
+  List.iter
+    (fun tr ->
+      Triple_store.add st tr;
+      Wal.log_triple w tr)
+    (batch 1 5);
+  Wal.commit w ~store_size:(Triple_store.size st);
+  Wal.close_writer w;
+  let st', rp = Wal.replay path in
+  check_int "commits" 2 rp.Wal.rp_commits;
+  check_bool "not torn" false rp.Wal.rp_torn;
+  check_string "bytes" (Turtle.to_ntriples st) (Turtle.to_ntriples st');
+  check_string "meta backend" "incremental"
+    (List.assoc "backend" rp.Wal.rp_meta);
+  check_string "meta commits" "1" (List.assoc "commits" rp.Wal.rp_meta)
+
+let test_wal_missing_and_uncommitted () =
+  let st, rp = Wal.replay (Filename.concat (fresh_dir ()) "absent.wal") in
+  check_int "missing file = empty" 0 (Triple_store.size st);
+  check_int "no commits" 0 rp.Wal.rp_commits;
+  (* Staged records are dropped by close: they were never durable. *)
+  let path = fresh_wal () in
+  let w = Wal.open_writer path in
+  List.iter (Wal.log_triple w) (batch 0 4);
+  Wal.commit w ~store_size:4;
+  List.iter (Wal.log_triple w) (batch 1 3);
+  (* no commit *)
+  Wal.close_writer w;
+  let st, rp = Wal.replay path in
+  check_int "only the committed batch" 4 (Triple_store.size st);
+  check_int "one commit" 1 rp.Wal.rp_commits;
+  check_bool "clean tail" false rp.Wal.rp_torn
+
+let test_wal_reset () =
+  let path = fresh_wal () in
+  let w = Wal.open_writer path in
+  List.iter (Wal.log_triple w) (batch 0 4);
+  Wal.commit w ~store_size:4;
+  Wal.log_reset w;
+  List.iter (Wal.log_triple w) (batch 1 3);
+  Wal.commit w ~store_size:3;
+  Wal.close_writer w;
+  let st, rp = Wal.replay path in
+  check_int "post-reset size" 3 (Triple_store.size st);
+  check_int "resets" 1 rp.Wal.rp_resets;
+  let expect = Triple_store.create () in
+  List.iter (Triple_store.add expect) (batch 1 3);
+  check_string "post-reset bytes" (Turtle.to_ntriples expect)
+    (Turtle.to_ntriples st)
+
+let test_wal_compact () =
+  let path = fresh_wal () in
+  let st = Triple_store.create () in
+  let w = Wal.open_writer path in
+  for b = 0 to 9 do
+    List.iter
+      (fun tr ->
+        Triple_store.add st tr;
+        Wal.log_triple w tr)
+      (batch b 10);
+    Wal.commit w ~store_size:(Triple_store.size st)
+  done;
+  Wal.close_writer w;
+  let long = (Unix.stat path).Unix.st_size in
+  Wal.compact_to path ~meta:[ ("backend", "online") ] st;
+  let short = (Unix.stat path).Unix.st_size in
+  check_bool "compaction shrinks history" true (short <= long);
+  let st', rp = Wal.replay path in
+  check_int "one snapshot commit" 1 rp.Wal.rp_commits;
+  check_string "same bytes" (Turtle.to_ntriples st) (Turtle.to_ntriples st');
+  check_string "meta survives" "online" (List.assoc "backend" rp.Wal.rp_meta)
+
+(* The crash-consistency law, exhaustively at every truncation point:
+   replay of any prefix of the file equals one of the commit-boundary
+   snapshots.  Deterministic version of the qcheck property below. *)
+let test_wal_truncate_every_byte () =
+  let path = fresh_wal () in
+  let st = Triple_store.create () in
+  let w = Wal.open_writer path in
+  let snapshots = ref [ Turtle.to_ntriples st ] in
+  for b = 0 to 2 do
+    List.iter
+      (fun tr ->
+        Triple_store.add st tr;
+        Wal.log_triple w tr)
+      (batch b 3);
+    Wal.commit w ~store_size:(Triple_store.size st);
+    snapshots := Turtle.to_ntriples st :: !snapshots
+  done;
+  Wal.close_writer w;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let tmp = path ^ ".cut" in
+  for len = String.length full downto 0 do
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 len));
+    let st', _ = Wal.replay tmp in
+    let got = Turtle.to_ntriples st' in
+    if not (List.mem got !snapshots) then
+      Alcotest.failf "truncation at %d bytes is not a commit prefix" len
+  done
+
+let test_wal_corrupt_byte () =
+  let path = fresh_wal () in
+  let w = Wal.open_writer path in
+  List.iter (Wal.log_triple w) (batch 0 4);
+  Wal.commit w ~store_size:4;
+  List.iter (Wal.log_triple w) (batch 1 4);
+  Wal.commit w ~store_size:8;
+  Wal.close_writer w;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  (* Flip a byte in the second half: the first commit must survive, the
+     corrupt tail must be dropped, and nothing may raise. *)
+  let pos = String.length full - 10 in
+  let bytes = Bytes.of_string full in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xff));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc bytes);
+  let st, rp = Wal.replay path in
+  check_bool "torn flagged" true rp.Wal.rp_torn;
+  check_int "first batch intact" 4 (Triple_store.size st)
+
+(* ===== qcheck: stores agree, crashes are prefix-consistent ===== *)
+
+(* A small closed universe of terms so random triples collide and
+   patterns actually hit. *)
+let term_of_int i =
+  match i mod 3 with
+  | 0 -> iri (Printf.sprintf "e:%d" (i mod 17))
+  | 1 -> iri (Printf.sprintf "p:%d" (i mod 5))
+  | _ -> lit (Printf.sprintf "v%d" (i mod 7))
+
+let gen_triple =
+  Gen.map3
+    (fun a b c -> (term_of_int a, term_of_int b, term_of_int c))
+    Gen.(0 -- 50) Gen.(0 -- 50) Gen.(0 -- 50)
+
+let gen_pattern =
+  let part = Gen.(oneof [ return None; map (fun i -> Some (term_of_int i)) (0 -- 50) ]) in
+  Gen.triple part part part
+
+let gen_bgp =
+  let bgp_part =
+    Gen.(
+      oneof
+        [ map (fun i -> Triple_store.Const (term_of_int i)) (0 -- 50);
+          map
+            (fun i -> Triple_store.Var (Printf.sprintf "x%d" i))
+            (0 -- 3) ])
+  in
+  Gen.(list_size (1 -- 3) (triple bgp_part bgp_part bgp_part))
+
+let render_table t =
+  let cols = Weblab_relalg.Table.columns t in
+  Weblab_relalg.Table.rows t
+  |> List.map (fun r ->
+         String.concat "|"
+           (List.map
+              (fun c ->
+                Weblab_relalg.Value.to_string
+                  (Weblab_relalg.Table.get t r c))
+              cols))
+  |> List.sort String.compare
+  |> String.concat "\n"
+
+let agreement_prop =
+  Test.make ~name:"columnar = oracle (find/count/query/Turtle)" ~count:150
+    (make
+       Gen.(
+         triple (list_size (0 -- 120) gen_triple)
+           (list_size (1 -- 12) gen_pattern)
+           (list_size (1 -- 4) gen_bgp)))
+    (fun (triples, patterns, bgps) ->
+      let cst = Triple_store.create () and ost = Oracle_store.create () in
+      List.iter
+        (fun tr ->
+          Triple_store.add cst tr;
+          Oracle_store.add ost tr)
+        triples;
+      Triple_store.size cst = Oracle_store.size ost
+      && List.for_all
+           (fun pat ->
+             Triple_store.find cst pat = Oracle_store.find ost pat
+             && Triple_store.count cst pat = Oracle_store.count ost pat)
+           patterns
+      && List.for_all
+           (fun bgp ->
+             render_table (Triple_store.query cst bgp)
+             = render_table (Oracle_store.query ost bgp))
+           bgps
+      && String.equal (Turtle.to_turtle cst) (Turtle.Oracle.to_turtle ost)
+      && String.equal (Turtle.to_ntriples cst)
+           (Turtle.Oracle.to_ntriples ost))
+
+let crash_consistency_prop =
+  Test.make ~name:"truncated WAL replays to a commit prefix" ~count:60
+    (make
+       Gen.(
+         pair
+           (list_size (1 -- 8) (list_size (1 -- 10) gen_triple))
+           (0 -- 10_000)))
+    (fun (batches, cut) ->
+      let path = fresh_wal () in
+      let st = Triple_store.create () in
+      let w = Wal.open_writer path in
+      let snapshots = ref [ Turtle.to_ntriples st ] in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun tr ->
+              Triple_store.add st tr;
+              Wal.log_triple w tr)
+            b;
+          Wal.commit w ~store_size:(Triple_store.size st);
+          snapshots := Turtle.to_ntriples st :: !snapshots)
+        batches;
+      Wal.close_writer w;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let len = min cut (String.length full) in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub full 0 len));
+      let st', _ = Wal.replay path in
+      List.mem (Turtle.to_ntriples st') !snapshots)
+
+(* ===== warm restart through the protocol ===== *)
+
+let rpc ctx fields =
+  match J.parse_opt (Protocol.handle_line ctx (J.to_string (J.Obj fields))) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unparseable response: %s" e
+
+let get_field what name = function
+  | J.Obj fs -> (
+    match List.assoc_opt name fs with
+    | Some v -> v
+    | None -> Alcotest.failf "%s: no field %S" what name)
+  | _ -> Alcotest.failf "%s: not an object" what
+
+let get_str what name v =
+  match get_field what name v with
+  | J.Str s -> s
+  | _ -> Alcotest.failf "%s.%s: not a string" what name
+
+let get_bool what name v =
+  match get_field what name v with
+  | J.Bool b -> b
+  | _ -> Alcotest.failf "%s.%s: not a bool" what name
+
+let expect_ok what v =
+  if not (try get_bool what "ok" v with _ -> false) then
+    Alcotest.failf "%s: expected ok, got %s" what (J.to_string v);
+  v
+
+let expect_err what code v =
+  check_bool (what ^ " not ok") false (get_bool what "ok" v);
+  check_string (what ^ " code") code (get_str what "error" v);
+  v
+
+let turtle_of ctx sid =
+  get_str "turtle" "turtle"
+    (expect_ok "turtle"
+       (rpc ctx
+          [ ("verb", J.Str "query"); ("session", J.Str sid);
+            ("kind", J.Str "turtle") ]))
+
+(* Open a session with a couple of commits; ids deliberately include
+   characters the WAL filename must percent-encode. *)
+let populate ctx sid =
+  ignore
+    (expect_ok "open"
+       (rpc ctx
+          [ ("verb", J.Str "open"); ("session", J.Str sid);
+            ("backend", J.Str "incremental"); ("units", J.Int 2);
+            ("seed", J.Int 5) ]));
+  ignore
+    (expect_ok "commit 1"
+       (rpc ctx
+          [ ("verb", J.Str "commit"); ("session", J.Str sid);
+            ("service", J.Str "Normaliser") ]));
+  ignore
+    (expect_ok "commit 2"
+       (rpc ctx
+          [ ("verb", J.Str "commit"); ("session", J.Str sid);
+            ("service", J.Str "Translator") ]))
+
+let test_protocol_warm_restart () =
+  let dir = fresh_dir () in
+  let ctx1 = Protocol.make_ctx ~data_dir:dir () in
+  let sid = "restart me/σ" in
+  populate ctx1 sid;
+  let served = turtle_of ctx1 sid in
+  check_bool "wal exists" true (Sys.file_exists (Protocol.wal_file dir sid));
+  (* No close: the daemon "crashes" here.  A fresh context replays. *)
+  let ctx2 = Protocol.make_ctx ~data_dir:dir () in
+  let restored = Protocol.restore_sessions ctx2 in
+  check_bool "session restored" true (List.mem_assoc sid restored);
+  check_string "byte-identical turtle" served (turtle_of ctx2 sid);
+  (* Restored sessions answer queries but refuse appends. *)
+  ignore
+    (expect_ok "why on restored"
+       (rpc ctx2
+          [ ("verb", J.Str "query"); ("session", J.Str sid);
+            ("kind", J.Str "sparql");
+            ("query", J.Str "SELECT ?s WHERE { ?s a prov:Entity }") ]));
+  ignore
+    (expect_err "commit on restored" "read_only"
+       (rpc ctx2
+          [ ("verb", J.Str "commit"); ("session", J.Str sid);
+            ("service", J.Str "Normaliser") ]));
+  let stats =
+    expect_ok "stats"
+      (rpc ctx2 [ ("verb", J.Str "stats"); ("session", J.Str sid) ])
+  in
+  check_bool "flagged restored" true (get_bool "stats" "restored" stats)
+
+let test_protocol_close_compacts () =
+  let dir = fresh_dir () in
+  let ctx1 = Protocol.make_ctx ~data_dir:dir () in
+  populate ctx1 "closed";
+  let served = turtle_of ctx1 "closed" in
+  ignore
+    (expect_ok "close"
+       (rpc ctx1 [ ("verb", J.Str "close"); ("session", J.Str "closed") ]));
+  (* Close compacts the log to one snapshot commit; restore still serves
+     the same bytes. *)
+  let _, rp = Wal.replay (Protocol.wal_file dir "closed") in
+  check_int "compacted" 1 rp.Wal.rp_commits;
+  let ctx2 = Protocol.make_ctx ~data_dir:dir () in
+  ignore (Protocol.restore_sessions ctx2);
+  check_string "restored after close" served (turtle_of ctx2 "closed")
+
+let test_protocol_persist_opt_out () =
+  let dir = fresh_dir () in
+  let ctx = Protocol.make_ctx ~data_dir:dir () in
+  let resp =
+    expect_ok "open"
+      (rpc ctx
+         [ ("verb", J.Str "open"); ("session", J.Str "ephemeral");
+           ("units", J.Int 1); ("persist", J.Bool false) ])
+  in
+  check_bool "not persisted" false (get_bool "open" "persisted" resp);
+  check_bool "no wal" false
+    (Sys.file_exists (Protocol.wal_file dir "ephemeral"));
+  (* and without a data dir, persist is off regardless *)
+  let ctx_mem = Protocol.make_ctx () in
+  let resp =
+    expect_ok "open"
+      (rpc ctx_mem
+         [ ("verb", J.Str "open"); ("session", J.Str "mem");
+           ("units", J.Int 1) ])
+  in
+  check_bool "memory-only daemon" false (get_bool "open" "persisted" resp)
+
+let test_restored_survive_another_restart () =
+  (* Restoring, then booting again from the same dir: the logs are not
+     consumed or rewritten by restore itself. *)
+  let dir = fresh_dir () in
+  let ctx1 = Protocol.make_ctx ~data_dir:dir () in
+  populate ctx1 "twice";
+  let served = turtle_of ctx1 "twice" in
+  let ctx2 = Protocol.make_ctx ~data_dir:dir () in
+  ignore (Protocol.restore_sessions ctx2);
+  let ctx3 = Protocol.make_ctx ~data_dir:dir () in
+  ignore (Protocol.restore_sessions ctx3);
+  check_string "third boot still serves" served (turtle_of ctx3 "twice")
+
+let () =
+  Alcotest.run "persist"
+    [ ( "wal",
+        [ Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "missing / uncommitted" `Quick
+            test_wal_missing_and_uncommitted;
+          Alcotest.test_case "reset" `Quick test_wal_reset;
+          Alcotest.test_case "compaction" `Quick test_wal_compact;
+          Alcotest.test_case "truncate every byte" `Quick
+            test_wal_truncate_every_byte;
+          Alcotest.test_case "corrupt byte" `Quick test_wal_corrupt_byte ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest agreement_prop;
+          QCheck_alcotest.to_alcotest crash_consistency_prop ] );
+      ( "warm-restart",
+        [ Alcotest.test_case "protocol restart" `Quick
+            test_protocol_warm_restart;
+          Alcotest.test_case "close compacts" `Quick
+            test_protocol_close_compacts;
+          Alcotest.test_case "persist opt-out" `Quick
+            test_protocol_persist_opt_out;
+          Alcotest.test_case "restart twice" `Quick
+            test_restored_survive_another_restart ] ) ]

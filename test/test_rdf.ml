@@ -219,6 +219,66 @@ let test_turtle_abbreviation_edges () =
     (contains ("<" ^ Prov_vocab.weblab_ns ^ "resource/r1>"));
   check_bool "plain local abbreviates" true (contains "prov:Entity")
 
+let test_unbound_sentinel () =
+  (* The documented sentinel for a variable a solution never bound: the
+     empty string Value — pinned here because every real binding
+     renders a term, and term encodings are never empty. *)
+  check_bool "sentinel is the empty string value" true
+    (Triple_store.unbound = Value.Str "");
+  let st = sample_store () in
+  let q =
+    [ (Triple_store.Var "s", Triple_store.Var "p", Triple_store.Var "o") ]
+  in
+  let t = Triple_store.query st q in
+  Table.rows t
+  |> List.iter (fun r ->
+         List.iter
+           (fun c ->
+             check_bool "real bindings never collide with the sentinel"
+               false
+               (Table.get t r c = Triple_store.unbound))
+           (Table.columns t))
+
+let test_merge_boundary () =
+  (* Cross the LSM tail limit several times and agree with the oracle on
+     every shape, both mid-tail and right at merge boundaries. *)
+  let cst = Triple_store.create () and ost = Oracle_store.create () in
+  let tr i =
+    ( iri (Printf.sprintf "s:%d" (i mod 611)),
+      iri (Printf.sprintf "p:%d" (i mod 7)),
+      if i mod 3 = 0 then iri (Printf.sprintf "s:%d" ((i + 1) mod 611))
+      else lit (Printf.sprintf "v%d" (i mod 97)) )
+  in
+  for i = 0 to 2_999 do
+    let t = tr i in
+    Triple_store.add cst t;
+    Oracle_store.add ost t;
+    if i mod 512 = 0 || i = 1023 || i = 1024 || i = 2_999 then begin
+      let s, p, o = tr (i / 2) in
+      List.iter
+        (fun pat ->
+          check_bool "find agrees across merges" true
+            (Triple_store.find cst pat = Oracle_store.find ost pat);
+          check_int "count agrees across merges"
+            (Oracle_store.count ost pat)
+            (Triple_store.count cst pat))
+        [ (Some s, Some p, None); (None, Some p, Some o);
+          (Some s, None, None); (None, Some p, None);
+          (None, None, Some o); (Some s, Some p, Some o);
+          (None, None, None) ]
+    end
+  done;
+  check_int "sizes agree" (Oracle_store.size ost) (Triple_store.size cst);
+  let st = Triple_store.stats cst in
+  check_int "base + tail = live" st.Triple_store.st_triples
+    (st.Triple_store.st_base + st.Triple_store.st_tail);
+  check_bool "merged at least twice" true (st.Triple_store.st_merges >= 2);
+  Triple_store.compact cst;
+  let st = Triple_store.stats cst in
+  check_int "compact empties the tail" 0 st.Triple_store.st_tail;
+  check Alcotest.string "bytes stable under compaction"
+    (Turtle.Oracle.to_ntriples ost) (Turtle.to_ntriples cst)
+
 let test_sparql_errors () =
   let st = sample_store () in
   let expect q =
@@ -240,7 +300,9 @@ let () =
     [ ( "store",
         [ Alcotest.test_case "dedup" `Quick test_add_dedup;
           Alcotest.test_case "find patterns" `Quick test_find_patterns;
-          Alcotest.test_case "term semantics" `Quick test_term_semantics ] );
+          Alcotest.test_case "term semantics" `Quick test_term_semantics;
+          Alcotest.test_case "unbound sentinel" `Quick test_unbound_sentinel;
+          Alcotest.test_case "merge boundaries" `Quick test_merge_boundary ] );
       ( "bgp",
         [ Alcotest.test_case "single pattern" `Quick test_bgp_query;
           Alcotest.test_case "join" `Quick test_bgp_join;
