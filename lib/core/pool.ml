@@ -181,16 +181,22 @@ let shutdown t =
     Mutex.unlock t.lock;
     List.iter Domain.join t.domains;
     t.domains <- [];
-    (* Fold this pool's lifetime stats into the telemetry snapshot, so
-       [--profile] shows them without the caller holding the pool. *)
+    (* Sample this pool's lifetime stats into the telemetry snapshot, so
+       [--profile] shows them without the caller holding the pool.
+       Gauges, sampled at the shutdown boundary: Pool.stats is a
+       point-in-time census of one pool, not a process-wide sum — in a
+       daemon hosting many session pools the gauges read the most
+       recently retired pool, while cumulative totals belong to the
+       per-call counters the strategies already keep. *)
     let module T = Weblab_obs.Telemetry in
+    let module M = Weblab_obs.Metrics in
     if T.enabled () then begin
       let s = stats t in
-      T.add (T.counter "pool.steals") s.steals;
-      T.add (T.counter "pool.parks") s.parks;
-      T.add (T.counter "pool.batches") s.batches;
+      M.set (M.gauge "pool.steals") s.steals;
+      M.set (M.gauge "pool.parks") s.parks;
+      M.set (M.gauge "pool.batches") s.batches;
       Array.iteri
-        (fun w n -> T.add (T.counter (Printf.sprintf "pool.items.w%d" w)) n)
+        (fun w n -> M.set (M.gauge (Printf.sprintf "pool.items.w%d" w)) n)
         s.items_per_worker
     end
   end

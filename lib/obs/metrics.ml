@@ -1,0 +1,228 @@
+(* Gauges and log-bucketed histograms.  Same discipline as the counter
+   registry in Telemetry: find-or-create under a mutex (cold path, call
+   sites hold the handle), then every record is gated on one atomic
+   level load and touches only atomics — no locks on the hot path. *)
+
+module T = Telemetry
+
+(* ---------- gauges ---------- *)
+
+type gauge = { g_name : string; g_cell : int Atomic.t }
+
+let g_registry : (string, gauge) Hashtbl.t = Hashtbl.create 32
+let g_lock = Mutex.create ()
+
+let gauge name =
+  Mutex.protect g_lock (fun () ->
+      match Hashtbl.find_opt g_registry name with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; g_cell = Atomic.make 0 } in
+        Hashtbl.add g_registry name g;
+        g)
+
+let set g v = if T.enabled () then Atomic.set g.g_cell v
+let add g n = if T.enabled () then ignore (Atomic.fetch_and_add g.g_cell n)
+let gauge_value g = Atomic.get g.g_cell
+
+let gauges () =
+  Mutex.protect g_lock (fun () ->
+      Hashtbl.fold (fun name g acc -> (name, Atomic.get g.g_cell) :: acc)
+        g_registry [])
+  |> List.sort compare
+
+(* ---------- histogram bucket layout ----------
+
+   Fixed base-2-sub-bucket layout (HdrHistogram's shape, hard-coded at 2
+   sub-bucket bits): values in [0, 4) get exact unit buckets; each
+   octave [2^e, 2^{e+1}) with e >= 2 is split into 4 equal sub-buckets.
+   The index formula is continuous across the seam (v = 4 lands in
+   bucket 4) and 248 buckets cover every non-negative int, so two
+   histograms always merge bucket by bucket. *)
+
+let sub_bits = 2
+let sub_count = 1 lsl sub_bits (* 4 *)
+let n_buckets = ((62 - sub_bits) + 1) * sub_count + sub_count (* 248 *)
+
+(* Highest set bit position, by binary descent (v > 0). *)
+let msb v =
+  let v = ref v and k = ref 0 in
+  if !v lsr 32 <> 0 then begin k := !k + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin k := !k + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin k := !k + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin k := !k + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin k := !k + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then k := !k + 1;
+  !k
+
+let bucket_of_us v =
+  let v = if v < 0 then 0 else v in
+  if v < sub_count then v
+  else
+    let e = msb v in
+    ((e - sub_bits + 1) * sub_count) + ((v lsr (e - sub_bits)) - sub_count)
+
+let bucket_upper_us i =
+  if i < sub_count then i
+  else
+    let block = (i / sub_count) - 1 and pos = i mod sub_count in
+    let e = block + sub_bits in
+    (* values in this bucket: [(4+pos) << (e-2), (4+pos+1) << (e-2)) *)
+    ((sub_count + pos + 1) lsl (e - sub_bits)) - 1
+
+(* ---------- histograms ---------- *)
+
+type hist = {
+  h_name : string;
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+}
+
+let h_registry : (string, hist) Hashtbl.t = Hashtbl.create 32
+let h_lock = Mutex.create ()
+
+let hist name =
+  Mutex.protect h_lock (fun () ->
+      match Hashtbl.find_opt h_registry name with
+      | Some h -> h
+      | None ->
+        let h =
+          { h_name = name;
+            h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+            h_count = Atomic.make 0; h_sum = Atomic.make 0;
+            h_max = Atomic.make 0 }
+        in
+        Hashtbl.add h_registry name h;
+        h)
+
+let record h v =
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of_us v) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  let rec bump () =
+    let m = Atomic.get h.h_max in
+    if v > m && not (Atomic.compare_and_set h.h_max m v) then bump ()
+  in
+  bump ()
+
+let observe_us h us =
+  if T.enabled () then record h (if us <= 0. then 0 else int_of_float us)
+
+let time h f =
+  if T.enabled () then begin
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      record h (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+  else f ()
+
+let merge_into ~into src =
+  for i = 0 to n_buckets - 1 do
+    let n = Atomic.get src.h_buckets.(i) in
+    if n <> 0 then ignore (Atomic.fetch_and_add into.h_buckets.(i) n)
+  done;
+  ignore (Atomic.fetch_and_add into.h_count (Atomic.get src.h_count));
+  ignore (Atomic.fetch_and_add into.h_sum (Atomic.get src.h_sum));
+  let v = Atomic.get src.h_max in
+  let rec bump () =
+    let m = Atomic.get into.h_max in
+    if v > m && not (Atomic.compare_and_set into.h_max m v) then bump ()
+  in
+  bump ()
+
+(* ---------- readout ---------- *)
+
+type hist_view = {
+  hv_name : string;
+  hv_count : int;
+  hv_sum_us : int;
+  hv_max_us : int;
+  hv_p50_us : int;
+  hv_p90_us : int;
+  hv_p99_us : int;
+  hv_buckets : (int * int) list;
+}
+
+let view h =
+  (* One pass copies the live buckets; quantiles walk the copy so the
+     three ranks see the same distribution even while recording runs. *)
+  let counts = Array.map Atomic.get h.h_buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  let quantile q =
+    if total = 0 then 0
+    else begin
+      let rank = int_of_float (ceil (q *. float_of_int total)) in
+      let rank = if rank < 1 then 1 else rank in
+      let cum = ref 0 and found = ref 0 in
+      (try
+         Array.iteri
+           (fun i n ->
+             cum := !cum + n;
+             if !cum >= rank then begin
+               found := bucket_upper_us i;
+               raise Exit
+             end)
+           counts
+       with Exit -> ());
+      !found
+    end
+  in
+  let buckets = ref [] in
+  Array.iteri
+    (fun i n -> if n <> 0 then buckets := (bucket_upper_us i, n) :: !buckets)
+    counts;
+  { hv_name = h.h_name; hv_count = Atomic.get h.h_count;
+    hv_sum_us = Atomic.get h.h_sum;
+    hv_max_us = (if total = 0 then 0 else Atomic.get h.h_max);
+    hv_p50_us = quantile 0.50; hv_p90_us = quantile 0.90;
+    hv_p99_us = quantile 0.99; hv_buckets = List.rev !buckets }
+
+(* ---------- snapshot ---------- *)
+
+type snapshot = {
+  sn_uptime_us : float;
+  sn_counters : (string * int) list;
+  sn_gauges : (string * int) list;
+  sn_hists : hist_view list;
+  sn_spans_buffered : int;
+  sn_spans_dropped : int;
+}
+
+let snapshot () =
+  let hists =
+    Mutex.protect h_lock (fun () ->
+        Hashtbl.fold (fun _ h acc -> h :: acc) h_registry [])
+    |> List.map view
+    |> List.sort (fun a b -> compare a.hv_name b.hv_name)
+  in
+  { sn_uptime_us = T.uptime_us (); sn_counters = T.counters ();
+    sn_gauges = gauges (); sn_hists = hists;
+    sn_spans_buffered = T.events_buffered ();
+    sn_spans_dropped = T.spans_dropped () }
+
+let reset () =
+  Mutex.protect g_lock (fun () ->
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_cell 0) g_registry);
+  Mutex.protect h_lock (fun () ->
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun c -> Atomic.set c 0) h.h_buckets;
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0;
+          Atomic.set h.h_max 0)
+        h_registry)
+
+(* Telemetry.reset is the one-shot runs' "zero everything" entry point;
+   gauges and histograms join it through the hook so callers keep a
+   single reset.  (Daemons never reset — see the epoch contract.) *)
+let () = T.on_reset reset

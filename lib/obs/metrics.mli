@@ -1,0 +1,121 @@
+(** Daemon-grade metric primitives on top of {!Telemetry}: gauges,
+    log-bucketed latency histograms, and a renderable snapshot.
+
+    {!Telemetry}'s counters are cumulative sums — right for "how much
+    work happened", wrong for "how much is live now" (a decremented
+    counter reads as a drifting sum) and useless for latency (a sum
+    hides the tail).  This module adds the two missing families:
+
+    - {b gauges}: last-written point-in-time values (active sessions,
+      store triples, WAL bytes, arena residency), set or adjusted at
+      commit/merge boundaries;
+    - {b histograms}: fixed-layout log-bucketed latency recorders —
+      base-2 octaves split into 4 sub-buckets (≤ 12.5% relative error),
+      lock-free atomic bucket increments, mergeable, with
+      p50/p90/p99/max readout.
+
+    Everything here obeys the PR 5 contract: recording never influences
+    inference, every entry point is gated on {!Telemetry.enabled} (one
+    atomic load when [Off]), and values are commutative atomics so
+    totals are schedule-independent.  Unlike span events, gauges and
+    histograms are safe to record from any domain at any time.
+
+    The recorder is process-global and — like the counters — is {e not}
+    reset by a long-lived daemon: histograms and gauges accumulate since
+    boot ({!Telemetry.uptime_us} dates the epoch).  {!Telemetry.reset}
+    clears them for one-shot instrumented runs. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Find-or-create by name; safe to call at module initialisation. *)
+
+val set : gauge -> int -> unit
+(** No-op unless {!Telemetry.enabled}. *)
+
+val add : gauge -> int -> unit
+(** Adjust by a (possibly negative) delta — for live-population gauges
+    maintained at open/close boundaries.  No-op unless enabled. *)
+
+val gauge_value : gauge -> int
+
+val gauges : unit -> (string * int) list
+(** Every registered gauge (zeros included — 0 live sessions is a
+    reading, not an absence), sorted by name. *)
+
+(** {1 Histograms}
+
+    Values are non-negative microsecond durations, truncated to [int].
+    The bucket layout is fixed: values < 4 get exact unit buckets, then
+    each base-2 octave [2^e, 2^{e+1}) is split into 4 equal sub-buckets,
+    so any recorded value lands in a bucket whose width is at most 1/4
+    of its magnitude.  248 buckets cover the whole non-negative [int]
+    range — no configuration, and any two histograms merge bucket by
+    bucket. *)
+
+type hist
+
+val hist : string -> hist
+(** Find-or-create by name. *)
+
+val observe_us : hist -> float -> unit
+(** Record one duration in microseconds (negative values clamp to 0).
+    Lock-free: one atomic add on the bucket, count and sum, plus a CAS
+    loop on the max.  No-op unless {!Telemetry.enabled}. *)
+
+val time : hist -> (unit -> 'a) -> 'a
+(** Time a thunk on the wall clock and record it; reads no clock when
+    the recorder is disabled.  Records on exception too — a slow
+    failure is still a slow request. *)
+
+val merge_into : into:hist -> hist -> unit
+(** Add [src]'s buckets, count and sum into [into]; max is the max. *)
+
+val bucket_of_us : int -> int
+(** The bucket index a microsecond value lands in (exposed for tests). *)
+
+val bucket_upper_us : int -> int
+(** Inclusive upper bound of a bucket, in microseconds. *)
+
+type hist_view = {
+  hv_name : string;
+  hv_count : int;
+  hv_sum_us : int;
+  hv_max_us : int;
+  hv_p50_us : int;
+  hv_p90_us : int;
+  hv_p99_us : int;
+  hv_buckets : (int * int) list;
+      (** non-empty buckets as [(inclusive upper bound in µs, count)],
+          ascending — the exposition writer renders cumulative
+          [le]-buckets from these *)
+}
+
+val view : hist -> hist_view
+(** A live readout.  Quantiles are the inclusive upper bound of the
+    bucket containing the rank, so they over-approximate by at most one
+    sub-bucket width (≤ 12.5%); an empty histogram reads all zeros. *)
+
+(** {1 Snapshot} *)
+
+type snapshot = {
+  sn_uptime_us : float;  (** since process boot — never reset *)
+  sn_counters : (string * int) list;  (** non-zero, sorted *)
+  sn_gauges : (string * int) list;  (** all registered, sorted *)
+  sn_hists : hist_view list;  (** sorted by name *)
+  sn_spans_buffered : int;
+  sn_spans_dropped : int;
+      (** spans evicted from the bounded ring ({!Telemetry.set_retention})
+          — loss is visible, never silent *)
+}
+
+val snapshot : unit -> snapshot
+(** One coherent-enough readout of the whole recorder (each cell is an
+    atomic read; no global lock is held across families).  This is what
+    the [metrics] protocol verb and the Prometheus exposition render. *)
+
+val reset : unit -> unit
+(** Zero every gauge and histogram.  Called by {!Telemetry.reset} via
+    the registered hook; one-shot runs only — a daemon never resets. *)

@@ -60,6 +60,27 @@ let summary () =
       (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-44s %10d\n" name v))
       counters
   end;
+  let gauges = Metrics.gauges () in
+  if gauges <> [] then begin
+    Buffer.add_string b "gauges:\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-44s %10d\n" name v))
+      gauges
+  end;
+  let hists = (Metrics.snapshot ()).Metrics.sn_hists in
+  if hists <> [] then begin
+    Buffer.add_string b "histograms:\n";
+    Buffer.add_string b
+      (Printf.sprintf "  %-28s %8s %12s %10s %10s %10s\n" "name" "count"
+         "sum_us" "p50_us" "p99_us" "max_us");
+    List.iter
+      (fun hv ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-28s %8d %12d %10d %10d %10d\n"
+             hv.Metrics.hv_name hv.hv_count hv.hv_sum_us hv.hv_p50_us
+             hv.hv_p99_us hv.hv_max_us))
+      hists
+  end;
   if Buffer.length b = 0 then Buffer.add_string b "(telemetry: nothing recorded)\n";
   Buffer.contents b
 
@@ -89,6 +110,81 @@ let jsonl () =
         (Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
            (json_escape name) v))
     (Telemetry.counters ());
+  Buffer.contents b
+
+(* ---------- Prometheus text exposition ----------
+
+   The scrape format: `# TYPE` line per family, counters and gauges as
+   single samples, histograms as cumulative `le`-bucket samples plus
+   `_sum`/`_count`.  Metric names are the recorder's dotted names with
+   every non-[a-zA-Z0-9_:] byte mapped to '_' and a "weblab_" prefix;
+   histogram families get a "_us" unit suffix.  Only non-empty buckets
+   are emitted (plus the mandatory "+Inf"), so the dump stays small. *)
+
+let prom_name ?(suffix = "") name =
+  let b = Buffer.create (String.length name + 16) in
+  Buffer.add_string b "weblab_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.add_string b suffix;
+  Buffer.contents b
+
+let exposition () =
+  let sn = Metrics.snapshot () in
+  let b = Buffer.create 4096 in
+  let sample name v =
+    Buffer.add_string b (Printf.sprintf "%s %d\n" name v)
+  in
+  let family kind name v =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+    sample name v
+  in
+  family "gauge" "weblab_uptime_seconds"
+    (int_of_float (sn.Metrics.sn_uptime_us /. 1e6));
+  family "gauge" "weblab_obs_spans_buffered" sn.Metrics.sn_spans_buffered;
+  family "counter" "weblab_obs_spans_dropped" sn.Metrics.sn_spans_dropped;
+  List.iter
+    (fun (name, v) -> family "counter" (prom_name name) v)
+    sn.Metrics.sn_counters;
+  List.iter
+    (fun (name, v) -> family "gauge" (prom_name name) v)
+    sn.Metrics.sn_gauges;
+  List.iter
+    (fun hv ->
+      let name = prom_name ~suffix:"_us" hv.Metrics.hv_name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+      let cum = ref 0 in
+      List.iter
+        (fun (upper, n) ->
+          cum := !cum + n;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name upper !cum))
+        hv.Metrics.hv_buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name hv.Metrics.hv_count);
+      sample (name ^ "_sum") hv.Metrics.hv_sum_us;
+      sample (name ^ "_count") hv.Metrics.hv_count)
+    sn.Metrics.sn_hists;
+  Buffer.contents b
+
+(* ---------- slow-query log records ---------- *)
+
+let slow_query_line ~verb ~session ~req ~dur_us ~ok ~detail =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"ts_us\":%.0f,\"verb\":\"%s\",\"session\":\"%s\",\"req\":\"%s\",\"dur_us\":%.0f,\"ok\":%b"
+       (Telemetry.uptime_us ()) (json_escape verb) (json_escape session)
+       (json_escape req) dur_us ok);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf ",\"%s\":%d" (json_escape k) v))
+    detail;
+  Buffer.add_char b '}';
   Buffer.contents b
 
 (* ---------- Chrome trace-event JSON ---------- *)

@@ -10,6 +10,28 @@ val jsonl : unit -> string
     clock, then a [span] line per event in emission order, then a
     [counter] line per non-zero counter sorted by name. *)
 
+val exposition : unit -> string
+(** Prometheus text exposition of {!Metrics.snapshot}: uptime, span
+    buffer/drop tallies, every counter ([# TYPE ... counter]), every
+    gauge, and every histogram as cumulative [le]-bucket samples (only
+    non-empty buckets plus ["+Inf"]) with [_sum]/[_count].  Names are
+    the dotted recorder names mangled to [weblab_*]; histograms carry a
+    [_us] unit suffix.  This is what [bin/serve --metrics-out] dumps and
+    the [metrics-smoke] CI job uploads. *)
+
+val slow_query_line :
+  verb:string ->
+  session:string ->
+  req:string ->
+  dur_us:float ->
+  ok:bool ->
+  detail:(string * int) list ->
+  string
+(** One slow-query log record (single-line JSON, no trailing newline):
+    timestamp ([uptime_us]), verb, session id, request id, duration and
+    outcome, plus integer cardinality fields (result rows, delta sizes,
+    export bytes) the caller extracted from the response. *)
+
 val chrome_trace : unit -> string
 (** Chrome trace-event JSON ({!Telemetry.events} as ["ph":"X"] complete
     events on pid 1, tid = worker slot, plus thread-name metadata so

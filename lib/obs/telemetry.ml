@@ -1,9 +1,10 @@
 (* The process-global recorder.  Everything here is either an atomic
-   (level, counters, logical clock) or guarded by a mutex (registry,
-   event and meta buffers).  Events and meta activities are only written
-   from the merge side of a batch — the caller's domain — so the mutex on
-   those buffers is uncontended in practice; it exists for the odd
-   caller-domain span emitted while workers run counters. *)
+   (level, counters, logical clock, span-drop tally) or guarded by a
+   mutex (registry, event and meta buffers).  Events and meta activities
+   are only written from the merge side of a batch — the caller's domain
+   — so the mutex on those buffers is uncontended in practice; it exists
+   for the odd caller-domain span emitted while workers run counters,
+   and for the daemon's connection threads. *)
 
 type level = Off | Counters | Full
 
@@ -30,6 +31,13 @@ let timing_on () = spans_on () || meta_on ()
 type clock = Wall | Logical
 
 let logical = Atomic.make false
+
+(* Two epochs with different lifetimes: [epoch] is the span-timestamp
+   origin, restamped by every [reset] so one-shot runs start at t=0;
+   [boot] is the process origin and is NEVER reset — a daemon's
+   counters, gauges and histograms are monotonic since boot, and
+   [uptime_us] dates that epoch in every snapshot. *)
+let boot = Unix.gettimeofday ()
 let epoch = ref (Unix.gettimeofday ())
 let ticks = Atomic.make 0
 
@@ -42,6 +50,8 @@ let clock () = if Atomic.get logical then Logical else Wall
 let now_us () =
   if Atomic.get logical then float_of_int (Atomic.fetch_and_add ticks 1)
   else (Unix.gettimeofday () -. !epoch) *. 1e6
+
+let uptime_us () = (Unix.gettimeofday () -. boot) *. 1e6
 
 (* ---------- counters ---------- *)
 
@@ -77,6 +87,21 @@ let worker_key = Domain.DLS.new_key (fun () -> 0)
 let set_worker w = Domain.DLS.set worker_key w
 let current_worker () = Domain.DLS.get worker_key
 
+(* ---------- request propagation ---------- *)
+
+(* The serving daemon stamps every span emitted while handling a request
+   with that request's id, so a request's trace can be pulled out of the
+   buffer afterwards.  Domain-local like the worker slot: each
+   connection thread (and the caller domain of any pool batch it runs)
+   carries its own current request. *)
+let request_key = Domain.DLS.new_key (fun () -> "")
+let current_request () = Domain.DLS.get request_key
+
+let with_request id f =
+  let prev = Domain.DLS.get request_key in
+  Domain.DLS.set request_key id;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set request_key prev) f
+
 (* ---------- spans / events ---------- *)
 
 type 'a timed = { v : 'a; t0 : float; t1 : float; worker : int }
@@ -99,22 +124,84 @@ type event = {
   e_args : (string * string) list;
 }
 
-let events_buf : event list ref = ref []
-let events_lock = Mutex.create ()
+(* One-shot runs buffer every span (the sinks dump the lot at exit); a
+   long-lived daemon caps retention with a ring — the newest [cap] spans
+   survive, evictions are tallied, and the loss is visible in every
+   snapshot instead of the process growing without bound. *)
+type span_store =
+  | Unbounded of event list ref  (* newest first *)
+  | Ring of { buf : event option array; mutable head : int; mutable len : int }
 
-let push e = Mutex.protect events_lock (fun () -> events_buf := e :: !events_buf)
+let events_store = ref (Unbounded (ref []))
+let events_lock = Mutex.create ()
+let dropped = Atomic.make 0
+
+let set_retention cap =
+  Mutex.protect events_lock (fun () ->
+      match cap with
+      | None -> events_store := Unbounded (ref [])
+      | Some c ->
+        events_store := Ring { buf = Array.make (max 1 c) None; head = 0; len = 0 });
+  Atomic.set dropped 0
+
+let retention () =
+  Mutex.protect events_lock (fun () ->
+      match !events_store with
+      | Unbounded _ -> None
+      | Ring r -> Some (Array.length r.buf))
+
+let spans_dropped () = Atomic.get dropped
+
+let push e =
+  Mutex.protect events_lock (fun () ->
+      match !events_store with
+      | Unbounded l -> l := e :: !l
+      | Ring r ->
+        let cap = Array.length r.buf in
+        if r.len = cap then begin
+          (* full: overwrite the oldest and count the eviction *)
+          r.buf.(r.head) <- Some e;
+          r.head <- (r.head + 1) mod cap;
+          ignore (Atomic.fetch_and_add dropped 1)
+        end
+        else begin
+          r.buf.((r.head + r.len) mod cap) <- Some e;
+          r.len <- r.len + 1
+        end)
+
+let events_buffered () =
+  Mutex.protect events_lock (fun () ->
+      match !events_store with
+      | Unbounded l -> List.length !l
+      | Ring r -> r.len)
+
+let events () =
+  Mutex.protect events_lock (fun () ->
+      match !events_store with
+      | Unbounded l -> List.rev !l
+      | Ring r ->
+        List.init r.len (fun i ->
+            match r.buf.((r.head + i) mod Array.length r.buf) with
+            | Some e -> e
+            | None -> assert false (* slots below len are always filled *)))
+
+(* The request stamp rides in the span args so the sinks and goldens are
+   oblivious: outside a request (the CLI, the bench) nothing changes. *)
+let stamp_request args =
+  match current_request () with "" -> args | rid -> ("req", rid) :: args
 
 let emit_span ?(cat = "run") ?(args = []) ~name ~worker ~t0 ~t1 () =
   if spans_on () then
     push
       { e_name = name; e_cat = cat; e_worker = worker; e_ts = t0;
-        e_dur = (if t1 >= t0 then t1 -. t0 else 0.); e_args = args }
+        e_dur = (if t1 >= t0 then t1 -. t0 else 0.);
+        e_args = stamp_request args }
 
 let emit_instant ?(cat = "run") ?(args = []) name =
   if spans_on () then
     push
       { e_name = name; e_cat = cat; e_worker = current_worker ();
-        e_ts = now_us (); e_dur = 0.; e_args = args }
+        e_ts = now_us (); e_dur = 0.; e_args = stamp_request args }
 
 let span ?cat ?args name f =
   if spans_on () then begin
@@ -125,8 +212,6 @@ let span ?cat ?args name f =
     v
   end
   else f ()
-
-let events () = List.rev !events_buf
 
 (* ---------- meta-provenance activities ---------- *)
 
@@ -149,10 +234,24 @@ let meta_activities () = List.rev !meta_buf
 
 (* ---------- reset ---------- *)
 
+(* Gauges and histograms live in Metrics, which sits above this module;
+   they join [reset] through a registered hook instead of a dependency
+   cycle. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_reset f = reset_hooks := f :: !reset_hooks
+
 let reset () =
   Mutex.protect registry_lock (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry);
-  Mutex.protect events_lock (fun () -> events_buf := []);
+  Mutex.protect events_lock (fun () ->
+      match !events_store with
+      | Unbounded l -> l := []
+      | Ring r ->
+        Array.fill r.buf 0 (Array.length r.buf) None;
+        r.head <- 0;
+        r.len <- 0);
+  Atomic.set dropped 0;
   Mutex.protect meta_lock (fun () -> meta_buf := []);
   Atomic.set ticks 0;
-  epoch := Unix.gettimeofday ()
+  epoch := Unix.gettimeofday ();
+  List.iter (fun f -> f ()) !reset_hooks

@@ -59,9 +59,23 @@ val now_us : unit -> float
 (** Microseconds since the last {!reset} (Wall), or the next logical
     tick (Logical). *)
 
+val uptime_us : unit -> float
+(** Microseconds since process boot.  Unlike {!now_us}'s epoch, this
+    one is {e never} restamped: a long-lived daemon does not call
+    {!reset}, its counters/gauges/histograms are monotonic since boot,
+    and [uptime_us] dates that epoch in every {!Metrics.snapshot}. *)
+
 val reset : unit -> unit
-(** Zero every counter, drop buffered events and meta activities, and
-    restamp the clock epoch.  Call once before an instrumented run. *)
+(** Zero every counter (and, via the {!on_reset} hooks, every gauge and
+    histogram), drop buffered events and meta activities, zero the span
+    drop tally, and restamp the {!now_us} clock epoch — but never the
+    boot epoch of {!uptime_us}.  Call once before a one-shot
+    instrumented run; a serving daemon must {e not} call it (epoch
+    contract: everything it reports is "since boot"). *)
+
+val on_reset : (unit -> unit) -> unit
+(** Register a hook run at the end of every {!reset} (how [Metrics]
+    joins the reset without a dependency cycle). *)
 
 (** {1 Counters} *)
 
@@ -85,6 +99,22 @@ val set_worker : int -> unit
 
 val current_worker : unit -> int
 (** The calling domain's worker slot (0 outside a pool batch). *)
+
+(** {1 Request propagation}
+
+    The serving daemon brackets each request's handling in
+    {!with_request}; every span emitted inside the bracket (on that
+    domain) carries a [("req", id)] arg, so a single request's trace can
+    be filtered back out of the buffer — the [metrics] verb's trace
+    view.  Outside a bracket nothing is stamped and the sinks' output is
+    unchanged (the golden tests pin this). *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** Run a thunk with the current domain's request id set (restored on
+    exit, exceptions included).  Nests: the innermost id wins. *)
+
+val current_request : unit -> string
+(** The calling domain's current request id ([""] outside a bracket). *)
 
 (** {1 Spans} *)
 
@@ -124,7 +154,31 @@ type event = {
 }
 
 val events : unit -> event list
-(** Buffered events in emission order. *)
+(** Buffered events in emission order (for a bounded buffer: the
+    retained suffix, oldest first). *)
+
+(** {1 Span retention}
+
+    One-shot runs buffer every span and dump them at exit.  A long-lived
+    daemon must not: {!set_retention} swaps the unbounded list for a
+    fixed-capacity ring holding the newest spans.  Evictions are
+    tallied, not silent — {!spans_dropped} is part of every snapshot, so
+    a trace with holes says so. *)
+
+val set_retention : int option -> unit
+(** [Some cap] switches to a ring of [cap] spans (existing buffered
+    spans are discarded and the drop tally zeroed); [None] restores the
+    unbounded one-shot buffer.  Call at daemon boot, before serving. *)
+
+val retention : unit -> int option
+(** The current cap ([None] = unbounded). *)
+
+val spans_dropped : unit -> int
+(** Spans evicted from the ring since the last {!set_retention}/
+    {!reset}. *)
+
+val events_buffered : unit -> int
+(** Spans currently held (≤ the retention cap, if one is set). *)
 
 (** {1 Meta-provenance activities}
 

@@ -25,11 +25,21 @@
    N-Triples string per insert as the old store did. *)
 
 module T = Weblab_obs.Telemetry
+module M = Weblab_obs.Metrics
 
 let c_adds = T.counter "rdf.store.adds"
 let c_merges = T.counter "rdf.store.merges"
 let c_probes = T.counter "rdf.store.probes"
 let c_tail_scanned = T.counter "rdf.store.tail_scanned"
+
+(* Point-in-time census of the most recently merged store, sampled at
+   the merge boundary (the only place the columnar shape changes).
+   Gauges, not counters: "triples held" is a reading, not a sum — with
+   several live stores the gauge tracks the last one merged, which in a
+   serving daemon is the hot session's. *)
+let g_triples = M.gauge "rdf.store.triples"
+let g_terms = M.gauge "rdf.store.terms"
+let g_runs = M.gauge "rdf.store.run_merges"
 
 type triple = Term.t * Term.t * Term.t
 
@@ -153,7 +163,10 @@ let merge_tail t =
     t.osp_off <- build_off t.dict t.base_osp t.o_col;
     Hashtbl.reset t.tail_set;
     t.merges <- t.merges + 1;
-    T.incr c_merges
+    T.incr c_merges;
+    M.set g_triples t.n;
+    M.set g_terms (Term_dict.count t.dict);
+    M.set g_runs t.merges
   end
 
 let compact t =

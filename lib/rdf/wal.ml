@@ -30,11 +30,13 @@
    replay time by live size rather than history length. *)
 
 module T = Weblab_obs.Telemetry
+module M = Weblab_obs.Metrics
 
 let c_appends = T.counter "rdf.wal.appends"
 let c_fsyncs = T.counter "rdf.wal.fsyncs"
 let c_replayed = T.counter "rdf.wal.replayed_commits"
 let c_torn = T.counter "rdf.wal.torn_tails"
+let g_bytes = M.gauge "rdf.wal.bytes"
 
 (* ----- FNV-1a over tag + payload ----- *)
 
@@ -155,7 +157,11 @@ let commit w ~store_size =
   Buffer.clear w.buf;
   Unix.fsync w.fd;
   T.incr c_appends;
-  T.incr c_fsyncs
+  T.incr c_fsyncs;
+  (* WAL size is a point-in-time value, sampled at the commit boundary
+     (right after the fsync, so the gauge never reads ahead of disk).
+     The fstat only runs when the recorder is on. *)
+  if T.enabled () then M.set g_bytes (Unix.fstat w.fd).Unix.st_size
 
 let close_writer w =
   (* Staged-but-uncommitted frames are dropped by design: they were

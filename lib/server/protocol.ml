@@ -2,6 +2,18 @@ open Weblab_workflow
 open Weblab_prov
 module J = Json
 module T = Weblab_obs.Telemetry
+module M = Weblab_obs.Metrics
+
+(* Slow-query log: requests whose wall time crosses the threshold append
+   one JSON line each.  The channel is shared by every connection thread,
+   hence the lock; a flush per record keeps the tail readable while the
+   daemon runs (slow queries are rare by definition, so the flush cost
+   is irrelevant). *)
+type slow_log = {
+  sl_oc : out_channel;
+  sl_lock : Mutex.t;
+  sl_threshold_us : float;
+}
 
 type ctx = {
   registry : Registry.t;
@@ -9,10 +21,11 @@ type ctx = {
   default_backend : Strategy.kind;
   data_dir : string option;
       (* when set, sessions persist a WAL under it and boot restores *)
+  slow : slow_log option;
 }
 
 let make_ctx ?shards ?max_sessions ?(default_backend = `Incremental) ?data_dir
-    () =
+    ?slow_log_path ?(slow_ms = 100.) () =
   let rulebook =
     List.map
       (fun (e : Weblab_services.Catalog.entry) ->
@@ -20,8 +33,15 @@ let make_ctx ?shards ?max_sessions ?(default_backend = `Incremental) ?data_dir
           List.map Rule_parser.parse e.Weblab_services.Catalog.rules ))
       Weblab_services.Catalog.entries
   in
+  let slow =
+    Option.map
+      (fun path ->
+        { sl_oc = open_out_gen [ Open_append; Open_creat ] 0o644 path;
+          sl_lock = Mutex.create (); sl_threshold_us = slow_ms *. 1000. })
+      slow_log_path
+  in
   { registry = Registry.create ?shards ?max_sessions (); rulebook;
-    default_backend; data_dir }
+    default_backend; data_dir; slow }
 
 (* ----- WAL file naming -----
 
@@ -316,11 +336,20 @@ let v_stats ctx req =
     let s = Session.with_lock sess (fun () -> Session.stats sess) in
     ok req (session_stats_fields s)
   | None ->
+    let ids = Registry.ids ctx.registry in
+    let restored =
+      List.fold_left
+        (fun acc sid ->
+          match Registry.find ctx.registry sid with
+          | Some s when Session.is_restored s -> acc + 1
+          | Some _ | None -> acc)
+        0 ids
+    in
     ok req
       [ ("live", J.Int (Registry.live ctx.registry));
         ("max_sessions", J.Int (Registry.max_sessions ctx.registry));
-        ("sessions",
-         J.List (List.map (fun s -> J.Str s) (Registry.ids ctx.registry))) ]
+        ("restored", J.Int restored);
+        ("sessions", J.List (List.map (fun s -> J.Str s) ids)) ]
 
 (* ----- close ----- *)
 
@@ -344,30 +373,148 @@ let v_close ctx req =
         in
         ok req (base @ extra))
 
+(* ----- metrics ----- *)
+
+let level_name = function
+  | T.Off -> "off"
+  | T.Counters -> "counters"
+  | T.Full -> "full"
+
+(* The introspection verb: a structured {!Metrics.snapshot} (plain
+   [metrics]), or one request's spans pulled from the ring by the id
+   that stamped them ([{"trace": rid}]). *)
+let v_metrics _ctx req =
+  match J.str_member "trace" req with
+  | Some rid ->
+    let spans =
+      T.events ()
+      |> List.filter (fun e ->
+             match List.assoc_opt "req" e.T.e_args with
+             | Some r -> String.equal r rid
+             | None -> false)
+      |> List.map (fun e ->
+             J.Obj
+               [ ("name", J.Str e.T.e_name); ("cat", J.Str e.T.e_cat);
+                 ("worker", J.Int e.T.e_worker); ("ts_us", J.Float e.T.e_ts);
+                 ("dur_us", J.Float e.T.e_dur);
+                 ("args",
+                  J.Obj (List.map (fun (k, v) -> (k, J.Str v)) e.T.e_args)) ])
+    in
+    ok req [ ("trace", J.Str rid); ("spans", J.List spans) ]
+  | None ->
+    let sn = M.snapshot () in
+    let hist_obj hv =
+      J.Obj
+        [ ("count", J.Int hv.M.hv_count); ("sum_us", J.Int hv.M.hv_sum_us);
+          ("max_us", J.Int hv.M.hv_max_us); ("p50_us", J.Int hv.M.hv_p50_us);
+          ("p90_us", J.Int hv.M.hv_p90_us); ("p99_us", J.Int hv.M.hv_p99_us) ]
+    in
+    ok req
+      [ ("uptime_us", J.Float sn.M.sn_uptime_us);
+        ("level", J.Str (level_name (T.level ())));
+        ("counters",
+         J.Obj (List.map (fun (k, v) -> (k, J.Int v)) sn.M.sn_counters));
+        ("gauges",
+         J.Obj (List.map (fun (k, v) -> (k, J.Int v)) sn.M.sn_gauges));
+        ("histograms",
+         J.Obj (List.map (fun hv -> (hv.M.hv_name, hist_obj hv)) sn.M.sn_hists));
+        ("spans",
+         J.Obj
+           [ ("buffered", J.Int sn.M.sn_spans_buffered);
+             ("dropped", J.Int sn.M.sn_spans_dropped) ]) ]
+
 (* ----- dispatch ----- *)
 
 let verb_counter verb = T.counter ("serve.verb." ^ verb)
+let verb_hist verb = M.hist ("serve.verb." ^ verb)
+let c_slow = T.counter "serve.slow_queries"
+
+(* The request id every span emitted while handling this request is
+   stamped with: the client's ["id"] when it is a string or an integer,
+   a generated "r<N>" otherwise.  (The response echo is untouched —
+   echoing only what the client sent is part of the protocol.) *)
+let req_seq = Atomic.make 1
+
+let request_id req =
+  match J.member "id" req with
+  | Some (J.Str s) -> s
+  | Some (J.Int n) -> string_of_int n
+  | Some _ | None -> Printf.sprintf "r%d" (Atomic.fetch_and_add req_seq 1)
+
+(* Cardinalities worth keeping in a slow-query record, pulled from the
+   response itself so no verb needs extra plumbing: delta sizes from
+   commit, result sizes from query, census from stats. *)
+let slow_detail resp =
+  match resp with
+  | J.Obj fields ->
+    List.filter_map
+      (fun (k, v) ->
+        match (k, v) with
+        | ("new_nodes" | "promoted" | "time" | "attempts" | "live"), J.Int n ->
+          Some (k, n)
+        | ("uris" | "rows" | "sessions"), J.List l -> Some (k, List.length l)
+        | "turtle", J.Str s -> Some ("turtle_bytes", String.length s)
+        | _ -> None)
+      fields
+  | _ -> []
+
+let log_slow ctx ~verb ~rid ~dur_us req resp =
+  match ctx.slow with
+  | Some sl when dur_us >= sl.sl_threshold_us ->
+    T.incr c_slow;
+    let session =
+      match J.str_member "session" resp with
+      | Some s -> s
+      | None -> opt_default "" (J.str_member "session" req)
+    in
+    let line =
+      Weblab_obs.Sinks.slow_query_line ~verb ~session ~req:rid ~dur_us
+        ~ok:(opt_default false (J.bool_member "ok" resp))
+        ~detail:(slow_detail resp)
+    in
+    Mutex.protect sl.sl_lock (fun () ->
+        output_string sl.sl_oc line;
+        output_char sl.sl_oc '\n';
+        flush sl.sl_oc)
+  | Some _ | None -> ()
 
 let handle ctx req =
   match J.str_member "verb" req with
   | None -> err req "bad_request" "missing string field \"verb\""
   | Some verb ->
+    let dispatch f =
+      match f ctx req with
+      | resp -> resp
+      | exception Reject (code, msg, extra) -> err ~extra req code msg
+      | exception e ->
+        (* The backstop: an unexpected exception is confined to this
+           request; the session registry stays intact. *)
+        err req "internal_error" (Printexc.to_string e)
+    in
     let run f =
-      T.incr (verb_counter verb);
-      T.span ~cat:"serve" ("serve." ^ verb) (fun () ->
-          match f ctx req with
-          | resp -> resp
-          | exception Reject (code, msg, extra) -> err ~extra req code msg
-          | exception e ->
-            (* The backstop: an unexpected exception is confined to this
-               request; the session registry stays intact. *)
-            err req "internal_error" (Printexc.to_string e))
+      (* Off is one atomic load and the bare dispatch — no id draw, no
+         clock read, no histogram. *)
+      if not (T.enabled ()) then dispatch f
+      else begin
+        T.incr (verb_counter verb);
+        let rid = request_id req in
+        let t0 = Unix.gettimeofday () in
+        let resp =
+          T.with_request rid (fun () ->
+              T.span ~cat:"serve" ("serve." ^ verb) (fun () -> dispatch f))
+        in
+        let dur_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+        M.observe_us (verb_hist verb) dur_us;
+        log_slow ctx ~verb ~rid ~dur_us req resp;
+        resp
+      end
     in
     (match verb with
     | "open" -> run v_open
     | "commit" -> run v_commit
     | "query" -> run v_query
     | "stats" -> run v_stats
+    | "metrics" -> run v_metrics
     | "close" -> run v_close
     | v -> err req "bad_request" (Printf.sprintf "unknown verb %S" v))
 

@@ -7,20 +7,37 @@
     ["ok": false] with an ["error"] code and a human ["message"].
 
     {v
-    verb   fields                                  reply
-    open   backend?, scenario?|empty, units?,      session, backend,
-           seed?, jobs?, persist?, budgets?{         next_time, persisted
-           retries, backoff_ms, max_new_nodes,
-           max_call_s, max_commits}
-    commit session, service | xml (+name?)        time, attempts,
-                                                    new_nodes, promoted
-    query  session, kind=why|impact (uri),        uris | columns+rows |
-           kind=sparql (query), kind=turtle         turtle
-    stats  [session]                              live, max_sessions,
-                                                    sessions | per-session
-    close  session, turtle?                       commits, failed, links
-                                                    [, turtle]
+    verb    fields                                  reply
+    open    backend?, scenario?|empty, units?,      session, backend,
+            seed?, jobs?, persist?, budgets?{         next_time, persisted
+            retries, backoff_ms, max_new_nodes,
+            max_call_s, max_commits}
+    commit  session, service | xml (+name?)        time, attempts,
+                                                     new_nodes, promoted
+    query   session, kind=why|impact (uri),        uris | columns+rows |
+            kind=sparql (query), kind=turtle         turtle
+    stats   [session]                              live, max_sessions,
+                                                     restored, sessions
+                                                     | per-session
+    metrics [trace]                                uptime_us, level,
+                                                     counters, gauges,
+                                                     histograms, spans |
+                                                     trace, spans
+    close   session, turtle?                       commits, failed, links
+                                                     [, turtle]
     v}
+
+    Observability: when the recorder is on, every request draws a
+    request id (the client's ["id"] if it is a string or integer, a
+    generated one otherwise), runs under it — so every span emitted
+    while handling the request is stamped [("req", rid)] — and lands its
+    wall time in the per-verb histogram [serve.verb.<verb>].  [metrics]
+    returns the {!Weblab_obs.Metrics.snapshot} as JSON (histograms with
+    count/sum/max and p50/p90/p99); [{"verb":"metrics","trace":RID}]
+    returns the buffered spans stamped with [RID].  A context built with
+    a slow-query log appends one JSON line per request at or over the
+    threshold.  With the recorder [Off] a request costs one atomic load
+    beyond the bare dispatch.
 
     Error codes: [parse_error], [bad_request], [unknown_session],
     [unknown_service], [unknown_backend], [admission_rejected],
@@ -38,6 +55,12 @@
     byte-identical to what the live sessions last served; committing to
     one yields [read_only]. *)
 
+type slow_log = {
+  sl_oc : out_channel;
+  sl_lock : Mutex.t;  (** the channel is shared by connection threads *)
+  sl_threshold_us : float;
+}
+
 type ctx = {
   registry : Registry.t;
   rulebook : Weblab_prov.Strategy.rulebook;
@@ -46,6 +69,9 @@ type ctx = {
   data_dir : string option;
       (** when set, sessions persist a WAL under it (request field
           ["persist": false] opts a session out) *)
+  slow : slow_log option;
+      (** when set, requests at or over the threshold append a JSON line
+          (see {!Weblab_obs.Sinks.slow_query_line}) *)
 }
 
 val make_ctx :
@@ -53,9 +79,13 @@ val make_ctx :
   ?max_sessions:int ->
   ?default_backend:Weblab_prov.Strategy.kind ->
   ?data_dir:string ->
+  ?slow_log_path:string ->
+  ?slow_ms:float ->
   unit ->
   ctx
-(** Builds the catalog rulebook once.  Default backend: [`Incremental]. *)
+(** Builds the catalog rulebook once.  Default backend: [`Incremental].
+    [slow_log_path] opens (append, create) the slow-query log;
+    [slow_ms] is the threshold in milliseconds (default 100). *)
 
 val wal_file : string -> string -> string
 (** [wal_file data_dir sid] — the WAL path for a session id (filename is

@@ -1,8 +1,12 @@
 module T = Weblab_obs.Telemetry
+module M = Weblab_obs.Metrics
 
 let c_accepted = T.counter "serve.sessions.accepted"
 let c_rejected = T.counter "serve.sessions.rejected"
-let c_active = T.counter "serve.sessions.active"
+
+(* Active sessions is a level, not a tally: it goes down on close, so a
+   monotonic counter is the wrong type.  The gauge mirrors [t.count]. *)
+let g_active = M.gauge "serve.sessions.active"
 
 (* A slot is claimed before the session is built (the orchestration
    prologue runs outside the shard lock), so the table distinguishes the
@@ -77,7 +81,7 @@ let add_fresh t ~id build =
       | sess ->
         Mutex.protect sh.lock (fun () -> Hashtbl.replace sh.tbl id (Live sess));
         T.incr c_accepted;
-        T.incr c_active;
+        M.add g_active 1;
         Ok sess
       | exception e ->
         Mutex.protect sh.lock (fun () -> Hashtbl.remove sh.tbl id);
@@ -119,7 +123,7 @@ let remove t id =
   with
   | Some s ->
     Atomic.decr t.count;
-    T.add c_active (-1);
+    M.add g_active (-1);
     Some s
   | None -> None
 

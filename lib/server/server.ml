@@ -1,6 +1,8 @@
 module T = Weblab_obs.Telemetry
+module M = Weblab_obs.Metrics
 
 let c_conns = T.counter "serve.connections"
+let g_conns_active = M.gauge "serve.connections.active"
 
 let log_src = Logs.Src.create "weblab.serve" ~doc:"provenance serving daemon"
 
@@ -76,13 +78,15 @@ let start ?(host = "127.0.0.1") ?(port = 8321) ctx =
            can never touch a recycled descriptor. *)
         let c = { c_fd = fd; c_thread = None } in
         Mutex.protect conns_lock (fun () -> conns := c :: !conns);
+        M.add g_conns_active 1;
         let th =
           Thread.create
             (fun () ->
               serve_conn ctx fd;
               Mutex.protect conns_lock (fun () ->
                   conns := List.filter (fun c' -> c' != c) !conns;
-                  try Unix.close fd with Unix.Unix_error _ -> ()))
+                  try Unix.close fd with Unix.Unix_error _ -> ());
+              M.add g_conns_active (-1))
             ()
         in
         Mutex.protect conns_lock (fun () -> c.c_thread <- Some th);

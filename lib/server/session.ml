@@ -2,6 +2,24 @@ open Weblab_xml
 open Weblab_workflow
 open Weblab_prov
 module Rdf = Weblab_rdf
+module M = Weblab_obs.Metrics
+
+(* Latency distributions per session-level operation, process-wide: a
+   daemon hosting many sessions folds them all into one family per verb,
+   which is what the scrape wants (per-session splits would explode
+   cardinality).  Commit covers the orchestrator step plus WAL sync;
+   the query histograms cover lazy derivation (reachability build,
+   store export) on a cold snapshot and plain lookup on a warm one. *)
+let h_commit = M.hist "session.commit"
+let h_why = M.hist "session.query.why"
+let h_impact = M.hist "session.query.impact"
+let h_sparql = M.hist "session.query.sparql"
+let h_turtle = M.hist "session.query.turtle"
+
+(* Point-in-time sizes of the most recently committed session, sampled
+   at commit/sync boundaries (last-writer-wins across sessions). *)
+let g_doc_nodes = M.gauge "serve.session.doc_nodes"
+let g_store_triples = M.gauge "serve.session.store_triples"
 
 type budgets = {
   policy : Orchestrator.policy;
@@ -142,9 +160,12 @@ let store t =
     s.s_store <- Some st;
     st
 
-let why t uri = Reachability.ancestors (reach t) uri
-let impact t uri = Reachability.descendants (reach t) uri
-let sparql t q = Rdf.Sparql.run (store t) q
+let why t uri = M.time h_why (fun () -> Reachability.ancestors (reach t) uri)
+
+let impact t uri =
+  M.time h_impact (fun () -> Reachability.descendants (reach t) uri)
+
+let sparql t q = M.time h_sparql (fun () -> Rdf.Sparql.run (store t) q)
 
 let next_time t =
   match t.mode with
@@ -152,15 +173,17 @@ let next_time t =
   | Restored r -> r.r_next_time
 
 let turtle t =
-  match t.mode with
-  | Live l ->
-    Prov_export.to_turtle ~trace:(Orchestrator.session_trace l.orch) (graph t)
-  | Restored r ->
-    (* [Prov_export.to_turtle] is exactly [Turtle.to_turtle] of the
-       export store, and the WAL logged that store's triple sequence
-       verbatim — so a restored session's Turtle is byte-identical to
-       what the live session served (persist-smoke pins this). *)
-    Rdf.Turtle.to_turtle r.r_store
+  M.time h_turtle (fun () ->
+      match t.mode with
+      | Live l ->
+        Prov_export.to_turtle ~trace:(Orchestrator.session_trace l.orch)
+          (graph t)
+      | Restored r ->
+        (* [Prov_export.to_turtle] is exactly [Turtle.to_turtle] of the
+           export store, and the WAL logged that store's triple sequence
+           verbatim — so a restored session's Turtle is byte-identical to
+           what the live session served (persist-smoke pins this). *)
+        Rdf.Turtle.to_turtle r.r_store)
 
 (* ----- WAL sync ----- *)
 
@@ -188,6 +211,10 @@ let sync_wal t l =
     Rdf.Wal.log_meta p.pw ~key:"next_time"
       ~value:(string_of_int (Orchestrator.next_time l.orch));
     Rdf.Wal.commit p.pw ~store_size:(Rdf.Triple_store.size cur);
+    (* The export store was just built anyway (it IS the thing being
+       logged), so sampling its size here is free — the gauge is never a
+       reason to materialize a store. *)
+    M.set g_store_triples (Rdf.Triple_store.size cur);
     p.logged <- cur
 
 (* ----- constructors ----- *)
@@ -271,28 +298,36 @@ let commit t svc =
              (Printf.sprintf "session commit budget exhausted (%d of %d used)"
                 attempted m))
       | _ ->
-        let time = Orchestrator.next_time l.orch in
-        let on_step call before after delta =
-          l.inst.bi_observe ~call ~before ~after ~delta
-        in
-        (match Orchestrator.step ~on_step l.orch svc with
-        | Orchestrator.Committed { delta; attempts } ->
-          t.commits <- t.commits + 1;
-          t.snap <- None;
-          sync_wal t l;
-          Ok
-            { time; attempts;
-              new_nodes = List.length delta.Orchestrator.new_nodes;
-              promoted = List.length delta.Orchestrator.promoted }
-        | Orchestrator.Step_failed { reason; attempts; _ } ->
-          (* The orchestrator already rolled the arena back and burned the
-             timestamp; nothing the backend observed, nothing to drop.
-             The failed call still shows up in the exported graph (as an
-             invalidated activity), so the WAL syncs here too. *)
-          t.failed <- t.failed + 1;
-          t.snap <- None;
-          sync_wal t l;
-          Error (Call_failed { reason; attempts; time })))
+        M.time h_commit (fun () ->
+            let time = Orchestrator.next_time l.orch in
+            let on_step call before after delta =
+              l.inst.bi_observe ~call ~before ~after ~delta
+            in
+            let sample_doc () =
+              if Weblab_obs.Telemetry.enabled () then
+                M.set g_doc_nodes (Tree.size (Orchestrator.session_doc l.orch))
+            in
+            match Orchestrator.step ~on_step l.orch svc with
+            | Orchestrator.Committed { delta; attempts } ->
+              t.commits <- t.commits + 1;
+              t.snap <- None;
+              sync_wal t l;
+              sample_doc ();
+              Ok
+                { time; attempts;
+                  new_nodes = List.length delta.Orchestrator.new_nodes;
+                  promoted = List.length delta.Orchestrator.promoted }
+            | Orchestrator.Step_failed { reason; attempts; _ } ->
+              (* The orchestrator already rolled the arena back and burned
+                 the timestamp; nothing the backend observed, nothing to
+                 drop.  The failed call still shows up in the exported
+                 graph (as an invalidated activity), so the WAL syncs here
+                 too. *)
+              t.failed <- t.failed + 1;
+              t.snap <- None;
+              sync_wal t l;
+              sample_doc ();
+              Error (Call_failed { reason; attempts; time })))
 
 (* ----- stats ----- *)
 

@@ -11,6 +11,7 @@ open Weblab_services
 open Weblab_prov
 open QCheck
 module T = Weblab_obs.Telemetry
+module M = Weblab_obs.Metrics
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
@@ -109,6 +110,148 @@ let test_counters_level_buffers_no_events () =
       check_int "no span events at Counters level" 0
         (List.length (T.events ())))
 
+(* ---------- epochs: daemon counters are monotonic since boot ---------- *)
+
+let test_uptime_monotonic_across_reset () =
+  let u0 = T.uptime_us () in
+  with_telemetry ~level:T.Counters ~meta:false ~clock:T.Wall (fun () ->
+      T.incr (T.counter "t.epoch.probe");
+      T.reset ();
+      let u1 = T.uptime_us () in
+      check_bool "uptime keeps ticking across reset" true (u1 >= u0 && u1 > 0.);
+      check_int "reset still zeroes counters" 0
+        (counter_value "t.epoch.probe");
+      (* [reset] restamps the span-timestamp epoch but never the boot
+         epoch: right after a reset the span clock reads (near) zero
+         while uptime has the whole process behind it. *)
+      check_bool "span clock restarts below uptime" true
+        (T.now_us () <= T.uptime_us ()))
+
+(* ---------- gauges ---------- *)
+
+let test_gauges () =
+  with_telemetry ~level:T.Counters ~meta:false ~clock:T.Wall (fun () ->
+      let g = M.gauge "t.gauge" in
+      M.set g 5;
+      M.add g 3;
+      check_int "set then add" 8 (M.gauge_value g);
+      M.add g (-8);
+      check_int "a gauge goes back down" 0 (M.gauge_value g);
+      M.set g 42;
+      check_bool "registered gauges appear in the listing" true
+        (List.mem ("t.gauge", 42) (M.gauges ()));
+      T.set_level T.Off;
+      M.set g 7;
+      M.add g 7;
+      check_int "writes are gated on the level" 42 (M.gauge_value g))
+
+(* ---------- histogram bucket layout ---------- *)
+
+let prop_bucket_roundtrip =
+  Test.make
+    ~name:"hist buckets: v lands in [lo,hi], width <= lo/4, monotone"
+    ~count:1000
+    (int_bound 1_000_000_000)
+    (fun v ->
+      let i = M.bucket_of_us v in
+      let hi = M.bucket_upper_us i in
+      let lo = if i = 0 then 0 else M.bucket_upper_us (i - 1) + 1 in
+      lo <= v && v <= hi
+      && (v < 4 || hi - lo <= lo / 4)  (* <= 25% bucket width, so the
+                                          reported upper errs <= 25% high *)
+      && M.bucket_of_us hi = i
+      && M.bucket_of_us (hi + 1) = i + 1)
+
+let find_hist name =
+  match
+    List.find_opt
+      (fun hv -> String.equal hv.M.hv_name name)
+      (M.snapshot ()).M.sn_hists
+  with
+  | Some hv -> hv
+  | None -> Alcotest.failf "histogram %S missing from the snapshot" name
+
+let test_hist_quantiles () =
+  with_telemetry ~level:T.Counters ~meta:false ~clock:T.Wall (fun () ->
+      let h = M.hist "t.hist.q" in
+      for i = 1 to 100 do
+        M.observe_us h (float_of_int i)
+      done;
+      let hv = find_hist "t.hist.q" in
+      check_int "count" 100 hv.M.hv_count;
+      check_int "sum" 5050 hv.M.hv_sum_us;
+      check_int "max is exact" 100 hv.M.hv_max_us;
+      (* Quantiles report the bucket upper bound: never below the true
+         rank value, never more than a bucket width (<= 25%) above. *)
+      let within q v =
+        check_bool
+          (Printf.sprintf "p%d in [%d, %d]" (int_of_float (q *. 100.)) v
+             (v + (v / 4)))
+          true
+          (let p =
+             if q = 0.5 then hv.M.hv_p50_us
+             else if q = 0.9 then hv.M.hv_p90_us
+             else hv.M.hv_p99_us
+           in
+           p >= v && p <= v + (v / 4))
+      in
+      within 0.5 50;
+      within 0.9 90;
+      within 0.99 99;
+      check_int "bucket counts total the observations" 100
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 hv.M.hv_buckets))
+
+let test_hist_merge () =
+  with_telemetry ~level:T.Counters ~meta:false ~clock:T.Wall (fun () ->
+      let a = M.hist "t.hist.merge.a" and b = M.hist "t.hist.merge.b" in
+      for i = 1 to 10 do
+        M.observe_us a (float_of_int i)
+      done;
+      for i = 11 to 20 do
+        M.observe_us b (float_of_int i)
+      done;
+      M.merge_into ~into:a b;
+      let hv = find_hist "t.hist.merge.a" in
+      check_int "merged count" 20 hv.M.hv_count;
+      check_int "merged sum" 210 hv.M.hv_sum_us;
+      check_int "merged max" 20 hv.M.hv_max_us;
+      let hb = find_hist "t.hist.merge.b" in
+      check_int "source is untouched" 10 hb.M.hv_count)
+
+let test_hist_off_records_nothing () =
+  with_telemetry ~level:T.Off ~meta:false ~clock:T.Wall (fun () ->
+      let h = M.hist "t.hist.off" in
+      M.observe_us h 5.;
+      check_int "timer returns the value" 9 (M.time h (fun () -> 9));
+      let hv = find_hist "t.hist.off" in
+      check_int "nothing recorded when off" 0 hv.M.hv_count)
+
+(* ---------- span retention ring ---------- *)
+
+let prop_ring_cap =
+  Test.make
+    ~name:"span ring: buffered <= cap always, every eviction is tallied"
+    ~count:100
+    (pair (int_range 1 64) (int_range 0 300))
+    (fun (cap, n) ->
+      with_telemetry ~level:T.Full ~meta:false ~clock:T.Logical (fun () ->
+          T.set_retention (Some cap);
+          Fun.protect
+            ~finally:(fun () -> T.set_retention None)
+            (fun () ->
+              for i = 1 to n do
+                T.emit_instant (Printf.sprintf "e%d" i)
+              done;
+              let es = T.events () in
+              T.events_buffered () = min n cap
+              && T.spans_dropped () = max 0 (n - cap)
+              && List.length es = min n cap
+              (* survivors are exactly the newest, in emission order *)
+              && List.mapi (fun k e -> (k, e.T.e_name)) es
+                 |> List.for_all (fun (k, name) ->
+                        String.equal name
+                          (Printf.sprintf "e%d" (max 0 (n - cap) + k + 1))))))
+
 (* ---------- counters mirror Analytics.failure_stats (satellite) ---------- *)
 
 let test_counters_match_failure_stats () =
@@ -127,10 +270,18 @@ let test_counters_match_failure_stats () =
 
 (* ---------- transparency: telemetry must not change inference ---------- *)
 
+(* The instrumented side runs with everything on: spans (under a bounded
+   retention ring, the daemon configuration), meta-provenance, and the
+   gauge/histogram hooks the Counters level already arms.  Transparency
+   must hold for the union. *)
 let run_instrumented kind ~jobs ~seed ~faulty =
   with_telemetry ~level:T.Full ~meta:true ~clock:T.Logical (fun () ->
-      let _, links, turtle = run_strategy kind ~jobs ~seed ~faulty in
-      (links, turtle))
+      T.set_retention (Some 128);
+      Fun.protect
+        ~finally:(fun () -> T.set_retention None)
+        (fun () ->
+          let _, links, turtle = run_strategy kind ~jobs ~seed ~faulty in
+          (links, turtle)))
 
 let run_plain kind ~jobs ~seed ~faulty =
   let _, links, turtle = run_strategy kind ~jobs ~seed ~faulty in
@@ -282,7 +433,17 @@ let () =
           Alcotest.test_case "disabled recorder records nothing" `Quick
             test_disabled_recorder_records_nothing;
           Alcotest.test_case "Counters level buffers no events" `Quick
-            test_counters_level_buffers_no_events ] );
+            test_counters_level_buffers_no_events;
+          Alcotest.test_case "uptime is monotonic across reset" `Quick
+            test_uptime_monotonic_across_reset ] );
+      ( "metrics",
+        [ Alcotest.test_case "gauges: set/add, gating, listing" `Quick
+            test_gauges;
+          Alcotest.test_case "histogram quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "histogram merge" `Quick test_hist_merge;
+          Alcotest.test_case "histogram off records nothing" `Quick
+            test_hist_off_records_nothing ]
+        @ to_alcotest [ prop_bucket_roundtrip; prop_ring_cap ] );
       ( "counters",
         [ Alcotest.test_case "orchestrator counters = failure_stats" `Quick
             test_counters_match_failure_stats ] );

@@ -309,6 +309,11 @@ let get_bool what name v =
   | J.Bool b -> b
   | _ -> Alcotest.failf "%s.%s: not a bool" what name
 
+let get_int what name v =
+  match get_field what name v with
+  | J.Int i -> i
+  | _ -> Alcotest.failf "%s.%s: not an int" what name
+
 let expect_ok what v =
   if not (try get_bool what "ok" v with _ -> false) then
     Alcotest.failf "%s: expected ok, got %s" what (J.to_string v);
@@ -374,7 +379,11 @@ let test_protocol_warm_restart () =
     expect_ok "stats"
       (rpc ctx2 [ ("verb", J.Str "stats"); ("session", J.Str sid) ])
   in
-  check_bool "flagged restored" true (get_bool "stats" "restored" stats)
+  check_bool "flagged restored" true (get_bool "stats" "restored" stats);
+  (* ...and the global census counts it. *)
+  let g = expect_ok "stats global" (rpc ctx2 [ ("verb", J.Str "stats") ]) in
+  check_int "global restored count" 1 (get_int "stats" "restored" g);
+  check_int "global live count" 1 (get_int "stats" "live" g)
 
 let test_protocol_close_compacts () =
   let dir = fresh_dir () in

@@ -269,12 +269,35 @@ let test_protocol_lifecycle () =
     expect_ok "stats session"
       (rpc ctx [ ("verb", J.Str "stats"); ("session", J.Str "t1") ])
   in
+  (* Every documented field of the per-session reply is pinned here: a
+     missing or retyped field is a protocol break, not a formatting
+     choice. *)
+  check_string "stats session id" "t1" (get_str "stats" "session" st);
+  check_string "stats backend" "online" (get_str "stats" "backend" st);
   check_int "commits" 1 (get_int "stats" "commits" st);
   check_int "failed" 0 (get_int "stats" "failed" st);
   check_int "next_time" 2 (get_int "stats" "next_time" st);
+  check_bool "doc_nodes > 0" true (get_int "stats" "doc_nodes" st > 0);
+  check_bool "resources > 0" true (get_int "stats" "resources" st > 0);
+  check_bool "links >= 0" true (get_int "stats" "links" st >= 0);
+  check_bool "not closed" true (J.bool_member "closed" st = Some false);
+  check_bool "not restored" true (J.bool_member "restored" st = Some false);
+  (let store =
+     match J.member "store" st with
+     | Some s -> s
+     | None -> Alcotest.fail "stats: missing store census"
+   in
+   let triples = get_int "store" "triples" store in
+   let base = get_int "store" "base" store in
+   let tail = get_int "store" "tail" store in
+   check_bool "store triples > 0" true (triples > 0);
+   check_bool "store terms > 0" true (get_int "store" "terms" store > 0);
+   check_int "store census adds up" triples (base + tail);
+   check_bool "store merges >= 0" true (get_int "store" "merges" store >= 0));
   let g = expect_ok "stats global" (rpc ctx [ ("verb", J.Str "stats") ]) in
   check_int "live" 1 (get_int "stats" "live" g);
   check_int "max_sessions" 8 (get_int "stats" "max_sessions" g);
+  check_int "restored count" 0 (get_int "stats" "restored" g);
   (match J.member "sessions" g with
   | Some (J.List [ J.Str "t1" ]) -> ()
   | _ -> Alcotest.fail "stats: sessions should be [\"t1\"]");
@@ -698,6 +721,191 @@ let test_tree_boundaries () =
   check_bool "index refuses after shrink" false
     (Index.extend idx doc ~promoted:[])
 
+(* ===== metrics verb and slow-query log ===== *)
+
+(* The recorder is process-global; this test turns it on (Full, with a
+   bounded span ring — the daemon configuration) and restores Off so the
+   rest of the suite stays uninstrumented. *)
+let with_recorder f =
+  let module T = Weblab_obs.Telemetry in
+  T.set_level T.Full;
+  T.set_retention (Some 4096);
+  T.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_retention None;
+      T.set_level T.Off;
+      T.reset ())
+    f
+
+let test_metrics_verb () =
+  with_recorder (fun () ->
+      let ctx = Protocol.make_ctx ~max_sessions:8 () in
+      ignore
+        (expect_ok "open"
+           (rpc ctx
+              [ ("verb", J.Str "open"); ("session", J.Str "m1");
+                ("units", J.Int 2); ("seed", J.Int 5) ]));
+      List.iter
+        (fun svc ->
+          ignore
+            (expect_ok ("commit " ^ svc)
+               (rpc ctx
+                  [ ("verb", J.Str "commit"); ("session", J.Str "m1");
+                    ("service", J.Str svc) ])))
+        [ "Normaliser"; "LanguageExtractor"; "Translator" ];
+      ignore
+        (expect_ok "query"
+           (rpc ctx
+              [ ("verb", J.Str "query"); ("session", J.Str "m1");
+                ("kind", J.Str "turtle") ]));
+      let m = expect_ok "metrics" (rpc ctx [ ("verb", J.Str "metrics") ]) in
+      (match J.member "uptime_us" m with
+      | Some (J.Float u) -> check_bool "uptime > 0" true (u > 0.)
+      | Some (J.Int u) -> check_bool "uptime > 0" true (u > 0)
+      | _ -> Alcotest.fail "metrics: no uptime_us");
+      check_string "level" "full" (get_str "metrics" "level" m);
+      (* Per-verb histogram counts equal the requests driven above; the
+         metrics request itself is observed after its reply is built, so
+         it is absent from its own snapshot. *)
+      let hist_count verb =
+        match J.member "histograms" m with
+        | Some (J.Obj hs) -> (
+          match List.assoc_opt ("serve.verb." ^ verb) hs with
+          | Some h -> get_int "hist" "count" h
+          | None -> 0)
+        | _ -> Alcotest.fail "metrics: no histograms"
+      in
+      check_int "open histogram count" 1 (hist_count "open");
+      check_int "commit histogram count" 3 (hist_count "commit");
+      check_int "query histogram count" 1 (hist_count "query");
+      check_int "metrics not in its own snapshot" 0 (hist_count "metrics");
+      (match J.member "histograms" m with
+      | Some (J.Obj hs) -> (
+        match List.assoc_opt "serve.verb.commit" hs with
+        | Some h ->
+          check_bool "commit p50 <= p99" true
+            (get_int "hist" "p50_us" h <= get_int "hist" "p99_us" h);
+          (* quantiles report bucket upper bounds, so p99 may sit up to
+             one bucket width (<= 25%) above the exact max *)
+          check_bool "commit p99 within a bucket of max" true
+            (let mx = get_int "hist" "max_us" h in
+             get_int "hist" "p99_us" h <= mx + (mx / 4) + 1)
+        | None -> Alcotest.fail "metrics: no commit histogram")
+      | _ -> Alcotest.fail "metrics: no histograms");
+      (match J.member "gauges" m with
+      | Some (J.Obj gs) ->
+        check_bool "sessions.active gauge reads 1" true
+          (List.assoc_opt "serve.sessions.active" gs = Some (J.Int 1))
+      | _ -> Alcotest.fail "metrics: no gauges");
+      (match J.member "spans" m with
+      | Some sp ->
+        check_bool "spans buffered > 0" true (get_int "spans" "buffered" sp > 0);
+        check_int "no drops under the cap" 0 (get_int "spans" "dropped" sp)
+      | None -> Alcotest.fail "metrics: no spans");
+      (* Per-request tracing: a client-tagged request's spans come back
+         under its id. *)
+      ignore
+        (expect_ok "tagged query"
+           (rpc ctx
+              [ ("verb", J.Str "query"); ("session", J.Str "m1");
+                ("kind", J.Str "why"); ("uri", J.Str "mu1");
+                ("id", J.Str "trace-me") ]));
+      let tr =
+        expect_ok "trace"
+          (rpc ctx [ ("verb", J.Str "metrics"); ("trace", J.Str "trace-me") ])
+      in
+      (match J.member "spans" tr with
+      | Some (J.List (_ :: _ as spans)) ->
+        check_bool "every span carries the request id" true
+          (List.for_all
+             (fun s ->
+               match J.member "args" s with
+               | Some args -> J.str_member "req" args = Some "trace-me"
+               | None -> false)
+             spans)
+      | _ -> Alcotest.failf "trace: no spans for the tagged request: %s"
+               (J.to_string tr));
+      (* an unknown id answers with an empty list, not an error *)
+      (match
+         J.member "spans"
+           (expect_ok "trace ghost"
+              (rpc ctx [ ("verb", J.Str "metrics"); ("trace", J.Str "ghost") ]))
+       with
+      | Some (J.List []) -> ()
+      | _ -> Alcotest.fail "trace: ghost id should yield zero spans");
+      (* The Prometheus exposition renders the same snapshot. *)
+      let expo = Weblab_obs.Sinks.exposition () in
+      check_bool "exposition: verb histogram" true
+        (contains ~sub:"weblab_serve_verb_commit_us_count" expo);
+      check_bool "exposition: active-sessions gauge" true
+        (contains ~sub:"weblab_serve_sessions_active 1" expo);
+      check_bool "exposition: uptime" true
+        (contains ~sub:"weblab_uptime_seconds" expo))
+
+let test_slow_query_log () =
+  with_recorder (fun () ->
+      let path = Filename.temp_file "weblab_slow" ".jsonl" in
+      (* Threshold 0: every request is "slow", so the log observably
+         works without a contrived stall. *)
+      let ctx = Protocol.make_ctx ~max_sessions:8 ~slow_log_path:path ~slow_ms:0. () in
+      ignore
+        (expect_ok "open"
+           (rpc ctx
+              [ ("verb", J.Str "open"); ("session", J.Str "s1");
+                ("units", J.Int 2); ("id", J.Str "rq1") ]));
+      ignore
+        (expect_ok "commit"
+           (rpc ctx
+              [ ("verb", J.Str "commit"); ("session", J.Str "s1");
+                ("service", J.Str "Normaliser") ]));
+      ignore
+        (expect_err "bad verb is logged too" "bad_request"
+           (rpc ctx [ ("verb", J.Str "query"); ("session", J.Str "s1");
+                      ("kind", J.Str "nope") ]));
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Sys.remove path;
+      let lines = List.rev !lines in
+      check_int "one record per request" 3 (List.length lines);
+      let parsed =
+        List.map
+          (fun l ->
+            match J.parse_opt l with
+            | Ok v -> v
+            | Error m -> Alcotest.failf "slow log line unparsable (%s): %s" m l)
+          lines
+      in
+      (match parsed with
+      | [ o; c; q ] ->
+        check_string "open verb" "open" (get_str "slow" "verb" o);
+        check_string "open req id" "rq1" (get_str "slow" "req" o);
+        check_bool "open ok" true (J.bool_member "ok" o = Some true);
+        check_string "commit verb" "commit" (get_str "slow" "verb" c);
+        check_string "commit session" "s1" (get_str "slow" "session" c);
+        check_bool "commit carries new_nodes" true
+          (get_int "slow" "new_nodes" c > 0);
+        check_bool "commit carries a duration" true
+          (match J.member "dur_us" c with
+          | Some (J.Int d) -> d >= 0
+          | Some (J.Float d) -> d >= 0.
+          | _ -> false);
+        check_bool "failed query logged not ok" true
+          (J.bool_member "ok" q = Some false)
+      | _ -> Alcotest.fail "slow log: expected exactly three records");
+      check_int "serve.slow_queries counts them" 3
+        (match
+           List.assoc_opt "serve.slow_queries"
+             (Weblab_obs.Telemetry.counters ())
+         with
+        | Some n -> n
+        | None -> 0))
+
 (* ===== TCP transport ===== *)
 
 let test_tcp_roundtrip () =
@@ -770,6 +978,10 @@ let () =
       ("arena",
        [ Alcotest.test_case "Vec boundaries" `Quick test_vec_boundaries;
          Alcotest.test_case "Tree boundaries" `Quick test_tree_boundaries ]);
+      ("observability",
+       [ Alcotest.test_case "metrics verb and per-request tracing" `Quick
+           test_metrics_verb;
+         Alcotest.test_case "slow-query log" `Quick test_slow_query_log ]);
       ("transport",
        [ Alcotest.test_case "TCP roundtrip and shutdown" `Quick
            test_tcp_roundtrip ])
